@@ -1,0 +1,316 @@
+// Package hydra's root benchmark harness: one testing.B benchmark per table
+// and figure of the paper (regenerating the artifact at a reduced scale and
+// reporting its headline numbers as custom metrics), plus per-method build
+// and query micro-benchmarks.
+//
+// Full-size regeneration is the job of cmd/hydra-bench; these benches keep
+// every artifact runnable through the standard Go toolchain:
+//
+//	go test -bench=Fig6 -benchmem
+package hydra
+
+import (
+	"strconv"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/experiments"
+	_ "hydra/internal/methods"
+	"hydra/internal/scan/ucrdtw"
+	"hydra/internal/storage"
+	"hydra/internal/subseq"
+)
+
+// benchConfig is the reduced scale used by the bench harness.
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig(dataset.ScaleQuick)
+	cfg.NumQueries = 10
+	cfg.SeriesLen = 128
+	return cfg
+}
+
+func reportRows(b *testing.B, rep *experiments.Report) {
+	b.Helper()
+	b.ReportMetric(float64(len(rep.Rows)), "rows")
+}
+
+// BenchmarkTable1_Registry regenerates the method-properties matrix.
+func BenchmarkTable1_Registry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Table1()
+		if len(rep.Rows) != 10 {
+			b.Fatalf("expected 10 methods, got %d", len(rep.Rows))
+		}
+	}
+}
+
+// BenchmarkFig2_LeafSize regenerates the leaf-size parametrization sweep.
+func BenchmarkFig2_LeafSize(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Fig2LeafSize(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rep)
+	}
+}
+
+// BenchmarkFig3_Scalability regenerates the all-methods scalability figure.
+func BenchmarkFig3_Scalability(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Fig3Scalability(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rep)
+	}
+}
+
+// BenchmarkFig4_DiskAccesses regenerates the disk-access counts.
+func BenchmarkFig4_DiskAccesses(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Fig4DiskAccesses(cfg, []float64{25, 100}, []int{128, 512})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rep)
+	}
+}
+
+// BenchmarkFig5_Lengths regenerates the series-length scalability figure.
+func BenchmarkFig5_Lengths(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Fig5Lengths(cfg, []int{128, 512, 2048})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rep)
+	}
+}
+
+// BenchmarkFig6_HDD regenerates the HDD scalability comparison.
+func BenchmarkFig6_HDD(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Fig6HDD(cfg, []float64{25, 100, 250})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rep)
+	}
+}
+
+// BenchmarkFig7_SSD regenerates the SSD scalability comparison.
+func BenchmarkFig7_SSD(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Fig7SSD(cfg, []float64{25, 100, 250})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rep)
+	}
+}
+
+// BenchmarkFig8_Footprint regenerates the footprint + TLB figure.
+func BenchmarkFig8_Footprint(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Fig8Footprint(cfg, []float64{25, 100}, []int{128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rep)
+	}
+}
+
+// BenchmarkFig9_Pruning regenerates the pruning-ratio figure.
+func BenchmarkFig9_Pruning(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Fig9Pruning(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rep)
+	}
+}
+
+// BenchmarkFig10_Matrix regenerates the recommendation matrix.
+func BenchmarkFig10_Matrix(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Fig10Matrix(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rep)
+	}
+}
+
+// BenchmarkTable2_Controlled regenerates the controlled-workloads summary.
+func BenchmarkTable2_Controlled(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Table2Controlled(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rep)
+	}
+}
+
+// BenchmarkAblation regenerates the design-choice ablation study (paper §5
+// discussion: scan optimizations, SFA binning, VA+ bit allocation, DSTree
+// split policy).
+func BenchmarkAblation(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Ablation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rep)
+	}
+}
+
+// BenchmarkMethods_Build measures raw index construction per method
+// (CPU only; simulated I/O is counted, not performed).
+func BenchmarkMethods_Build(b *testing.B) {
+	ds := dataset.RandomWalk(4000, 128, 42)
+	for _, name := range core.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := core.New(name, core.Options{LeafSize: 64})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := m.Build(core.NewCollection(ds)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMethods_Query measures exact 1-NN query answering per method over
+// a pre-built index.
+func BenchmarkMethods_Query(b *testing.B) {
+	ds := dataset.RandomWalk(4000, 128, 42)
+	queries := dataset.SynthRand(64, 128, 7).Queries
+	for _, name := range core.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			m, err := core.New(name, core.Options{LeafSize: 64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			coll := core.NewCollection(ds)
+			if err := m.Build(coll); err != nil {
+				b.Fatal(err)
+			}
+			var seeks int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				before := coll.Counters.Snapshot()
+				_, _, err := m.KNN(queries[i%len(queries)], 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				seeks += coll.Counters.Snapshot().Sub(before).RandOps
+			}
+			b.ReportMetric(float64(seeks)/float64(b.N), "seeks/query")
+		})
+	}
+}
+
+// BenchmarkBufferTuning regenerates the construction buffer-size sweep
+// (paper §4.3.1).
+func BenchmarkBufferTuning(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.BufferTuning(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rep)
+	}
+}
+
+// BenchmarkUCRDTW measures exact DTW 1-NN with the LB_Keogh cascade at
+// several warping bands (the paper's named carry-over setting).
+func BenchmarkUCRDTW(b *testing.B) {
+	ds := dataset.RandomWalk(2000, 128, 42)
+	queries := dataset.Ctrl(ds, 16, 0.3, 7).Queries
+	for _, w := range []int{0, 6, 12} {
+		w := w
+		b.Run("band="+strconv.Itoa(w), func(b *testing.B) {
+			s := ucrdtw.New(w)
+			coll := core.NewCollection(ds)
+			if err := s.Build(coll); err != nil {
+				b.Fatal(err)
+			}
+			var pruned int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, qs, err := s.KNN(queries[i%len(queries)], 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pruned += qs.LBCalcs - qs.DistCalcs
+			}
+			b.ReportMetric(float64(pruned)/float64(b.N), "dtw-pruned/query")
+		})
+	}
+}
+
+// BenchmarkSubsequenceMASS measures exact subsequence matching over a long
+// series (MASS's native domain).
+func BenchmarkSubsequenceMASS(b *testing.B) {
+	long := dataset.RandomWalk(1, 1<<16, 9).Series[0]
+	q := dataset.SynthRand(1, 256, 10).Queries[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := subseq.MASS(long, q, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeviceModels exercises the simulated-time conversion (sanity: it
+// must be trivially cheap) across both device profiles.
+func BenchmarkDeviceModels(b *testing.B) {
+	snap := storage.Snapshot{SeqOps: 100, SeqBytes: 1 << 30, RandOps: 1 << 14, RandBytes: 1 << 24}
+	for _, dev := range []storage.DeviceProfile{storage.HDD, storage.SSD} {
+		b.Run(dev.Name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				total += snap.IOTime(dev).Seconds()
+			}
+			_ = total
+		})
+	}
+}
+
+// BenchmarkKNNHeap measures the shared k-NN result set.
+func BenchmarkKNNHeap(b *testing.B) {
+	for _, k := range []int{1, 10, 100} {
+		b.Run("k="+strconv.Itoa(k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				set := core.NewKNNSet(k)
+				for j := 0; j < 10000; j++ {
+					set.Add(j, float64((j*2654435761)%100000))
+				}
+				if len(set.Results()) != k {
+					b.Fatal("bad result size")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,71 @@
+// Command hydra-bench regenerates the figures and tables of the paper's
+// evaluation section (§4.3) on the simulated-disk substrate.
+//
+// Usage:
+//
+//	hydra-bench -experiment all              # everything (slow)
+//	hydra-bench -experiment fig6 -scale 1024 # one artifact at 1/1024 scale
+//	hydra-bench -list
+//
+// The -scale flag is the divisor applied to the paper's collection sizes
+// (1 = full paper scale; 1024 = default; 16384 = quick smoke run).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hydra/internal/dataset"
+	"hydra/internal/experiments"
+	_ "hydra/internal/methods"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
+		scaleDiv   = flag.Float64("scale", 1024, "scale divisor: paper sizes are divided by this (1 = full paper scale)")
+		queries    = flag.Int("queries", 100, "queries per workload")
+		seriesLen  = flag.Int("length", 256, "default series length")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		k          = flag.Int("k", 1, "number of nearest neighbors")
+		list       = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		return
+	}
+	if *scaleDiv <= 0 {
+		fmt.Fprintln(os.Stderr, "hydra-bench: -scale must be positive")
+		os.Exit(2)
+	}
+
+	cfg := experiments.DefaultConfig(1 / *scaleDiv)
+	cfg.NumQueries = *queries
+	cfg.SeriesLen = *seriesLen
+	cfg.Seed = *seed
+	cfg.K = *k
+
+	ids := experiments.IDs()
+	if *experiment != "all" {
+		ids = strings.Split(*experiment, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := experiments.Run(strings.TrimSpace(id), cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hydra-bench: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Fprint(os.Stdout)
+		fmt.Printf("(%s regenerated in %s at scale 1/%.0f)\n\n", rep.ID, time.Since(start).Round(time.Millisecond), *scaleDiv)
+	}
+	_ = dataset.ScaleDefault // documented in -scale help
+}

@@ -1,0 +1,89 @@
+// Command hydra-gen generates data series collections and query workloads in
+// the suite's binary format.
+//
+// Usage:
+//
+//	hydra-gen -dataset synthetic -n 100000 -length 256 -out synth.hyd
+//	hydra-gen -dataset seismic -gb 100 -scale 1024 -out seismic.hyd
+//	hydra-gen -workload ctrl -from synth.hyd -queries 100 -noise 1.0 -out q.hyd
+//	hydra-gen -workload rand -length 256 -queries 100 -out q.hyd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hydra/internal/dataset"
+)
+
+func main() {
+	var (
+		dsName   = flag.String("dataset", "", "dataset to generate: synthetic|seismic|astro|sald|deep1b")
+		workload = flag.String("workload", "", "workload to generate: rand|ctrl|deeporig")
+		n        = flag.Int("n", 0, "number of series (overrides -gb)")
+		gb       = flag.Float64("gb", 0, "paper-scale size in GB (with -scale)")
+		scaleDiv = flag.Float64("scale", 1024, "scale divisor applied to -gb")
+		length   = flag.Int("length", 256, "series length")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		queries  = flag.Int("queries", 100, "number of queries (workload mode)")
+		noise    = flag.Float64("noise", 1.0, "max noise level for ctrl workloads")
+		from     = flag.String("from", "", "source dataset file for ctrl workloads")
+		out      = flag.String("out", "", "output file (required)")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "hydra-gen: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if *out == "" {
+		fail("-out is required")
+	}
+
+	switch {
+	case *dsName != "":
+		count := *n
+		if count == 0 {
+			if *gb <= 0 {
+				fail("provide -n or -gb")
+			}
+			count = dataset.NumSeriesForGB(*gb, *length, 1 / *scaleDiv)
+		}
+		ds, err := dataset.ByName(*dsName, count, *length, *seed)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := ds.SaveFile(*out); err != nil {
+			fail("saving: %v", err)
+		}
+		fmt.Printf("wrote %s: %d series of length %d (%d bytes raw)\n", *out, ds.Len(), ds.SeriesLen(), ds.SizeBytes())
+
+	case *workload != "":
+		var w *dataset.Workload
+		switch *workload {
+		case "rand":
+			w = dataset.SynthRand(*queries, *length, *seed)
+		case "deeporig":
+			w = dataset.DeepOrig(*queries, *length, *seed)
+		case "ctrl":
+			if *from == "" {
+				fail("ctrl workloads need -from <dataset file>")
+			}
+			ds, err := dataset.LoadFile(*from)
+			if err != nil {
+				fail("loading %s: %v", *from, err)
+			}
+			w = dataset.Ctrl(ds, *queries, *noise, *seed)
+		default:
+			fail("unknown workload %q", *workload)
+		}
+		if err := w.SaveFile(*out); err != nil {
+			fail("saving: %v", err)
+		}
+		fmt.Printf("wrote %s: workload %s with %d queries\n", *out, w.Name, len(w.Queries))
+
+	default:
+		fail("provide -dataset or -workload (see -help)")
+	}
+}

@@ -1,0 +1,110 @@
+// Command hydra-query builds one similarity search index over a collection
+// and answers exact k-NN queries, printing per-query costs (the paper's
+// measures: time, disk accesses, pruning ratio).
+//
+// Usage:
+//
+//	hydra-query -data synth.hyd -queries q.hyd -method DSTree -k 1
+//	hydra-query -data synth.hyd -queries q.hyd -method all -device ssd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/methods"
+	"hydra/internal/storage"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "collection file (from hydra-gen)")
+		queryPath = flag.String("queries", "", "workload file (from hydra-gen)")
+		method    = flag.String("method", "DSTree", "method name, comma list, or 'all'")
+		k         = flag.Int("k", 1, "number of nearest neighbors")
+		leafSize  = flag.Int("leaf", 0, "leaf size (0 = paper default scaled to collection)")
+		device    = flag.String("device", "hdd", "device profile: hdd|ssd")
+		verbose   = flag.Bool("v", false, "print every match")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "hydra-query: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if *dataPath == "" || *queryPath == "" {
+		fail("-data and -queries are required")
+	}
+	dev := storage.HDD
+	if strings.EqualFold(*device, "ssd") {
+		dev = storage.SSD
+	}
+
+	ds, err := dataset.LoadFile(*dataPath)
+	if err != nil {
+		fail("loading data: %v", err)
+	}
+	wl, err := dataset.LoadWorkloadFile(*queryPath)
+	if err != nil {
+		fail("loading queries: %v", err)
+	}
+	if err := wl.Validate(ds.SeriesLen()); err != nil {
+		fail("%v", err)
+	}
+
+	names := []string{*method}
+	if *method == "all" {
+		names = methods.All()
+	} else if strings.Contains(*method, ",") {
+		names = strings.Split(*method, ",")
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Method\tIdx(s)\tQueries(s)\tSeqOps\tRandOps\tPruning\tMeanDist")
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		m, err := core.New(name, core.Options{LeafSize: *leafSize})
+		if err != nil {
+			fail("%v", err)
+		}
+		coll := core.NewCollection(ds)
+		bs, err := core.BuildInstrumented(m, coll)
+		if err != nil {
+			fail("building %s: %v", name, err)
+		}
+		var totalDist float64
+		var nMatches int
+		ws := struct {
+			seq, rnd int64
+			prune    float64
+			secs     float64
+		}{}
+		for qi, q := range wl.Queries {
+			matches, qs, err := core.RunQuery(m, coll, q, *k)
+			if err != nil {
+				fail("%s query %d: %v", name, qi, err)
+			}
+			ws.seq += qs.IO.SeqOps
+			ws.rnd += qs.IO.RandOps
+			ws.prune += qs.PruningRatio()
+			ws.secs += qs.TotalTime(dev).Seconds()
+			for _, mt := range matches {
+				totalDist += mt.Dist
+				nMatches++
+				if *verbose {
+					fmt.Printf("%s q%d -> series %d dist %.6f\n", name, qi, mt.ID, mt.Dist)
+				}
+			}
+		}
+		nq := float64(len(wl.Queries))
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%d\t%d\t%.4f\t%.4f\n",
+			name, bs.TotalTime(dev).Seconds(), ws.secs,
+			ws.seq, ws.rnd, ws.prune/nq, totalDist/float64(nMatches))
+	}
+	tw.Flush()
+}

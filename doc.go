@@ -1,0 +1,12 @@
+// Package hydra is a complete Go reproduction of "The Lernaean Hydra of
+// Data Series Similarity Search: An Experimental Evaluation of the State of
+// the Art" (Echihabi, Zoumpatianos, Palpanas, Benbrahim; PVLDB 12(2), 2018):
+// the ten exact whole-matching similarity search methods the paper
+// evaluates, every summarization technique they build on, the measurement
+// framework, and an experiment harness that regenerates every figure and
+// table of the paper's evaluation section.
+//
+// Start with README.md, the examples/ directory, and internal/core for the
+// public API. The root package hosts the per-artifact benchmarks
+// (bench_test.go).
+package hydra

@@ -1,0 +1,63 @@
+// Access-path selection: the paper's §5 closes with the observation that
+// choosing between a sequential scan and an index is an optimization problem
+// driven by (a) summarization effectiveness (pruning ratio), (b) data
+// clustering, and (c) hardware. This example makes that concrete: it runs an
+// easy workload and a hard workload over the same collection and shows the
+// scan/index crossover on both device profiles — reproducing the paper's
+// finding that hard (low-pruning) queries favour the sequential scan on
+// spinning disks, while SSDs favour the skip-sequential methods.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	_ "hydra/internal/methods"
+	"hydra/internal/storage"
+)
+
+func main() {
+	ds := dataset.Deep1B(30000, 96, 7)    // the hardest-to-summarize collection
+	easy := dataset.Ctrl(ds, 20, 0.05, 1) // near-duplicates: high pruning
+	easy.Name = "easy (low noise)"
+	hard := dataset.DeepOrig(20, 96, 2) // independent vectors: low pruning
+	hard.Name = "hard (independent)"
+
+	methods := []string{"UCR-Suite", "VA+file", "DSTree"}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Workload\tMethod\tPruning\tSeeks/q\tHDD time/q\tSSD time/q")
+
+	for _, wl := range []*dataset.Workload{easy, hard} {
+		for _, name := range methods {
+			m, err := core.New(name, core.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			coll := core.NewCollection(ds)
+			if _, err := core.BuildInstrumented(m, coll); err != nil {
+				log.Fatal(err)
+			}
+			ws, err := core.RunWorkload(m, coll, wl, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tot := ws.Total()
+			nq := len(ws.Queries)
+			fmt.Fprintf(tw, "%s\t%s\t%.3f\t%d\t%v\t%v\n",
+				wl.Name, name, ws.MeanPruningRatio(),
+				tot.IO.RandOps/int64(nq),
+				(ws.TotalTime(storage.HDD)/1).Round(1e6)/1/1,
+				(ws.TotalTime(storage.SSD)/1).Round(1e6)/1/1,
+			)
+		}
+	}
+	tw.Flush()
+	fmt.Println("\nReading the table: when pruning collapses (hard workload), the scan's")
+	fmt.Println("pure-sequential pattern wins on the HDD profile; cheap SSD seeks flip the")
+	fmt.Println("decision back toward the filter-based methods — the paper's access-path")
+	fmt.Println("selection problem in one table.")
+}

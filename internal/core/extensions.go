@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"hydra/internal/series"
+	"hydra/internal/stats"
+)
+
+// ApproxMethod is implemented by methods that support ng-approximate search
+// (Definition 7 of the paper): the index is traversed along one path,
+// visiting at most one leaf, and the best matches found there are returned
+// with no guarantees on the error bound. Table 1 marks ADS+, DSTree, iSAX2+
+// and SFA as supporting it ("approximate, or heuristic search" in the data
+// series literature).
+type ApproxMethod interface {
+	Method
+	// ApproxKNN answers an ng-approximate k-NN query. The result may hold
+	// fewer than k matches if the visited leaf is small.
+	ApproxKNN(q series.Series, k int) ([]Match, stats.QueryStats, error)
+}
+
+// RangeMethod is implemented by methods that support exact r-range queries
+// (Definition 2): all series within Euclidean distance r of the query,
+// sorted by ascending distance.
+type RangeMethod interface {
+	Method
+	RangeSearch(q series.Series, r float64) ([]Match, stats.QueryStats, error)
+}
+
+// EpsApproxMethod is implemented by methods that support ε-approximate
+// queries (Definition 5): every result is within (1+ε) of the true k-th
+// nearest neighbor distance. In the paper's Table 1 only the M-tree offers
+// this (Ciaccia & Patella's PAC queries).
+type EpsApproxMethod interface {
+	Method
+	EpsKNN(q series.Series, k int, eps float64) ([]Match, stats.QueryStats, error)
+}
+
+// RangeSet accumulates r-range query results.
+type RangeSet struct {
+	r2      float64
+	matches []Match
+}
+
+// NewRangeSet creates a result set for radius r (true distance).
+func NewRangeSet(r float64) *RangeSet {
+	return &RangeSet{r2: r * r}
+}
+
+// Bound returns the squared pruning bound (r²); unlike k-NN it never
+// shrinks.
+func (s *RangeSet) Bound() float64 { return s.r2 }
+
+// Add offers a candidate with the given squared distance and reports whether
+// it qualified.
+func (s *RangeSet) Add(id int, sqDist float64) bool {
+	if sqDist > s.r2 {
+		return false
+	}
+	s.matches = append(s.matches, Match{ID: id, Dist: sqDist})
+	return true
+}
+
+// Results returns the qualifying matches sorted by ascending true distance,
+// ties by ID.
+func (s *RangeSet) Results() []Match {
+	out := make([]Match, len(s.matches))
+	copy(out, s.matches)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	for i := range out {
+		out[i].Dist = sqrtNonNeg(out[i].Dist)
+	}
+	return out
+}
+
+func sqrtNonNeg(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// BruteForceRange answers an r-range query by full scan (test oracle).
+func BruteForceRange(c *Collection, q series.Series, r float64) []Match {
+	set := NewRangeSet(r)
+	c.File.Rewind()
+	for i := 0; i < c.File.Len(); i++ {
+		set.Add(i, series.SquaredDist(q, c.File.Read(i)))
+	}
+	return set.Results()
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"time"
+
+	"hydra/internal/dataset"
+	"hydra/internal/series"
+	"hydra/internal/stats"
+)
+
+// BuildInstrumented builds the method over the collection, measuring CPU
+// time and attributing the simulated I/O delta to the build.
+func BuildInstrumented(m Method, c *Collection) (stats.BuildStats, error) {
+	before := c.Counters.Snapshot()
+	start := time.Now()
+	err := m.Build(c)
+	bs := stats.BuildStats{
+		CPUTime:  time.Since(start),
+		IO:       c.Counters.Snapshot().Sub(before),
+		Finished: err == nil,
+	}
+	return bs, err
+}
+
+// RunQuery answers one query with full instrumentation: the method's own
+// counters plus the I/O delta and wall time around the call.
+func RunQuery(m Method, c *Collection, q series.Series, k int) ([]Match, stats.QueryStats, error) {
+	before := c.Counters.Snapshot()
+	start := time.Now()
+	matches, qs, err := m.KNN(q, k)
+	qs.CPUTime = time.Since(start)
+	qs.IO = c.Counters.Snapshot().Sub(before)
+	qs.DatasetSize = int64(c.File.Len())
+	return matches, qs, err
+}
+
+// RunWorkload answers every query of the workload and collects per-query
+// stats. It stops at the first error.
+func RunWorkload(m Method, c *Collection, w *dataset.Workload, k int) (stats.WorkloadStats, error) {
+	var ws stats.WorkloadStats
+	ws.Queries = make([]stats.QueryStats, 0, len(w.Queries))
+	for _, q := range w.Queries {
+		_, qs, err := RunQuery(m, c, q, k)
+		if err != nil {
+			return ws, err
+		}
+		ws.Queries = append(ws.Queries, qs)
+	}
+	return ws, nil
+}

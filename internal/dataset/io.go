@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"hydra/internal/series"
+)
+
+// File format: a small header followed by raw little-endian float32 values.
+//
+//	magic   [4]byte  "HYD1"
+//	count   uint32   number of series
+//	length  uint32   points per series
+//	name    uint16-prefixed UTF-8 string
+//	values  count*length float32
+const magic = "HYD1"
+
+// Save writes the collection to w in the suite's binary format.
+func (d *Dataset) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	hdr := []any{uint32(d.Len()), uint32(d.SeriesLen()), uint16(len(d.Name))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString(d.Name); err != nil {
+		return err
+	}
+	buf := make([]byte, 4)
+	for _, s := range d.Series {
+		for _, v := range s {
+			binary.LittleEndian.PutUint32(buf, math.Float32bits(float32(v)))
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a collection previously written by Save.
+func Load(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("dataset: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("dataset: bad magic %q", head)
+	}
+	var count, length uint32
+	var nameLen uint16
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &length); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	const maxSeries = 1 << 28
+	if count > maxSeries || length > maxSeries {
+		return nil, fmt.Errorf("dataset: implausible header count=%d length=%d", count, length)
+	}
+	d := &Dataset{Name: string(name), Series: make([]series.Series, count)}
+	buf := make([]byte, 4*length)
+	for i := range d.Series {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("dataset: reading series %d: %w", i, err)
+		}
+		s := make(series.Series, length)
+		for j := range s {
+			s[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:]))
+		}
+		d.Series[i] = s
+	}
+	return d, nil
+}
+
+// SaveFile writes the collection to the named file.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a collection from the named file.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// SaveFile writes the workload to the named file (same format; queries are
+// stored as a dataset).
+func (w *Workload) SaveFile(path string) error {
+	d := &Dataset{Name: w.Name, Series: w.Queries}
+	return d.SaveFile(path)
+}
+
+// LoadWorkloadFile reads a workload from the named file.
+func LoadWorkloadFile(path string) (*Workload, error) {
+	d, err := LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{Name: d.Name, Queries: d.Series}, nil
+}

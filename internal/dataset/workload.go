@@ -1,0 +1,68 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hydra/internal/series"
+)
+
+// Workload is a set of query series to run against a collection.
+type Workload struct {
+	Name    string
+	Queries []series.Series
+}
+
+// SynthRand builds the Synth-Rand workload: queries drawn from the same
+// random-walk generator as the synthetic datasets but with a different seed
+// (§4.2 "Queries").
+func SynthRand(numQueries, length int, seed int64) *Workload {
+	d := RandomWalk(numQueries, length, seed)
+	return &Workload{Name: "Synth-Rand", Queries: d.Series}
+}
+
+// Ctrl builds a noise-controlled workload from an existing collection, the
+// paper's Synth-Ctrl / *-Ctrl construction: each query is a series extracted
+// from the dataset with progressively larger amounts of Gaussian noise added,
+// so that query difficulty increases across the workload ("more difficult
+// queries tend to be less similar to their nearest neighbor").
+//
+// Query i (0-based) receives noise with standard deviation
+// maxNoise*(i+1)/numQueries relative to the unit variance of the normalized
+// series.
+func Ctrl(d *Dataset, numQueries int, maxNoise float64, seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	w := &Workload{Name: d.Name + "-Ctrl", Queries: make([]series.Series, numQueries)}
+	for i := range w.Queries {
+		src := d.Series[rng.Intn(len(d.Series))]
+		q := src.Clone()
+		sigma := maxNoise * float64(i+1) / float64(numQueries)
+		for j := range q {
+			q[j] += float32(rng.NormFloat64() * sigma)
+		}
+		w.Queries[i] = q.ZNormalize()
+	}
+	return w
+}
+
+// DeepOrig builds the workload that "came with the original dataset" for
+// Deep1B: independent queries drawn from the same latent-factor generator
+// family, i.e., realistic queries not derived from indexed vectors.
+func DeepOrig(numQueries, length int, seed int64) *Workload {
+	d := Deep1B(numQueries, length, seed)
+	return &Workload{Name: "Deep-Orig", Queries: d.Series}
+}
+
+// Validate checks that all queries share the collection length and are
+// Z-normalized.
+func (w *Workload) Validate(seriesLen int) error {
+	for i, q := range w.Queries {
+		if len(q) != seriesLen {
+			return fmt.Errorf("workload %s: query %d has length %d, want %d", w.Name, i, len(q), seriesLen)
+		}
+		if !q.IsZNormalized(0.05) {
+			return fmt.Errorf("workload %s: query %d is not Z-normalized", w.Name, i)
+		}
+	}
+	return nil
+}

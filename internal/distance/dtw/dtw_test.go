@@ -1,0 +1,222 @@
+package dtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hydra/internal/series"
+)
+
+func randSeries(rng *rand.Rand, n int) series.Series {
+	s := make(series.Series, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	return s
+}
+
+// naive computes DTW by full DP over the band (reference implementation).
+func naive(a, b series.Series, w int) float64 {
+	n := len(a)
+	if w > n-1 {
+		w = n - 1
+	}
+	inf := math.Inf(1)
+	dp := make([][]float64, n+1)
+	for i := range dp {
+		dp[i] = make([]float64, n+1)
+		for j := range dp[i] {
+			dp[i][j] = inf
+		}
+	}
+	dp[0][0] = 0
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			if j-1 < i-1-w || j-1 > i-1+w {
+				continue
+			}
+			d := float64(a[i-1]) - float64(b[j-1])
+			cost := d * d
+			m := dp[i-1][j-1]
+			if dp[i-1][j] < m {
+				m = dp[i-1][j]
+			}
+			if dp[i][j-1] < m {
+				m = dp[i][j-1]
+			}
+			dp[i][j] = m + cost
+		}
+	}
+	return dp[n][n]
+}
+
+func TestMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(40)
+		w := rng.Intn(n)
+		a, b := randSeries(rng, n), randSeries(rng, n)
+		got := SquaredDist(a, b, w)
+		want := naive(a, b, w)
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("n=%d w=%d: %g want %g", n, w, got, want)
+		}
+	}
+}
+
+func TestZeroBandIsEuclidean(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(64)
+		a, b := randSeries(rng, n), randSeries(rng, n)
+		got := SquaredDist(a, b, 0)
+		want := series.SquaredDist(a, b)
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("w=0 DTW %g != ED² %g", got, want)
+		}
+	}
+}
+
+// TestMonotoneInBand: wider bands can only reduce the distance.
+func TestMonotoneInBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 8 + rng.Intn(56)
+		a, b := randSeries(rng, n), randSeries(rng, n)
+		prev := math.Inf(1)
+		for w := 0; w < n; w += 1 + n/8 {
+			d := SquaredDist(a, b, w)
+			if d > prev+1e-9 {
+				t.Fatalf("DTW grew with wider band at w=%d: %g > %g", w, d, prev)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(32)
+		w := rng.Intn(n)
+		a, b := randSeries(rng, n), randSeries(rng, n)
+		d1 := SquaredDist(a, b, w)
+		d2 := SquaredDist(b, a, w)
+		if math.Abs(d1-d2) > 1e-9*(1+d1) {
+			t.Fatalf("asymmetric: %g vs %g", d1, d2)
+		}
+	}
+}
+
+func TestWarpingInvariantShift(t *testing.T) {
+	// A series and a 1-step shifted copy have tiny DTW distance under any
+	// band >= 1 (the classic DTW motivation).
+	n := 64
+	a := make(series.Series, n)
+	for i := range a {
+		a[i] = float32(math.Sin(float64(i) / 4))
+	}
+	b := make(series.Series, n)
+	copy(b[1:], a[:n-1])
+	b[0] = a[0]
+	ed := series.SquaredDist(a, b)
+	d := SquaredDist(a, b, 2)
+	if d > ed/4 {
+		t.Errorf("DTW %g should be far below ED² %g for a shifted series", d, ed)
+	}
+}
+
+func TestEarlyAbandon(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, b := randSeries(rng, 64), randSeries(rng, 64)
+	exact := SquaredDist(a, b, 5)
+	// With a generous bound the result is exact.
+	if got := SquaredDistEA(a, b, 5, exact*2); math.Abs(got-exact) > 1e-12 {
+		t.Errorf("EA with loose bound %g != %g", got, exact)
+	}
+	// With a tight bound the result exceeds the bound.
+	if got := SquaredDistEA(a, b, 5, exact/4); got <= exact/4 {
+		t.Errorf("EA with tight bound returned %g <= bound", got)
+	}
+}
+
+func TestEnvelopeContainsQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(100)
+		w := rng.Intn(n)
+		q := randSeries(rng, n)
+		env := NewEnvelope(q, w)
+		for i := range q {
+			if float64(q[i]) > env.U[i]+1e-12 || float64(q[i]) < env.L[i]-1e-12 {
+				t.Fatalf("envelope does not contain the query at %d", i)
+			}
+			// Check against direct window min/max.
+			lo := i - w
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + w
+			if hi > n-1 {
+				hi = n - 1
+			}
+			mn, mx := math.Inf(1), math.Inf(-1)
+			for j := lo; j <= hi; j++ {
+				v := float64(q[j])
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			if math.Abs(env.U[i]-mx) > 1e-12 || math.Abs(env.L[i]-mn) > 1e-12 {
+				t.Fatalf("envelope [%g,%g] != window [%g,%g] at %d (w=%d)",
+					env.L[i], env.U[i], mn, mx, i, w)
+			}
+		}
+	}
+}
+
+// TestLBKeoghLowerBoundProperty: LB_Keogh must lower-bound banded DTW.
+func TestLBKeoghLowerBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(48)
+		w := rng.Intn(n)
+		q, c := randSeries(rng, n), randSeries(rng, n)
+		env := NewEnvelope(q, w)
+		lb := LBKeogh(env, c)
+		d := SquaredDist(q, c, w)
+		return lb <= d*(1+1e-9)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLBKeoghEAConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q, c := randSeries(rng, 48), randSeries(rng, 48)
+	env := NewEnvelope(q, 4)
+	ord := series.NewOrder(q)
+	full := LBKeogh(env, c)
+	got := LBKeoghEA(env, c, ord, math.Inf(1))
+	if math.Abs(got-full) > 1e-9 {
+		t.Errorf("EA LB %g != full LB %g", got, full)
+	}
+	if got := LBKeoghEA(env, c, ord, full/8); got <= full/8 && full > 0 {
+		t.Errorf("EA LB with tight bound should exceed it")
+	}
+}
+
+func TestMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	SquaredDist(series.Series{1}, series.Series{1, 2}, 1)
+}

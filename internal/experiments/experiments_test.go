@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	_ "hydra/internal/methods"
+	"hydra/internal/stats"
+	"hydra/internal/storage"
+)
+
+// tinyConfig keeps every experiment fast enough for unit testing.
+func tinyConfig() Config {
+	cfg := DefaultConfig(dataset.ScaleQuick / 4)
+	cfg.NumQueries = 6
+	cfg.SeriesLen = 64
+	return cfg
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	cfg := tinyConfig()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var rep *Report
+			var err error
+			// Shrink the heavy sweeps further for tests.
+			switch id {
+			case "fig4":
+				rep, err = Fig4DiskAccesses(cfg, []float64{25, 100}, []int{64, 128})
+			case "fig5":
+				rep, err = Fig5Lengths(cfg, []int{64, 128})
+			case "fig6":
+				rep, err = Fig6HDD(cfg, []float64{25, 100})
+			case "fig7":
+				rep, err = Fig7SSD(cfg, []float64{25, 100})
+			case "fig8":
+				rep, err = Fig8Footprint(cfg, []float64{25}, []int{64})
+			default:
+				rep, err = Run(id, cfg)
+			}
+			if err != nil {
+				t.Fatalf("Run(%s): %v", id, err)
+			}
+			if rep.ID != id || len(rep.Rows) == 0 || len(rep.Header) == 0 {
+				t.Fatalf("Run(%s): malformed report %+v", id, rep)
+			}
+			for _, row := range rep.Rows {
+				if len(row) != len(rep.Header) {
+					t.Errorf("Run(%s): row width %d != header width %d", id, len(row), len(rep.Header))
+				}
+			}
+			var buf bytes.Buffer
+			rep.Fprint(&buf)
+			if !strings.Contains(buf.String(), rep.Title) {
+				t.Errorf("Fprint missing title")
+			}
+		})
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", tinyConfig()); err == nil {
+		t.Errorf("unknown experiment should error")
+	}
+}
+
+func TestWinnerAndEasyHard(t *testing.T) {
+	cfg := tinyConfig()
+	ds := dataset.RandomWalk(cfg.numSeries(25, 64), 64, 1)
+	wl := dataset.SynthRand(10, 64, 2)
+	runs, err := runAll([]string{"UCR-Suite", "VA+file"}, ds, wl, core.Options{LeafSize: 16}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := winner(runs, func(m *MethodRun) time.Duration { return m.IdxTime(storage.HDD) })
+	if w != "UCR-Suite" {
+		t.Errorf("UCR-Suite (no build) should win indexing, got %s", w)
+	}
+	easy, hard := easyHardSplit(runs, storage.HDD, 0.2)
+	if len(easy) != 2 || len(hard) != 2 {
+		t.Errorf("easy/hard maps incomplete: %v %v", easy, hard)
+	}
+	for name, e := range easy {
+		if e < 0 || hard[name] < 0 {
+			t.Errorf("negative scenario times for %s", name)
+		}
+	}
+	if e, h := easyHardSplit(nil, storage.HDD, 0.2); e != nil || h != nil {
+		t.Errorf("empty runs should give nil maps")
+	}
+}
+
+func TestTLBInUnitRange(t *testing.T) {
+	cfg := tinyConfig()
+	ds := dataset.RandomWalk(400, 64, 3)
+	queries := dataset.SynthRand(5, 64, 4).Queries
+	for _, name := range []string{"DSTree", "iSAX2+", "SFA", "ADS+", "VA+file"} {
+		m, err := core.New(name, core.Options{LeafSize: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coll := core.NewCollection(ds)
+		if err := m.Build(coll); err != nil {
+			t.Fatal(err)
+		}
+		lb, ok := m.(core.LeafBounder)
+		if !ok {
+			t.Fatalf("%s is not a LeafBounder", name)
+		}
+		tlb := TLB(lb, coll, queries, 64)
+		if tlb < 0 || tlb > 1.0001 {
+			t.Errorf("%s: TLB=%f outside [0,1]", name, tlb)
+		}
+		if tlb == 0 {
+			t.Errorf("%s: TLB should not be exactly 0 on random data", name)
+		}
+	}
+	_ = cfg
+}
+
+// TestVAFileTighterThanSAX verifies a headline finding of the paper: the
+// VA+file's non-uniform quantization yields a tighter lower bound (higher
+// TLB) than the fixed-breakpoint iSAX summaries at equal dimensionality.
+func TestVAFileTighterThanSAX(t *testing.T) {
+	ds := dataset.RandomWalk(600, 256, 5)
+	queries := dataset.SynthRand(5, 256, 6).Queries
+	tlbOf := func(name string) float64 {
+		m, err := core.New(name, core.Options{LeafSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coll := core.NewCollection(ds)
+		if err := m.Build(coll); err != nil {
+			t.Fatal(err)
+		}
+		return TLB(m.(core.LeafBounder), coll, queries, 128)
+	}
+	va := tlbOf("VA+file")
+	isax := tlbOf("iSAX2+")
+	if va <= isax {
+		t.Errorf("VA+file TLB %.4f should exceed iSAX2+ TLB %.4f (paper Fig. 8f)", va, isax)
+	}
+}
+
+func TestExtrapolationScenario(t *testing.T) {
+	// Idx10KTime must dominate Idx+Exact100 for any method with nonzero
+	// query cost.
+	ds := dataset.RandomWalk(300, 64, 7)
+	wl := dataset.SynthRand(12, 64, 8)
+	run, err := runMethod("DSTree", ds, wl, core.Options{LeafSize: 32}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Idx10KTime(storage.HDD) <= run.IdxTime(storage.HDD) {
+		t.Errorf("10K extrapolation should exceed pure indexing")
+	}
+}
+
+func TestLeafFor(t *testing.T) {
+	if leafFor(1_000_000) != 1000 {
+		t.Errorf("leafFor(1M)=%d want 1000", leafFor(1_000_000))
+	}
+	if leafFor(100) != 8 {
+		t.Errorf("leafFor floor broken: %d", leafFor(100))
+	}
+}
+
+func TestReportStatsAccounting(t *testing.T) {
+	// A build must attribute at least one full sequential scan of the data.
+	ds := dataset.RandomWalk(200, 64, 9)
+	run, err := runMethod("iSAX2+", ds, dataset.SynthRand(3, 64, 10), core.Options{LeafSize: 32}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Build.IO.SeqBytes < ds.SizeBytes() {
+		t.Errorf("build read %d bytes, want at least %d", run.Build.IO.SeqBytes, ds.SizeBytes())
+	}
+	var qs stats.QueryStats
+	for _, q := range run.Workload.Queries {
+		qs.Add(q)
+	}
+	if qs.RawSeriesExamined == 0 {
+		t.Errorf("queries examined no raw series")
+	}
+}

@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/methods"
+	"hydra/internal/storage"
+)
+
+// Table1 renders the method-properties matrix (Table 1 of the paper).
+func Table1() *Report {
+	r := &Report{
+		ID:     "table1",
+		Title:  "Similarity search methods (Table 1)",
+		Header: []string{"Method", "Exact", "ng-appr", "ε-appr", "δ-ε-appr", "Whole", "Subseq", "Representation", "Original", "Reimpl"},
+	}
+	mark := func(b bool) string {
+		if b {
+			return "X"
+		}
+		return ""
+	}
+	for _, p := range methods.Table1() {
+		r.Rows = append(r.Rows, []string{
+			p.Name, mark(p.Exact), mark(p.NgApprox), mark(p.EpsApprox), mark(p.DeltaEpsApprox),
+			mark(p.WholeMatching), mark(p.SubseqMatching), p.Representation, p.OriginalImpl, p.NewImpl,
+		})
+	}
+	r.Notes = append(r.Notes, "this repo reimplements all ten methods in Go on the simulated-disk substrate")
+	return r
+}
+
+// Fig2LeafSize reproduces Figure 2: index + query time against the maximum
+// leaf capacity for the six parameterized methods, normalized by the largest
+// total cost per method. M-tree and R*-tree run on the half-size collection
+// (50GB-eq), as in the paper.
+func Fig2LeafSize(cfg Config) (*Report, error) {
+	r := &Report{
+		ID:     "fig2",
+		Title:  "Leaf size parametrization (Figure 2)",
+		Header: []string{"Method", "LeafSize", "IdxTime(s)", "QueryTime(s)", "Total(s)", "Normalized"},
+	}
+
+	big := dataset.RandomWalk(cfg.numSeries(100, cfg.SeriesLen), cfg.SeriesLen, cfg.Seed)
+	big.Name = "synth-100GB-eq"
+	small := dataset.RandomWalk(cfg.numSeries(50, cfg.SeriesLen), cfg.SeriesLen, cfg.Seed+1)
+	small.Name = "synth-50GB-eq"
+	wlBig := cfg.synthRand(big, cfg.Seed+100)
+	wlSmall := cfg.synthRand(small, cfg.Seed+101)
+
+	type sweep struct {
+		method string
+		ds     *dataset.Dataset
+		wl     *dataset.Workload
+		leaves []int
+	}
+	bigBase := leafFor(big.Len())
+	sweeps := []sweep{
+		{"ADS+", big, wlBig, []int{bigBase / 8, bigBase / 2, bigBase, bigBase * 3 / 2}},
+		{"DSTree", big, wlBig, []int{bigBase / 8, bigBase / 2, bigBase, bigBase * 3 / 2}},
+		{"iSAX2+", big, wlBig, []int{bigBase / 8, bigBase / 2, bigBase, bigBase * 3 / 2}},
+		{"M-tree", small, wlSmall, []int{2, 8, 16, 32}},
+		{"R*-tree", small, wlSmall, []int{8, 16, 32, 64}},
+		{"SFA", big, wlBig, []int{bigBase / 2, bigBase, bigBase * 5, bigBase * 10}},
+	}
+	for _, sw := range sweeps {
+		for i, leaf := range sw.leaves {
+			if leaf < 2 {
+				sw.leaves[i] = 2
+			}
+		}
+		var runs []*MethodRun
+		var totals []time.Duration
+		max := time.Duration(0)
+		for _, leaf := range sw.leaves {
+			run, err := runMethod(sw.method, sw.ds, sw.wl, core.Options{LeafSize: leaf}, cfg.K)
+			if err != nil {
+				return nil, err
+			}
+			runs = append(runs, run)
+			tot := run.IdxTime(cfg.Device) + run.QueryTime(cfg.Device)
+			totals = append(totals, tot)
+			if tot > max {
+				max = tot
+			}
+		}
+		for i, run := range runs {
+			norm := 0.0
+			if max > 0 {
+				norm = float64(totals[i]) / float64(max)
+			}
+			r.Rows = append(r.Rows, []string{
+				sw.method, fmt.Sprint(sw.leaves[i]),
+				secs(run.IdxTime(cfg.Device)), secs(run.QueryTime(cfg.Device)),
+				secs(totals[i]), fmt.Sprintf("%.3f", norm),
+			})
+		}
+	}
+	r.Notes = append(r.Notes,
+		"paper shape: ADS+ flat across leaf sizes; M-tree degrades with larger leaves; others have a sweet spot")
+	return r, nil
+}
+
+// Fig3Scalability reproduces Figure 3: per-method index and query cost with
+// increasing dataset sizes (25–250GB-eq), all ten methods, Synth-Rand.
+func Fig3Scalability(cfg Config) (*Report, error) {
+	r := &Report{
+		ID:     "fig3",
+		Title:  "Scalability with increasing dataset sizes (Figure 3)",
+		Header: []string{"Method", "SizeGB", "IdxTime(s)", "QueryTime(s)", "Total(s)", "Pruning"},
+	}
+	for _, gb := range []float64{25, 50, 100, 250} {
+		ds := dataset.RandomWalk(cfg.numSeries(gb, cfg.SeriesLen), cfg.SeriesLen, cfg.Seed)
+		ds.Name = fmt.Sprintf("synth-%.0fGB-eq", gb)
+		wl := cfg.synthRand(ds, cfg.Seed+100)
+		opts := core.Options{LeafSize: leafFor(ds.Len())}
+		for _, name := range methods.All() {
+			run, err := runMethod(name, ds, wl, opts, cfg.K)
+			if err != nil {
+				return nil, err
+			}
+			r.Rows = append(r.Rows, []string{
+				name, fmt.Sprintf("%.0f", gb),
+				secs(run.IdxTime(cfg.Device)), secs(run.QueryTime(cfg.Device)),
+				secs(run.IdxTime(cfg.Device) + run.QueryTime(cfg.Device)),
+				fmt.Sprintf("%.4f", run.Workload.MeanPruningRatio()),
+			})
+		}
+	}
+	r.Notes = append(r.Notes,
+		"paper shape: ADS+ cheapest indexing; DSTree costliest indexing but fastest queries; "+
+			"Stepwise/MASS/M-tree/R*-tree dominated and dropped from later comparisons")
+	return r, nil
+}
+
+// Fig4DiskAccesses reproduces Figure 4: number of sequential and random disk
+// accesses per query for the best six methods, varying dataset size (at
+// fixed length) and series length (at fixed 100GB-eq size).
+func Fig4DiskAccesses(cfg Config, sizesGB []float64, lengths []int) (*Report, error) {
+	if len(sizesGB) == 0 {
+		sizesGB = []float64{25, 100, 1000}
+	}
+	if len(lengths) == 0 {
+		lengths = []int{256, 2048, 16384}
+	}
+	r := &Report{
+		ID:     "fig4",
+		Title:  "Disk accesses per query (Figure 4)",
+		Header: []string{"Variant", "Method", "SizeGB", "Length", "SeqOps/query", "RandOps/query", "SeqMB/query"},
+	}
+	add := func(variant string, gb float64, length int) error {
+		ds := dataset.RandomWalk(cfg.numSeries(gb, length), length, cfg.Seed)
+		wl := cfg.synthRand(ds, cfg.Seed+100)
+		opts := core.Options{LeafSize: leafFor(ds.Len())}
+		for _, name := range methods.BestSix() {
+			run, err := runMethod(name, ds, wl, opts, cfg.K)
+			if err != nil {
+				return err
+			}
+			tot := run.Workload.Total()
+			nq := int64(len(run.Workload.Queries))
+			r.Rows = append(r.Rows, []string{
+				variant, name, fmt.Sprintf("%.0f", gb), fmt.Sprint(length),
+				fmt.Sprint(tot.IO.SeqOps / nq), fmt.Sprint(tot.IO.RandOps / nq),
+				fmt.Sprintf("%.2f", float64(tot.IO.SeqBytes)/float64(nq)/1e6),
+			})
+		}
+		return nil
+	}
+	for _, gb := range sizesGB {
+		if err := add("size", gb, cfg.SeriesLen); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range lengths {
+		if err := add("length", 100, l); err != nil {
+			return nil, err
+		}
+	}
+	r.Notes = append(r.Notes,
+		"paper shape: VA+file ~no sequential I/O; UCR-Suite max sequential; ADS+ most random ops, "+
+			"falling sharply with length (fewer, larger skips)")
+	return r, nil
+}
+
+// Fig5Lengths reproduces Figure 5: total cost (Idx+Exact100 and Idx+Exact10K)
+// with increasing series lengths at 100GB-eq, 16 dimensions fixed.
+func Fig5Lengths(cfg Config, lengths []int) (*Report, error) {
+	if len(lengths) == 0 {
+		lengths = []int{128, 256, 512, 1024, 2048, 4096, 8192, 16384}
+	}
+	r := &Report{
+		ID:     "fig5",
+		Title:  "Scalability with increasing series lengths (Figure 5)",
+		Header: []string{"Method", "Length", "Idx+Exact100(s)", "Idx+Exact10K(s)"},
+	}
+	for _, l := range lengths {
+		ds := dataset.RandomWalk(cfg.numSeries(100, l), l, cfg.Seed)
+		wl := cfg.synthRand(ds, cfg.Seed+100)
+		opts := core.Options{LeafSize: leafFor(ds.Len())}
+		for _, name := range methods.BestSix() {
+			run, err := runMethod(name, ds, wl, opts, cfg.K)
+			if err != nil {
+				return nil, err
+			}
+			r.Rows = append(r.Rows, []string{
+				name, fmt.Sprint(l),
+				secs(run.IdxTime(cfg.Device) + run.QueryTime(cfg.Device)),
+				secs(run.Idx10KTime(cfg.Device)),
+			})
+		}
+	}
+	r.Notes = append(r.Notes,
+		"paper shape: ADS+ and VA+file costs plummet with longer series (larger sequential reads, fewer skips)")
+	return r, nil
+}
+
+// scalabilityComparison implements Figures 6 (HDD) and 7 (SSD): the four
+// scenarios Idx / Exact100 / Idx+Exact100 / Idx+Exact10K over increasing
+// sizes for the best six methods.
+func scalabilityComparison(cfg Config, id string, dev storage.DeviceProfile, sizesGB []float64) (*Report, error) {
+	if len(sizesGB) == 0 {
+		sizesGB = []float64{25, 50, 100, 250, 1000}
+	}
+	r := &Report{
+		ID:     id,
+		Title:  fmt.Sprintf("Scalability comparison on %s (Figure %s)", dev.Name, map[string]string{"fig6": "6", "fig7": "7"}[id]),
+		Header: []string{"Method", "SizeGB", "Idx(s)", "Exact100(s)", "Idx+Exact100(s)", "Idx+Exact10K(s)"},
+	}
+	for _, gb := range sizesGB {
+		ds := dataset.RandomWalk(cfg.numSeries(gb, cfg.SeriesLen), cfg.SeriesLen, cfg.Seed)
+		wl := cfg.synthRand(ds, cfg.Seed+100)
+		opts := core.Options{LeafSize: leafFor(ds.Len())}
+		runs, err := runAll(methods.BestSix(), ds, wl, opts, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		for _, run := range runs {
+			r.Rows = append(r.Rows, []string{
+				run.Name, fmt.Sprintf("%.0f", gb),
+				secs(run.IdxTime(dev)), secs(run.QueryTime(dev)),
+				secs(run.IdxTime(dev) + run.QueryTime(dev)),
+				secs(run.Idx10KTime(dev)),
+			})
+		}
+		// The Idx scenario compares index construction, so the buildless
+		// sequential scan is excluded from that winner (as in Fig. 6a).
+		indexRuns := make([]*MethodRun, 0, len(runs))
+		for _, run := range runs {
+			if run.Name != "UCR-Suite" && run.Name != "MASS" {
+				indexRuns = append(indexRuns, run)
+			}
+		}
+		r.Rows = append(r.Rows, []string{
+			"(winner)", fmt.Sprintf("%.0f", gb),
+			winner(indexRuns, func(m *MethodRun) time.Duration { return m.IdxTime(dev) }),
+			winner(runs, func(m *MethodRun) time.Duration { return m.QueryTime(dev) }),
+			winner(runs, func(m *MethodRun) time.Duration { return m.IdxTime(dev) + m.QueryTime(dev) }),
+			winner(runs, func(m *MethodRun) time.Duration { return m.Idx10KTime(dev) }),
+		})
+	}
+	return r, nil
+}
+
+// Fig6HDD reproduces Figure 6 (HDD platform).
+func Fig6HDD(cfg Config, sizesGB []float64) (*Report, error) {
+	rep, err := scalabilityComparison(cfg, "fig6", storage.HDD, sizesGB)
+	if err != nil {
+		return nil, err
+	}
+	rep.Notes = append(rep.Notes,
+		"paper shape: ADS+ wins Idx; DSTree wins Exact100/large & Idx+10K/large; VA+file strong throughout")
+	return rep, nil
+}
+
+// Fig7SSD reproduces Figure 7 (SSD platform): cheap seeks reverse the trend
+// in favour of the skip-sequential methods.
+func Fig7SSD(cfg Config, sizesGB []float64) (*Report, error) {
+	rep, err := scalabilityComparison(cfg, "fig7", storage.SSD, sizesGB)
+	if err != nil {
+		return nil, err
+	}
+	rep.Notes = append(rep.Notes,
+		"paper shape: VA+file and ADS+ become the best performers on most scenarios")
+	return rep, nil
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+)
+
+// footprintMethods are the tree-structured best methods of Figure 8 (the
+// VA+file appears only in the disk-size panel, as in the paper: it has no
+// tree).
+var footprintMethods = []string{"ADS+", "DSTree", "iSAX2+", "SFA"}
+
+// Fig8Footprint reproduces Figure 8 (a)–(e): number of nodes, leaf nodes,
+// memory size, disk size and leaf fill factors across dataset sizes, plus
+// panel (f): TLB across series lengths.
+func Fig8Footprint(cfg Config, sizesGB []float64, lengths []int) (*Report, error) {
+	if len(sizesGB) == 0 {
+		sizesGB = []float64{25, 100, 1000}
+	}
+	if len(lengths) == 0 {
+		lengths = []int{256, 2048, 16384}
+	}
+	r := &Report{
+		ID:    "fig8",
+		Title: "Index footprint and TLB (Figure 8)",
+		Header: []string{"Method", "SizeGB", "Nodes", "Leaves", "MemMB", "DiskMB",
+			"FillMedian", "FillMean", "MeanDepth", "MaxDepth"},
+	}
+	for _, gb := range sizesGB {
+		ds := dataset.RandomWalk(cfg.numSeries(gb, cfg.SeriesLen), cfg.SeriesLen, cfg.Seed)
+		opts := core.Options{LeafSize: leafFor(ds.Len())}
+		for _, name := range footprintMethods {
+			m, err := core.New(name, opts)
+			if err != nil {
+				return nil, err
+			}
+			coll := core.NewCollection(ds)
+			if err := m.Build(coll); err != nil {
+				return nil, err
+			}
+			ti, ok := m.(core.TreeIndex)
+			if !ok {
+				return nil, fmt.Errorf("%s does not expose TreeStats", name)
+			}
+			ts := ti.TreeStats()
+			r.Rows = append(r.Rows, []string{
+				name, fmt.Sprintf("%.0f", gb),
+				fmt.Sprint(ts.TotalNodes), fmt.Sprint(ts.LeafNodes),
+				fmt.Sprintf("%.3f", float64(ts.MemBytes)/1e6),
+				fmt.Sprintf("%.3f", float64(ts.DiskBytes)/1e6),
+				fmt.Sprintf("%.3f", ts.MedianFill()), fmt.Sprintf("%.3f", ts.MeanFill()),
+				fmt.Sprintf("%.1f", ts.MeanDepth()), fmt.Sprint(ts.MaxDepth()),
+			})
+		}
+	}
+
+	// Panel (f): TLB vs series length, including the VA+file.
+	r.Notes = append(r.Notes, "TLB panel below (per length):")
+	tlbMethods := append(append([]string{}, footprintMethods...), "VA+file")
+	for _, l := range lengths {
+		ds := dataset.RandomWalk(cfg.numSeries(100, l), l, cfg.Seed)
+		queries := dataset.SynthRand(minInt(cfg.NumQueries, 20), l, cfg.Seed+100).Queries
+		opts := core.Options{LeafSize: leafFor(ds.Len())}
+		for _, name := range tlbMethods {
+			m, err := core.New(name, opts)
+			if err != nil {
+				return nil, err
+			}
+			coll := core.NewCollection(ds)
+			if err := m.Build(coll); err != nil {
+				return nil, err
+			}
+			lb, ok := m.(core.LeafBounder)
+			if !ok {
+				return nil, fmt.Errorf("%s does not expose leaf bounds", name)
+			}
+			tlb := TLB(lb, coll, queries, 256)
+			r.Notes = append(r.Notes, fmt.Sprintf("TLB  method=%-8s length=%-6d tlb=%.4f", name, l, tlb))
+		}
+	}
+	r.Notes = append(r.Notes,
+		"paper shape: SAX-based indexes have the most nodes with skewed fills; DSTree has the best (steadiest) "+
+			"fill factor; ADS+/VA+file TLB rises toward 1 with length")
+	return r, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one paper artifact.
+type Runner func(cfg Config) (*Report, error)
+
+var runners = map[string]Runner{
+	"table1":   func(Config) (*Report, error) { return Table1(), nil },
+	"fig2":     Fig2LeafSize,
+	"fig3":     Fig3Scalability,
+	"fig4":     func(cfg Config) (*Report, error) { return Fig4DiskAccesses(cfg, nil, nil) },
+	"fig5":     func(cfg Config) (*Report, error) { return Fig5Lengths(cfg, nil) },
+	"fig6":     func(cfg Config) (*Report, error) { return Fig6HDD(cfg, nil) },
+	"fig7":     func(cfg Config) (*Report, error) { return Fig7SSD(cfg, nil) },
+	"fig8":     func(cfg Config) (*Report, error) { return Fig8Footprint(cfg, nil, nil) },
+	"fig9":     Fig9Pruning,
+	"fig10":    Fig10Matrix,
+	"table2":   Table2Controlled,
+	"ablation": Ablation,
+	"buffer":   BufferTuning,
+}
+
+// IDs lists the available experiments in order.
+func IDs() []string {
+	out := make([]string, 0, len(runners))
+	for id := range runners {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run regenerates the artifact with the given id.
+func Run(id string, cfg Config) (*Report, error) {
+	r, ok := runners[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r(cfg)
+}

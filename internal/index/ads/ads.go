@@ -1,0 +1,189 @@
+// Package ads implements ADS+ (Zoumpatianos, Idreos & Palpanas), the
+// adaptive data series index, with the SIMS exact query algorithm used
+// throughout the paper's experiments.
+//
+// Index construction touches only the iSAX summaries — the raw data stays in
+// the raw file, which is why ADS+ is by far the fastest method at indexing.
+// SIMS answers an exact query in three steps:
+//
+//  1. an ng-approximate tree descent acquires an initial best-so-far (the
+//     visited leaf is adaptively materialized on first touch: its members
+//     are fetched from the raw file with random I/O, then cached);
+//  2. lower bounds between the query PAA and *all* iSAX summaries are
+//     computed against the in-memory summary array (pure CPU);
+//  3. a skip-sequential pass over the raw file reads only the series whose
+//     lower bound beats the best-so-far — every skip costs one seek, the
+//     access pattern that dominates ADS+ on spinning disks (paper §5).
+package ads
+
+import (
+	"fmt"
+	"math"
+
+	"hydra/internal/core"
+	"hydra/internal/index/isaxtree"
+	"hydra/internal/series"
+	"hydra/internal/stats"
+)
+
+func init() {
+	core.Register("ADS+", func(opts core.Options) core.Method { return New(opts) })
+}
+
+// Index is the ADS+ method.
+type Index struct {
+	opts core.Options
+	c    *core.Collection
+	tree *isaxtree.Tree
+	// materialized marks adaptively loaded leaves (on-disk leaf caches).
+	materialized map[*isaxtree.Node]bool
+}
+
+// New creates an ADS+ index.
+func New(opts core.Options) *Index { return &Index{opts: opts} }
+
+// Name implements core.Method.
+func (ix *Index) Name() string { return "ADS+" }
+
+// Build implements core.Method: summaries only — no raw data is moved.
+func (ix *Index) Build(c *core.Collection) error {
+	if ix.c != nil {
+		return fmt.Errorf("ads: already built")
+	}
+	ix.c = c
+	ix.opts = ix.opts.WithDefaults(c.File.Len())
+	if c.File.Len() == 0 {
+		return fmt.Errorf("ads: empty collection")
+	}
+	ix.tree = isaxtree.New(c.File.SeriesLen(), ix.opts.Segments, ix.opts.LeafSize)
+	ix.materialized = map[*isaxtree.Node]bool{}
+
+	// One sequential read to compute summaries; the only thing written is
+	// the (tiny) summary array: Segments bytes per series.
+	c.File.ChargeFullScan()
+	ix.tree.Summarize(c.Data.Series)
+	for i := 0; i < c.File.Len(); i++ {
+		ix.tree.Insert(i)
+	}
+	c.Counters.ChargeSeq(int64(c.File.Len()) * int64(ix.opts.Segments))
+	return nil
+}
+
+// KNN implements core.Method (the SIMS algorithm).
+func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+	var qs stats.QueryStats
+	if ix.c == nil {
+		return nil, qs, fmt.Errorf("ads: method not built")
+	}
+	f := ix.c.File
+	if len(q) != f.SeriesLen() {
+		return nil, qs, fmt.Errorf("ads: query length %d, collection length %d", len(q), f.SeriesLen())
+	}
+	qpaa := ix.tree.PAA.Apply(q)
+	qword := make([]uint8, len(qpaa))
+	for i, v := range qpaa {
+		qword[i] = ix.tree.Quant.Symbol(v)
+	}
+	ord := series.NewOrder(q)
+	set := core.NewKNNSet(k)
+
+	// Step 1: approximate answer from the query's own leaf; materialize it
+	// adaptively (random fetches from the raw file on first touch only).
+	approxVisited := map[int]bool{}
+	if leaf := ix.tree.ApproxLeaf(qword); leaf != nil {
+		if !ix.materialized[leaf] {
+			for range leaf.Members {
+				ix.c.Counters.ChargeRand(f.SeriesBytes())
+			}
+			ix.materialized[leaf] = true
+		} else {
+			f.ChargeLeafRead(len(leaf.Members))
+		}
+		for _, id := range leaf.Members {
+			d := series.SquaredDistEAOrdered(q, f.Peek(id), ord, set.Bound())
+			qs.DistCalcs++
+			qs.RawSeriesExamined++
+			set.Add(id, d)
+			approxVisited[id] = true
+		}
+	}
+
+	// Step 2: lower bounds against the in-memory summary array.
+	widths := ix.tree.PAA.Widths()
+	lbs := make([]float64, f.Len())
+	for i, w := range ix.tree.Words {
+		lbs[i] = ix.tree.Quant.MinDistFullCard(qpaa, w, widths)
+		qs.LBCalcs++
+	}
+
+	// Step 3: skip-sequential scan over the raw file. The SeriesFile charges
+	// a seek whenever the read does not continue the previous one — exactly
+	// the paper's "one random disk access corresponds to one skip".
+	f.Rewind()
+	for i := 0; i < f.Len(); i++ {
+		if lbs[i] >= set.Bound() || approxVisited[i] {
+			continue
+		}
+		raw := f.Read(i)
+		d := series.SquaredDistEAOrdered(q, raw, ord, set.Bound())
+		qs.DistCalcs++
+		qs.RawSeriesExamined++
+		set.Add(i, d)
+	}
+	return set.Results(), qs, nil
+}
+
+// TreeStats implements core.TreeIndex.
+func (ix *Index) TreeStats() stats.TreeStats {
+	ts := ix.tree.TreeStats(ix.c.File.SeriesBytes(), false)
+	// Materialized leaf caches count toward the (adaptive) disk footprint.
+	for n, ok := range ix.materialized {
+		if ok {
+			ts.DiskBytes += int64(len(n.Members)) * ix.c.File.SeriesBytes()
+		}
+	}
+	return ts
+}
+
+// LeafMembers implements core.LeafBounder.
+func (ix *Index) LeafMembers() [][]int {
+	leaves := ix.tree.Leaves()
+	out := make([][]int, 0, len(leaves))
+	for _, n := range leaves {
+		if len(n.Members) > 0 {
+			out = append(out, n.Members)
+		}
+	}
+	return out
+}
+
+// LeafLB implements core.LeafBounder. Unlike iSAX2+, whose pruning bound is
+// the leaf's (coarse-cardinality) word region, ADS+'s SIMS prunes against
+// the in-memory full-cardinality summary of every series; the operative
+// lower bound for a leaf is therefore the minimum of its members'
+// full-cardinality bounds — which is why the paper measures ADS+'s TLB close
+// to the VA+file's and well above the iSAX2+ tree bound (Fig. 8f).
+func (ix *Index) LeafLB(q series.Series, leaf int) float64 {
+	leaves := ix.tree.Leaves()
+	nonEmpty := make([]*isaxtree.Node, 0, len(leaves))
+	for _, n := range leaves {
+		if len(n.Members) > 0 {
+			nonEmpty = append(nonEmpty, n)
+		}
+	}
+	if leaf < 0 || leaf >= len(nonEmpty) {
+		return math.NaN()
+	}
+	qpaa := ix.tree.PAA.Apply(q)
+	widths := ix.tree.PAA.Widths()
+	min := math.Inf(1)
+	for _, id := range nonEmpty[leaf].Members {
+		if lb := ix.tree.Quant.MinDistFullCard(qpaa, ix.tree.Words[id], widths); lb < min {
+			min = lb
+		}
+	}
+	return math.Sqrt(min)
+}
+
+// Tree exposes the underlying structure for white-box tests.
+func (ix *Index) Tree() *isaxtree.Tree { return ix.tree }

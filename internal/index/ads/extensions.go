@@ -1,0 +1,77 @@
+package ads
+
+import (
+	"fmt"
+
+	"hydra/internal/core"
+	"hydra/internal/series"
+	"hydra/internal/stats"
+)
+
+// ApproxKNN implements core.ApproxMethod: ADS+'s ng-approximate search is
+// step 1 of SIMS — descend to the query's leaf (materializing it on first
+// touch) and answer from its members.
+func (ix *Index) ApproxKNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+	var qs stats.QueryStats
+	if ix.c == nil {
+		return nil, qs, fmt.Errorf("ads: method not built")
+	}
+	f := ix.c.File
+	if len(q) != f.SeriesLen() {
+		return nil, qs, fmt.Errorf("ads: query length %d, collection length %d", len(q), f.SeriesLen())
+	}
+	qpaa := ix.tree.PAA.Apply(q)
+	qword := make([]uint8, len(qpaa))
+	for i, v := range qpaa {
+		qword[i] = ix.tree.Quant.Symbol(v)
+	}
+	set := core.NewKNNSet(k)
+	ord := series.NewOrder(q)
+	if leaf := ix.tree.ApproxLeaf(qword); leaf != nil {
+		if !ix.materialized[leaf] {
+			for range leaf.Members {
+				ix.c.Counters.ChargeRand(f.SeriesBytes())
+			}
+			ix.materialized[leaf] = true
+		} else {
+			f.ChargeLeafRead(len(leaf.Members))
+		}
+		for _, id := range leaf.Members {
+			d := series.SquaredDistEAOrdered(q, f.Peek(id), ord, set.Bound())
+			qs.DistCalcs++
+			qs.RawSeriesExamined++
+			set.Add(id, d)
+		}
+	}
+	return set.Results(), qs, nil
+}
+
+// RangeSearch implements core.RangeMethod with the SIMS pattern under a
+// fixed bound: lower bounds against the in-memory summary array, then a
+// skip-sequential pass collecting every qualifying series.
+func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.QueryStats, error) {
+	var qs stats.QueryStats
+	if ix.c == nil {
+		return nil, qs, fmt.Errorf("ads: method not built")
+	}
+	f := ix.c.File
+	if len(q) != f.SeriesLen() {
+		return nil, qs, fmt.Errorf("ads: query length %d, collection length %d", len(q), f.SeriesLen())
+	}
+	qpaa := ix.tree.PAA.Apply(q)
+	widths := ix.tree.PAA.Widths()
+	set := core.NewRangeSet(r)
+	f.Rewind()
+	for i := 0; i < f.Len(); i++ {
+		lb := ix.tree.Quant.MinDistFullCard(qpaa, ix.tree.Words[i], widths)
+		qs.LBCalcs++
+		if lb > set.Bound() {
+			continue
+		}
+		d := series.SquaredDistEA(q, f.Read(i), set.Bound())
+		qs.DistCalcs++
+		qs.RawSeriesExamined++
+		set.Add(i, d)
+	}
+	return set.Results(), qs, nil
+}

@@ -1,0 +1,56 @@
+package dstree
+
+import (
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+)
+
+// TestHorizontalOnlyStillExact: disabling vertical splits degrades pruning,
+// never correctness.
+func TestHorizontalOnlyStillExact(t *testing.T) {
+	ds := dataset.RandomWalk(600, 64, 41)
+	ix := NewHorizontalOnly(core.Options{LeafSize: 32})
+	coll := core.NewCollection(ds)
+	if err := ix.Build(coll); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range dataset.SynthRand(4, 64, 42).Queries {
+		want := core.BruteForceKNN(coll, q, 2)
+		got, _, err := ix.KNN(q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i].Dist != want[i].Dist && got[i].ID != want[i].ID {
+				t.Fatalf("match %d: (%d,%g) want (%d,%g)", i, got[i].ID, got[i].Dist, want[i].ID, want[i].Dist)
+			}
+		}
+	}
+}
+
+// TestVerticalSplitsDrivePruning is the ablation's expected direction: on
+// Z-normalized data, horizontal-only splitting cannot discriminate (every
+// series has whole-series mean 0, std 1), so the full policy must prune
+// substantially better.
+func TestVerticalSplitsDrivePruning(t *testing.T) {
+	ds := dataset.RandomWalk(3000, 128, 43)
+	wl := dataset.SynthRand(5, 128, 44)
+	pruning := func(ix *Index) float64 {
+		coll := core.NewCollection(ds)
+		if err := ix.Build(coll); err != nil {
+			t.Fatal(err)
+		}
+		ws, err := core.RunWorkload(ix, coll, wl, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ws.MeanPruningRatio()
+	}
+	full := pruning(New(core.Options{LeafSize: 64}))
+	hOnly := pruning(NewHorizontalOnly(core.Options{LeafSize: 64}))
+	if full < hOnly+0.2 {
+		t.Errorf("h+v pruning %.3f should beat h-only %.3f by a wide margin", full, hOnly)
+	}
+}

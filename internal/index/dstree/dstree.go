@@ -1,0 +1,547 @@
+// Package dstree implements the DSTree of Wang et al. ("A data-adaptive and
+// dynamic segmentation index for whole matching on time series"): nodes carry
+// their own segmentation of the series, summarized per segment by mean and
+// standard deviation ranges (EAPCA, package eapca). Unlike SAX-based indexes
+// with fixed split points, the DSTree chooses at every overflow among
+//
+//   - horizontal splits (partition on a segment's mean or std at the middle
+//     of the node's observed range), and
+//   - vertical splits (subdivide a segment, then split on a sub-segment) —
+//     "EAPCA adds a new dimension or redistributes points along a dimension",
+//
+// ranked by a quality-of-split heuristic that favours the largest reduction
+// of the node's summarization ranges. This data-adaptive clustering is what
+// makes DSTree queries fast and its index construction CPU-heavy, the
+// trade-off at the heart of the paper's findings.
+//
+// The lower/upper bounds use the per-segment reverse/forward triangle
+// inequalities (see package eapca).
+package dstree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"hydra/internal/core"
+	"hydra/internal/series"
+	"hydra/internal/stats"
+	"hydra/internal/transform/eapca"
+)
+
+func init() {
+	core.Register("DSTree", func(opts core.Options) core.Method { return New(opts) })
+}
+
+type splitKind uint8
+
+const (
+	splitMean splitKind = iota
+	splitStd
+)
+
+type node struct {
+	ends []int // exclusive per-segment end offsets
+	// Synopsis over member series (min/max of per-segment mean and std).
+	minMean, maxMean []float64
+	minStd, maxStd   []float64
+	count            int
+
+	isLeaf  bool
+	members []int
+
+	splitSeg int
+	splitOn  splitKind
+	splitVal float64
+	children [2]*node
+	depth    int
+}
+
+// Index is the DSTree method.
+type Index struct {
+	opts      core.Options
+	c         *core.Collection
+	root      *node
+	numNodes  int
+	numLeaves int
+	leafCache []*node
+	// hOnly disables vertical splits (ablation of the paper's
+	// "data-adaptive partitioning" discussion, §5).
+	hOnly bool
+}
+
+// New creates a DSTree.
+func New(opts core.Options) *Index { return &Index{opts: opts} }
+
+// NewHorizontalOnly creates a DSTree restricted to horizontal splits — the
+// ablation showing why dynamic (vertical) segmentation is what gives the
+// DSTree its pruning power; on Z-normalized data horizontal splits alone
+// cannot discriminate at all on the initial whole-series segment.
+func NewHorizontalOnly(opts core.Options) *Index { return &Index{opts: opts, hOnly: true} }
+
+// Name implements core.Method.
+func (ix *Index) Name() string { return "DSTree" }
+
+// Build implements core.Method.
+func (ix *Index) Build(c *core.Collection) error {
+	if ix.c != nil {
+		return fmt.Errorf("dstree: already built")
+	}
+	ix.c = c
+	ix.opts = ix.opts.WithDefaults(c.File.Len())
+	n := c.File.SeriesLen()
+	if c.File.Len() == 0 || n == 0 {
+		return fmt.Errorf("dstree: empty collection")
+	}
+	ix.root = newNode([]int{n}, 0)
+	ix.numNodes, ix.numLeaves = 1, 1
+
+	c.File.ChargeFullScan()
+	for i := 0; i < c.File.Len(); i++ {
+		ix.insert(i)
+	}
+	// Leaf materialization (spills under a bounded memory budget).
+	core.ChargeMaterialization(c, ix.opts)
+	return nil
+}
+
+func newNode(ends []int, depth int) *node {
+	k := len(ends)
+	nd := &node{
+		ends:    ends,
+		minMean: make([]float64, k), maxMean: make([]float64, k),
+		minStd: make([]float64, k), maxStd: make([]float64, k),
+		isLeaf: true,
+		depth:  depth,
+	}
+	for i := 0; i < k; i++ {
+		nd.minMean[i] = math.Inf(1)
+		nd.maxMean[i] = math.Inf(-1)
+		nd.minStd[i] = math.Inf(1)
+		nd.maxStd[i] = math.Inf(-1)
+	}
+	return nd
+}
+
+// update extends the node synopsis with one series' EAPCA.
+func (nd *node) update(syn eapca.Synopsis) {
+	for i := range nd.ends {
+		if syn.Mean[i] < nd.minMean[i] {
+			nd.minMean[i] = syn.Mean[i]
+		}
+		if syn.Mean[i] > nd.maxMean[i] {
+			nd.maxMean[i] = syn.Mean[i]
+		}
+		if syn.Std[i] < nd.minStd[i] {
+			nd.minStd[i] = syn.Std[i]
+		}
+		if syn.Std[i] > nd.maxStd[i] {
+			nd.maxStd[i] = syn.Std[i]
+		}
+	}
+	nd.count++
+}
+
+// route returns which child of an internal node the series with prefix p
+// falls into.
+func (nd *node) route(p eapca.Prefix) int {
+	child := nd.children[0]
+	lo := 0
+	if nd.splitSeg > 0 {
+		lo = child.ends[nd.splitSeg-1]
+	}
+	hi := child.ends[nd.splitSeg]
+	mean, std := p.MeanStd(lo, hi)
+	v := mean
+	if nd.splitOn == splitStd {
+		v = std
+	}
+	if v <= nd.splitVal {
+		return 0
+	}
+	return 1
+}
+
+func (ix *Index) insert(id int) {
+	p := eapca.NewPrefix(ix.c.File.Peek(id))
+	nd := ix.root
+	for {
+		nd.update(eapca.Compute(p, nd.ends))
+		if nd.isLeaf {
+			break
+		}
+		nd = nd.children[nd.route(p)]
+	}
+	nd.members = append(nd.members, id)
+	ix.leafCache = nil
+	if len(nd.members) > ix.opts.LeafSize {
+		ix.split(nd)
+	}
+}
+
+// candidate describes one possible split of a leaf.
+type candidate struct {
+	ends     []int // child segmentation
+	seg      int   // segment index in ends
+	on       splitKind
+	val      float64
+	quality  float64
+	leftIDs  []int
+	rightIDs []int
+}
+
+// split evaluates horizontal and vertical candidates and applies the best.
+//
+// Candidate quality is measured on a common refined basis (every segment of
+// the node's segmentation halved). Without a common basis, coarse
+// segmentations win spuriously: on Z-normalized data a whole-series segment
+// has (mean, std) ≈ (0, 1) for every member, so an h-split on normalization
+// noise would measure as "perfectly tight" while hiding all within-segment
+// variance — exactly the degenerate behaviour the DSTree's QoS formulation
+// avoids by accounting for variance inside segments.
+func (ix *Index) split(nd *node) {
+	members := nd.members
+	prefixes := make([]eapca.Prefix, len(members))
+	for i, id := range members {
+		prefixes[i] = eapca.NewPrefix(ix.c.File.Peek(id))
+	}
+	evalEnds := refineAll(nd.ends)
+
+	var best *candidate
+	consider := func(cand *candidate) {
+		if cand == nil {
+			return
+		}
+		if best == nil || cand.quality < best.quality {
+			best = cand
+		}
+	}
+
+	// Horizontal splits on the node's own segmentation.
+	for s := range nd.ends {
+		consider(ix.evaluate(nd.ends, s, splitMean, members, prefixes, evalEnds))
+		consider(ix.evaluate(nd.ends, s, splitStd, members, prefixes, evalEnds))
+	}
+	if ix.hOnly {
+		if best == nil {
+			return
+		}
+		ix.apply(nd, best)
+		return
+	}
+	// Vertical splits: subdivide each wide-enough segment, then split on
+	// either sub-segment.
+	for s := range nd.ends {
+		lo := 0
+		if s > 0 {
+			lo = nd.ends[s-1]
+		}
+		hi := nd.ends[s]
+		if hi-lo < 2 {
+			continue
+		}
+		mid := (lo + hi) / 2
+		refined := make([]int, 0, len(nd.ends)+1)
+		refined = append(refined, nd.ends[:s]...)
+		refined = append(refined, mid)
+		refined = append(refined, nd.ends[s:]...)
+		for _, sub := range []int{s, s + 1} {
+			consider(ix.evaluate(refined, sub, splitMean, members, prefixes, evalEnds))
+			consider(ix.evaluate(refined, sub, splitStd, members, prefixes, evalEnds))
+		}
+	}
+	if best == nil {
+		return // indistinguishable members: oversized leaf allowed
+	}
+	ix.apply(nd, best)
+}
+
+// apply turns leaf nd into an internal node according to the chosen split.
+func (ix *Index) apply(nd *node, best *candidate) {
+	nd.isLeaf = false
+	nd.members = nil
+	nd.splitSeg = best.seg
+	nd.splitOn = best.on
+	nd.splitVal = best.val
+	ix.numLeaves--
+	for b, ids := range [][]int{best.leftIDs, best.rightIDs} {
+		child := newNode(best.ends, nd.depth+1)
+		nd.children[b] = child
+		ix.numNodes++
+		ix.numLeaves++
+		for _, id := range ids {
+			child.update(eapca.Compute(eapca.NewPrefix(ix.c.File.Peek(id)), child.ends))
+			child.members = append(child.members, id)
+		}
+	}
+	for _, child := range nd.children {
+		if len(child.members) > ix.opts.LeafSize {
+			ix.split(child)
+		}
+	}
+}
+
+// refineAll halves every segment of width >= 2, producing the common
+// measurement basis for candidate comparison.
+func refineAll(ends []int) []int {
+	out := make([]int, 0, 2*len(ends))
+	lo := 0
+	for _, hi := range ends {
+		if hi-lo >= 2 {
+			out = append(out, (lo+hi)/2)
+		}
+		out = append(out, hi)
+		lo = hi
+	}
+	return out
+}
+
+// evaluate builds the candidate split of the given kind on segment seg of
+// segmentation ends, with the threshold at the middle of the members' value
+// range. Candidate quality is measured on evalEnds. Returns nil when the
+// split cannot separate the members.
+func (ix *Index) evaluate(ends []int, seg int, on splitKind, members []int, prefixes []eapca.Prefix, evalEnds []int) *candidate {
+	lo := 0
+	if seg > 0 {
+		lo = ends[seg-1]
+	}
+	hi := ends[seg]
+
+	vals := make([]float64, len(members))
+	min, max := math.Inf(1), math.Inf(-1)
+	for i := range members {
+		mean, std := prefixes[i].MeanStd(lo, hi)
+		v := mean
+		if on == splitStd {
+			v = std
+		}
+		vals[i] = v
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if !(max > min) {
+		return nil
+	}
+	threshold := (min + max) / 2
+
+	cand := &candidate{ends: append([]int{}, ends...), seg: seg, on: on, val: threshold}
+	for i, id := range members {
+		if vals[i] <= threshold {
+			cand.leftIDs = append(cand.leftIDs, id)
+		} else {
+			cand.rightIDs = append(cand.rightIDs, id)
+		}
+	}
+	if len(cand.leftIDs) == 0 || len(cand.rightIDs) == 0 {
+		return nil
+	}
+
+	// Quality: member-weighted sum of the children's summarization ranges,
+	// measured on the common basis (smaller ranges = tighter bounds =
+	// better clustering).
+	var q float64
+	for _, side := range [][]int{cand.leftIDs, cand.rightIDs} {
+		q += float64(len(side)) * ix.rangeQoS(evalEnds, side, prefixes, members)
+	}
+	cand.quality = q / float64(len(members))
+	return cand
+}
+
+// rangeQoS measures how loosely a segmentation summarizes the given members:
+// Σ_seg w·((maxMean−minMean)² + (maxStd−minStd)² + maxStd²). The maxStd²
+// term charges the variance remaining inside segments, which is what makes
+// vertical splits (finer segmentations) pay off.
+func (ix *Index) rangeQoS(ends []int, side []int, prefixes []eapca.Prefix, members []int) float64 {
+	pos := make(map[int]int, len(members))
+	for i, id := range members {
+		pos[id] = i
+	}
+	var total float64
+	lo := 0
+	for _, hi := range ends {
+		minM, maxM := math.Inf(1), math.Inf(-1)
+		minS, maxS := math.Inf(1), math.Inf(-1)
+		for _, id := range side {
+			mean, std := prefixes[pos[id]].MeanStd(lo, hi)
+			if mean < minM {
+				minM = mean
+			}
+			if mean > maxM {
+				maxM = mean
+			}
+			if std < minS {
+				minS = std
+			}
+			if std > maxS {
+				maxS = std
+			}
+		}
+		w := float64(hi - lo)
+		dm := maxM - minM
+		ds := maxS - minS
+		total += w * (dm*dm + ds*ds + maxS*maxS)
+		lo = hi
+	}
+	return total
+}
+
+// lb returns the squared lower-bounding distance between the query (as
+// prefix sums) and any series inside node nd.
+func lb(qp eapca.Prefix, nd *node) float64 {
+	var sum float64
+	lo := 0
+	for s, hi := range nd.ends {
+		qm, qs := qp.MeanStd(lo, hi)
+		w := float64(hi - lo)
+		dm := intervalDist(qm, nd.minMean[s], nd.maxMean[s])
+		ds := intervalDist(qs, nd.minStd[s], nd.maxStd[s])
+		sum += w * (dm*dm + ds*ds)
+		lo = hi
+	}
+	return sum
+}
+
+func intervalDist(v, lo, hi float64) float64 {
+	switch {
+	case v < lo:
+		return lo - v
+	case v > hi:
+		return v - hi
+	default:
+		return 0
+	}
+}
+
+type pqItem struct {
+	n  *node
+	lb float64
+}
+type pq []pqItem
+
+func (p pq) Len() int           { return len(p) }
+func (p pq) Less(i, j int) bool { return p[i].lb < p[j].lb }
+func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
+
+// KNN implements core.Method.
+func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+	var qs stats.QueryStats
+	if ix.c == nil {
+		return nil, qs, fmt.Errorf("dstree: method not built")
+	}
+	if len(q) != ix.c.File.SeriesLen() {
+		return nil, qs, fmt.Errorf("dstree: query length %d, collection length %d", len(q), ix.c.File.SeriesLen())
+	}
+	qp := eapca.NewPrefix(q)
+	ord := series.NewOrder(q)
+	set := core.NewKNNSet(k)
+
+	// ng-approximate descent.
+	approx := ix.root
+	for !approx.isLeaf {
+		approx = approx.children[approx.route(qp)]
+	}
+	ix.visitLeaf(approx, q, ord, set, &qs)
+
+	// Exact best-first traversal.
+	h := &pq{}
+	heap.Push(h, pqItem{n: ix.root, lb: 0})
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		if it.lb >= set.Bound() {
+			break
+		}
+		if it.n.isLeaf {
+			if it.n != approx {
+				ix.visitLeaf(it.n, q, ord, set, &qs)
+			}
+			continue
+		}
+		for _, child := range it.n.children {
+			l := lb(qp, child)
+			qs.LBCalcs++
+			if l < set.Bound() {
+				heap.Push(h, pqItem{n: child, lb: l})
+			}
+		}
+	}
+	return set.Results(), qs, nil
+}
+
+func (ix *Index) visitLeaf(n *node, q series.Series, ord series.Order, set *core.KNNSet, qs *stats.QueryStats) {
+	if len(n.members) == 0 {
+		return
+	}
+	ix.c.File.ChargeLeafRead(len(n.members))
+	for _, id := range n.members {
+		d := series.SquaredDistEAOrdered(q, ix.c.File.Peek(id), ord, set.Bound())
+		qs.DistCalcs++
+		qs.RawSeriesExamined++
+		set.Add(id, d)
+	}
+}
+
+func (ix *Index) leaves() []*node {
+	if ix.leafCache != nil {
+		return ix.leafCache
+	}
+	var out []*node
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.isLeaf {
+			if len(n.members) > 0 {
+				out = append(out, n)
+			}
+			return
+		}
+		walk(n.children[0])
+		walk(n.children[1])
+	}
+	walk(ix.root)
+	ix.leafCache = out
+	return out
+}
+
+// TreeStats implements core.TreeIndex.
+func (ix *Index) TreeStats() stats.TreeStats {
+	ts := stats.TreeStats{TotalNodes: ix.numNodes, LeafNodes: ix.numLeaves}
+	var walk func(n *node)
+	walk = func(n *node) {
+		ts.MemBytes += int64(8*len(n.ends)*5) + 64
+		if n.isLeaf {
+			ts.FillFactors = append(ts.FillFactors, float64(len(n.members))/float64(ix.opts.LeafSize))
+			ts.LeafDepths = append(ts.LeafDepths, n.depth)
+			ts.MemBytes += int64(8 * len(n.members))
+			ts.DiskBytes += int64(len(n.members)) * ix.c.File.SeriesBytes()
+			return
+		}
+		walk(n.children[0])
+		walk(n.children[1])
+	}
+	walk(ix.root)
+	return ts
+}
+
+// LeafMembers implements core.LeafBounder.
+func (ix *Index) LeafMembers() [][]int {
+	ls := ix.leaves()
+	out := make([][]int, len(ls))
+	for i, n := range ls {
+		out[i] = n.members
+	}
+	return out
+}
+
+// LeafLB implements core.LeafBounder.
+func (ix *Index) LeafLB(q series.Series, leaf int) float64 {
+	ls := ix.leaves()
+	if leaf < 0 || leaf >= len(ls) {
+		return math.NaN()
+	}
+	return math.Sqrt(lb(eapca.NewPrefix(q), ls[leaf]))
+}

@@ -1,0 +1,195 @@
+package dstree
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/series"
+	"hydra/internal/transform/eapca"
+)
+
+func build(t *testing.T, ds *dataset.Dataset, leaf int) (*Index, *core.Collection) {
+	t.Helper()
+	ix := New(core.Options{LeafSize: leaf})
+	coll := core.NewCollection(ds)
+	if err := ix.Build(coll); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return ix, coll
+}
+
+func TestVerticalSplitsHappen(t *testing.T) {
+	// On Z-normalized data the root's single whole-series segment carries no
+	// information ((mean,std)=(0,1) for everyone), so a correct DSTree MUST
+	// grow finer segmentations via vertical splits (regression test for the
+	// degenerate noise-split bug).
+	ds := dataset.RandomWalk(2000, 128, 1)
+	ix, _ := build(t, ds, 32)
+	multi := 0
+	for _, leaf := range ix.leaves() {
+		if len(leaf.ends) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatalf("no leaf has a refined segmentation: vertical splits never chosen")
+	}
+}
+
+func TestPruningEffective(t *testing.T) {
+	ds := dataset.RandomWalk(4000, 128, 2)
+	ix, coll := build(t, ds, 64)
+	wl := dataset.SynthRand(5, 128, 3)
+	ws, err := core.RunWorkload(ix, coll, wl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := ws.MeanPruningRatio(); p < 0.3 {
+		t.Errorf("DSTree pruning ratio %.3f too low on random walks (paper: well above 0.5)", p)
+	}
+}
+
+// TestNodeLBSoundness: every node's lower bound must lower-bound the true
+// distance to every series stored beneath it.
+func TestNodeLBSoundness(t *testing.T) {
+	ds := dataset.RandomWalk(1500, 96, 4) // non-pow2 length
+	ix, _ := build(t, ds, 32)
+	queries := dataset.SynthRand(5, 96, 5).Queries
+	for _, q := range queries {
+		qp := eapca.NewPrefix(q)
+		var walk func(n *node)
+		walk = func(n *node) {
+			l := lb(qp, n)
+			var check func(m *node)
+			check = func(m *node) {
+				if m.isLeaf {
+					for _, id := range m.members {
+						d := series.SquaredDist(q, ds.Series[id])
+						if l > d*(1+1e-9)+1e-9 {
+							t.Fatalf("node LB %g > member %d dist %g", l, id, d)
+						}
+					}
+					return
+				}
+				check(m.children[0])
+				check(m.children[1])
+			}
+			check(n)
+			if !n.isLeaf {
+				walk(n.children[0])
+				walk(n.children[1])
+			}
+		}
+		walk(ix.root)
+	}
+}
+
+func TestAllSeriesInExactlyOneLeaf(t *testing.T) {
+	ds := dataset.RandomWalk(1200, 64, 6)
+	ix, _ := build(t, ds, 16)
+	seen := make([]bool, ds.Len())
+	for _, leaf := range ix.leaves() {
+		for _, id := range leaf.members {
+			if seen[id] {
+				t.Fatalf("series %d in multiple leaves", id)
+			}
+			seen[id] = true
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			t.Fatalf("series %d missing", id)
+		}
+	}
+}
+
+func TestRouteConsistentWithMembership(t *testing.T) {
+	// Descending by split predicates from the root must land each series in
+	// the leaf that stores it.
+	ds := dataset.RandomWalk(800, 64, 7)
+	ix, _ := build(t, ds, 16)
+	for i := 0; i < ds.Len(); i += 37 {
+		p := eapca.NewPrefix(ds.Series[i])
+		n := ix.root
+		for !n.isLeaf {
+			n = n.children[n.route(p)]
+		}
+		found := false
+		for _, id := range n.members {
+			if id == i {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("series %d not in its routed leaf", i)
+		}
+	}
+}
+
+func TestSegmentationsNested(t *testing.T) {
+	// A child's segmentation must refine (or equal) its parent's: every
+	// parent boundary appears among the child's boundaries.
+	ds := dataset.RandomWalk(1000, 128, 8)
+	ix, _ := build(t, ds, 32)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.isLeaf {
+			return
+		}
+		for _, c := range n.children {
+			set := map[int]bool{}
+			for _, e := range c.ends {
+				set[e] = true
+			}
+			for _, e := range n.ends {
+				if !set[e] {
+					t.Fatalf("child segmentation %v does not refine parent %v", c.ends, n.ends)
+				}
+			}
+			walk(c)
+		}
+	}
+	walk(ix.root)
+}
+
+func TestRefineAll(t *testing.T) {
+	got := refineAll([]int{4, 6, 7})
+	want := []int{2, 4, 5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("refineAll=%v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("refineAll=%v want %v", got, want)
+		}
+	}
+}
+
+func TestBuildRejectsDoubleAndEmpty(t *testing.T) {
+	ds := dataset.RandomWalk(50, 32, 9)
+	ix, coll := build(t, ds, 8)
+	if err := ix.Build(coll); err == nil {
+		t.Errorf("second Build should fail")
+	}
+	ix2 := New(core.Options{})
+	if err := ix2.Build(core.NewCollection(&dataset.Dataset{})); err == nil {
+		t.Errorf("empty collection should fail")
+	}
+}
+
+func TestTreeStatsSane(t *testing.T) {
+	ds := dataset.RandomWalk(600, 64, 10)
+	ix, _ := build(t, ds, 16)
+	ts := ix.TreeStats()
+	if ts.LeafNodes == 0 || ts.TotalNodes != 2*ts.LeafNodes-1 {
+		t.Errorf("binary tree node counts wrong: %d nodes, %d leaves", ts.TotalNodes, ts.LeafNodes)
+	}
+	if ts.DiskBytes != ds.SizeBytes() {
+		t.Errorf("materialized disk bytes %d want %d", ts.DiskBytes, ds.SizeBytes())
+	}
+	if math.IsNaN(ts.MeanFill()) || ts.MeanFill() <= 0 {
+		t.Errorf("mean fill %f", ts.MeanFill())
+	}
+}

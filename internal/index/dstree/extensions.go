@@ -1,0 +1,71 @@
+package dstree
+
+import (
+	"fmt"
+
+	"hydra/internal/core"
+	"hydra/internal/series"
+	"hydra/internal/stats"
+	"hydra/internal/transform/eapca"
+)
+
+// ApproxKNN implements core.ApproxMethod: the ng-approximate search of the
+// DSTree descends the split predicates to a single leaf and answers from its
+// members only.
+func (ix *Index) ApproxKNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+	var qs stats.QueryStats
+	if ix.c == nil {
+		return nil, qs, fmt.Errorf("dstree: method not built")
+	}
+	if len(q) != ix.c.File.SeriesLen() {
+		return nil, qs, fmt.Errorf("dstree: query length %d, collection length %d", len(q), ix.c.File.SeriesLen())
+	}
+	qp := eapca.NewPrefix(q)
+	ord := series.NewOrder(q)
+	set := core.NewKNNSet(k)
+	n := ix.root
+	for !n.isLeaf {
+		n = n.children[n.route(qp)]
+	}
+	ix.visitLeaf(n, q, ord, set, &qs)
+	return set.Results(), qs, nil
+}
+
+// RangeSearch implements core.RangeMethod: depth-first traversal pruned with
+// the node lower bound against the fixed radius.
+func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.QueryStats, error) {
+	var qs stats.QueryStats
+	if ix.c == nil {
+		return nil, qs, fmt.Errorf("dstree: method not built")
+	}
+	if len(q) != ix.c.File.SeriesLen() {
+		return nil, qs, fmt.Errorf("dstree: query length %d, collection length %d", len(q), ix.c.File.SeriesLen())
+	}
+	qp := eapca.NewPrefix(q)
+	set := core.NewRangeSet(r)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if lb(qp, n) > set.Bound() {
+			qs.LBCalcs++
+			return
+		}
+		qs.LBCalcs++
+		if n.isLeaf {
+			if len(n.members) == 0 {
+				return
+			}
+			ix.c.File.ChargeLeafRead(len(n.members))
+			for _, id := range n.members {
+				d := series.SquaredDistEA(q, ix.c.File.Peek(id), set.Bound())
+				qs.DistCalcs++
+				qs.RawSeriesExamined++
+				set.Add(id, d)
+			}
+			return
+		}
+		walk(n.children[0])
+		walk(n.children[1])
+	}
+	walk(ix.root)
+	return set.Results(), qs, nil
+}

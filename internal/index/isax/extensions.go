@@ -1,0 +1,73 @@
+package isax
+
+import (
+	"fmt"
+
+	"hydra/internal/core"
+	"hydra/internal/index/isaxtree"
+	"hydra/internal/series"
+	"hydra/internal/stats"
+)
+
+// ApproxKNN implements core.ApproxMethod: iSAX's classic ng-approximate
+// search follows the query's own iSAX path to one leaf ("traversing one path
+// of an index structure, visiting at most one leaf, to get a baseline
+// best-so-far match").
+func (ix *Index) ApproxKNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+	var qs stats.QueryStats
+	if ix.c == nil {
+		return nil, qs, fmt.Errorf("isax: method not built")
+	}
+	if len(q) != ix.c.File.SeriesLen() {
+		return nil, qs, fmt.Errorf("isax: query length %d, collection length %d", len(q), ix.c.File.SeriesLen())
+	}
+	qpaa := ix.tree.PAA.Apply(q)
+	qword := make([]uint8, len(qpaa))
+	for i, v := range qpaa {
+		qword[i] = ix.tree.Quant.Symbol(v)
+	}
+	set := core.NewKNNSet(k)
+	if leaf := ix.tree.ApproxLeaf(qword); leaf != nil {
+		ix.visitLeaf(leaf, q, series.NewOrder(q), set, &qs)
+	}
+	return set.Results(), qs, nil
+}
+
+// RangeSearch implements core.RangeMethod.
+func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.QueryStats, error) {
+	var qs stats.QueryStats
+	if ix.c == nil {
+		return nil, qs, fmt.Errorf("isax: method not built")
+	}
+	if len(q) != ix.c.File.SeriesLen() {
+		return nil, qs, fmt.Errorf("isax: query length %d, collection length %d", len(q), ix.c.File.SeriesLen())
+	}
+	qpaa := ix.tree.PAA.Apply(q)
+	set := core.NewRangeSet(r)
+	var walk func(n *isaxtree.Node)
+	walk = func(n *isaxtree.Node) {
+		qs.LBCalcs++
+		if ix.tree.MinDist(qpaa, n) > set.Bound() {
+			return
+		}
+		if n.IsLeaf {
+			if len(n.Members) == 0 {
+				return
+			}
+			ix.c.File.ChargeLeafRead(len(n.Members))
+			for _, id := range n.Members {
+				d := series.SquaredDistEA(q, ix.c.File.Peek(id), set.Bound())
+				qs.DistCalcs++
+				qs.RawSeriesExamined++
+				set.Add(id, d)
+			}
+			return
+		}
+		walk(n.Children[0])
+		walk(n.Children[1])
+	}
+	for _, n := range ix.tree.Root {
+		walk(n)
+	}
+	return set.Results(), qs, nil
+}

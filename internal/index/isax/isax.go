@@ -1,0 +1,173 @@
+// Package isax implements iSAX2+ (Camerra et al.), the bulk-loading iSAX
+// index: series are summarized as iSAX words, organized in the binary-split
+// iSAX tree (package isaxtree), and the raw data is materialized into leaf
+// files at the end of bulk loading (iSAX2+'s contribution over iSAX 2.0 is
+// minimizing raw-data movement during loading, which the charge model below
+// reflects by writing each raw series once).
+//
+// Exact queries follow the standard two-step scheme: an ng-approximate
+// descent along the query's own iSAX path produces a best-so-far, then a
+// best-first traversal prunes subtrees whose lower-bounding distance exceeds
+// the k-th best distance found.
+package isax
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"hydra/internal/core"
+	"hydra/internal/index/isaxtree"
+	"hydra/internal/series"
+	"hydra/internal/stats"
+)
+
+func init() {
+	core.Register("iSAX2+", func(opts core.Options) core.Method { return New(opts) })
+}
+
+// Index is the iSAX2+ method.
+type Index struct {
+	opts core.Options
+	c    *core.Collection
+	tree *isaxtree.Tree
+}
+
+// New creates an iSAX2+ index.
+func New(opts core.Options) *Index { return &Index{opts: opts} }
+
+// Name implements core.Method.
+func (ix *Index) Name() string { return "iSAX2+" }
+
+// Build implements core.Method.
+func (ix *Index) Build(c *core.Collection) error {
+	if ix.c != nil {
+		return fmt.Errorf("isax: already built")
+	}
+	ix.c = c
+	ix.opts = ix.opts.WithDefaults(c.File.Len())
+	if c.File.Len() == 0 {
+		return fmt.Errorf("isax: empty collection")
+	}
+	ix.tree = isaxtree.New(c.File.SeriesLen(), ix.opts.Segments, ix.opts.LeafSize)
+
+	// Bulk loading: one sequential read to summarize, tree construction over
+	// summaries in memory, then one sequential write materializing leaves.
+	c.File.ChargeFullScan()
+	ix.tree.Summarize(c.Data.Series)
+	for i := 0; i < c.File.Len(); i++ {
+		ix.tree.Insert(i)
+	}
+	core.ChargeMaterialization(c, ix.opts)
+	return nil
+}
+
+type pqItem struct {
+	n  *isaxtree.Node
+	lb float64
+}
+type pq []pqItem
+
+func (p pq) Len() int           { return len(p) }
+func (p pq) Less(i, j int) bool { return p[i].lb < p[j].lb }
+func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
+
+// KNN implements core.Method.
+func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+	var qs stats.QueryStats
+	if ix.c == nil {
+		return nil, qs, fmt.Errorf("isax: method not built")
+	}
+	if len(q) != ix.c.File.SeriesLen() {
+		return nil, qs, fmt.Errorf("isax: query length %d, collection length %d", len(q), ix.c.File.SeriesLen())
+	}
+	qpaa := ix.tree.PAA.Apply(q)
+	qword := make([]uint8, len(qpaa))
+	for i, v := range qpaa {
+		qword[i] = ix.tree.Quant.Symbol(v)
+	}
+	ord := series.NewOrder(q)
+	set := core.NewKNNSet(k)
+
+	// ng-approximate step.
+	approx := ix.tree.ApproxLeaf(qword)
+	if approx != nil {
+		ix.visitLeaf(approx, q, ord, set, &qs)
+	}
+
+	// Exact step: best-first over the root children and their subtrees.
+	h := &pq{}
+	for _, n := range ix.tree.Root {
+		lb := ix.tree.MinDist(qpaa, n)
+		qs.LBCalcs++
+		heap.Push(h, pqItem{n: n, lb: lb})
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		if it.lb >= set.Bound() {
+			break
+		}
+		if it.n.IsLeaf {
+			if it.n != approx {
+				ix.visitLeaf(it.n, q, ord, set, &qs)
+			}
+			continue
+		}
+		for _, child := range it.n.Children {
+			lb := ix.tree.MinDist(qpaa, child)
+			qs.LBCalcs++
+			if lb < set.Bound() {
+				heap.Push(h, pqItem{n: child, lb: lb})
+			}
+		}
+	}
+	return set.Results(), qs, nil
+}
+
+func (ix *Index) visitLeaf(n *isaxtree.Node, q series.Series, ord series.Order, set *core.KNNSet, qs *stats.QueryStats) {
+	ix.c.File.ChargeLeafRead(len(n.Members))
+	for _, id := range n.Members {
+		d := series.SquaredDistEAOrdered(q, ix.c.File.Peek(id), ord, set.Bound())
+		qs.DistCalcs++
+		qs.RawSeriesExamined++
+		set.Add(id, d)
+	}
+}
+
+// TreeStats implements core.TreeIndex.
+func (ix *Index) TreeStats() stats.TreeStats {
+	return ix.tree.TreeStats(ix.c.File.SeriesBytes(), true)
+}
+
+// LeafMembers implements core.LeafBounder.
+func (ix *Index) LeafMembers() [][]int {
+	leaves := ix.tree.Leaves()
+	out := make([][]int, 0, len(leaves))
+	for _, n := range leaves {
+		if len(n.Members) > 0 {
+			out = append(out, n.Members)
+		}
+	}
+	return out
+}
+
+// LeafLB implements core.LeafBounder.
+func (ix *Index) LeafLB(q series.Series, leaf int) float64 {
+	leaves := ix.tree.Leaves()
+	nonEmpty := make([]*isaxtree.Node, 0, len(leaves))
+	for _, n := range leaves {
+		if len(n.Members) > 0 {
+			nonEmpty = append(nonEmpty, n)
+		}
+	}
+	if leaf < 0 || leaf >= len(nonEmpty) {
+		return math.NaN()
+	}
+	qpaa := ix.tree.PAA.Apply(q)
+	return math.Sqrt(ix.tree.MinDist(qpaa, nonEmpty[leaf]))
+}
+
+// Tree exposes the underlying structure for white-box tests.
+func (ix *Index) Tree() *isaxtree.Tree { return ix.tree }

@@ -1,0 +1,273 @@
+// Package isaxtree implements the iSAX index tree shared by iSAX2+ and ADS+:
+// a root whose children cover the 1-bit-per-segment iSAX words, below which
+// nodes split binarily by promoting one segment to a higher cardinality (the
+// iSAX 2.0 splitting policy: pick the segment whose refinement distributes
+// the node's series most evenly). The two methods differ in what the leaves
+// hold (materialized raw data for iSAX2+, summaries only for ADS+) and in
+// their exact query algorithms, which live in their respective packages.
+package isaxtree
+
+import (
+	"fmt"
+	"sort"
+
+	"hydra/internal/series"
+	"hydra/internal/stats"
+	"hydra/internal/transform/paa"
+	"hydra/internal/transform/sax"
+)
+
+// Node is a tree node identified by an iSAX word.
+type Node struct {
+	Word     sax.Word
+	IsLeaf   bool
+	Members  []int
+	SplitSeg int
+	Children [2]*Node
+	Depth    int
+}
+
+// Tree is the iSAX index structure over a collection's summaries.
+type Tree struct {
+	Quant    *sax.Quantizer
+	PAA      *paa.Transform
+	LeafSize int
+	Segments int
+
+	Root map[uint64]*Node
+	// Words[i] holds series i's symbols at maximum cardinality; PAAs[i] its
+	// PAA vector (ADS+ keeps these in memory as its summary array).
+	Words [][]uint8
+	PAAs  [][]float64
+
+	NumNodes  int
+	NumLeaves int
+	leafCache []*Node
+}
+
+// New builds an empty tree for length-n series.
+func New(n, segments, leafSize int) *Tree {
+	return &Tree{
+		Quant:    sax.NewQuantizer(),
+		PAA:      paa.New(n, segments),
+		LeafSize: leafSize,
+		Segments: segments,
+		Root:     map[uint64]*Node{},
+	}
+}
+
+// Summarize computes and stores the PAA vector and iSAX symbols of every
+// series, reading the collection once.
+func (t *Tree) Summarize(data []series.Series) {
+	t.Words = make([][]uint8, len(data))
+	t.PAAs = make([][]float64, len(data))
+	for i, s := range data {
+		p := t.PAA.Apply(s)
+		w := make([]uint8, len(p))
+		for j, v := range p {
+			w[j] = t.Quant.Symbol(v)
+		}
+		t.PAAs[i] = p
+		t.Words[i] = w
+	}
+}
+
+// RootKey packs the top bit of each segment's symbol into a map key.
+func (t *Tree) RootKey(word []uint8) uint64 {
+	var key uint64
+	for _, sym := range word {
+		key = key<<1 | uint64(sym>>(sax.MaxBits-1))
+	}
+	return key
+}
+
+// Insert places series id into the tree, splitting overflowing leaves.
+func (t *Tree) Insert(id int) {
+	word := t.Words[id]
+	key := t.RootKey(word)
+	n, ok := t.Root[key]
+	if !ok {
+		w := sax.NewWord(t.PAA.Segments(), 1)
+		for i := range w.Symbols {
+			w.Symbols[i] = word[i] >> (sax.MaxBits - 1) << (sax.MaxBits - 1)
+		}
+		n = &Node{Word: w, IsLeaf: true, Depth: 1}
+		t.Root[key] = n
+		t.NumNodes++
+		t.NumLeaves++
+	}
+	for !n.IsLeaf {
+		bits := n.Children[0].Word.Bits[n.SplitSeg]
+		bit := word[n.SplitSeg] >> (sax.MaxBits - bits) & 1
+		n = n.Children[bit]
+	}
+	n.Members = append(n.Members, id)
+	t.leafCache = nil
+	if len(n.Members) > t.LeafSize {
+		t.split(n)
+	}
+}
+
+// split promotes the segment whose next-bit refinement balances the members
+// best; a node where no segment can discriminate stays an oversized leaf.
+func (t *Tree) split(n *Node) {
+	best, bestImbalance := -1, int(^uint(0)>>1)
+	for seg := 0; seg < t.PAA.Segments(); seg++ {
+		bits := n.Word.Bits[seg]
+		if bits >= sax.MaxBits {
+			continue
+		}
+		ones := 0
+		for _, id := range n.Members {
+			if t.Words[id][seg]>>(sax.MaxBits-bits-1)&1 == 1 {
+				ones++
+			}
+		}
+		imbalance := abs(2*ones - len(n.Members))
+		// A split that sends everything to one side is useless.
+		if ones == 0 || ones == len(n.Members) {
+			continue
+		}
+		if imbalance < bestImbalance {
+			best, bestImbalance = seg, imbalance
+		}
+	}
+	if best < 0 {
+		return // cannot discriminate further; oversized leaf allowed
+	}
+
+	n.IsLeaf = false
+	n.SplitSeg = best
+	bits := n.Word.Bits[best]
+	prefix := n.Word.Symbols[best] >> (sax.MaxBits - bits)
+	for b := uint8(0); b < 2; b++ {
+		w := n.Word.Clone()
+		w.Bits[best] = bits + 1
+		w.Symbols[best] = (prefix<<1 | b) << (sax.MaxBits - bits - 1)
+		n.Children[b] = &Node{Word: w, IsLeaf: true, Depth: n.Depth + 1}
+		t.NumNodes++
+		t.NumLeaves++
+	}
+	t.NumLeaves-- // n is no longer a leaf
+
+	members := n.Members
+	n.Members = nil
+	for _, id := range members {
+		bit := t.Words[id][best] >> (sax.MaxBits - bits - 1) & 1
+		c := n.Children[bit]
+		c.Members = append(c.Members, id)
+	}
+	for _, c := range n.Children {
+		if len(c.Members) > t.LeafSize {
+			t.split(c)
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// ApproxLeaf descends the query's own iSAX path and returns the leaf, or nil
+// when the path does not exist (then the ng-approximate step has no answer).
+func (t *Tree) ApproxLeaf(word []uint8) *Node {
+	n, ok := t.Root[t.RootKey(word)]
+	if !ok {
+		return nil
+	}
+	for !n.IsLeaf {
+		bits := n.Children[0].Word.Bits[n.SplitSeg]
+		bit := word[n.SplitSeg] >> (sax.MaxBits - bits) & 1
+		n = n.Children[bit]
+	}
+	return n
+}
+
+// MinDist returns the squared lower-bounding distance between a query's PAA
+// vector and node n.
+func (t *Tree) MinDist(qpaa []float64, n *Node) float64 {
+	return t.Quant.MinDist(qpaa, n.Word, t.PAA.Widths())
+}
+
+// Leaves returns all leaves in deterministic order (sorted root keys,
+// children 0 before 1), cached between calls.
+func (t *Tree) Leaves() []*Node {
+	if t.leafCache != nil {
+		return t.leafCache
+	}
+	keys := make([]uint64, 0, len(t.Root))
+	for k := range t.Root {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var out []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsLeaf {
+			out = append(out, n)
+			return
+		}
+		walk(n.Children[0])
+		walk(n.Children[1])
+	}
+	for _, k := range keys {
+		walk(t.Root[k])
+	}
+	t.leafCache = out
+	return out
+}
+
+// TreeStats reports the footprint measures of Figure 8. materialized says
+// whether leaves hold raw data on disk (iSAX2+) or only summaries (ADS+).
+func (t *Tree) TreeStats(seriesBytes int64, materialized bool) stats.TreeStats {
+	ts := stats.TreeStats{TotalNodes: t.NumNodes, LeafNodes: t.NumLeaves}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		ts.MemBytes += int64(2*t.Segments) + 48 // word + node overhead
+		if n.IsLeaf {
+			ts.FillFactors = append(ts.FillFactors, float64(len(n.Members))/float64(t.LeafSize))
+			ts.LeafDepths = append(ts.LeafDepths, n.Depth)
+			ts.MemBytes += int64(8 * len(n.Members))
+			if materialized {
+				ts.DiskBytes += int64(len(n.Members)) * seriesBytes
+			}
+			ts.DiskBytes += int64(len(n.Members)) * int64(t.Segments) // summaries
+			return
+		}
+		walk(n.Children[0])
+		walk(n.Children[1])
+	}
+	for _, n := range t.Root {
+		walk(n)
+	}
+	// The full summary array kept in memory (ADS+'s SAX cache; iSAX2+ holds
+	// it during bulk loading).
+	ts.MemBytes += int64(len(t.Words)) * int64(t.Segments)
+	return ts
+}
+
+// Validate checks structural invariants: every series in exactly one leaf,
+// words consistent with leaf regions.
+func (t *Tree) Validate() error {
+	seen := make([]bool, len(t.Words))
+	for _, leaf := range t.Leaves() {
+		for _, id := range leaf.Members {
+			if seen[id] {
+				return fmt.Errorf("isaxtree: series %d appears in multiple leaves", id)
+			}
+			seen[id] = true
+			if !leaf.Word.Matches(t.Words[id]) {
+				return fmt.Errorf("isaxtree: series %d does not match its leaf word", id)
+			}
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			return fmt.Errorf("isaxtree: series %d missing from tree", id)
+		}
+	}
+	return nil
+}

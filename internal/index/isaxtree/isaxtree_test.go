@@ -1,0 +1,146 @@
+package isaxtree
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/dataset"
+	"hydra/internal/series"
+	"hydra/internal/transform/sax"
+)
+
+func buildTree(t *testing.T, n, length, leafSize int) (*Tree, *dataset.Dataset) {
+	t.Helper()
+	ds := dataset.RandomWalk(n, length, 3)
+	tr := New(length, 16, leafSize)
+	tr.Summarize(ds.Series)
+	for i := 0; i < n; i++ {
+		tr.Insert(i)
+	}
+	return tr, ds
+}
+
+func TestTreeInvariants(t *testing.T) {
+	tr, _ := buildTree(t, 2000, 64, 32)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if tr.NumLeaves == 0 || tr.NumNodes < tr.NumLeaves {
+		t.Errorf("node counts inconsistent: %d nodes, %d leaves", tr.NumNodes, tr.NumLeaves)
+	}
+	leaves := tr.Leaves()
+	if len(leaves) != tr.NumLeaves {
+		t.Errorf("Leaves() returned %d, counter says %d", len(leaves), tr.NumLeaves)
+	}
+}
+
+func TestLeafSizesRespected(t *testing.T) {
+	tr, _ := buildTree(t, 3000, 64, 50)
+	for _, leaf := range tr.Leaves() {
+		if len(leaf.Members) > 50 {
+			// Only allowed if the node cannot discriminate further.
+			canSplit := false
+			for seg := 0; seg < 16; seg++ {
+				if leaf.Word.Bits[seg] < sax.MaxBits {
+					for _, id := range leaf.Members[1:] {
+						b := leaf.Word.Bits[seg]
+						if tr.Words[id][seg]>>(sax.MaxBits-b-1) != tr.Words[leaf.Members[0]][seg]>>(sax.MaxBits-b-1) {
+							canSplit = true
+						}
+					}
+				}
+			}
+			if canSplit {
+				t.Errorf("oversized leaf (%d members) that could still split", len(leaf.Members))
+			}
+		}
+	}
+}
+
+func TestApproxLeafContainsMatchingWords(t *testing.T) {
+	tr, ds := buildTree(t, 1000, 64, 16)
+	for i := 0; i < 50; i++ {
+		leaf := tr.ApproxLeaf(tr.Words[i])
+		if leaf == nil {
+			t.Fatalf("series %d has no leaf on its own path", i)
+		}
+		found := false
+		for _, id := range leaf.Members {
+			if id == i {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("series %d not in its approximate leaf", i)
+		}
+	}
+	_ = ds
+}
+
+func TestMinDistZeroForOwnLeaf(t *testing.T) {
+	tr, _ := buildTree(t, 500, 64, 16)
+	for i := 0; i < 20; i++ {
+		leaf := tr.ApproxLeaf(tr.Words[i])
+		if d := tr.MinDist(tr.PAAs[i], leaf); d != 0 {
+			t.Errorf("series %d MinDist to its own leaf = %g, want 0", i, d)
+		}
+	}
+}
+
+// TestMinDistLowerBoundsMembers: node MINDIST must lower-bound the true
+// distance to every member of the subtree.
+func TestMinDistLowerBoundsMembers(t *testing.T) {
+	tr, ds := buildTree(t, 800, 64, 16)
+	queries := dataset.SynthRand(5, 64, 9).Queries
+	for _, q := range queries {
+		qpaa := tr.PAA.Apply(q)
+		for _, leaf := range tr.Leaves() {
+			lb := tr.MinDist(qpaa, leaf)
+			for _, id := range leaf.Members {
+				d := series.SquaredDist(q, ds.Series[id])
+				if lb > d*(1+1e-9)+1e-9 {
+					t.Fatalf("leaf MINDIST %g > member %d distance %g", lb, id, d)
+				}
+			}
+		}
+	}
+}
+
+func TestRootKeyDistinct(t *testing.T) {
+	tr := New(64, 16, 16)
+	a := make([]uint8, 16)
+	b := make([]uint8, 16)
+	b[3] = 0x80 // top bit set on one segment
+	if tr.RootKey(a) == tr.RootKey(b) {
+		t.Errorf("root keys should differ on top bits")
+	}
+	b[3] = 0x7F // top bit clear: same key as a
+	if tr.RootKey(a) != tr.RootKey(b) {
+		t.Errorf("root keys should ignore low bits")
+	}
+}
+
+func TestTreeStatsConsistency(t *testing.T) {
+	tr, _ := buildTree(t, 2000, 64, 32)
+	ts := tr.TreeStats(64*4, true)
+	if ts.TotalNodes != tr.NumNodes || ts.LeafNodes != tr.NumLeaves {
+		t.Errorf("TreeStats counters mismatch")
+	}
+	if len(ts.FillFactors) != tr.NumLeaves {
+		t.Errorf("fill factors %d, leaves %d", len(ts.FillFactors), tr.NumLeaves)
+	}
+	var members int64
+	for _, leaf := range tr.Leaves() {
+		members += int64(len(leaf.Members))
+	}
+	if ts.DiskBytes != members*(64*4)+members*16 {
+		t.Errorf("disk bytes %d", ts.DiskBytes)
+	}
+	tsAds := tr.TreeStats(64*4, false)
+	if tsAds.DiskBytes >= ts.DiskBytes {
+		t.Errorf("summary-only disk footprint should be smaller")
+	}
+	if math.IsNaN(ts.MedianFill()) {
+		t.Errorf("median fill NaN")
+	}
+}

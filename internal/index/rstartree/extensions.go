@@ -1,0 +1,54 @@
+package rstartree
+
+import (
+	"fmt"
+
+	"hydra/internal/core"
+	"hydra/internal/series"
+	"hydra/internal/stats"
+)
+
+// RangeSearch implements core.RangeMethod: the classic R-tree range query —
+// visit every subtree whose MINDIST is within the radius.
+func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.QueryStats, error) {
+	var qs stats.QueryStats
+	if ix.c == nil {
+		return nil, qs, fmt.Errorf("rstartree: method not built")
+	}
+	if len(q) != ix.c.File.SeriesLen() {
+		return nil, qs, fmt.Errorf("rstartree: query length %d, collection length %d", len(q), ix.c.File.SeriesLen())
+	}
+	qpaa := ix.xform.Apply(q)
+	set := core.NewRangeSet(r)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.level == 0 {
+			var cands []int
+			for _, e := range n.entries {
+				qs.LBCalcs++
+				if ix.xform.LowerBound(qpaa, e.lo) <= set.Bound() {
+					cands = append(cands, e.id)
+				}
+			}
+			if len(cands) == 0 {
+				return
+			}
+			ix.c.File.ChargeLeafRead(len(cands))
+			for _, id := range cands {
+				d := series.SquaredDistEA(q, ix.c.File.Peek(id), set.Bound())
+				qs.DistCalcs++
+				qs.RawSeriesExamined++
+				set.Add(id, d)
+			}
+			return
+		}
+		for _, e := range n.entries {
+			qs.LBCalcs++
+			if ix.xform.LowerBoundToRect(qpaa, e.lo, e.hi) <= set.Bound() {
+				walk(e.child)
+			}
+		}
+	}
+	walk(ix.root)
+	return set.Results(), qs, nil
+}

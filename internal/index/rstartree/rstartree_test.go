@@ -1,0 +1,162 @@
+package rstartree
+
+import (
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/series"
+)
+
+func build(t *testing.T, ds *dataset.Dataset, leaf int) (*Index, *core.Collection) {
+	t.Helper()
+	ix := New(core.Options{LeafSize: leaf})
+	coll := core.NewCollection(ds)
+	if err := ix.Build(coll); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return ix, coll
+}
+
+// TestContainmentInvariant: every entry's rectangle must contain all the
+// rectangles/points beneath it — the invariant MINDIST pruning depends on.
+func TestContainmentInvariant(t *testing.T) {
+	ds := dataset.RandomWalk(2000, 64, 1)
+	ix, _ := build(t, ds, 16)
+	var walk func(n *node) (lo, hi []float64)
+	walk = func(n *node) (lo, hi []float64) {
+		lo, hi = mbr(n.entries)
+		for _, e := range n.entries {
+			if e.child == nil {
+				continue
+			}
+			clo, chi := walk(e.child)
+			for d := range clo {
+				if clo[d] < e.lo[d]-1e-12 || chi[d] > e.hi[d]+1e-12 {
+					t.Fatalf("child MBR [%g,%g] escapes entry rect [%g,%g] in dim %d",
+						clo[d], chi[d], e.lo[d], e.hi[d], d)
+				}
+			}
+		}
+		return lo, hi
+	}
+	walk(ix.root)
+}
+
+func TestAllPointsPresentOnce(t *testing.T) {
+	ds := dataset.RandomWalk(1500, 64, 2)
+	ix, _ := build(t, ds, 16)
+	seen := make([]bool, ds.Len())
+	for _, leaf := range ix.LeafMembers() {
+		for _, id := range leaf {
+			if seen[id] {
+				t.Fatalf("series %d stored twice", id)
+			}
+			seen[id] = true
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			t.Fatalf("series %d missing from tree", id)
+		}
+	}
+}
+
+func TestNodeCapacityRespected(t *testing.T) {
+	ds := dataset.RandomWalk(3000, 64, 3)
+	ix, _ := build(t, ds, 20)
+	var walk func(n *node, isRoot bool)
+	walk = func(n *node, isRoot bool) {
+		if len(n.entries) > ix.maxCap {
+			t.Fatalf("node with %d entries exceeds capacity %d", len(n.entries), ix.maxCap)
+		}
+		if !isRoot && n.level > 0 && len(n.entries) == 0 {
+			t.Fatalf("empty internal node")
+		}
+		for _, e := range n.entries {
+			if e.child != nil {
+				walk(e.child, false)
+			}
+		}
+	}
+	walk(ix.root, true)
+}
+
+func TestLevelsConsistent(t *testing.T) {
+	// All leaves at level 0, parents exactly one level up (height balance).
+	ds := dataset.RandomWalk(2500, 64, 4)
+	ix, _ := build(t, ds, 16)
+	var walk func(n *node)
+	walk = func(n *node) {
+		for _, e := range n.entries {
+			if n.level == 0 {
+				if e.child != nil {
+					t.Fatalf("leaf holds a child pointer")
+				}
+				continue
+			}
+			if e.child == nil {
+				t.Fatalf("internal node holds a data entry")
+			}
+			if e.child.level != n.level-1 {
+				t.Fatalf("child at level %d under node at level %d", e.child.level, n.level)
+			}
+			walk(e.child)
+		}
+	}
+	walk(ix.root)
+}
+
+func TestExactnessSmall(t *testing.T) {
+	ds := dataset.Astro(600, 64, 5)
+	ix, coll := build(t, ds, 16)
+	for _, q := range dataset.Ctrl(ds, 5, 1.0, 6).Queries {
+		want := core.BruteForceKNN(coll, q, 3)
+		got, _, err := ix.KNN(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i].Dist != want[i].Dist && got[i].ID != want[i].ID {
+				t.Fatalf("mismatch at %d: %+v vs %+v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGeometryHelpers(t *testing.T) {
+	lo := []float64{0, 0}
+	hi := []float64{2, 3}
+	if area(lo, hi) != 6 {
+		t.Errorf("area=%g", area(lo, hi))
+	}
+	if margin(lo, hi) != 5 {
+		t.Errorf("margin=%g", margin(lo, hi))
+	}
+	if overlap(lo, hi, []float64{1, 1}, []float64{3, 4}) != 2 {
+		t.Errorf("overlap=%g", overlap(lo, hi, []float64{1, 1}, []float64{3, 4}))
+	}
+	if overlap(lo, hi, []float64{5, 5}, []float64{6, 6}) != 0 {
+		t.Errorf("disjoint overlap should be 0")
+	}
+	nlo, nhi := enlarge(lo, hi, []float64{-1, 1}, []float64{1, 5})
+	if nlo[0] != -1 || nhi[1] != 5 || lo[0] != 0 {
+		t.Errorf("enlarge wrong or mutated input: %v %v", nlo, nhi)
+	}
+}
+
+func TestQueryAfterForcedReinsertions(t *testing.T) {
+	// Dense clusters force reinsertions; results must stay exact.
+	ds := dataset.SALD(1200, 64, 7) // smooth, highly clustered PAAs
+	ix, coll := build(t, ds, 8)
+	q := dataset.Ctrl(ds, 1, 0.2, 8).Queries[0]
+	want := core.BruteForceKNN(coll, q, 1)
+	got, _, err := ix.KNN(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Dist != want[0].Dist {
+		t.Fatalf("distance %g want %g", got[0].Dist, want[0].Dist)
+	}
+	_ = series.Series{}
+}

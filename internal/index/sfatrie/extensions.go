@@ -1,0 +1,67 @@
+package sfatrie
+
+import (
+	"fmt"
+
+	"hydra/internal/core"
+	"hydra/internal/series"
+	"hydra/internal/stats"
+)
+
+// ApproxKNN implements core.ApproxMethod: the SFA trie's ng-approximate
+// search descends the query word's own path to one leaf.
+func (ix *Index) ApproxKNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+	var qs stats.QueryStats
+	if ix.c == nil {
+		return nil, qs, fmt.Errorf("sfatrie: method not built")
+	}
+	if len(q) != ix.c.File.SeriesLen() {
+		return nil, qs, fmt.Errorf("sfatrie: query length %d, collection length %d", len(q), ix.c.File.SeriesLen())
+	}
+	qf := ix.xform.Features(q)
+	qw := ix.xform.Word(qf)
+	set := core.NewKNNSet(k)
+	if leaf := ix.descend(qw); leaf != nil {
+		ix.visitLeaf(leaf, q, series.NewOrder(q), set, &qs)
+	}
+	return set.Results(), qs, nil
+}
+
+// RangeSearch implements core.RangeMethod: depth-first traversal pruned with
+// the SFA prefix/MBR bounds against the fixed radius.
+func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.QueryStats, error) {
+	var qs stats.QueryStats
+	if ix.c == nil {
+		return nil, qs, fmt.Errorf("sfatrie: method not built")
+	}
+	if len(q) != ix.c.File.SeriesLen() {
+		return nil, qs, fmt.Errorf("sfatrie: query length %d, collection length %d", len(q), ix.c.File.SeriesLen())
+	}
+	qf := ix.xform.Features(q)
+	set := core.NewRangeSet(r)
+	var walk func(n *node)
+	walk = func(n *node) {
+		qs.LBCalcs++
+		if ix.lb(qf, n) > set.Bound() {
+			return
+		}
+		if n.isLeaf {
+			if len(n.members) == 0 {
+				return
+			}
+			ix.c.File.ChargeLeafRead(len(n.members))
+			for _, id := range n.members {
+				d := series.SquaredDistEA(q, ix.c.File.Peek(id), set.Bound())
+				qs.DistCalcs++
+				qs.RawSeriesExamined++
+				set.Add(id, d)
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(ix.root)
+	return set.Results(), qs, nil
+}

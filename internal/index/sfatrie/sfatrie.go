@@ -1,0 +1,363 @@
+// Package sfatrie implements the SFA trie of Schäfer & Högqvist: series are
+// summarized with Symbolic Fourier Approximation (package sfa) and organized
+// in a prefix tree with fanout equal to the alphabet size. When a leaf
+// overflows, the word length of its series grows by one symbol (one more
+// Fourier feature dimension) and the series are redistributed — "SFA adds a
+// new dimension" (vertical splitting, in the paper's taxonomy).
+//
+// Exact queries use an ng-approximate descent to obtain a best-so-far, then
+// a best-first traversal pruned with SFA lower bounds; leaf visits use the
+// tight DFT-MBR bound, as the paper's re-implementation does.
+package sfatrie
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"hydra/internal/core"
+	"hydra/internal/series"
+	"hydra/internal/stats"
+	"hydra/internal/transform/sfa"
+)
+
+func init() {
+	core.Register("SFA", func(opts core.Options) core.Method { return New(opts) })
+}
+
+// Index is the SFA trie.
+type Index struct {
+	opts  core.Options
+	c     *core.Collection
+	xform *sfa.Transform
+	root  *node
+	// feats[i] caches the Fourier features of series i (conceptually stored
+	// with the leaf entries on disk).
+	feats     [][]float64
+	words     [][]uint8
+	numNodes  int
+	numLeaves int
+	leafCache []*node // deterministic leaf order for LeafBounder
+}
+
+type node struct {
+	prefix   []uint8 // SFA word prefix represented by this node
+	depth    int     // == len(prefix)
+	children map[uint8]*node
+	// leaf payload
+	isLeaf  bool
+	members []int
+	mbrLo   []float64 // feature-space MBR over members (len == depth grown lazily? full dims)
+	mbrHi   []float64
+}
+
+// New creates an SFA trie with the given options.
+func New(opts core.Options) *Index { return &Index{opts: opts} }
+
+// Name implements core.Method.
+func (ix *Index) Name() string { return "SFA" }
+
+// Build implements core.Method.
+func (ix *Index) Build(c *core.Collection) error {
+	if ix.c != nil {
+		return fmt.Errorf("sfatrie: already built")
+	}
+	ix.c = c
+	ix.opts = ix.opts.WithDefaults(c.File.Len())
+	if c.File.Len() == 0 {
+		return fmt.Errorf("sfatrie: empty collection")
+	}
+
+	binning := sfa.EquiDepth
+	if ix.opts.SFAEquiWidth {
+		binning = sfa.EquiWidth
+	}
+	c.File.ChargeFullScan()
+	t, err := sfa.Train(c.Data.Series, c.File.SeriesLen(), sfa.Options{
+		Dims:       ix.opts.Segments,
+		Alphabet:   ix.opts.SFAAlphabet,
+		Binning:    binning,
+		SampleSize: ix.opts.SampleSize,
+	})
+	if err != nil {
+		return fmt.Errorf("sfatrie: %w", err)
+	}
+	ix.xform = t
+
+	n := c.File.Len()
+	ix.feats = make([][]float64, n)
+	ix.words = make([][]uint8, n)
+	for i := 0; i < n; i++ {
+		ix.feats[i] = t.Features(c.File.Peek(i))
+		ix.words[i] = t.Word(ix.feats[i])
+	}
+
+	ix.root = &node{children: map[uint8]*node{}}
+	ix.numNodes = 1
+	for i := 0; i < n; i++ {
+		ix.insert(i)
+	}
+	// Bulk loading materializes the leaves (spills under a bounded budget).
+	core.ChargeMaterialization(c, ix.opts)
+	return nil
+}
+
+func (ix *Index) insert(id int) {
+	cur := ix.root
+	w := ix.words[id]
+	for {
+		if cur.isLeaf {
+			cur.addMember(id, ix.feats[id])
+			if len(cur.members) > ix.opts.LeafSize && cur.depth < ix.xform.Dims() {
+				ix.split(cur)
+			}
+			return
+		}
+		sym := w[cur.depth]
+		child, ok := cur.children[sym]
+		if !ok {
+			child = &node{
+				prefix:   append(append([]uint8{}, cur.prefix...), sym),
+				depth:    cur.depth + 1,
+				isLeaf:   true,
+				children: map[uint8]*node{},
+			}
+			cur.children[sym] = child
+			ix.numNodes++
+			ix.numLeaves++
+		}
+		cur = child
+	}
+}
+
+func (n *node) addMember(id int, feat []float64) {
+	n.members = append(n.members, id)
+	if n.mbrLo == nil {
+		n.mbrLo = append([]float64{}, feat...)
+		n.mbrHi = append([]float64{}, feat...)
+		return
+	}
+	for d, v := range feat {
+		if v < n.mbrLo[d] {
+			n.mbrLo[d] = v
+		}
+		if v > n.mbrHi[d] {
+			n.mbrHi[d] = v
+		}
+	}
+}
+
+// split turns an overflowing leaf into an internal node whose children key
+// on the next symbol (the SFA word grows by one dimension).
+func (ix *Index) split(n *node) {
+	members := n.members
+	n.isLeaf = false
+	n.members = nil
+	n.mbrLo, n.mbrHi = nil, nil
+	ix.numLeaves--
+	for _, id := range members {
+		sym := ix.words[id][n.depth]
+		child, ok := n.children[sym]
+		if !ok {
+			child = &node{
+				prefix:   append(append([]uint8{}, n.prefix...), sym),
+				depth:    n.depth + 1,
+				isLeaf:   true,
+				children: map[uint8]*node{},
+			}
+			n.children[sym] = child
+			ix.numNodes++
+			ix.numLeaves++
+		}
+		child.addMember(id, ix.feats[id])
+	}
+	// Children may themselves overflow (all members share a symbol).
+	for _, child := range n.children {
+		if len(child.members) > ix.opts.LeafSize && child.depth < ix.xform.Dims() {
+			ix.split(child)
+		}
+	}
+}
+
+// lb returns the squared lower bound from query features to node n: the MBR
+// bound for leaves (the "tight" SFA bound using DFT MBRs) and the symbolic
+// prefix bound for internal nodes.
+func (ix *Index) lb(qf []float64, n *node) float64 {
+	if n.isLeaf && n.mbrLo != nil {
+		var sum float64
+		for d, v := range qf {
+			switch {
+			case v < n.mbrLo[d]:
+				dd := n.mbrLo[d] - v
+				sum += dd * dd
+			case v > n.mbrHi[d]:
+				dd := v - n.mbrHi[d]
+				sum += dd * dd
+			}
+		}
+		return sum
+	}
+	return ix.xform.MinDistPrefix(qf, n.prefix)
+}
+
+type pqItem struct {
+	n  *node
+	lb float64
+}
+type pq []pqItem
+
+func (p pq) Len() int           { return len(p) }
+func (p pq) Less(i, j int) bool { return p[i].lb < p[j].lb }
+func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
+
+// KNN implements core.Method.
+func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+	var qs stats.QueryStats
+	if ix.c == nil {
+		return nil, qs, fmt.Errorf("sfatrie: method not built")
+	}
+	if len(q) != ix.c.File.SeriesLen() {
+		return nil, qs, fmt.Errorf("sfatrie: query length %d, collection length %d", len(q), ix.c.File.SeriesLen())
+	}
+	qf := ix.xform.Features(q)
+	qw := ix.xform.Word(qf)
+	ord := series.NewOrder(q)
+	set := core.NewKNNSet(k)
+
+	// ng-approximate step: descend the query's own path to one leaf.
+	if leaf := ix.descend(qw); leaf != nil {
+		ix.visitLeaf(leaf, q, ord, set, &qs)
+	}
+
+	// Exact step: best-first traversal with lower-bound pruning.
+	h := &pq{}
+	heap.Push(h, pqItem{n: ix.root, lb: 0})
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		if it.lb >= set.Bound() {
+			break
+		}
+		if it.n.isLeaf {
+			if !it.n.visited(qw) { // approximate leaf already processed
+				ix.visitLeaf(it.n, q, ord, set, &qs)
+			}
+			continue
+		}
+		for _, child := range it.n.children {
+			lb := ix.lb(qf, child)
+			qs.LBCalcs++
+			if lb < set.Bound() {
+				heap.Push(h, pqItem{n: child, lb: lb})
+			}
+		}
+	}
+	return set.Results(), qs, nil
+}
+
+// visited reports whether this leaf is the one on the query word's own path
+// (already processed by the approximate step). Comparing prefixes avoids
+// storing per-query state in the tree.
+func (n *node) visited(qw []uint8) bool {
+	for i, sym := range n.prefix {
+		if qw[i] != sym {
+			return false
+		}
+	}
+	return true
+}
+
+func (ix *Index) descend(qw []uint8) *node {
+	cur := ix.root
+	for !cur.isLeaf {
+		child, ok := cur.children[qw[cur.depth]]
+		if !ok {
+			return nil // path ends before a leaf: approximate step finds nothing
+		}
+		cur = child
+	}
+	return cur
+}
+
+func (ix *Index) visitLeaf(n *node, q series.Series, ord series.Order, set *core.KNNSet, qs *stats.QueryStats) {
+	ix.c.File.ChargeLeafRead(len(n.members))
+	for _, id := range n.members {
+		d := series.SquaredDistEAOrdered(q, ix.c.File.Peek(id), ord, set.Bound())
+		qs.DistCalcs++
+		qs.RawSeriesExamined++
+		set.Add(id, d)
+	}
+}
+
+// TreeStats implements core.TreeIndex.
+func (ix *Index) TreeStats() stats.TreeStats {
+	ts := stats.TreeStats{TotalNodes: ix.numNodes, LeafNodes: ix.numLeaves}
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		// structure bookkeeping: prefix + map overhead + MBRs
+		ts.MemBytes += int64(len(n.prefix)) + 64
+		if n.isLeaf {
+			ts.MemBytes += int64(16 * len(n.mbrLo))
+			ts.DiskBytes += int64(len(n.members)) * (int64(ix.c.File.SeriesBytes()) + int64(ix.xform.Dims()))
+			ts.FillFactors = append(ts.FillFactors, float64(len(n.members))/float64(ix.opts.LeafSize))
+			ts.LeafDepths = append(ts.LeafDepths, depth)
+			return
+		}
+		for _, c := range n.children {
+			walk(c, depth+1)
+		}
+	}
+	walk(ix.root, 0)
+	return ts
+}
+
+// leafNodes returns the non-empty leaves in deterministic (sorted-symbol
+// depth-first) order, cached after the first call.
+func (ix *Index) leafNodes() []*node {
+	if ix.leafCache != nil {
+		return ix.leafCache
+	}
+	var out []*node
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.isLeaf {
+			if len(n.members) > 0 {
+				out = append(out, n)
+			}
+			return
+		}
+		syms := make([]int, 0, len(n.children))
+		for sym := range n.children {
+			syms = append(syms, int(sym))
+		}
+		sort.Ints(syms)
+		for _, sym := range syms {
+			walk(n.children[uint8(sym)])
+		}
+	}
+	walk(ix.root)
+	ix.leafCache = out
+	return out
+}
+
+// LeafMembers implements core.LeafBounder.
+func (ix *Index) LeafMembers() [][]int {
+	leaves := ix.leafNodes()
+	out := make([][]int, len(leaves))
+	for i, n := range leaves {
+		out[i] = n.members
+	}
+	return out
+}
+
+// LeafLB implements core.LeafBounder.
+func (ix *Index) LeafLB(q series.Series, leaf int) float64 {
+	leaves := ix.leafNodes()
+	if leaf < 0 || leaf >= len(leaves) {
+		return math.NaN()
+	}
+	qf := ix.xform.Features(q)
+	return math.Sqrt(ix.lb(qf, leaves[leaf]))
+}

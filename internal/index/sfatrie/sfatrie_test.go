@@ -1,0 +1,150 @@
+package sfatrie
+
+import (
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+)
+
+func build(t *testing.T, ds *dataset.Dataset, leaf int) (*Index, *core.Collection) {
+	t.Helper()
+	ix := New(core.Options{LeafSize: leaf})
+	coll := core.NewCollection(ds)
+	if err := ix.Build(coll); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return ix, coll
+}
+
+func TestPrefixStructure(t *testing.T) {
+	// Every member's SFA word must start with its leaf's prefix, and child
+	// prefixes must extend the parent's by exactly one symbol.
+	ds := dataset.RandomWalk(1500, 64, 1)
+	ix, _ := build(t, ds, 32)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.isLeaf {
+			for _, id := range n.members {
+				w := ix.words[id]
+				for d, sym := range n.prefix {
+					if w[d] != sym {
+						t.Fatalf("member %d word %v does not match leaf prefix %v", id, w, n.prefix)
+					}
+				}
+			}
+			return
+		}
+		for sym, c := range n.children {
+			if len(c.prefix) != len(n.prefix)+1 || c.prefix[len(c.prefix)-1] != sym {
+				t.Fatalf("child prefix %v under %v keyed %d", c.prefix, n.prefix, sym)
+			}
+			walk(c)
+		}
+	}
+	walk(ix.root)
+}
+
+func TestAllSeriesStoredOnce(t *testing.T) {
+	ds := dataset.RandomWalk(900, 64, 2)
+	ix, _ := build(t, ds, 16)
+	seen := make([]bool, ds.Len())
+	for _, leaf := range ix.LeafMembers() {
+		for _, id := range leaf {
+			if seen[id] {
+				t.Fatalf("series %d stored twice", id)
+			}
+			seen[id] = true
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			t.Fatalf("series %d missing", id)
+		}
+	}
+}
+
+func TestLeafMBRContainsMembers(t *testing.T) {
+	ds := dataset.RandomWalk(700, 64, 3)
+	ix, _ := build(t, ds, 16)
+	for _, n := range ix.leafNodes() {
+		for _, id := range n.members {
+			f := ix.feats[id]
+			for d := range f {
+				if f[d] < n.mbrLo[d]-1e-12 || f[d] > n.mbrHi[d]+1e-12 {
+					t.Fatalf("member %d outside leaf MBR in dim %d", id, d)
+				}
+			}
+		}
+	}
+}
+
+func TestSplitRespectsCapacity(t *testing.T) {
+	ds := dataset.RandomWalk(2000, 64, 4)
+	ix, _ := build(t, ds, 25)
+	for _, n := range ix.leafNodes() {
+		if len(n.members) > 25 && n.depth < ix.xform.Dims() {
+			t.Fatalf("splittable leaf holds %d members (cap 25)", len(n.members))
+		}
+	}
+}
+
+func TestAlphabetOption(t *testing.T) {
+	ds := dataset.RandomWalk(400, 64, 5)
+	ix := New(core.Options{LeafSize: 16, SFAAlphabet: 4, SFAEquiWidth: true})
+	coll := core.NewCollection(ds)
+	if err := ix.Build(coll); err != nil {
+		t.Fatal(err)
+	}
+	if ix.xform.Alphabet() != 4 {
+		t.Errorf("alphabet %d want 4", ix.xform.Alphabet())
+	}
+	for _, w := range ix.words {
+		for _, sym := range w {
+			if sym >= 4 {
+				t.Fatalf("symbol %d out of 4-letter alphabet", sym)
+			}
+		}
+	}
+	q := dataset.SynthRand(1, 64, 6).Queries[0]
+	want := core.BruteForceKNN(coll, q, 1)
+	got, _, err := ix.KNN(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Dist != want[0].Dist {
+		t.Errorf("dist %g want %g", got[0].Dist, want[0].Dist)
+	}
+}
+
+func TestApproxDescendReachesMemberLeaf(t *testing.T) {
+	ds := dataset.RandomWalk(600, 64, 7)
+	ix, _ := build(t, ds, 16)
+	for i := 0; i < 40; i++ {
+		leaf := ix.descend(ix.words[i])
+		if leaf == nil {
+			t.Fatalf("series %d: no leaf on its own path", i)
+		}
+		found := false
+		for _, id := range leaf.members {
+			if id == i {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("series %d not in its own-path leaf", i)
+		}
+	}
+}
+
+func TestTreeStatsCounts(t *testing.T) {
+	ds := dataset.RandomWalk(800, 64, 8)
+	ix, _ := build(t, ds, 32)
+	ts := ix.TreeStats()
+	if ts.TotalNodes != ix.numNodes || ts.LeafNodes != ix.numLeaves {
+		t.Errorf("TreeStats counters mismatch: %+v vs %d/%d", ts, ix.numNodes, ix.numLeaves)
+	}
+	if len(ts.LeafDepths) == 0 || ts.MaxDepth() > ix.xform.Dims() {
+		t.Errorf("leaf depths wrong: max %d dims %d", ts.MaxDepth(), ix.xform.Dims())
+	}
+}

@@ -1,0 +1,118 @@
+package stepwise
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/series"
+	"hydra/internal/transform/dhwt"
+)
+
+func build(t *testing.T, ds *dataset.Dataset) (*Index, *core.Collection) {
+	t.Helper()
+	ix := New(core.Options{})
+	coll := core.NewCollection(ds)
+	if err := ix.Build(coll); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return ix, coll
+}
+
+// TestLevelBoundsBracketTrueDistance: at every filter level, LB ≤ true
+// distance ≤ UB for every candidate.
+func TestLevelBoundsBracketTrueDistance(t *testing.T) {
+	ds := dataset.RandomWalk(300, 64, 1)
+	ix, _ := build(t, ds)
+	q := dataset.SynthRand(1, 64, 2).Queries[0]
+	qc := dhwt.Transform(q)
+	qResid := residuals(qc, ix.filterLevels)
+
+	for id := 0; id < ds.Len(); id += 17 {
+		trueD := series.SquaredDist(q, ds.Series[id])
+		var partial float64
+		for lvl := 0; lvl < ix.filterLevels; lvl++ {
+			lo, hi := dhwt.LevelRange(lvl)
+			cc := ix.coeffs[id]
+			for i := lo; i < hi; i++ {
+				d := qc[i] - cc[i]
+				partial += d * d
+			}
+			sqEq := math.Sqrt(qResid[lvl+1])
+			sqEc := math.Sqrt(ix.resid[id][lvl+1])
+			lb := partial + (sqEq-sqEc)*(sqEq-sqEc)
+			ub := partial + (sqEq+sqEc)*(sqEq+sqEc)
+			if lb > trueD*(1+1e-9)+1e-9 {
+				t.Fatalf("level %d: LB %g > true %g", lvl, lb, trueD)
+			}
+			if ub < trueD*(1-1e-9)-1e-9 {
+				t.Fatalf("level %d: UB %g < true %g", lvl, ub, trueD)
+			}
+		}
+	}
+}
+
+func TestResidualsMonotone(t *testing.T) {
+	ds := dataset.RandomWalk(50, 128, 3)
+	ix, _ := build(t, ds)
+	for _, r := range ix.resid {
+		for l := 1; l < len(r); l++ {
+			if r[l] > r[l-1]+1e-9 {
+				t.Fatalf("residual energies not decreasing: %v", r)
+			}
+			if r[l] < 0 {
+				t.Fatalf("negative residual energy: %v", r)
+			}
+		}
+	}
+}
+
+func TestFilterLevelsCoverSegments(t *testing.T) {
+	ds := dataset.RandomWalk(50, 256, 4)
+	ix, _ := build(t, ds)
+	lo, hi := dhwt.LevelRange(ix.filterLevels - 1)
+	_ = lo
+	if hi < 16 {
+		t.Errorf("filter levels cover only %d coefficients, want >= 16", hi)
+	}
+	// And not absurdly many more than needed.
+	if hi > 32 {
+		t.Errorf("filter levels cover %d coefficients, want <= 32 for 16-dim budget", hi)
+	}
+}
+
+func TestExactOnNonPow2(t *testing.T) {
+	ds := dataset.Deep1B(400, 96, 5)
+	ix, coll := build(t, ds)
+	for _, q := range dataset.Ctrl(ds, 5, 1.0, 6).Queries {
+		want := core.BruteForceKNN(coll, q, 2)
+		got, _, err := ix.KNN(q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-5 {
+				t.Fatalf("match %d: dist %g want %g", i, got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+}
+
+func TestKthSmallestUB(t *testing.T) {
+	cands := []cand{{ub: 5}, {ub: 1}, {ub: 3}}
+	if got := kthSmallestUB(cands, 2); got != 3 {
+		t.Errorf("kthSmallestUB=%g want 3", got)
+	}
+	if got := kthSmallestUB(cands, 5); !math.IsInf(got, 1) {
+		t.Errorf("k beyond candidates should be +Inf")
+	}
+}
+
+func TestDoubleBuildRejected(t *testing.T) {
+	ds := dataset.RandomWalk(30, 32, 7)
+	ix, coll := build(t, ds)
+	if err := ix.Build(coll); err == nil {
+		t.Errorf("second Build should fail")
+	}
+}

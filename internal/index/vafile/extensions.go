@@ -1,0 +1,40 @@
+package vafile
+
+import (
+	"fmt"
+
+	"hydra/internal/core"
+	"hydra/internal/series"
+	"hydra/internal/stats"
+)
+
+// RangeSearch implements core.RangeMethod: one sequential pass over the
+// approximation file filters candidates by lower bound against the fixed
+// radius; qualifying raw series are verified in file order (the skips cost
+// one seek each, as everywhere in the suite).
+func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.QueryStats, error) {
+	var qs stats.QueryStats
+	if ix.c == nil {
+		return nil, qs, fmt.Errorf("vafile: method not built")
+	}
+	f := ix.c.File
+	if len(q) != f.SeriesLen() {
+		return nil, qs, fmt.Errorf("vafile: query length %d, collection length %d", len(q), f.SeriesLen())
+	}
+	qf := ix.xform.Apply(q)
+	ix.c.Counters.ChargeSeq(ix.ApproxFileBytes())
+	set := core.NewRangeSet(r)
+	f.Rewind()
+	for i, code := range ix.codes {
+		lb := ix.quant.LowerBound(qf, code)
+		qs.LBCalcs++
+		if lb > set.Bound() {
+			continue
+		}
+		d := series.SquaredDistEA(q, f.Read(i), set.Bound())
+		qs.DistCalcs++
+		qs.RawSeriesExamined++
+		set.Add(i, d)
+	}
+	return set.Results(), qs, nil
+}

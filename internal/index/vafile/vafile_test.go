@@ -1,0 +1,129 @@
+package vafile
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+)
+
+func build(t *testing.T, ds *dataset.Dataset, opts core.Options) (*Index, *core.Collection) {
+	t.Helper()
+	ix := New(opts)
+	coll := core.NewCollection(ds)
+	if err := ix.Build(coll); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return ix, coll
+}
+
+func TestApproxFileMuchSmallerThanData(t *testing.T) {
+	ds := dataset.RandomWalk(2000, 256, 1)
+	ix, _ := build(t, ds, core.Options{})
+	if ix.ApproxFileBytes() >= ds.SizeBytes()/4 {
+		t.Errorf("approximation file %d B not much smaller than data %d B",
+			ix.ApproxFileBytes(), ds.SizeBytes())
+	}
+}
+
+// TestAccessPattern verifies the paper's Figure 4 signature for the VA+file:
+// virtually no sequential raw-data I/O, few random accesses.
+func TestAccessPattern(t *testing.T) {
+	ds := dataset.RandomWalk(5000, 256, 2)
+	ix, coll := build(t, ds, core.Options{})
+	q := dataset.SynthRand(1, 256, 3).Queries[0]
+	_, qs, err := core.RunQuery(ix, coll, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential bytes should be ~ the approximation file, far below the raw
+	// data size.
+	if qs.IO.SeqBytes > ds.SizeBytes()/4 {
+		t.Errorf("query moved %d sequential bytes; VA+file should only scan the filter file (%d B)",
+			qs.IO.SeqBytes, ix.ApproxFileBytes())
+	}
+	// Random accesses = candidates actually visited; with ~0.99 pruning this
+	// must be a tiny fraction of the collection.
+	if qs.IO.RandOps > int64(ds.Len()/10) {
+		t.Errorf("too many random accesses: %d", qs.IO.RandOps)
+	}
+	if qs.PruningRatio() < 0.9 {
+		t.Errorf("pruning ratio %.3f unexpectedly low on random walks", qs.PruningRatio())
+	}
+}
+
+// TestVisitsInAscendingLBOrderStopEarly: the candidates examined must be
+// exactly those whose lower bound beats the final answer (the classical
+// VA-file exactness argument).
+func TestVisitsStopAtBound(t *testing.T) {
+	ds := dataset.RandomWalk(1000, 128, 4)
+	ix, coll := build(t, ds, core.Options{})
+	q := dataset.SynthRand(1, 128, 5).Queries[0]
+	matches, qs, err := ix.KNN(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := matches[0].Dist * matches[0].Dist
+	qf := ix.xform.Apply(q)
+	mustVisit := 0
+	for _, code := range ix.codes {
+		if ix.quant.LowerBound(qf, code) < best {
+			mustVisit++
+		}
+	}
+	if qs.RawSeriesExamined < int64(mustVisit) {
+		t.Errorf("examined %d < series whose LB beats the answer %d (unsound)",
+			qs.RawSeriesExamined, mustVisit)
+	}
+	_ = coll
+}
+
+func TestSampledTrainingStaysExact(t *testing.T) {
+	ds := dataset.Seismic(1500, 128, 6)
+	ix, coll := build(t, ds, core.Options{SampleSize: 100})
+	for _, q := range dataset.Ctrl(ds, 4, 1.0, 7).Queries {
+		want := core.BruteForceKNN(coll, q, 2)
+		got, _, err := ix.KNN(q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-9*(1+want[i].Dist) {
+				t.Fatalf("match %d: %g want %g", i, got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+}
+
+func TestBitBudgetOption(t *testing.T) {
+	ds := dataset.RandomWalk(800, 128, 7)
+	ixSmall, _ := build(t, ds, core.Options{VAQBitsPerDim: 2})
+	ixBig, collBig := build(t, ds, core.Options{VAQBitsPerDim: 8})
+	if ixSmall.ApproxFileBytes() >= ixBig.ApproxFileBytes() {
+		t.Errorf("smaller budget should shrink the filter file: %d vs %d",
+			ixSmall.ApproxFileBytes(), ixBig.ApproxFileBytes())
+	}
+	// Bigger budget → tighter bounds → fewer raw visits.
+	q := dataset.SynthRand(1, 128, 8).Queries[0]
+	_, qsSmall, _ := ixSmall.KNN(q, 1)
+	_, qsBig, _ := ixBig.KNN(q, 1)
+	if qsBig.RawSeriesExamined > qsSmall.RawSeriesExamined {
+		t.Errorf("8-bit quantizer examined more (%d) than 2-bit (%d)",
+			qsBig.RawSeriesExamined, qsSmall.RawSeriesExamined)
+	}
+	_ = collBig
+}
+
+func TestLeafBounderInterface(t *testing.T) {
+	ds := dataset.RandomWalk(200, 64, 9)
+	ix, _ := build(t, ds, core.Options{})
+	members := ix.LeafMembers()
+	if len(members) != ds.Len() {
+		t.Fatalf("VA+file regions: %d, want one per series", len(members))
+	}
+	lb := ix.LeafLB(ds.Series[0], 0)
+	if lb != 0 {
+		t.Errorf("LB of a series against its own cell should be 0, got %g", lb)
+	}
+}

@@ -1,0 +1,144 @@
+package methods
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/series"
+)
+
+// TestDuplicateSeries: collections with exact duplicates produce distance
+// ties; every method must return a correct (complete) k-NN set.
+func TestDuplicateSeries(t *testing.T) {
+	base := dataset.RandomWalk(60, 48, 51)
+	ds := &dataset.Dataset{Name: "dups", Series: make([]series.Series, 0, 120)}
+	for _, s := range base.Series {
+		ds.Series = append(ds.Series, s, s.Clone()) // every series twice
+	}
+	built := buildAll(t, ds, core.Options{LeafSize: 8})
+	q := base.Series[10].Clone()
+	for name, bm := range built {
+		got, _, err := bm.m.KNN(q, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != 4 {
+			t.Fatalf("%s: %d matches", name, len(got))
+		}
+		// The query equals series 10 of base = ids 20 and 21; both duplicates
+		// must surface at distance 0.
+		if got[0].Dist != 0 || got[1].Dist != 0 {
+			t.Errorf("%s: duplicate distances %g,%g want 0,0", name, got[0].Dist, got[1].Dist)
+		}
+	}
+}
+
+// TestConstantSeriesInCollection: all-zero (constant, Z-normalized) series
+// must be indexable and findable.
+func TestConstantSeriesInCollection(t *testing.T) {
+	ds := dataset.RandomWalk(50, 32, 52)
+	flat := make(series.Series, 32) // all zeros: the Z-norm of a constant
+	ds.Series[25] = flat
+	built := buildAll(t, ds, core.Options{LeafSize: 8})
+	for name, bm := range built {
+		got, _, err := bm.m.KNN(flat.Clone(), 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got[0].Dist != 0 {
+			t.Errorf("%s: constant series not found exactly (dist %g)", name, got[0].Dist)
+		}
+	}
+}
+
+// TestSingleSeriesCollection: the smallest possible collection.
+func TestSingleSeriesCollection(t *testing.T) {
+	ds := dataset.RandomWalk(1, 64, 53)
+	built := buildAll(t, ds, core.Options{LeafSize: 4})
+	q := dataset.SynthRand(1, 64, 54).Queries[0]
+	want := series.Dist(q, ds.Series[0])
+	for name, bm := range built {
+		got, _, err := bm.m.KNN(q, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != 1 || math.Abs(got[0].Dist-want) > 1e-6 {
+			t.Errorf("%s: got %v want dist %g", name, got, want)
+		}
+	}
+}
+
+// TestRepeatedQueriesConsistent: answering the same query twice must give
+// identical results (no state leakage between queries; the ADS+ adaptive
+// materialization must not change answers).
+func TestRepeatedQueriesConsistent(t *testing.T) {
+	ds := dataset.Seismic(400, 64, 55)
+	built := buildAll(t, ds, core.Options{LeafSize: 16})
+	q := dataset.Ctrl(ds, 1, 0.7, 56).Queries[0]
+	for name, bm := range built {
+		first, _, err := bm.m.KNN(q, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		second, _, err := bm.m.KNN(q, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range first {
+			if first[i] != second[i] {
+				t.Errorf("%s: repeated query differs at %d: %+v vs %+v", name, i, first[i], second[i])
+			}
+		}
+	}
+}
+
+// TestInterleavedWorkload: alternating easy/hard/self queries against one
+// built index must all stay exact (bsf state must not leak).
+func TestInterleavedWorkload(t *testing.T) {
+	ds := dataset.Astro(300, 96, 57)
+	built := buildAll(t, ds, core.Options{LeafSize: 16})
+	queries := []series.Series{
+		ds.Series[0].Clone(),                    // self: distance 0
+		dataset.SynthRand(1, 96, 58).Queries[0], // independent (hard)
+		dataset.Ctrl(ds, 1, 0.1, 59).Queries[0], // easy
+		dataset.DeepOrig(1, 96, 60).Queries[0],  // off-distribution
+	}
+	for name, bm := range built {
+		for qi, q := range queries {
+			want := core.BruteForceKNN(bm.c, q, 2)
+			got, _, err := bm.m.KNN(q, 2)
+			if err != nil {
+				t.Fatalf("%s q%d: %v", name, qi, err)
+			}
+			for i := range want {
+				if math.Abs(got[i].Dist-want[i].Dist) > 1e-4*(1+want[i].Dist) {
+					t.Errorf("%s q%d match %d: %g want %g", name, qi, i, got[i].Dist, want[i].Dist)
+				}
+			}
+		}
+	}
+}
+
+// TestLargerK exercises k close to the collection size across methods.
+func TestLargerK(t *testing.T) {
+	ds := dataset.RandomWalk(120, 48, 61)
+	built := buildAll(t, ds, core.Options{LeafSize: 8})
+	q := dataset.SynthRand(1, 48, 62).Queries[0]
+	for name, bm := range built {
+		want := core.BruteForceKNN(bm.c, q, 100)
+		got, _, err := bm.m.KNN(q, 100)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("%s: %d matches want 100", name, len(got))
+		}
+		for i := range want {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-6*(1+want[i].Dist) {
+				t.Errorf("%s: match %d dist %g want %g", name, i, got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+}

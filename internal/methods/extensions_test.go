@@ -1,0 +1,185 @@
+package methods
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+)
+
+// rangeMethods are the methods expected to implement core.RangeMethod.
+var rangeMethods = []string{"UCR-Suite", "VA+file", "DSTree", "iSAX2+", "SFA", "ADS+", "R*-tree", "M-tree"}
+
+// approxMethods are the methods Table 1 marks as ng-approximate.
+var approxMethods = []string{"ADS+", "DSTree", "iSAX2+", "SFA"}
+
+// TestRangeSearchExactness: every range-capable method must return exactly
+// the brute-force answer set, at several radii including empty and
+// all-matching ones.
+func TestRangeSearchExactness(t *testing.T) {
+	ds := dataset.RandomWalk(500, 64, 11)
+	queries := dataset.Ctrl(ds, 3, 1.0, 12).Queries
+	for _, name := range rangeMethods {
+		m, err := core.New(name, core.Options{LeafSize: 24})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coll := core.NewCollection(ds)
+		if err := m.Build(coll); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rm, ok := m.(core.RangeMethod)
+		if !ok {
+			t.Fatalf("%s does not implement RangeMethod", name)
+		}
+		for _, q := range queries {
+			for _, r := range []float64{0.0, 2.0, 6.0, 100.0} {
+				want := core.BruteForceRange(coll, q, r)
+				got, _, err := rm.RangeSearch(q, r)
+				if err != nil {
+					t.Fatalf("%s r=%g: %v", name, r, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s r=%g: %d results, want %d", name, r, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].ID != want[i].ID ||
+						math.Abs(got[i].Dist-want[i].Dist) > 1e-6*(1+want[i].Dist) {
+						t.Fatalf("%s r=%g match %d: (%d,%g) want (%d,%g)",
+							name, r, i, got[i].ID, got[i].Dist, want[i].ID, want[i].Dist)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestApproxKNNIsUpperBound: ng-approximate answers can never beat the exact
+// nearest neighbor, must come from the collection, and repeating the exact
+// query afterwards must still be exact (no state corruption).
+func TestApproxKNNIsUpperBound(t *testing.T) {
+	ds := dataset.RandomWalk(800, 64, 13)
+	queries := dataset.SynthRand(5, 64, 14).Queries
+	for _, name := range approxMethods {
+		m, err := core.New(name, core.Options{LeafSize: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coll := core.NewCollection(ds)
+		if err := m.Build(coll); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		am, ok := m.(core.ApproxMethod)
+		if !ok {
+			t.Fatalf("%s does not implement ApproxMethod", name)
+		}
+		for _, q := range queries {
+			exact := core.BruteForceKNN(coll, q, 1)
+			approx, _, err := am.ApproxKNN(q, 1)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(approx) > 0 {
+				if approx[0].Dist < exact[0].Dist-1e-9 {
+					t.Fatalf("%s: approximate answer %g beats exact %g",
+						name, approx[0].Dist, exact[0].Dist)
+				}
+				if approx[0].ID < 0 || approx[0].ID >= ds.Len() {
+					t.Fatalf("%s: bogus ID %d", name, approx[0].ID)
+				}
+			}
+			got, _, err := am.KNN(q, 1)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if math.Abs(got[0].Dist-exact[0].Dist) > 1e-9*(1+exact[0].Dist) {
+				t.Fatalf("%s: exact query after approximate is wrong", name)
+			}
+		}
+	}
+}
+
+// TestApproxQualityReasonable: on self-queries (a series drawn from the
+// collection), the approximate search should usually find the series itself
+// — its own leaf contains it.
+func TestApproxSelfQueries(t *testing.T) {
+	ds := dataset.RandomWalk(600, 64, 15)
+	for _, name := range approxMethods {
+		m, _ := core.New(name, core.Options{LeafSize: 32})
+		coll := core.NewCollection(ds)
+		if err := m.Build(coll); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		am := m.(core.ApproxMethod)
+		hits := 0
+		const trials = 30
+		for i := 0; i < trials; i++ {
+			id := (i * 97) % ds.Len()
+			res, _, err := am.ApproxKNN(ds.Series[id].Clone(), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res) > 0 && res[0].Dist < 1e-6 {
+				hits++
+			}
+		}
+		if hits < trials*9/10 {
+			t.Errorf("%s: approximate self-query found the series only %d/%d times", name, hits, trials)
+		}
+	}
+}
+
+// TestEpsKNNGuarantee: the M-tree's ε-approximate results must be within
+// (1+ε) of the true nearest neighbor distance (Definition 5).
+func TestEpsKNNGuarantee(t *testing.T) {
+	ds := dataset.Astro(700, 64, 16)
+	m, _ := core.New("M-tree", core.Options{LeafSize: 8})
+	coll := core.NewCollection(ds)
+	if err := m.Build(coll); err != nil {
+		t.Fatal(err)
+	}
+	em, ok := m.(core.EpsApproxMethod)
+	if !ok {
+		t.Fatal("M-tree does not implement EpsApproxMethod")
+	}
+	for _, q := range dataset.Ctrl(ds, 10, 1.0, 17).Queries {
+		exact := core.BruteForceKNN(coll, q, 1)
+		for _, eps := range []float64{0, 0.2, 1.0} {
+			got, _, err := em.EpsKNN(q, 1, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0].Dist > exact[0].Dist*(1+eps)+1e-9 {
+				t.Fatalf("eps=%g: answer %g exceeds (1+eps)*exact %g",
+					eps, got[0].Dist, exact[0].Dist*(1+eps))
+			}
+		}
+		// eps=0 must be exact.
+		got, _, _ := em.EpsKNN(q, 1, 0)
+		if math.Abs(got[0].Dist-exact[0].Dist) > 1e-9*(1+exact[0].Dist) {
+			t.Fatalf("eps=0 not exact: %g vs %g", got[0].Dist, exact[0].Dist)
+		}
+	}
+	if _, _, err := em.EpsKNN(dataset.SynthRand(1, 64, 1).Queries[0], 1, -0.5); err == nil {
+		t.Errorf("negative epsilon should error")
+	}
+}
+
+// TestEpsSavesWork: larger ε must not examine more series than exact search.
+func TestEpsSavesWork(t *testing.T) {
+	ds := dataset.SALD(1500, 64, 18)
+	m, _ := core.New("M-tree", core.Options{LeafSize: 8})
+	coll := core.NewCollection(ds)
+	if err := m.Build(coll); err != nil {
+		t.Fatal(err)
+	}
+	em := m.(core.EpsApproxMethod)
+	q := dataset.Ctrl(ds, 1, 0.3, 19).Queries[0]
+	_, qsExact, _ := em.EpsKNN(q, 1, 0)
+	_, qsLoose, _ := em.EpsKNN(q, 1, 2.0)
+	if qsLoose.DistCalcs > qsExact.DistCalcs {
+		t.Errorf("eps=2 computed more distances (%d) than exact (%d)",
+			qsLoose.DistCalcs, qsExact.DistCalcs)
+	}
+}

@@ -1,0 +1,73 @@
+package methods
+
+import (
+	"sync"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+)
+
+// TestParallelBuilds: separate method instances over separate collections
+// must be safe to build and query concurrently (the bench harness and the
+// experiment runner may do this; the storage counters are atomic).
+func TestParallelBuilds(t *testing.T) {
+	ds := dataset.RandomWalk(400, 64, 71)
+	q := dataset.SynthRand(1, 64, 72).Queries[0]
+	var wg sync.WaitGroup
+	errs := make(chan error, len(All())*2)
+	for _, name := range All() {
+		for rep := 0; rep < 2; rep++ {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				m, err := core.New(name, core.Options{LeafSize: 16})
+				if err != nil {
+					errs <- err
+					return
+				}
+				coll := core.NewCollection(ds)
+				if err := m.Build(coll); err != nil {
+					errs <- err
+					return
+				}
+				if _, _, err := m.KNN(q, 1); err != nil {
+					errs <- err
+				}
+			}(name)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSharedCountersUnderConcurrency: one collection's counters charged from
+// many goroutines must not lose updates (atomic counters).
+func TestSharedCountersUnderConcurrency(t *testing.T) {
+	ds := dataset.RandomWalk(100, 32, 73)
+	coll := core.NewCollection(ds)
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				coll.Counters.ChargeSeq(10)
+				coll.Counters.ChargeRand(1)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := coll.Counters.Snapshot()
+	if snap.SeqOps != workers*perWorker || snap.RandOps != workers*perWorker {
+		t.Errorf("lost counter updates: %+v", snap)
+	}
+	if snap.SeqBytes != workers*perWorker*10 || snap.RandBytes != workers*perWorker {
+		t.Errorf("lost byte counts: %+v", snap)
+	}
+}

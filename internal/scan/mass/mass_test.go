@@ -1,0 +1,81 @@
+package mass
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+)
+
+func TestExactDistancesViaFFT(t *testing.T) {
+	for _, length := range []int{64, 96, 100} { // incl. non-pow2
+		ds := dataset.RandomWalk(300, length, 1)
+		m := New(core.Options{})
+		coll := core.NewCollection(ds)
+		if err := m.Build(coll); err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range dataset.SynthRand(3, length, 2).Queries {
+			want := core.BruteForceKNN(coll, q, 3)
+			got, _, err := m.KNN(q, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if math.Abs(got[i].Dist-want[i].Dist) > 1e-5 {
+					t.Fatalf("length %d match %d: dist %.9f want %.9f",
+						length, i, got[i].Dist, want[i].Dist)
+				}
+			}
+		}
+	}
+}
+
+func TestSequentialOnly(t *testing.T) {
+	ds := dataset.RandomWalk(700, 128, 3)
+	m := New(core.Options{})
+	coll := core.NewCollection(ds)
+	if err := m.Build(coll); err != nil {
+		t.Fatal(err)
+	}
+	q := dataset.SynthRand(1, 128, 4).Queries[0]
+	_, qs, err := core.RunQuery(m, coll, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.IO.RandOps > 1 {
+		t.Errorf("MASS produced %d seeks; it reads sequentially", qs.IO.RandOps)
+	}
+	if qs.RawSeriesExamined != int64(ds.Len()) {
+		t.Errorf("MASS examined %d of %d (it computes every distance)", qs.RawSeriesExamined, ds.Len())
+	}
+}
+
+func TestChunkBoundaries(t *testing.T) {
+	// Collection sizes around the chunking boundary must all be exact.
+	for _, n := range []int{1, 63, 64, 65, 129} {
+		ds := dataset.RandomWalk(n, 128, 5)
+		m := New(core.Options{})
+		coll := core.NewCollection(ds)
+		if err := m.Build(coll); err != nil {
+			t.Fatal(err)
+		}
+		q := dataset.SynthRand(1, 128, 6).Queries[0]
+		want := core.BruteForceKNN(coll, q, 1)
+		got, _, err := m.KNN(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got[0].Dist-want[0].Dist) > 1e-6 {
+			t.Fatalf("n=%d: dist %g want %g", n, got[0].Dist, want[0].Dist)
+		}
+	}
+}
+
+func TestUnbuiltErrors(t *testing.T) {
+	m := New(core.Options{})
+	if _, _, err := m.KNN(dataset.SynthRand(1, 8, 1).Queries[0], 1); err == nil {
+		t.Errorf("unbuilt scan should error")
+	}
+}

@@ -1,0 +1,32 @@
+package ucr
+
+import (
+	"fmt"
+
+	"hydra/internal/core"
+	"hydra/internal/series"
+	"hydra/internal/stats"
+)
+
+// RangeSearch implements core.RangeMethod: the sequential scan with early
+// abandoning at the fixed radius.
+func (s *Scan) RangeSearch(q series.Series, r float64) ([]core.Match, stats.QueryStats, error) {
+	var qs stats.QueryStats
+	if s.c == nil {
+		return nil, qs, fmt.Errorf("ucr: method not built")
+	}
+	f := s.c.File
+	if len(q) != f.SeriesLen() {
+		return nil, qs, fmt.Errorf("ucr: query length %d, collection length %d", len(q), f.SeriesLen())
+	}
+	ord := series.NewOrder(q)
+	set := core.NewRangeSet(r)
+	f.Rewind()
+	for i := 0; i < f.Len(); i++ {
+		d := series.SquaredDistEAOrdered(q, f.Read(i), ord, set.Bound())
+		qs.DistCalcs++
+		qs.RawSeriesExamined++
+		set.Add(i, d)
+	}
+	return set.Results(), qs, nil
+}

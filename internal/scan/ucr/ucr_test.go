@@ -1,0 +1,62 @@
+package ucr
+
+import (
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+)
+
+func TestPureSequentialAccess(t *testing.T) {
+	ds := dataset.RandomWalk(1000, 128, 1)
+	m := New(core.Options{})
+	coll := core.NewCollection(ds)
+	if err := m.Build(coll); err != nil {
+		t.Fatal(err)
+	}
+	q := dataset.SynthRand(1, 128, 2).Queries[0]
+	_, qs, err := core.RunQuery(m, coll, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.IO.RandOps > 1 {
+		t.Errorf("sequential scan produced %d seeks", qs.IO.RandOps)
+	}
+	if qs.IO.SeqBytes+qs.IO.RandBytes != ds.SizeBytes() {
+		t.Errorf("scan moved %d bytes, want exactly the file size %d",
+			qs.IO.SeqBytes+qs.IO.RandBytes, ds.SizeBytes())
+	}
+	if qs.RawSeriesExamined != int64(ds.Len()) {
+		t.Errorf("examined %d of %d", qs.RawSeriesExamined, ds.Len())
+	}
+}
+
+func TestStableCostAcrossQueries(t *testing.T) {
+	// The paper notes the UCR-Suite's I/O is identical for every query (its
+	// boxplot is a flat line).
+	ds := dataset.RandomWalk(500, 64, 3)
+	m := New(core.Options{})
+	coll := core.NewCollection(ds)
+	if err := m.Build(coll); err != nil {
+		t.Fatal(err)
+	}
+	var first int64 = -1
+	for _, q := range dataset.SynthRand(5, 64, 4).Queries {
+		_, qs, err := core.RunQuery(m, coll, q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first < 0 {
+			first = qs.IO.SeqBytes
+		} else if qs.IO.SeqBytes != first {
+			t.Errorf("sequential bytes vary across queries: %d vs %d", qs.IO.SeqBytes, first)
+		}
+	}
+}
+
+func TestUnbuiltErrors(t *testing.T) {
+	m := New(core.Options{})
+	if _, _, err := m.KNN(dataset.SynthRand(1, 8, 1).Queries[0], 1); err == nil {
+		t.Errorf("unbuilt scan should error")
+	}
+}

@@ -1,0 +1,80 @@
+// Package ucrdtw implements the UCR suite's exact whole-matching k-NN
+// search under Dynamic Time Warping: a sequential scan with the cascading
+// lower bounds of Rakthanmanon et al. — reordered LB_Keogh first, the
+// early-abandoning banded DP only for survivors.
+//
+// DTW is not part of the paper's evaluation (its scope is Euclidean
+// distance), but the paper names it as the natural carry-over setting; this
+// method lets the suite's collections and cost accounting be reused for it.
+// It intentionally does not register in the core method registry, whose
+// contract is Euclidean-distance k-NN.
+package ucrdtw
+
+import (
+	"fmt"
+
+	"hydra/internal/core"
+	"hydra/internal/distance/dtw"
+	"hydra/internal/series"
+	"hydra/internal/stats"
+)
+
+// Scan is the UCR-DTW whole-matching scan.
+type Scan struct {
+	c *core.Collection
+	// W is the Sakoe-Chiba band half-width (in points).
+	W int
+}
+
+// New creates the scan with the given warping band half-width.
+func New(w int) *Scan { return &Scan{W: w} }
+
+// Name implements the Method naming convention.
+func (s *Scan) Name() string { return "UCR-DTW" }
+
+// Build implements the Method build convention.
+func (s *Scan) Build(c *core.Collection) error {
+	s.c = c
+	return nil
+}
+
+// KNN answers an exact k-NN query under DTW with band W: candidates are
+// first screened with reordered early-abandoning LB_Keogh against the
+// current k-th best DTW distance; survivors pay the early-abandoning DP.
+func (s *Scan) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+	var qs stats.QueryStats
+	if s.c == nil {
+		return nil, qs, fmt.Errorf("ucrdtw: method not built")
+	}
+	f := s.c.File
+	if len(q) != f.SeriesLen() {
+		return nil, qs, fmt.Errorf("ucrdtw: query length %d, collection length %d", len(q), f.SeriesLen())
+	}
+	env := dtw.NewEnvelope(q, s.W)
+	ord := series.NewOrder(q)
+	set := core.NewKNNSet(k)
+	f.Rewind()
+	for i := 0; i < f.Len(); i++ {
+		cand := f.Read(i)
+		lb := dtw.LBKeoghEA(env, cand, ord, set.Bound())
+		qs.LBCalcs++
+		if lb >= set.Bound() {
+			continue
+		}
+		d := dtw.SquaredDistEA(q, cand, s.W, set.Bound())
+		qs.DistCalcs++
+		qs.RawSeriesExamined++
+		set.Add(i, d)
+	}
+	return set.Results(), qs, nil
+}
+
+// BruteForceKNN is the test oracle: full DTW against every candidate.
+func BruteForceKNN(c *core.Collection, q series.Series, k, w int) []core.Match {
+	set := core.NewKNNSet(k)
+	c.File.Rewind()
+	for i := 0; i < c.File.Len(); i++ {
+		set.Add(i, dtw.SquaredDist(q, c.File.Read(i), w))
+	}
+	return set.Results()
+}

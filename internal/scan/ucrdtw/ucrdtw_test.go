@@ -1,0 +1,106 @@
+package ucrdtw
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/series"
+)
+
+func TestExactAgainstBruteForce(t *testing.T) {
+	ds := dataset.RandomWalk(300, 64, 1)
+	for _, w := range []int{0, 3, 10} {
+		s := New(w)
+		coll := core.NewCollection(ds)
+		if err := s.Build(coll); err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range dataset.SynthRand(4, 64, 2).Queries {
+			want := BruteForceKNN(coll, q, 3, w)
+			got, _, err := s.KNN(q, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if math.Abs(got[i].Dist-want[i].Dist) > 1e-9*(1+want[i].Dist) {
+					t.Fatalf("w=%d match %d: %g want %g", w, i, got[i].Dist, want[i].Dist)
+				}
+			}
+		}
+	}
+}
+
+func TestLBKeoghPrunes(t *testing.T) {
+	// On an easy query, LB_Keogh should spare most DP computations.
+	ds := dataset.SALD(1000, 64, 3)
+	s := New(4)
+	coll := core.NewCollection(ds)
+	if err := s.Build(coll); err != nil {
+		t.Fatal(err)
+	}
+	q := dataset.Ctrl(ds, 1, 0.1, 4).Queries[0]
+	_, qs, err := s.KNN(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.DistCalcs >= int64(ds.Len()) {
+		t.Errorf("no DTW computations pruned: %d of %d", qs.DistCalcs, ds.Len())
+	}
+	if qs.LBCalcs != int64(ds.Len()) {
+		t.Errorf("LB computed %d times, want every candidate (%d)", qs.LBCalcs, ds.Len())
+	}
+}
+
+func TestDTWFindsWarpedMatchEuclideanMisses(t *testing.T) {
+	// Build a collection where the query's true (warped) match is far in
+	// Euclidean distance but near in DTW — the motivating case for DTW.
+	ds := dataset.RandomWalk(200, 64, 5)
+	base := ds.Series[7]
+	query := make(series.Series, 64)
+	copy(query[2:], base[:62])
+	query[0], query[1] = base[0], base[0]
+
+	s := New(4)
+	coll := core.NewCollection(ds)
+	if err := s.Build(coll); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := s.KNN(query, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].ID != 7 {
+		t.Errorf("DTW should match the warped source series 7, got %d", got[0].ID)
+	}
+	// Under w=0 (Euclidean) the distance to 7 must be larger than under the
+	// warping band.
+	s0 := New(0)
+	coll0 := core.NewCollection(ds)
+	if err := s0.Build(coll0); err != nil {
+		t.Fatal(err)
+	}
+	got0, _, err := s0.KNN(query, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got0[0].Dist < got[0].Dist {
+		t.Errorf("Euclidean distance %g should not beat banded DTW %g", got0[0].Dist, got[0].Dist)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s := New(2)
+	if _, _, err := s.KNN(dataset.SynthRand(1, 8, 1).Queries[0], 1); err == nil {
+		t.Errorf("unbuilt scan should error")
+	}
+	ds := dataset.RandomWalk(10, 16, 6)
+	coll := core.NewCollection(ds)
+	if err := s.Build(coll); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.KNN(dataset.SynthRand(1, 8, 1).Queries[0], 1); err == nil {
+		t.Errorf("mismatched query length should error")
+	}
+}

@@ -1,0 +1,183 @@
+// Package series provides the fundamental data series type and the
+// Euclidean-distance kernels shared by every similarity search method in the
+// suite, including the UCR-suite optimizations (squared distances, early
+// abandoning, and reordered early abandoning) that the paper applies to all
+// evaluated methods.
+package series
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Series is a univariate data series stored in single precision, matching the
+// paper's experimental setup ("All methods use single precision values").
+// Distance accumulation is always done in float64.
+type Series []float32
+
+// Clone returns an independent copy of s.
+func (s Series) Clone() Series {
+	c := make(Series, len(s))
+	copy(c, s)
+	return c
+}
+
+// Mean returns the arithmetic mean of s. The mean of an empty series is 0.
+func (s Series) Mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s {
+		sum += float64(v)
+	}
+	return sum / float64(len(s))
+}
+
+// Std returns the population standard deviation of s.
+func (s Series) Std() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	m := s.Mean()
+	var sum float64
+	for _, v := range s {
+		d := float64(v) - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(s)))
+}
+
+// ZNormalize Z-normalizes s in place (mean 0, standard deviation 1) and
+// returns s. Constant series (std below epsilon) are set to all zeros, the
+// convention used by the UCR suite.
+func (s Series) ZNormalize() Series {
+	const eps = 1e-8
+	m := s.Mean()
+	sd := s.Std()
+	if sd < eps {
+		for i := range s {
+			s[i] = 0
+		}
+		return s
+	}
+	inv := 1.0 / sd
+	for i := range s {
+		s[i] = float32((float64(s[i]) - m) * inv)
+	}
+	return s
+}
+
+// IsZNormalized reports whether s has mean≈0 and std≈1 (or is all zeros)
+// within tolerance tol.
+func (s Series) IsZNormalized(tol float64) bool {
+	m := s.Mean()
+	sd := s.Std()
+	if math.Abs(m) > tol {
+		return false
+	}
+	return math.Abs(sd-1) <= tol || sd <= tol
+}
+
+// SquaredDist returns the squared Euclidean distance between q and c.
+// It panics if the lengths differ: whole matching requires |q| == |c|
+// (Definition 3 in the paper).
+func SquaredDist(q, c Series) float64 {
+	if len(q) != len(c) {
+		panic(fmt.Sprintf("series: squared distance of mismatched lengths %d and %d", len(q), len(c)))
+	}
+	var sum float64
+	for i := range q {
+		d := float64(q[i]) - float64(c[i])
+		sum += d * d
+	}
+	return sum
+}
+
+// Dist returns the Euclidean distance between q and c.
+func Dist(q, c Series) float64 {
+	return math.Sqrt(SquaredDist(q, c))
+}
+
+// SquaredDistEA computes the squared Euclidean distance between q and c with
+// early abandoning: as soon as the partial sum exceeds bound, it returns a
+// value > bound (the partial sum) without finishing the computation. This is
+// UCR-suite optimization (b).
+func SquaredDistEA(q, c Series, bound float64) float64 {
+	if len(q) != len(c) {
+		panic(fmt.Sprintf("series: squared distance of mismatched lengths %d and %d", len(q), len(c)))
+	}
+	var sum float64
+	for i := range q {
+		d := float64(q[i]) - float64(c[i])
+		sum += d * d
+		if sum > bound {
+			return sum
+		}
+	}
+	return sum
+}
+
+// Order is a query-specific evaluation order for reordered early abandoning
+// (UCR-suite optimization (c)): on Z-normalized data the largest |q[i]| values
+// are the most likely to contribute large distance terms, so visiting them
+// first abandons sooner.
+type Order []int
+
+// NewOrder builds the reordered-early-abandoning order for query q: indexes
+// sorted by decreasing absolute value of q.
+func NewOrder(q Series) Order {
+	o := make(Order, len(q))
+	for i := range o {
+		o[i] = i
+	}
+	sort.Slice(o, func(a, b int) bool {
+		va := math.Abs(float64(q[o[a]]))
+		vb := math.Abs(float64(q[o[b]]))
+		if va != vb {
+			return va > vb
+		}
+		return o[a] < o[b]
+	})
+	return o
+}
+
+// SquaredDistEAOrdered computes the squared distance with early abandoning,
+// visiting coordinates in the given order. ord must be a permutation of
+// [0,len(q)).
+func SquaredDistEAOrdered(q, c Series, ord Order, bound float64) float64 {
+	if len(q) != len(c) {
+		panic(fmt.Sprintf("series: squared distance of mismatched lengths %d and %d", len(q), len(c)))
+	}
+	var sum float64
+	for _, i := range ord {
+		d := float64(q[i]) - float64(c[i])
+		sum += d * d
+		if sum > bound {
+			return sum
+		}
+	}
+	return sum
+}
+
+// DotProduct returns the inner product of q and c in float64.
+func DotProduct(q, c Series) float64 {
+	if len(q) != len(c) {
+		panic(fmt.Sprintf("series: dot product of mismatched lengths %d and %d", len(q), len(c)))
+	}
+	var sum float64
+	for i := range q {
+		sum += float64(q[i]) * float64(c[i])
+	}
+	return sum
+}
+
+// SumSquares returns the energy (sum of squared values) of s.
+func SumSquares(s Series) float64 {
+	var sum float64
+	for _, v := range s {
+		sum += float64(v) * float64(v)
+	}
+	return sum
+}

@@ -1,0 +1,157 @@
+package series
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSeries(rng *rand.Rand, n int) Series {
+	s := make(Series, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	return s
+}
+
+func TestMeanStd(t *testing.T) {
+	s := Series{1, 2, 3, 4}
+	if got := s.Mean(); got != 2.5 {
+		t.Errorf("Mean=%v want 2.5", got)
+	}
+	want := math.Sqrt(1.25)
+	if got := s.Std(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Std=%v want %v", got, want)
+	}
+	var empty Series
+	if empty.Mean() != 0 || empty.Std() != 0 {
+		t.Errorf("empty series should have 0 mean/std")
+	}
+}
+
+func TestZNormalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		s := randSeries(rng, 64)
+		for j := range s {
+			s[j] = s[j]*3 + 7
+		}
+		s.ZNormalize()
+		if !s.IsZNormalized(1e-3) {
+			t.Fatalf("series not normalized: mean=%v std=%v", s.Mean(), s.Std())
+		}
+	}
+}
+
+func TestZNormalizeConstant(t *testing.T) {
+	s := Series{5, 5, 5, 5}
+	s.ZNormalize()
+	for i, v := range s {
+		if v != 0 {
+			t.Errorf("constant series index %d = %v, want 0", i, v)
+		}
+	}
+	if !s.IsZNormalized(1e-6) {
+		t.Errorf("all-zero series should count as normalized")
+	}
+}
+
+func TestSquaredDist(t *testing.T) {
+	q := Series{0, 0, 0}
+	c := Series{1, 2, 2}
+	if got := SquaredDist(q, c); got != 9 {
+		t.Errorf("SquaredDist=%v want 9", got)
+	}
+	if got := Dist(q, c); got != 3 {
+		t.Errorf("Dist=%v want 3", got)
+	}
+}
+
+func TestSquaredDistMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic on mismatched lengths")
+		}
+	}()
+	SquaredDist(Series{1}, Series{1, 2})
+}
+
+// Property: early abandoning never under-reports when it completes, and when
+// it abandons the partial sum already exceeds the bound.
+func TestSquaredDistEAProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(100)
+		q, c := randSeries(r, n), randSeries(r, n)
+		exact := SquaredDist(q, c)
+		bound := r.Float64() * exact * 2
+		got := SquaredDistEA(q, c, bound)
+		if got <= bound {
+			return math.Abs(got-exact) < 1e-9*(1+exact)
+		}
+		return got > bound
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reordered early abandoning computes the exact distance when the
+// bound is infinite, regardless of the order.
+func TestSquaredDistEAOrderedExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		n := 1 + rng.Intn(64)
+		q, c := randSeries(rng, n), randSeries(rng, n)
+		ord := NewOrder(q)
+		exact := SquaredDist(q, c)
+		got := SquaredDistEAOrdered(q, c, ord, math.Inf(1))
+		if math.Abs(got-exact) > 1e-9*(1+exact) {
+			t.Fatalf("ordered EA distance %v != exact %v", got, exact)
+		}
+	}
+}
+
+func TestNewOrderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	q := randSeries(rng, 50)
+	ord := NewOrder(q)
+	seen := make([]bool, len(q))
+	for _, i := range ord {
+		if i < 0 || i >= len(q) || seen[i] {
+			t.Fatalf("order is not a permutation: %v", ord)
+		}
+		seen[i] = true
+	}
+	// Sorted by decreasing |q[i]|.
+	for i := 1; i < len(ord); i++ {
+		a := math.Abs(float64(q[ord[i-1]]))
+		b := math.Abs(float64(q[ord[i]]))
+		if a < b {
+			t.Fatalf("order not sorted by decreasing magnitude at %d", i)
+		}
+	}
+}
+
+func TestDotProductAndSumSquares(t *testing.T) {
+	q := Series{1, 2, 3}
+	c := Series{4, 5, 6}
+	if got := DotProduct(q, c); got != 32 {
+		t.Errorf("DotProduct=%v want 32", got)
+	}
+	if got := SumSquares(q); got != 14 {
+		t.Errorf("SumSquares=%v want 14", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := Series{1, 2, 3}
+	c := s.Clone()
+	c[0] = 9
+	if s[0] != 1 {
+		t.Errorf("Clone aliases the original")
+	}
+}

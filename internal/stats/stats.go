@@ -1,0 +1,220 @@
+// Package stats defines the measurement records used throughout the
+// experimental framework: per-query metrics (wall time, simulated I/O time,
+// disk accesses, distance computations, pruning ratio — §4.2 "Measures" of
+// the paper) and aggregation helpers implementing the paper's procedures,
+// such as the 10K-query extrapolation.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"hydra/internal/storage"
+)
+
+// QueryStats captures the cost of answering one similarity query.
+type QueryStats struct {
+	// RawSeriesExamined counts candidate series whose raw representation was
+	// compared to the query (the numerator of the pruning ratio).
+	RawSeriesExamined int64
+	// DatasetSize is the total number of series in the collection.
+	DatasetSize int64
+	// DistCalcs counts full or partial Euclidean distance computations in the
+	// original high-dimensional space.
+	DistCalcs int64
+	// LBCalcs counts lower-bound distance computations in reduced space.
+	LBCalcs int64
+	// IO is the simulated disk activity attributable to this query.
+	IO storage.Snapshot
+	// CPUTime is the measured wall time of the query minus nothing — on this
+	// simulated substrate all measured time is compute, since I/O is counted,
+	// not performed.
+	CPUTime time.Duration
+}
+
+// PruningRatio returns P = 1 - examined/collection size (§4.2, measure 3).
+// Higher is better; 0 when the dataset size is unknown.
+func (q QueryStats) PruningRatio() float64 {
+	if q.DatasetSize == 0 {
+		return 0
+	}
+	return 1 - float64(q.RawSeriesExamined)/float64(q.DatasetSize)
+}
+
+// TotalTime returns CPU time plus simulated I/O time on device d.
+func (q QueryStats) TotalTime(d storage.DeviceProfile) time.Duration {
+	return q.CPUTime + q.IO.IOTime(d)
+}
+
+// Add accumulates o into q (for workload totals).
+func (q *QueryStats) Add(o QueryStats) {
+	q.RawSeriesExamined += o.RawSeriesExamined
+	q.DistCalcs += o.DistCalcs
+	q.LBCalcs += o.LBCalcs
+	q.IO = q.IO.Add(o.IO)
+	q.CPUTime += o.CPUTime
+	if o.DatasetSize > q.DatasetSize {
+		q.DatasetSize = o.DatasetSize
+	}
+}
+
+func (q QueryStats) String() string {
+	return fmt.Sprintf("examined=%d/%d dist=%d lb=%d io={%s} cpu=%s",
+		q.RawSeriesExamined, q.DatasetSize, q.DistCalcs, q.LBCalcs, q.IO, q.CPUTime)
+}
+
+// BuildStats captures the cost of constructing an index.
+type BuildStats struct {
+	IO       storage.Snapshot
+	CPUTime  time.Duration
+	Finished bool
+}
+
+// TotalTime returns CPU time plus simulated I/O time on device d.
+func (b BuildStats) TotalTime(d storage.DeviceProfile) time.Duration {
+	return b.CPUTime + b.IO.IOTime(d)
+}
+
+// WorkloadStats aggregates the per-query stats of a query workload.
+type WorkloadStats struct {
+	Queries []QueryStats
+}
+
+// Total returns the summed stats across all queries.
+func (w WorkloadStats) Total() QueryStats {
+	var t QueryStats
+	for _, q := range w.Queries {
+		t.Add(q)
+	}
+	return t
+}
+
+// MeanPruningRatio returns the average pruning ratio across queries.
+func (w WorkloadStats) MeanPruningRatio() float64 {
+	if len(w.Queries) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, q := range w.Queries {
+		sum += q.PruningRatio()
+	}
+	return sum / float64(len(w.Queries))
+}
+
+// TotalTime returns the summed total time on device d.
+func (w WorkloadStats) TotalTime(d storage.DeviceProfile) time.Duration {
+	var t time.Duration
+	for _, q := range w.Queries {
+		t += q.TotalTime(d)
+	}
+	return t
+}
+
+// Extrapolate10K implements the paper's procedure for 10,000-query
+// workloads: discard the best and worst five queries by total execution time
+// and multiply the mean of the remaining queries by n (10,000 in the paper).
+// It returns the extrapolated total time on device d. If fewer than 11
+// queries ran, the plain mean is used.
+func (w WorkloadStats) Extrapolate10K(d storage.DeviceProfile, n int) time.Duration {
+	if len(w.Queries) == 0 {
+		return 0
+	}
+	times := make([]time.Duration, len(w.Queries))
+	for i, q := range w.Queries {
+		times[i] = q.TotalTime(d)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	lo, hi := 0, len(times)
+	if len(times) > 10 {
+		lo, hi = 5, len(times)-5
+	}
+	var sum time.Duration
+	for _, t := range times[lo:hi] {
+		sum += t
+	}
+	mean := float64(sum) / float64(hi-lo)
+	return time.Duration(mean * float64(n))
+}
+
+// Percentile returns the p-th percentile (0..100) of the per-query total
+// times on device d using nearest-rank.
+func (w WorkloadStats) Percentile(d storage.DeviceProfile, p float64) time.Duration {
+	if len(w.Queries) == 0 {
+		return 0
+	}
+	times := make([]time.Duration, len(w.Queries))
+	for i, q := range w.Queries {
+		times[i] = q.TotalTime(d)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	rank := int(math.Ceil(p/100*float64(len(times)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(times) {
+		rank = len(times) - 1
+	}
+	return times[rank]
+}
+
+// TreeStats describes the structure of a tree-based index (the paper's
+// footprint measures, Figure 8): node counts, sizes, fill factors and depth.
+type TreeStats struct {
+	TotalNodes int
+	LeafNodes  int
+	// MemBytes estimates the in-memory size of the index structure.
+	MemBytes int64
+	// DiskBytes estimates the on-disk size (summaries + materialized leaves).
+	DiskBytes int64
+	// FillFactors holds per-leaf occupancy in [0,1].
+	FillFactors []float64
+	// LeafDepths holds per-leaf depth (root = 0).
+	LeafDepths []int
+}
+
+// MedianFill returns the median leaf fill factor.
+func (t TreeStats) MedianFill() float64 {
+	if len(t.FillFactors) == 0 {
+		return 0
+	}
+	f := append([]float64(nil), t.FillFactors...)
+	sort.Float64s(f)
+	return f[len(f)/2]
+}
+
+// MeanFill returns the mean leaf fill factor.
+func (t TreeStats) MeanFill() float64 {
+	if len(t.FillFactors) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range t.FillFactors {
+		sum += v
+	}
+	return sum / float64(len(t.FillFactors))
+}
+
+// MaxDepth returns the deepest leaf level.
+func (t TreeStats) MaxDepth() int {
+	max := 0
+	for _, d := range t.LeafDepths {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MeanDepth returns the average leaf depth.
+func (t TreeStats) MeanDepth() float64 {
+	if len(t.LeafDepths) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, d := range t.LeafDepths {
+		sum += float64(d)
+	}
+	return sum / float64(len(t.LeafDepths))
+}

@@ -1,0 +1,251 @@
+// Package storage provides the simulated disk substrate for the benchmark
+// suite.
+//
+// The paper evaluates methods on 25 GB – 1 TB on-disk datasets and reports,
+// besides wall-clock time, the number of sequential and random disk accesses
+// (its Figure 4), noting that these counts "provide a good insight into the
+// actual performance of indexes". Running terabyte experiments is not
+// possible here, so the suite holds (scaled-down) datasets in memory behind
+// this layer, which charges every access to explicit counters:
+//
+//   - a sequential operation is a contiguous read following the previous one;
+//   - a random operation is a seek: a leaf access for tree indexes, a skip
+//     for the skip-sequential methods (ADS+, VA+file), exactly the
+//     convention of §4.2 ("one random disk access corresponds to one leaf
+//     access for all indexes, except ... ADS+, for which one random disk
+//     access corresponds to one skip").
+//
+// Counter totals are converted to simulated I/O time using device profiles
+// modeled after the paper's two servers (HDD: 1290 MB/s sequential RAID0;
+// SSD: 330 MB/s but far cheaper seeks), which reproduces the paper's
+// hardware-dependent rankings deterministically, independent of Go GC noise.
+package storage
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"hydra/internal/series"
+)
+
+// DeviceProfile converts counted I/O into simulated time.
+type DeviceProfile struct {
+	Name string
+	// SeekLatency is charged once per random operation.
+	SeekLatency time.Duration
+	// ThroughputMBps is the sequential read bandwidth in MB/s (1 MB = 1e6
+	// bytes) charged per byte moved (random or sequential).
+	ThroughputMBps float64
+}
+
+// The two evaluation platforms of the paper (§4.1). Seek latencies are
+// representative figures for the stated hardware: ~5 ms for a 10K RPM SAS
+// RAID0 array, ~60 µs for a SATA SSD.
+var (
+	HDD = DeviceProfile{Name: "HDD", SeekLatency: 5 * time.Millisecond, ThroughputMBps: 1290}
+	SSD = DeviceProfile{Name: "SSD", SeekLatency: 60 * time.Microsecond, ThroughputMBps: 330}
+)
+
+// IOTime returns the simulated I/O time for the given access totals on this
+// device.
+func (d DeviceProfile) IOTime(randOps int64, bytes int64) time.Duration {
+	seek := time.Duration(randOps) * d.SeekLatency
+	transfer := time.Duration(float64(bytes) / (d.ThroughputMBps * 1e6) * float64(time.Second))
+	return seek + transfer
+}
+
+// Counters accumulates simulated disk accesses. All methods are safe for
+// concurrent use (benchmarks may build indexes in parallel).
+type Counters struct {
+	seqOps    atomic.Int64
+	seqBytes  atomic.Int64
+	randOps   atomic.Int64
+	randBytes atomic.Int64
+}
+
+// ChargeSeq records a sequential read of n bytes.
+func (c *Counters) ChargeSeq(n int64) {
+	if c == nil {
+		return
+	}
+	c.seqOps.Add(1)
+	c.seqBytes.Add(n)
+}
+
+// ChargeRand records a random read (one seek) of n bytes.
+func (c *Counters) ChargeRand(n int64) {
+	if c == nil {
+		return
+	}
+	c.randOps.Add(1)
+	c.randBytes.Add(n)
+}
+
+// SeqOps returns the number of sequential operations recorded.
+func (c *Counters) SeqOps() int64 { return c.seqOps.Load() }
+
+// SeqBytes returns the number of sequentially read bytes recorded.
+func (c *Counters) SeqBytes() int64 { return c.seqBytes.Load() }
+
+// RandOps returns the number of random operations (seeks) recorded.
+func (c *Counters) RandOps() int64 { return c.randOps.Load() }
+
+// RandBytes returns the number of randomly read bytes recorded.
+func (c *Counters) RandBytes() int64 { return c.randBytes.Load() }
+
+// TotalBytes returns all bytes moved.
+func (c *Counters) TotalBytes() int64 { return c.seqBytes.Load() + c.randBytes.Load() }
+
+// Snapshot captures the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		SeqOps:    c.seqOps.Load(),
+		SeqBytes:  c.seqBytes.Load(),
+		RandOps:   c.randOps.Load(),
+		RandBytes: c.randBytes.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	c.seqOps.Store(0)
+	c.seqBytes.Store(0)
+	c.randOps.Store(0)
+	c.randBytes.Store(0)
+}
+
+// Snapshot is an immutable copy of counter values.
+type Snapshot struct {
+	SeqOps, SeqBytes, RandOps, RandBytes int64
+}
+
+// Sub returns s - o component-wise, the accesses between two snapshots.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		SeqOps:    s.SeqOps - o.SeqOps,
+		SeqBytes:  s.SeqBytes - o.SeqBytes,
+		RandOps:   s.RandOps - o.RandOps,
+		RandBytes: s.RandBytes - o.RandBytes,
+	}
+}
+
+// Add returns s + o component-wise.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	return Snapshot{
+		SeqOps:    s.SeqOps + o.SeqOps,
+		SeqBytes:  s.SeqBytes + o.SeqBytes,
+		RandOps:   s.RandOps + o.RandOps,
+		RandBytes: s.RandBytes + o.RandBytes,
+	}
+}
+
+// TotalBytes returns all bytes in the snapshot.
+func (s Snapshot) TotalBytes() int64 { return s.SeqBytes + s.RandBytes }
+
+// IOTime converts the snapshot to simulated I/O time on device d.
+func (s Snapshot) IOTime(d DeviceProfile) time.Duration {
+	return d.IOTime(s.RandOps, s.TotalBytes())
+}
+
+func (s Snapshot) String() string {
+	return fmt.Sprintf("seq=%d ops/%d B, rand=%d ops/%d B", s.SeqOps, s.SeqBytes, s.RandOps, s.RandBytes)
+}
+
+// BytesPerValue is the on-disk size of one data point (single precision).
+const BytesPerValue = 4
+
+// SeriesFile models the raw data file: N series of fixed length stored
+// back-to-back on the simulated disk. All reads are charged to the attached
+// Counters. Access position is tracked so that consecutive reads are charged
+// as sequential and everything else as a seek, mirroring how the paper counts
+// skip-sequential methods.
+type SeriesFile struct {
+	data    []series.Series
+	length  int
+	c       *Counters
+	nextSeq int64 // index of the series a sequential read would hit next
+}
+
+// NewSeriesFile wraps data (all series must share the same length) in a
+// simulated file charging accesses to c. The backing slices are not copied.
+func NewSeriesFile(data []series.Series, c *Counters) *SeriesFile {
+	length := 0
+	if len(data) > 0 {
+		length = len(data[0])
+	}
+	for i, s := range data {
+		if len(s) != length {
+			panic(fmt.Sprintf("storage: series %d has length %d, want %d", i, len(s), length))
+		}
+	}
+	return &SeriesFile{data: data, length: length, c: c, nextSeq: 0}
+}
+
+// Len returns the number of series in the file.
+func (f *SeriesFile) Len() int { return len(f.data) }
+
+// SeriesLen returns the length of each series.
+func (f *SeriesFile) SeriesLen() int { return f.length }
+
+// SeriesBytes returns the on-disk size of one series.
+func (f *SeriesFile) SeriesBytes() int64 { return int64(f.length) * BytesPerValue }
+
+// SizeBytes returns the on-disk size of the whole file.
+func (f *SeriesFile) SizeBytes() int64 { return int64(len(f.data)) * f.SeriesBytes() }
+
+// Counters returns the counters this file charges to.
+func (f *SeriesFile) Counters() *Counters { return f.c }
+
+// Rewind resets the sequential cursor to the start of the file (e.g., before
+// a full scan). It charges nothing: the first read of a scan is charged as
+// one seek by Read if the cursor had moved.
+func (f *SeriesFile) Rewind() { f.nextSeq = 0 }
+
+// Read returns series i, charging a sequential access if i continues the
+// previous read and a random access (seek) otherwise.
+func (f *SeriesFile) Read(i int) series.Series {
+	if int64(i) == f.nextSeq {
+		f.c.ChargeSeq(f.SeriesBytes())
+	} else {
+		f.c.ChargeRand(f.SeriesBytes())
+	}
+	f.nextSeq = int64(i) + 1
+	return f.data[i]
+}
+
+// ReadRange returns series [lo, hi), charged as one seek (if not already
+// positioned at lo) plus a sequential transfer of the whole range. Tree
+// indexes use this for materialized leaves: one leaf access = one random op.
+func (f *SeriesFile) ReadRange(lo, hi int) []series.Series {
+	if lo < 0 || hi > len(f.data) || lo > hi {
+		panic(fmt.Sprintf("storage: ReadRange[%d,%d) out of bounds 0..%d", lo, hi, len(f.data)))
+	}
+	n := int64(hi-lo) * f.SeriesBytes()
+	if int64(lo) == f.nextSeq {
+		f.c.ChargeSeq(n)
+	} else {
+		f.c.ChargeRand(n)
+	}
+	f.nextSeq = int64(hi)
+	return f.data[lo:hi]
+}
+
+// Peek returns series i without charging any I/O. It is used by index
+// construction paths whose I/O is charged at a coarser granularity (e.g.,
+// one sequential pass over the file) and by test oracles.
+func (f *SeriesFile) Peek(i int) series.Series { return f.data[i] }
+
+// ChargeFullScan charges one sequential pass over the entire file, the way
+// bulk-loading index builders read their input.
+func (f *SeriesFile) ChargeFullScan() {
+	f.c.ChargeSeq(f.SizeBytes())
+	f.nextSeq = int64(len(f.data))
+}
+
+// ChargeLeafRead charges one leaf access: a seek plus a sequential transfer
+// of n series, without moving the sequential cursor of the raw file (leaves
+// live in separate index files).
+func (f *SeriesFile) ChargeLeafRead(nSeries int) {
+	f.c.ChargeRand(int64(nSeries) * f.SeriesBytes())
+}

@@ -1,0 +1,191 @@
+// Package subseq implements exact subsequence matching (Definition 4 of the
+// paper): finding the subsequence of a long series closest to a query, under
+// Z-normalized Euclidean distance.
+//
+// Two routes are provided, mirroring the paper's §2 observation that "SM
+// queries can be converted to WM: create a new collection that comprises all
+// overlapping subsequences ... and perform a WM query against these
+// subsequences":
+//
+//   - Chop materializes that conversion, so any of the suite's ten
+//     whole-matching methods can answer subsequence queries;
+//   - MASS answers them directly with Mueen's FFT algorithm in its original
+//     domain (the paper adapted MASS *to* whole matching; this is the
+//     algorithm as designed).
+package subseq
+
+import (
+	"fmt"
+	"math"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/series"
+	"hydra/internal/transform/fft"
+)
+
+// Chop converts a long series into the collection of all its Z-normalized
+// overlapping windows of length m. Window i of the result corresponds to
+// long[i : i+m]. The resulting dataset can be indexed by any whole-matching
+// method; match IDs are window offsets.
+func Chop(long series.Series, m int) (*dataset.Dataset, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("subseq: window length must be positive, got %d", m)
+	}
+	if m > len(long) {
+		return nil, fmt.Errorf("subseq: window %d longer than series %d", m, len(long))
+	}
+	n := len(long) - m + 1
+	ds := &dataset.Dataset{Name: "subsequences", Series: make([]series.Series, n)}
+	for i := 0; i < n; i++ {
+		w := long[i : i+m].Clone()
+		ds.Series[i] = w.ZNormalize()
+	}
+	return ds, nil
+}
+
+// Match is one subsequence matching answer.
+type Match struct {
+	// Offset is the start position of the matching subsequence.
+	Offset int
+	// Dist is the Z-normalized Euclidean distance.
+	Dist float64
+}
+
+// MASS answers an exact subsequence 1-NN (or k-NN) query with Mueen's
+// Algorithm for Similarity Search: FFT sliding dot products of the query
+// against the long series, combined with running mean/std statistics, give
+// the Z-normalized Euclidean distance to every window in O(n log n):
+//
+//	d²(i) = 2m·(1 − (QT_i − m·μ_i·μ_q) / (m·σ_i·σ_q))
+//
+// The query is Z-normalized internally; constant windows (σ≈0) are treated
+// as all-zero after normalization, consistent with series.ZNormalize.
+func MASS(long, query series.Series, k int) ([]Match, error) {
+	m := len(query)
+	if m == 0 {
+		return nil, fmt.Errorf("subseq: empty query")
+	}
+	if m > len(long) {
+		return nil, fmt.Errorf("subseq: query %d longer than series %d", m, len(long))
+	}
+	if k < 1 {
+		k = 1
+	}
+
+	q := query.Clone().ZNormalize()
+	qf := make([]float64, m)
+	for i, v := range q {
+		qf[i] = float64(v)
+	}
+	// For a Z-normalized query, μ_q = 0 and σ_q = 1, so
+	// d²(i) = 2m·(1 − QT_i/(m·σ_i)) with QT_i the dot against the raw window.
+	// Constant query (all zeros after normalization): distance to any
+	// normalized window is m (both vectors have norm √m... in fact a zero
+	// query against a unit-variance window gives ‖w‖² = m) — handled below.
+
+	x := make([]float64, len(long))
+	for i, v := range long {
+		x[i] = float64(v)
+	}
+	dots := fft.Convolve(x, qf)
+
+	// Running window statistics.
+	n := len(long) - m + 1
+	prefix := make([]float64, len(long)+1)
+	prefix2 := make([]float64, len(long)+1)
+	for i, v := range x {
+		prefix[i+1] = prefix[i] + v
+		prefix2[i+1] = prefix2[i] + v*v
+	}
+
+	set := core.NewKNNSet(k)
+	const eps = 1e-8
+	qIsZero := series.SumSquares(q) < eps
+	for i := 0; i < n; i++ {
+		sum := prefix[i+m] - prefix[i]
+		sum2 := prefix2[i+m] - prefix2[i]
+		mu := sum / float64(m)
+		varw := sum2/float64(m) - mu*mu
+		if varw < 0 {
+			varw = 0
+		}
+		sigma := math.Sqrt(varw)
+
+		var d2 float64
+		switch {
+		case qIsZero && sigma < eps:
+			d2 = 0 // both normalize to zero vectors
+		case qIsZero || sigma < eps:
+			// One side normalizes to all zeros, the other has ‖·‖² = m.
+			d2 = float64(m)
+		default:
+			// μ_q = 0 ⇒ the m·μ_i·μ_q cross term vanishes; qt is the dot
+			// against the raw window, and dividing by σ_i normalizes it.
+			qt := dots[i+m-1]
+			d2 = 2 * float64(m) * (1 - qt/(float64(m)*sigma))
+			if d2 < 0 {
+				d2 = 0
+			}
+		}
+		set.Add(i, d2)
+	}
+
+	matches := set.Results()
+	out := make([]Match, len(matches))
+	for i, mt := range matches {
+		// Refine with a direct computation for exact reporting.
+		w := long[mt.ID : mt.ID+m].Clone().ZNormalize()
+		out[i] = Match{Offset: mt.ID, Dist: series.Dist(q, w)}
+	}
+	return out, nil
+}
+
+// BruteForce is the subsequence matching oracle: Z-normalized Euclidean
+// distance of the query against every window, by direct computation.
+func BruteForce(long, query series.Series, k int) ([]Match, error) {
+	ds, err := Chop(long, len(query))
+	if err != nil {
+		return nil, err
+	}
+	q := query.Clone().ZNormalize()
+	set := core.NewKNNSet(k)
+	for i, w := range ds.Series {
+		set.Add(i, series.SquaredDist(q, w))
+	}
+	matches := set.Results()
+	out := make([]Match, len(matches))
+	for i, mt := range matches {
+		out[i] = Match{Offset: mt.ID, Dist: mt.Dist}
+	}
+	return out, nil
+}
+
+// ViaWholeMatching answers a subsequence query by the paper's SM→WM
+// conversion: chop, index with the given whole-matching method, query.
+// The method is built on the chopped collection on every call; callers doing
+// repeated queries should Chop once and manage the index themselves.
+func ViaWholeMatching(long, query series.Series, k int, methodName string, opts core.Options) ([]Match, error) {
+	ds, err := Chop(long, len(query))
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.New(methodName, opts)
+	if err != nil {
+		return nil, err
+	}
+	coll := core.NewCollection(ds)
+	if err := m.Build(coll); err != nil {
+		return nil, err
+	}
+	q := query.Clone().ZNormalize()
+	matches, _, err := m.KNN(q, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, len(matches))
+	for i, mt := range matches {
+		out[i] = Match{Offset: mt.ID, Dist: mt.Dist}
+	}
+	return out, nil
+}

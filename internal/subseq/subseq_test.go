@@ -1,0 +1,162 @@
+package subseq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	_ "hydra/internal/methods"
+	"hydra/internal/series"
+)
+
+func longSeries(n int, seed int64) series.Series {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(series.Series, n)
+	var acc float64
+	for i := range s {
+		acc += rng.NormFloat64()
+		s[i] = float32(acc)
+	}
+	return s
+}
+
+func TestChop(t *testing.T) {
+	long := longSeries(100, 1)
+	ds, err := Chop(long, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 81 || ds.SeriesLen() != 20 {
+		t.Fatalf("chopped into %d×%d", ds.Len(), ds.SeriesLen())
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("windows not normalized: %v", err)
+	}
+	if _, err := Chop(long, 0); err == nil {
+		t.Errorf("zero window should error")
+	}
+	if _, err := Chop(long, 101); err == nil {
+		t.Errorf("oversized window should error")
+	}
+	// Full-length window: exactly one normalized copy.
+	one, err := Chop(long, 100)
+	if err != nil || one.Len() != 1 {
+		t.Fatalf("full window chop: %v len %d", err, one.Len())
+	}
+}
+
+// TestMASSMatchesBruteForce is the central exactness property of the
+// subsequence path.
+func TestMASSMatchesBruteForce(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{
+		{200, 16}, {500, 96}, {300, 7}, {64, 64},
+	} {
+		long := longSeries(tc.n, int64(tc.n))
+		q := dataset.SynthRand(1, tc.m, 9).Queries[0]
+		want, err := BruteForce(long, q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MASS(long, q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d m=%d: %d matches want %d", tc.n, tc.m, len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-4*(1+want[i].Dist) {
+				t.Fatalf("n=%d m=%d match %d: offset %d dist %g, want offset %d dist %g",
+					tc.n, tc.m, i, got[i].Offset, got[i].Dist, want[i].Offset, want[i].Dist)
+			}
+		}
+	}
+}
+
+func TestMASSFindsPlantedPattern(t *testing.T) {
+	// Plant an exact copy of the query inside noise; MASS must find it at
+	// distance ~0.
+	rng := rand.New(rand.NewSource(4))
+	long := longSeries(1000, 5)
+	q := dataset.SynthRand(1, 50, 6).Queries[0]
+	const at = 400
+	// Insert a scaled+shifted copy (Z-normalized matching is invariant).
+	for i, v := range q {
+		long[at+i] = v*3.5 + 100
+	}
+	_ = rng
+	got, err := MASS(long, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Offset != at {
+		t.Errorf("planted pattern at %d, found %d", at, got[0].Offset)
+	}
+	if got[0].Dist > 1e-3 {
+		t.Errorf("planted pattern distance %g, want ~0", got[0].Dist)
+	}
+}
+
+func TestMASSEdgeCases(t *testing.T) {
+	long := longSeries(50, 7)
+	if _, err := MASS(long, series.Series{}, 1); err == nil {
+		t.Errorf("empty query should error")
+	}
+	if _, err := MASS(long, make(series.Series, 51), 1); err == nil {
+		t.Errorf("query longer than series should error")
+	}
+	// Constant regions: distance must be well-defined (m to anything with
+	// variance, 0 to another constant window).
+	flat := make(series.Series, 40)
+	for i := range flat {
+		flat[i] = 5
+	}
+	got, err := MASS(flat, make(series.Series, 10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Dist != 0 {
+		t.Errorf("constant query vs constant window: dist %g want 0", got[0].Dist)
+	}
+}
+
+// TestViaWholeMatching: the paper's SM→WM conversion must agree with direct
+// MASS for every whole-matching method used as the backend.
+func TestViaWholeMatching(t *testing.T) {
+	long := longSeries(400, 8)
+	q := dataset.SynthRand(1, 32, 9).Queries[0]
+	want, err := BruteForce(long, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []string{"UCR-Suite", "DSTree", "VA+file", "iSAX2+"} {
+		got, err := ViaWholeMatching(long, q, 1, method, core.Options{LeafSize: 16})
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if math.Abs(got[0].Dist-want[0].Dist) > 1e-5*(1+want[0].Dist) {
+			t.Errorf("%s: dist %g want %g", method, got[0].Dist, want[0].Dist)
+		}
+	}
+	if _, err := ViaWholeMatching(long, q, 1, "no-such-method", core.Options{}); err == nil {
+		t.Errorf("unknown method should error")
+	}
+}
+
+// TestOverlappingMatchesOrdering: consecutive offsets of a smooth region all
+// match well; results must be sorted by distance.
+func TestResultsSorted(t *testing.T) {
+	long := longSeries(600, 10)
+	q := dataset.SynthRand(1, 24, 11).Queries[0]
+	got, err := MASS(long, q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Dist < got[i-1].Dist-1e-9 {
+			t.Errorf("results not sorted at %d: %g < %g", i, got[i].Dist, got[i-1].Dist)
+		}
+	}
+}

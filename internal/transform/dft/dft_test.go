@@ -1,0 +1,91 @@
+package dft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hydra/internal/series"
+)
+
+func randNorm(rng *rand.Rand, n int) series.Series {
+	s := make(series.Series, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	return s.ZNormalize()
+}
+
+func TestNewCapsDims(t *testing.T) {
+	tr := New(16, 100)
+	if tr.Dims() > 15 {
+		t.Errorf("Dims=%d should be capped below n", tr.Dims())
+	}
+	if New(16, 0).Dims() != 1 {
+		t.Errorf("dims should clamp to at least 1")
+	}
+	if tr.SeriesLen() != 16 {
+		t.Errorf("SeriesLen=%d", tr.SeriesLen())
+	}
+}
+
+// TestLowerBoundProperty is the core contract: feature distance never
+// exceeds series distance, for any length (incl. non-pow2) and dims.
+func TestLowerBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(200)
+		dims := 1 + rng.Intn(2*n)
+		tr := New(n, dims)
+		a, b := randNorm(rng, n), randNorm(rng, n)
+		lb := LowerBound(tr.Apply(a), tr.Apply(b))
+		d := series.SquaredDist(a, b)
+		return lb <= d*(1+1e-6)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFullDimsTight: with all meaningful coefficients retained, the feature
+// distance should approach the true distance (Parseval) on Z-normalized
+// series.
+func TestFullDimsTight(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{16, 96, 128} {
+		tr := New(n, n-1)
+		a, b := randNorm(rng, n), randNorm(rng, n)
+		lb := LowerBound(tr.Apply(a), tr.Apply(b))
+		d := series.SquaredDist(a, b)
+		if math.Abs(lb-d) > 1e-4*(1+d) {
+			t.Errorf("n=%d: full-dim feature distance %g != %g", n, lb, d)
+		}
+	}
+}
+
+func TestApplyLengthMismatchPanics(t *testing.T) {
+	tr := New(8, 4)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	tr.Apply(make(series.Series, 9))
+}
+
+func TestFeatureScalingMonotone(t *testing.T) {
+	// More dims → larger (tighter) bound, monotonically.
+	rng := rand.New(rand.NewSource(3))
+	n := 64
+	a, b := randNorm(rng, n), randNorm(rng, n)
+	prev := 0.0
+	for dims := 1; dims < n; dims += 4 {
+		tr := New(n, dims)
+		lb := LowerBound(tr.Apply(a), tr.Apply(b))
+		if lb < prev-1e-12 {
+			t.Fatalf("bound shrank when adding dims: %g -> %g at %d", prev, lb, dims)
+		}
+		prev = lb
+	}
+}

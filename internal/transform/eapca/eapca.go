@@ -1,0 +1,89 @@
+// Package eapca implements the Extended Adaptive Piecewise Constant
+// Approximation of Wang et al., the summarization behind the DSTree: each
+// segment of a (node-specific, dynamic) segmentation is described by its
+// mean and standard deviation.
+//
+// The key inequalities (reverse triangle inequality within each segment of
+// width w) are:
+//
+//	ED²_seg(x,y) ≥ w·(μx−μy)² + w·(σx−σy)²   (lower bound)
+//	ED²_seg(x,y) ≤ w·(μx−μy)² + w·(σx+σy)²   (upper bound)
+//
+// which the DSTree uses for pruning and for choosing split policies.
+package eapca
+
+import (
+	"math"
+
+	"hydra/internal/series"
+)
+
+// Prefix holds prefix sums of a series and its squares, so the mean and
+// standard deviation of any segment can be computed in O(1). The DSTree
+// recomputes synopses for evolving segmentations, making this the central
+// data structure of its build path.
+type Prefix struct {
+	S  []float64 // S[i] = sum of first i values
+	S2 []float64 // S2[i] = sum of squares of first i values
+}
+
+// NewPrefix builds prefix sums for s.
+func NewPrefix(s series.Series) Prefix {
+	p := Prefix{S: make([]float64, len(s)+1), S2: make([]float64, len(s)+1)}
+	for i, v := range s {
+		f := float64(v)
+		p.S[i+1] = p.S[i] + f
+		p.S2[i+1] = p.S2[i] + f*f
+	}
+	return p
+}
+
+// MeanStd returns the mean and population standard deviation of s[lo:hi].
+func (p Prefix) MeanStd(lo, hi int) (mean, std float64) {
+	w := float64(hi - lo)
+	if w <= 0 {
+		return 0, 0
+	}
+	sum := p.S[hi] - p.S[lo]
+	sum2 := p.S2[hi] - p.S2[lo]
+	mean = sum / w
+	v := sum2/w - mean*mean
+	if v < 0 {
+		v = 0 // numerical guard
+	}
+	return mean, math.Sqrt(v)
+}
+
+// Synopsis is the EAPCA of one series under a given segmentation.
+type Synopsis struct {
+	Mean []float64
+	Std  []float64
+}
+
+// Compute returns the EAPCA of the series with prefix sums p under the
+// segmentation given by exclusive segment end offsets.
+func Compute(p Prefix, ends []int) Synopsis {
+	syn := Synopsis{Mean: make([]float64, len(ends)), Std: make([]float64, len(ends))}
+	lo := 0
+	for i, hi := range ends {
+		syn.Mean[i], syn.Std[i] = p.MeanStd(lo, hi)
+		lo = hi
+	}
+	return syn
+}
+
+// SegmentLB returns the squared lower bound between two (mean, std) pairs on
+// a segment of width w.
+func SegmentLB(w, m1, s1, m2, s2 float64) float64 {
+	dm := m1 - m2
+	ds := s1 - s2
+	return w * (dm*dm + ds*ds)
+}
+
+// SegmentUB returns the squared upper bound between two (mean, std) pairs on
+// a segment of width w.
+func SegmentUB(w, m1, s1, m2, s2 float64) float64 {
+	dm := m1 - m2
+	ss := s1 + s2
+	return w * (dm*dm + ss*ss)
+}

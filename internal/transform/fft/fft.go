@@ -1,0 +1,168 @@
+// Package fft implements the Fast Fourier Transform used by the MASS
+// algorithm, the SFA symbolic transform, and the VA+file (which the paper
+// modified to use DFT instead of KLT, "since DFT is a very good approximation
+// for KLT and is much more efficient").
+//
+// Power-of-two sizes use an iterative radix-2 Cooley–Tukey transform;
+// arbitrary sizes (e.g., the Deep1B length of 96) use Bluestein's chirp-z
+// algorithm on top of it.
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+
+	"hydra/internal/mathx"
+)
+
+// FFT computes the in-place-sized forward DFT of x and returns the result in
+// a new slice: X[k] = Σ_j x[j]·e^(−2πi·jk/n). The input is not modified.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	copy(out, x)
+	if n <= 1 {
+		return out
+	}
+	if mathx.IsPow2(n) {
+		radix2(out, false)
+		return out
+	}
+	return bluestein(out, false)
+}
+
+// IFFT computes the inverse DFT (including the 1/n normalization).
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	copy(out, x)
+	if n <= 1 {
+		return out
+	}
+	if mathx.IsPow2(n) {
+		radix2(out, true)
+	} else {
+		out = bluestein(out, true)
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// FFTReal computes the forward DFT of a real-valued input.
+func FFTReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	return FFT(c)
+}
+
+// radix2 performs an in-place iterative Cooley–Tukey FFT. len(a) must be a
+// power of two. If inverse, the conjugate transform is computed (without the
+// 1/n factor).
+func radix2(a []complex128, inverse bool) {
+	n := len(a)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length >> 1
+			for j := 0; j < half; j++ {
+				u := a[i+j]
+				v := a[i+j+half] * w
+				a[i+j] = u + v
+				a[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-size DFT as a convolution, which is
+// evaluated with a power-of-two FFT.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	m := mathx.NextPow2(2*n - 1)
+
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp: w[j] = e^(sign·πi·j²/n). Using j² mod 2n keeps the argument
+	// small for numerical stability.
+	w := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		jj := (int64(j) * int64(j)) % int64(2*n)
+		w[j] = cmplx.Exp(complex(0, sign*math.Pi*float64(jj)/float64(n)))
+	}
+
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for j := 0; j < n; j++ {
+		a[j] = x[j] * w[j]
+		b[j] = cmplx.Conj(w[j])
+	}
+	for j := 1; j < n; j++ {
+		b[m-j] = cmplx.Conj(w[j])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for j := range a {
+		a[j] *= b[j]
+	}
+	radix2(a, true)
+	invm := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		out[j] = a[j] * invm * w[j]
+	}
+	return out
+}
+
+// Convolve returns the circular cross-correlation core used by MASS: the
+// sliding dot products of query q (reversed) against data x, computed as
+// IFFT(FFT(x)·FFT(rev(q) zero-padded)). The returned slice has length
+// len(x); entry i (for i ≥ len(q)−1) is Σ_j q[j]·x[i−len(q)+1+j].
+func Convolve(x, q []float64) []float64 {
+	n := len(x)
+	m := len(q)
+	size := mathx.NextPow2(n + m)
+	xa := make([]complex128, size)
+	qa := make([]complex128, size)
+	for i, v := range x {
+		xa[i] = complex(v, 0)
+	}
+	for i, v := range q {
+		qa[m-1-i] = complex(v, 0) // reversed query
+	}
+	radix2(xa, false)
+	radix2(qa, false)
+	for i := range xa {
+		xa[i] *= qa[i]
+	}
+	radix2(xa, true)
+	inv := 1 / float64(size)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = real(xa[i]) * inv
+	}
+	return out
+}

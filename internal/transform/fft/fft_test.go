@@ -1,0 +1,163 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(n²) reference implementation.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(j) * float64(k) / float64(n)
+			out[k] += x[j] * cmplx.Exp(complex(0, ang))
+		}
+	}
+	return out
+}
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxErr(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if e := cmplx.Abs(a[i] - b[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// TestFFTMatchesNaive covers power-of-two (radix-2) and arbitrary
+// (Bluestein) sizes, including the Deep1B length 96.
+func TestFFTMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 16, 31, 32, 96, 100, 128, 255} {
+		x := randComplex(rng, n)
+		got := FFT(x)
+		want := naiveDFT(x)
+		if e := maxErr(got, want); e > 1e-8*float64(n) {
+			t.Errorf("n=%d: max error %g", n, e)
+		}
+	}
+}
+
+// TestIFFTRoundTrip: IFFT(FFT(x)) == x for all sizes.
+func TestIFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 3, 8, 96, 128, 257} {
+		x := randComplex(rng, n)
+		back := IFFT(FFT(x))
+		if e := maxErr(back, x); e > 1e-9*float64(n) {
+			t.Errorf("n=%d: round-trip error %g", n, e)
+		}
+	}
+}
+
+// TestParseval: energy is preserved up to the 1/n convention.
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{8, 96, 128} {
+		x := randComplex(rng, n)
+		X := FFT(x)
+		var et, ef float64
+		for i := range x {
+			et += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+			ef += real(X[i])*real(X[i]) + imag(X[i])*imag(X[i])
+		}
+		ef /= float64(n)
+		if math.Abs(et-ef) > 1e-8*(1+et) {
+			t.Errorf("n=%d: Parseval violated: time %g freq %g", n, et, ef)
+		}
+	}
+}
+
+// TestFFTDoesNotMutateInput guards the documented contract.
+func TestFFTDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := randComplex(rng, 96)
+	orig := append([]complex128{}, x...)
+	FFT(x)
+	IFFT(x)
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatalf("input mutated at %d", i)
+		}
+	}
+}
+
+// TestFFTLinearityProperty: FFT(a·x + y) == a·FFT(x) + FFT(y).
+func TestFFTLinearityProperty(t *testing.T) {
+	f := func(seed int64, scale float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		a := complex(math.Mod(scale, 10), 0)
+		x, y := randComplex(rng, n), randComplex(rng, n)
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = a*x[i] + y[i]
+		}
+		lhs := FFT(sum)
+		fx, fy := FFT(x), FFT(y)
+		for i := range lhs {
+			if cmplx.Abs(lhs[i]-(a*fx[i]+fy[i])) > 1e-7*float64(n)*(1+cmplx.Abs(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConvolve validates the MASS core: sliding dot products.
+func TestConvolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := make([]float64, 50)
+	q := make([]float64, 7)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	out := Convolve(x, q)
+	if len(out) != len(x) {
+		t.Fatalf("Convolve output length %d, want %d", len(out), len(x))
+	}
+	m := len(q)
+	for i := m - 1; i < len(x); i++ {
+		var want float64
+		for j := 0; j < m; j++ {
+			want += q[j] * x[i-m+1+j]
+		}
+		if math.Abs(out[i]-want) > 1e-9 {
+			t.Errorf("position %d: got %g want %g", i, out[i], want)
+		}
+	}
+}
+
+func TestFFTReal(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	X := FFTReal(x)
+	// DC coefficient is the sum.
+	if math.Abs(real(X[0])-10) > 1e-12 || math.Abs(imag(X[0])) > 1e-12 {
+		t.Errorf("DC=%v want 10", X[0])
+	}
+	// Conjugate symmetry for real input.
+	if cmplx.Abs(X[1]-cmplx.Conj(X[3])) > 1e-12 {
+		t.Errorf("conjugate symmetry violated: %v vs %v", X[1], X[3])
+	}
+}

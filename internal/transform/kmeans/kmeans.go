@@ -1,0 +1,117 @@
+// Package kmeans provides one-dimensional k-means (Lloyd's algorithm), used
+// by the VA+file to choose per-dimension decision intervals ("partitioning
+// each dimension using a k-means instead of an equi-depth approach").
+package kmeans
+
+import "sort"
+
+// Cluster runs 1-D k-means on values and returns the sorted centroids.
+// Initialization is by equi-depth quantiles, which for sorted 1-D data makes
+// Lloyd's algorithm deterministic and fast. k is capped at the number of
+// distinct values.
+func Cluster(values []float64, k int, maxIter int) []float64 {
+	if len(values) == 0 || k <= 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+
+	distinct := 1
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] != sorted[i-1] {
+			distinct++
+		}
+	}
+	if k > distinct {
+		k = distinct
+	}
+	if k == 1 {
+		var sum float64
+		for _, v := range sorted {
+			sum += v
+		}
+		return []float64{sum / float64(len(sorted))}
+	}
+
+	// Quantile init.
+	centroids := make([]float64, k)
+	for i := range centroids {
+		pos := (2*i + 1) * len(sorted) / (2 * k)
+		if pos >= len(sorted) {
+			pos = len(sorted) - 1
+		}
+		centroids[i] = sorted[pos]
+	}
+	dedupe(centroids)
+
+	// Prefix sums let each Lloyd iteration run in O(n + k log n).
+	prefix := make([]float64, len(sorted)+1)
+	for i, v := range sorted {
+		prefix[i+1] = prefix[i] + v
+	}
+
+	assignEnd := make([]int, len(centroids)) // exclusive end of each cluster
+	for iter := 0; iter < maxIter; iter++ {
+		// Boundaries are midpoints between adjacent centroids.
+		prev := 0
+		for c := 0; c < len(centroids); c++ {
+			var end int
+			if c == len(centroids)-1 {
+				end = len(sorted)
+			} else {
+				mid := (centroids[c] + centroids[c+1]) / 2
+				end = sort.SearchFloat64s(sorted, mid)
+				if end < prev {
+					end = prev
+				}
+			}
+			assignEnd[c] = end
+			prev = end
+		}
+		changed := false
+		prev = 0
+		for c := range centroids {
+			end := assignEnd[c]
+			if end > prev {
+				m := (prefix[end] - prefix[prev]) / float64(end-prev)
+				if m != centroids[c] {
+					centroids[c] = m
+					changed = true
+				}
+			}
+			prev = end
+		}
+		sort.Float64s(centroids)
+		dedupe(centroids)
+		if len(centroids) < len(assignEnd) {
+			assignEnd = assignEnd[:len(centroids)]
+		}
+		if !changed {
+			break
+		}
+	}
+	return centroids
+}
+
+// dedupe nudges exactly-equal adjacent centroids apart so boundaries stay
+// strictly increasing (degenerate inputs).
+func dedupe(c []float64) {
+	for i := 1; i < len(c); i++ {
+		if c[i] <= c[i-1] {
+			c[i] = c[i-1] + 1e-12
+		}
+	}
+}
+
+// Boundaries returns the k-1 decision boundaries (midpoints) between sorted
+// centroids.
+func Boundaries(centroids []float64) []float64 {
+	if len(centroids) < 2 {
+		return nil
+	}
+	b := make([]float64, len(centroids)-1)
+	for i := 0; i+1 < len(centroids); i++ {
+		b[i] = (centroids[i] + centroids[i+1]) / 2
+	}
+	return b
+}

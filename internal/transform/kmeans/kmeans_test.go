@@ -1,0 +1,91 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestClusterSeparatesModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var vals []float64
+	for i := 0; i < 500; i++ {
+		vals = append(vals, rng.NormFloat64()*0.1-5)
+		vals = append(vals, rng.NormFloat64()*0.1+5)
+	}
+	c := Cluster(vals, 2, 50)
+	if len(c) != 2 {
+		t.Fatalf("got %d centroids, want 2", len(c))
+	}
+	if math.Abs(c[0]+5) > 0.5 || math.Abs(c[1]-5) > 0.5 {
+		t.Errorf("centroids %v, want approx [-5, 5]", c)
+	}
+}
+
+func TestClusterSortedCentroids(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	c := Cluster(vals, 16, 50)
+	if !sort.Float64sAreSorted(c) {
+		t.Errorf("centroids not sorted: %v", c)
+	}
+}
+
+func TestClusterEdgeCases(t *testing.T) {
+	if Cluster(nil, 3, 10) != nil {
+		t.Errorf("empty input should give nil")
+	}
+	if Cluster([]float64{1, 2}, 0, 10) != nil {
+		t.Errorf("k=0 should give nil")
+	}
+	c := Cluster([]float64{7, 7, 7}, 5, 10)
+	if len(c) != 1 || c[0] != 7 {
+		t.Errorf("constant input: centroids %v, want [7]", c)
+	}
+	c = Cluster([]float64{1, 2, 3}, 3, 10)
+	if len(c) != 3 {
+		t.Errorf("k==distinct: got %d centroids", len(c))
+	}
+}
+
+func TestClusterReducesError(t *testing.T) {
+	// Lloyd iterations must not increase total squared error.
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 400)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 3
+	}
+	err := func(centroids []float64) float64 {
+		var e float64
+		for _, v := range vals {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := (v - c) * (v - c); d < best {
+					best = d
+				}
+			}
+			e += best
+		}
+		return e
+	}
+	e1 := err(Cluster(vals, 4, 1))
+	e50 := err(Cluster(vals, 4, 50))
+	if e50 > e1*(1+1e-9) {
+		t.Errorf("more iterations increased error: %g -> %g", e1, e50)
+	}
+}
+
+func TestBoundaries(t *testing.T) {
+	b := Boundaries([]float64{0, 2, 10})
+	want := []float64{1, 6}
+	if len(b) != 2 || b[0] != want[0] || b[1] != want[1] {
+		t.Errorf("Boundaries=%v want %v", b, want)
+	}
+	if Boundaries([]float64{1}) != nil {
+		t.Errorf("single centroid should give no boundaries")
+	}
+}

@@ -1,0 +1,192 @@
+// Package sax implements the Symbolic Aggregate Approximation (Lin et al.)
+// and its indexable extension iSAX (Shieh & Keogh): PAA values discretized
+// against equiprobable breakpoints of the standard normal distribution, with
+// per-segment cardinalities that can be refined bit by bit. iSAX words are
+// the representation of both iSAX2+ and ADS+.
+package sax
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hydra/internal/mathx"
+)
+
+// MaxBits is the maximum per-segment cardinality in bits (alphabet 256, the
+// default of iSAX2+ and ADS+ in the paper).
+const MaxBits = 8
+
+// Quantizer maps real PAA values to symbols at any power-of-two cardinality
+// up to 2^MaxBits. Breakpoints at cardinality 2^b are a subset of those at
+// 2^(b+1), so the symbol at a coarser cardinality is simply the high-order
+// bits of the symbol at the maximum cardinality — the nesting property iSAX
+// splitting relies on.
+type Quantizer struct {
+	bps []float64 // 2^MaxBits - 1 breakpoints
+}
+
+// NewQuantizer builds the Gaussian equiprobable quantizer.
+func NewQuantizer() *Quantizer {
+	return &Quantizer{bps: mathx.GaussianBreakpoints(1 << MaxBits)}
+}
+
+// Symbol returns the symbol of v at the maximum cardinality: the number of
+// breakpoints ≤ v, in [0, 2^MaxBits).
+func (q *Quantizer) Symbol(v float64) uint8 {
+	idx := sort.SearchFloat64s(q.bps, v)
+	// SearchFloat64s returns the first i with bps[i] >= v; symbols count
+	// breakpoints strictly below v, so step over equal breakpoints.
+	for idx < len(q.bps) && q.bps[idx] == v {
+		idx++
+	}
+	return uint8(idx)
+}
+
+// Region returns the value interval [lo, hi] covered by symbol sym at the
+// given cardinality in bits (1..MaxBits). Unbounded edges are ±Inf.
+func (q *Quantizer) Region(sym uint8, bits uint8) (lo, hi float64) {
+	if bits == 0 || bits > MaxBits {
+		panic(fmt.Sprintf("sax: bits %d out of range 1..%d", bits, MaxBits))
+	}
+	shift := MaxBits - bits
+	loIdx := int(sym)<<shift - 1     // breakpoint below the region
+	hiIdx := (int(sym) + 1) << shift // breakpoint above the region, minus one applied below
+	if loIdx < 0 {
+		lo = math.Inf(-1)
+	} else {
+		lo = q.bps[loIdx]
+	}
+	if hiIdx-1 >= len(q.bps) {
+		hi = math.Inf(1)
+	} else {
+		hi = q.bps[hiIdx-1]
+	}
+	return lo, hi
+}
+
+// Breakpoint returns breakpoint i at the maximum cardinality.
+func (q *Quantizer) Breakpoint(i int) float64 { return q.bps[i] }
+
+// Word is an iSAX word: one symbol per segment, each valid at its own
+// cardinality (Bits high-order bits of the max-cardinality symbol).
+type Word struct {
+	Symbols []uint8 // symbols at maximum cardinality
+	Bits    []uint8 // per-segment cardinality in bits (1..MaxBits)
+}
+
+// NewWord builds a word over seg segments at the given uniform cardinality.
+func NewWord(seg int, bits uint8) Word {
+	w := Word{Symbols: make([]uint8, seg), Bits: make([]uint8, seg)}
+	for i := range w.Bits {
+		w.Bits[i] = bits
+	}
+	return w
+}
+
+// Clone returns a deep copy of w.
+func (w Word) Clone() Word {
+	c := Word{Symbols: make([]uint8, len(w.Symbols)), Bits: make([]uint8, len(w.Bits))}
+	copy(c.Symbols, w.Symbols)
+	copy(c.Bits, w.Bits)
+	return c
+}
+
+// SymbolAt returns the symbol of segment i truncated to the word's
+// cardinality (its Bits[i] high-order bits, right-aligned).
+func (w Word) SymbolAt(i int) uint8 {
+	return w.Symbols[i] >> (MaxBits - w.Bits[i])
+}
+
+// Matches reports whether the max-cardinality symbols full fall inside w's
+// regions (i.e., whether a series with those symbols belongs under node w).
+func (w Word) Matches(full []uint8) bool {
+	for i := range w.Symbols {
+		shift := MaxBits - w.Bits[i]
+		if full[i]>>shift != w.Symbols[i]>>shift {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the word as symbol:bits pairs.
+func (w Word) String() string {
+	out := ""
+	for i := range w.Symbols {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%d:%d", w.SymbolAt(i), w.Bits[i])
+	}
+	return out
+}
+
+// MinDist returns the squared lower-bounding distance between a query's PAA
+// vector and the iSAX word w, given the per-segment widths of the PAA
+// transform: for each segment the distance from the query PAA value to the
+// breakpoint region of the symbol, squared and weighted by segment width.
+func (q *Quantizer) MinDist(queryPAA []float64, w Word, widths []float64) float64 {
+	var sum float64
+	for i, v := range queryPAA {
+		lo, hi := q.Region(w.Symbols[i]>>(MaxBits-w.Bits[i]), w.Bits[i])
+		var d float64
+		switch {
+		case v < lo:
+			d = lo - v
+		case v > hi:
+			d = v - hi
+		}
+		sum += widths[i] * d * d
+	}
+	return sum
+}
+
+// MinDistFullCard returns the squared lower-bounding distance between a
+// query's PAA vector and a series' symbols at maximum cardinality — the
+// per-series bound ADS+ (SIMS) evaluates against its in-memory summary array.
+func (q *Quantizer) MinDistFullCard(queryPAA []float64, symbols []uint8, widths []float64) float64 {
+	var sum float64
+	for i, v := range queryPAA {
+		sym := symbols[i]
+		var lo, hi float64
+		if sym == 0 {
+			lo = math.Inf(-1)
+		} else {
+			lo = q.bps[sym-1]
+		}
+		if int(sym) >= len(q.bps) {
+			hi = math.Inf(1)
+		} else {
+			hi = q.bps[sym]
+		}
+		var d float64
+		switch {
+		case v < lo:
+			d = lo - v
+		case v > hi:
+			d = v - hi
+		}
+		sum += widths[i] * d * d
+	}
+	return sum
+}
+
+// MinDistWords returns the squared lower-bounding distance between two iSAX
+// words (region-to-region), used by index maintenance.
+func (q *Quantizer) MinDistWords(a, b Word, widths []float64) float64 {
+	var sum float64
+	for i := range a.Symbols {
+		alo, ahi := q.Region(a.SymbolAt(i), a.Bits[i])
+		blo, bhi := q.Region(b.SymbolAt(i), b.Bits[i])
+		var d float64
+		switch {
+		case ahi < blo:
+			d = blo - ahi
+		case bhi < alo:
+			d = alo - bhi
+		}
+		sum += widths[i] * d * d
+	}
+	return sum
+}

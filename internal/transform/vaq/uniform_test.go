@@ -1,0 +1,108 @@
+package vaq
+
+import (
+	"testing"
+
+	"hydra/internal/dataset"
+	"hydra/internal/series"
+	"hydra/internal/transform/dft"
+)
+
+func TestTrainUniformBudget(t *testing.T) {
+	ds := dataset.RandomWalk(300, 128, 31)
+	tr := dft.New(128, 16)
+	feats := make([][]float64, ds.Len())
+	for i, s := range ds.Series {
+		feats[i] = tr.Apply(s)
+	}
+	q, err := TrainUniform(feats, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TotalBits() != 64 {
+		t.Errorf("TotalBits=%d want 64", q.TotalBits())
+	}
+	for d, b := range q.Bits() {
+		if b != 4 {
+			t.Errorf("dim %d has %d bits, want uniform 4", d, b)
+		}
+	}
+	if err := q.ErrCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainUniformUnevenBudget(t *testing.T) {
+	feats := [][]float64{{1, 2, 3}, {4, 5, 6}, {0, 1, 0}}
+	q, err := TrainUniform(feats, 7) // 3 dims: 3,2,2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TotalBits() != 7 {
+		t.Errorf("TotalBits=%d want 7", q.TotalBits())
+	}
+	if q.Bits()[0] != 3 || q.Bits()[1] != 2 || q.Bits()[2] != 2 {
+		t.Errorf("bits %v want [3 2 2]", q.Bits())
+	}
+	if _, err := TrainUniform(nil, 8); err == nil {
+		t.Errorf("empty training set should error")
+	}
+}
+
+// TestUniformLowerBoundStillValid: the uniform variant must keep the
+// no-false-dismissal guarantee.
+func TestUniformLowerBoundStillValid(t *testing.T) {
+	ds := dataset.RandomWalk(300, 96, 32)
+	tr := dft.New(96, 16)
+	feats := make([][]float64, ds.Len())
+	for i, s := range ds.Series {
+		feats[i] = tr.Apply(s)
+	}
+	q, err := TrainUniform(feats, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < ds.Len(); i += 7 {
+		a, b := ds.Series[i], ds.Series[i+1]
+		lb := q.LowerBound(tr.Apply(a), q.Encode(tr.Apply(b)))
+		d := series.SquaredDist(a, b)
+		if lb > d*(1+1e-6)+1e-9 {
+			t.Fatalf("uniform quantizer broke the bound: %g > %g", lb, d)
+		}
+	}
+}
+
+// TestNonUniformBeatsUniform: at a tight budget on energy-skewed data, the
+// VA+ allocation must prune at least as well as the uniform grid (the
+// paper's headline for the VA+file).
+func TestNonUniformBeatsUniform(t *testing.T) {
+	ds := dataset.RandomWalk(1000, 256, 33)
+	tr := dft.New(256, 16)
+	feats := make([][]float64, ds.Len())
+	for i, s := range ds.Series {
+		feats[i] = tr.Apply(s)
+	}
+	const budget = 32
+	qn, err := Train(feats, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qu, err := TrainUniform(feats, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := dataset.SynthRand(5, 256, 34).Queries
+	sumLB := func(q *Quantizer) float64 {
+		var total float64
+		for _, query := range queries {
+			qf := tr.Apply(query)
+			for i := range feats {
+				total += q.LowerBound(qf, q.Encode(feats[i]))
+			}
+		}
+		return total
+	}
+	if sumLB(qn) <= sumLB(qu) {
+		t.Errorf("non-uniform allocation should give tighter (larger) bounds at budget %d", budget)
+	}
+}

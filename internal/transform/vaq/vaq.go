@@ -1,0 +1,252 @@
+// Package vaq implements the VA+ scalar quantizer (Ferhatosmanoglu et al.):
+// the vector approximation of the VA+file. Unlike the uniform VA-file grid,
+// VA+ (i) allocates the bit budget non-uniformly — dimensions with higher
+// energy receive more bits — and (ii) partitions each dimension with k-means
+// instead of equi-depth binning. Following the paper's modification, the
+// feature space is the DFT (package dft) rather than the KLT.
+package vaq
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hydra/internal/transform/kmeans"
+)
+
+// MaxBitsPerDim caps the per-dimension cell count at 256 so codes fit uint8.
+const MaxBitsPerDim = 8
+
+// Quantizer holds the trained per-dimension decision intervals.
+type Quantizer struct {
+	dims int
+	bits []int
+	// bounds[d] holds the 2^bits[d]-1 finite decision boundaries of
+	// dimension d (empty when bits[d] == 0).
+	bounds [][]float64
+}
+
+// TrainUniform learns a quantizer with the classic VA-file's uniform bit
+// allocation (the same budget in every dimension) but VA+ k-means
+// boundaries. It exists for the ablation study isolating the value of
+// energy-weighted allocation.
+func TrainUniform(features [][]float64, totalBits int) (*Quantizer, error) {
+	if len(features) == 0 {
+		return nil, fmt.Errorf("vaq: empty training set")
+	}
+	dims := len(features[0])
+	q := &Quantizer{dims: dims, bits: make([]int, dims), bounds: make([][]float64, dims)}
+	per := totalBits / dims
+	if per > MaxBitsPerDim {
+		per = MaxBitsPerDim
+	}
+	rem := totalBits - per*dims
+	for d := 0; d < dims; d++ {
+		q.bits[d] = per
+		if d < rem && per < MaxBitsPerDim {
+			q.bits[d]++
+		}
+	}
+	if err := q.fitBoundaries(features); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// Train learns a VA+ quantizer from feature vectors: greedy bit allocation
+// by residual energy (each extra bit quarters a dimension's expected squared
+// quantization error), then per-dimension k-means boundaries.
+func Train(features [][]float64, totalBits int) (*Quantizer, error) {
+	if len(features) == 0 {
+		return nil, fmt.Errorf("vaq: empty training set")
+	}
+	dims := len(features[0])
+	q := &Quantizer{dims: dims, bits: make([]int, dims), bounds: make([][]float64, dims)}
+
+	// Per-dimension energy (second moment — features are roughly zero-mean).
+	variance := make([]float64, dims)
+	for _, f := range features {
+		if len(f) != dims {
+			return nil, fmt.Errorf("vaq: inconsistent feature dimensionality")
+		}
+		for d, v := range f {
+			variance[d] += v * v
+		}
+	}
+	for d := range variance {
+		variance[d] /= float64(len(features))
+	}
+
+	// Greedy allocation: repeatedly grant a bit to the dimension with the
+	// largest remaining error var·4^(−bits).
+	for b := 0; b < totalBits; b++ {
+		best, bestGain := -1, 0.0
+		for d := 0; d < dims; d++ {
+			if q.bits[d] >= MaxBitsPerDim {
+				continue
+			}
+			gain := variance[d] * math.Pow(0.25, float64(q.bits[d]))
+			if gain > bestGain {
+				best, bestGain = d, gain
+			}
+		}
+		if best < 0 {
+			break
+		}
+		q.bits[best]++
+	}
+
+	if err := q.fitBoundaries(features); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// fitBoundaries learns the per-dimension k-means decision intervals for the
+// current bit allocation.
+func (q *Quantizer) fitBoundaries(features [][]float64) error {
+	col := make([]float64, len(features))
+	for d := 0; d < q.dims; d++ {
+		if q.bits[d] == 0 {
+			continue
+		}
+		for i, f := range features {
+			if len(f) != q.dims {
+				return fmt.Errorf("vaq: inconsistent feature dimensionality")
+			}
+			col[i] = f[d]
+		}
+		cells := 1 << q.bits[d]
+		centroids := kmeans.Cluster(col, cells, 32)
+		q.bounds[d] = kmeans.Boundaries(centroids)
+	}
+	return nil
+}
+
+// Dims returns the feature dimensionality.
+func (q *Quantizer) Dims() int { return q.dims }
+
+// Bits returns the per-dimension bit allocation.
+func (q *Quantizer) Bits() []int { return q.bits }
+
+// TotalBits returns the number of bits in one approximation code.
+func (q *Quantizer) TotalBits() int {
+	t := 0
+	for _, b := range q.bits {
+		t += b
+	}
+	return t
+}
+
+// ApproxBytes returns the on-disk size of one approximation (packed).
+func (q *Quantizer) ApproxBytes() int64 { return int64((q.TotalBits() + 7) / 8) }
+
+// Encode returns the cell index of each dimension (0 for 0-bit dimensions).
+func (q *Quantizer) Encode(feat []float64) []uint8 {
+	code := make([]uint8, q.dims)
+	for d := 0; d < q.dims; d++ {
+		if q.bits[d] == 0 {
+			continue
+		}
+		b := q.bounds[d]
+		idx := sort.SearchFloat64s(b, feat[d])
+		for idx < len(b) && b[idx] == feat[d] {
+			idx++
+		}
+		code[d] = uint8(idx)
+	}
+	return code
+}
+
+// Region returns the value interval [lo, hi] of the given cell in dimension
+// d (±Inf at the edges; the whole line for 0-bit dimensions).
+func (q *Quantizer) Region(d int, cell uint8) (lo, hi float64) {
+	b := q.bounds[d]
+	if len(b) == 0 {
+		return math.Inf(-1), math.Inf(1)
+	}
+	if int(cell) == 0 {
+		lo = math.Inf(-1)
+	} else {
+		lo = b[cell-1]
+	}
+	if int(cell) >= len(b) {
+		hi = math.Inf(1)
+	} else {
+		hi = b[cell]
+	}
+	return lo, hi
+}
+
+// LowerBound returns the squared lower-bounding distance from a query
+// feature vector to any vector whose approximation equals code: per
+// dimension, the squared distance from the query value to the cell interval.
+// Since features carry the Parseval scaling (package dft), the bound holds
+// against the original time-domain distance.
+func (q *Quantizer) LowerBound(queryFeat []float64, code []uint8) float64 {
+	var sum float64
+	for d := 0; d < q.dims; d++ {
+		if q.bits[d] == 0 {
+			continue
+		}
+		lo, hi := q.Region(d, code[d])
+		v := queryFeat[d]
+		var dd float64
+		switch {
+		case v < lo:
+			dd = lo - v
+		case v > hi:
+			dd = v - hi
+		}
+		sum += dd * dd
+	}
+	return sum
+}
+
+// UpperBound returns a squared upper bound from the query features to any
+// vector in the cell, using the farthest finite corner of each cell; cells
+// unbounded on the relevant side fall back to a conservative span derived
+// from the outermost boundaries. Diagnostics only.
+func (q *Quantizer) UpperBound(queryFeat []float64, code []uint8) float64 {
+	var sum float64
+	for d := 0; d < q.dims; d++ {
+		if q.bits[d] == 0 {
+			continue
+		}
+		lo, hi := q.Region(d, code[d])
+		b := q.bounds[d]
+		span := math.Abs(b[len(b)-1]-b[0]) + 1
+		if math.IsInf(lo, -1) {
+			lo = b[0] - span
+		}
+		if math.IsInf(hi, 1) {
+			hi = b[len(b)-1] + span
+		}
+		v := queryFeat[d]
+		dd := math.Max(math.Abs(v-lo), math.Abs(v-hi))
+		sum += dd * dd
+	}
+	return sum
+}
+
+// ErrCheck verifies quantizer invariants (sorted, finite boundaries).
+func (q *Quantizer) ErrCheck() error {
+	for d, b := range q.bounds {
+		want := 0
+		if q.bits[d] > 0 {
+			want = 1<<q.bits[d] - 1
+		}
+		if len(b) > want {
+			return fmt.Errorf("vaq: dim %d has %d boundaries, want at most %d", d, len(b), want)
+		}
+		for i := range b {
+			if math.IsNaN(b[i]) || math.IsInf(b[i], 0) {
+				return fmt.Errorf("vaq: dim %d boundary %d is not finite", d, i)
+			}
+			if i > 0 && b[i] < b[i-1] {
+				return fmt.Errorf("vaq: dim %d boundaries not sorted", d)
+			}
+		}
+	}
+	return nil
+}
