@@ -10,6 +10,9 @@
 package hydra
 
 import (
+	"fmt"
+	"math"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -17,7 +20,9 @@ import (
 	"hydra/internal/dataset"
 	"hydra/internal/experiments"
 	_ "hydra/internal/methods"
+	"hydra/internal/scan/ucr"
 	"hydra/internal/scan/ucrdtw"
+	"hydra/internal/series"
 	"hydra/internal/storage"
 	"hydra/internal/subseq"
 )
@@ -294,6 +299,95 @@ func BenchmarkDeviceModels(b *testing.B) {
 				total += snap.IOTime(dev).Seconds()
 			}
 			_ = total
+		})
+	}
+}
+
+// BenchmarkKernels compares the scalar early-abandoning distance kernels
+// against the blocked multi-accumulator variants, with a wide-open bound
+// (full computation, the kernels' throughput) and with a tight bound (the
+// abandon-dominated regime of a well-pruned scan).
+func BenchmarkKernels(b *testing.B) {
+	const n = 256
+	q := dataset.RandomWalk(1, n, 1).Series[0]
+	c := dataset.RandomWalk(1, n, 2).Series[0]
+	ord := series.NewOrder(q)
+	full := series.SquaredDist(q, c)
+	kernels := []struct {
+		name string
+		f    func(bound float64) float64
+	}{
+		{"scalar", func(bound float64) float64 { return series.SquaredDistEA(q, c, bound) }},
+		{"blocked", func(bound float64) float64 { return series.SquaredDistEABlocked(q, c, bound) }},
+		{"scalar-ordered", func(bound float64) float64 { return series.SquaredDistEAOrdered(q, c, ord, bound) }},
+		{"blocked-ordered", func(bound float64) float64 { return series.SquaredDistEAOrderedBlocked(q, c, ord, bound) }},
+	}
+	for _, regime := range []struct {
+		name  string
+		bound float64
+	}{{"full", math.Inf(1)}, {"abandon", full / 8}} {
+		for _, k := range kernels {
+			b.Run(regime.name+"/"+k.name, func(b *testing.B) {
+				var sum float64
+				for i := 0; i < b.N; i++ {
+					sum += k.f(regime.bound)
+				}
+				_ = sum
+			})
+		}
+	}
+}
+
+// BenchmarkParallelScan measures the parallel UCR-suite scan against the
+// serial one on the ScaleQuick dataset (the acceptance target is >= 2x at
+// GOMAXPROCS >= 4). Both modes return bit-identical answers; only wall
+// clock differs.
+func BenchmarkParallelScan(b *testing.B) {
+	n := dataset.NumSeriesForGB(100, 256, dataset.ScaleQuick)
+	ds := dataset.RandomWalk(n, 256, 42)
+	queries := dataset.SynthRand(16, 256, 7).Queries
+	workerCounts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		workerCounts = append(workerCounts, p)
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			s := ucr.New(core.Options{Workers: w})
+			if err := s.Build(core.NewCollection(ds)); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.KNN(queries[i%len(queries)], 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWorkloadConcurrent measures query throughput of the pooled
+// workload runner (inter-query parallelism) against the serial runner.
+func BenchmarkWorkloadConcurrent(b *testing.B) {
+	n := dataset.NumSeriesForGB(25, 256, dataset.ScaleQuick)
+	ds := dataset.RandomWalk(n, 256, 42)
+	wl := dataset.SynthRand(32, 256, 7)
+	repCounts := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		repCounts = append(repCounts, p)
+	}
+	for _, nrep := range repCounts {
+		b.Run(fmt.Sprintf("replicas=%d", nrep), func(b *testing.B) {
+			reps, err := core.NewReplicas("UCR-Suite", core.Options{}, ds, nrep)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunWorkloadConcurrent(reps, wl, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -31,6 +31,7 @@ func main() {
 		seriesLen  = flag.Int("length", 256, "default series length")
 		seed       = flag.Int64("seed", 1, "generator seed")
 		k          = flag.Int("k", 1, "number of nearest neighbors")
+		workers    = flag.Int("workers", 0, "intra-query scan parallelism (0 = serial, -1 = GOMAXPROCS)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -52,6 +53,7 @@ func main() {
 	cfg.SeriesLen = *seriesLen
 	cfg.Seed = *seed
 	cfg.K = *k
+	cfg.Workers = *workers
 
 	ids := experiments.IDs()
 	if *experiment != "all" {

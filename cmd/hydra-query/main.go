@@ -6,6 +6,7 @@
 //
 //	hydra-query -data synth.hyd -queries q.hyd -method DSTree -k 1
 //	hydra-query -data synth.hyd -queries q.hyd -method all -device ssd
+//	hydra-query -data synth.hyd -queries q.hyd -method UCR-Suite -workers -1
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 		k         = flag.Int("k", 1, "number of nearest neighbors")
 		leafSize  = flag.Int("leaf", 0, "leaf size (0 = paper default scaled to collection)")
 		device    = flag.String("device", "hdd", "device profile: hdd|ssd")
+		workers   = flag.Int("workers", 0, "intra-query scan parallelism (0 = serial, -1 = GOMAXPROCS)")
 		verbose   = flag.Bool("v", false, "print every match")
 	)
 	flag.Parse()
@@ -68,7 +70,7 @@ func main() {
 	fmt.Fprintln(tw, "Method\tIdx(s)\tQueries(s)\tSeqOps\tRandOps\tPruning\tMeanDist")
 	for _, name := range names {
 		name = strings.TrimSpace(name)
-		m, err := core.New(name, core.Options{LeafSize: *leafSize})
+		m, err := core.New(name, core.Options{LeafSize: *leafSize, Workers: *workers})
 		if err != nil {
 			fail("%v", err)
 		}

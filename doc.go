@@ -9,4 +9,46 @@
 // Start with README.md, the examples/ directory, and internal/core for the
 // public API. The root package hosts the per-artifact benchmarks
 // (bench_test.go).
+//
+// # Concurrency model
+//
+// The suite distinguishes two axes of parallelism, both layered on top of
+// the paper's serial semantics without changing any answer:
+//
+//   - Intra-query: core.ParallelScanKNN splits the raw file into one
+//     contiguous shard per worker (storage.SeriesFile.Shards) and scans the
+//     shards concurrently against a lock-free shared best-so-far bound
+//     (core.BestSoFar, atomic float64 bits, the MESSI coordination scheme).
+//     The UCR-Suite method exposes this as core.Options.Workers.
+//   - Inter-query: core.RunWorkloadConcurrent drives a pool of method
+//     replicas (core.NewReplicas) over a workload, one query at a time per
+//     replica, so each query's I/O and CPU are attributed exactly to its
+//     own stats record.
+//
+// Sharing rules. storage.Counters is atomic and may be charged from any
+// number of goroutines. A storage.SeriesFile has an atomic scan cursor, so
+// concurrent reads are race-free, but goroutines interleaving reads on one
+// shared cursor scramble the sequential/random attribution — concurrent
+// scans that need the paper's exact §4.2 accounting must take per-shard
+// views from SeriesFile.Shards (each shard has its own cursor and charges
+// the shared counters; a full sharded pass moves exactly the file size with
+// at most one seek per shard). Built methods are read-only during queries
+// and safe for concurrent KNN calls on one shared collection (ADS+ guards
+// its adaptive leaf materialization with a mutex).
+//
+// # Determinism guarantees
+//
+// Parallel query answering is bit-deterministic, not merely approximately
+// correct: ParallelScanKNN returns the same IDs, the same float64 distances
+// and the same tie-breaks (ascending ID on equal distance) as the serial
+// UCR-suite scan, for every worker count. Candidates that reach the result
+// set are never early-abandoned under any bound in play, so their distances
+// are full sums computed in the serial kernel's element order, and the
+// (distance, ID) top-k selection is insertion-order independent. The
+// blocked distance kernels used by the leaf-materializing indexes
+// (series.SquaredDistEABlocked and the ordered variant) agree with the
+// scalar kernels to within 1e-9 relative error and never abandon a
+// candidate the scalar kernels keep. Simulated I/O counts, pruning ratios
+// and disk-access figures are exactly reproducible in serial mode and for
+// all sharded scans; only measured wall-clock times vary run to run.
 package hydra

@@ -102,6 +102,12 @@ type Options struct {
 	MemoryBudgetBytes int64
 	// Seed drives any randomized tie-breaking during construction.
 	Seed int64
+	// Workers enables intra-query parallelism for methods that support it
+	// (currently the UCR-Suite scan): 0 or 1 keeps the paper's serial
+	// execution, >1 fans each query out over that many scan shards, and a
+	// negative value selects GOMAXPROCS. Results are bit-identical to the
+	// serial execution regardless of the setting.
+	Workers int
 }
 
 // WithDefaults returns o with unset fields replaced by the paper's defaults,

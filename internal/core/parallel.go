@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hydra/internal/dataset"
+	"hydra/internal/series"
+	"hydra/internal/stats"
+)
+
+// BestSoFar is a lock-free pruning bound shared by concurrent scan workers,
+// the coordination device of MESSI-style parallel query answering: every
+// worker prunes against the global minimum of all workers' published bounds
+// instead of only its own. The value is stored as float64 bits in an atomic
+// word; updates are compare-and-swap minimum, so the bound only ever
+// tightens.
+type BestSoFar struct {
+	bits atomic.Uint64
+}
+
+// NewBestSoFar returns a shared bound initialized to +Inf (nothing pruned).
+func NewBestSoFar() *BestSoFar {
+	b := &BestSoFar{}
+	b.bits.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+// Load returns the current shared bound.
+func (b *BestSoFar) Load() float64 {
+	return math.Float64frombits(b.bits.Load())
+}
+
+// Tighten lowers the shared bound to v if v is smaller, retrying the CAS
+// until this update is reflected or a concurrent update made it obsolete.
+func (b *BestSoFar) Tighten(v float64) {
+	for {
+		old := b.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Merge folds every candidate of o into s, preserving the deterministic
+// (distance, then ascending ID) selection: for a fixed multiset of
+// candidates the resulting top-k is unique regardless of insertion order, so
+// merging per-shard sets reproduces the serial scan's answer exactly.
+func (s *KNNSet) Merge(o *KNNSet) {
+	for _, m := range o.heap {
+		s.Add(m.ID, m.Dist)
+	}
+}
+
+// ParallelScanKNN answers an exact k-NN query with a parallel sequential
+// scan: the raw file is split into one contiguous shard per worker
+// (storage.SeriesFile.Shards), each worker runs the UCR-suite reordered
+// early-abandoning scan over its shard against min(its own bound, the
+// shared BestSoFar), and the per-shard result sets are merged
+// deterministically (ties by ascending ID).
+//
+// The result is bit-identical to the serial UCR-suite scan for any worker
+// count: a candidate that belongs to the final top-k is never abandoned
+// (every bound in play is at least the final k-th distance), so its distance
+// is the full sum computed in the same per-element order as the serial
+// kernel, and the (distance, ID) selection is order-independent.
+//
+// I/O accounting keeps the paper's §4.2 convention exactly: the scan moves
+// the file size once, as sequential reads plus at most one seek per shard.
+// workers <= 0 selects runtime.GOMAXPROCS(0).
+func ParallelScanKNN(c *Collection, q series.Series, k, workers int) ([]Match, stats.QueryStats, error) {
+	var qs stats.QueryStats
+	qs.DatasetSize = int64(c.File.Len())
+	if len(q) != c.File.SeriesLen() {
+		return nil, qs, fmt.Errorf("core: query length %d, collection length %d", len(q), c.File.SeriesLen())
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shards := c.File.Shards(workers)
+	if len(shards) == 0 {
+		return nil, qs, nil
+	}
+	ord := series.NewOrder(q)
+	shared := NewBestSoFar()
+	sets := make([]*KNNSet, len(shards))
+	perShard := make([]stats.QueryStats, len(shards))
+	var wg sync.WaitGroup
+	for w := range shards {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := shards[w]
+			set := NewKNNSet(k)
+			ws := &perShard[w]
+			for i := sh.Lo(); i < sh.Hi(); i++ {
+				cand := sh.Read(i)
+				bound := set.Bound()
+				if g := shared.Load(); g < bound {
+					bound = g
+				}
+				d := series.SquaredDistEAOrdered(q, cand, ord, bound)
+				ws.DistCalcs++
+				ws.RawSeriesExamined++
+				if set.Add(i, d) {
+					shared.Tighten(set.Bound())
+				}
+			}
+			sets[w] = set
+		}(w)
+	}
+	wg.Wait()
+	merged := sets[0]
+	for _, s := range sets[1:] {
+		merged.Merge(s)
+	}
+	for w := range perShard {
+		qs.DistCalcs += perShard[w].DistCalcs
+		qs.RawSeriesExamined += perShard[w].RawSeriesExamined
+	}
+	return merged.Results(), qs, nil
+}
+
+// Replica is one worker's private (method, collection) pair for concurrent
+// workload execution. Replicas built over the same dataset share the backing
+// series data but have independent counters, which is what makes exact
+// per-query I/O attribution possible while queries run concurrently.
+type Replica struct {
+	M Method
+	C *Collection
+}
+
+// NewReplicas instantiates and builds n independent replicas of the named
+// method over d. The collections share d's series storage (NewSeriesFile
+// does not copy), so the memory cost is per-replica index structure only.
+func NewReplicas(name string, opts Options, d *dataset.Dataset, n int) ([]Replica, error) {
+	if n < 1 {
+		n = 1
+	}
+	reps := make([]Replica, 0, n)
+	for i := 0; i < n; i++ {
+		m, err := New(name, opts)
+		if err != nil {
+			return nil, err
+		}
+		c := NewCollection(d)
+		if err := m.Build(c); err != nil {
+			return nil, fmt.Errorf("core: building replica %d of %s: %w", i, name, err)
+		}
+		reps = append(reps, Replica{M: m, C: c})
+	}
+	return reps, nil
+}
+
+// RunWorkloadConcurrent answers the workload with a pool of one goroutine
+// per replica, pulling queries from a shared atomic cursor. Because each
+// replica owns its counters and serves one query at a time, every
+// QueryStats carries exactly its own query's I/O and CPU — the concurrent
+// analogue of RunWorkload's snapshot-delta attribution. Per-query stats are
+// stored at the query's workload position, so aggregate results are
+// independent of scheduling. The first error (by query index) is returned.
+func RunWorkloadConcurrent(reps []Replica, w *dataset.Workload, k int) (stats.WorkloadStats, error) {
+	var ws stats.WorkloadStats
+	if len(reps) == 0 {
+		return ws, fmt.Errorf("core: RunWorkloadConcurrent needs at least one replica")
+	}
+	ws.Queries = make([]stats.QueryStats, len(w.Queries))
+	errs := make([]error, len(w.Queries))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for r := range reps {
+		wg.Add(1)
+		go func(rep Replica) {
+			defer wg.Done()
+			for {
+				qi := int(next.Add(1)) - 1
+				if qi >= len(w.Queries) {
+					return
+				}
+				_, qs, err := RunQuery(rep.M, rep.C, w.Queries[qi], k)
+				if err != nil {
+					errs[qi] = fmt.Errorf("core: query %d: %w", qi, err)
+					return
+				}
+				ws.Queries[qi] = qs
+			}
+		}(reps[r])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return ws, err
+		}
+	}
+	return ws, nil
+}

@@ -43,6 +43,15 @@ type Config struct {
 	// CalibNoise is the noise level of difficulty-calibrated Synth-Rand
 	// workloads at reduced scales (see synthRand); default 0.15.
 	CalibNoise float64
+	// Workers is the intra-query parallelism degree passed to the methods
+	// (core.Options.Workers): 0 keeps the paper's serial execution. Only the
+	// scan methods honor it. Answers and pruning ratios are bit-identical
+	// either way, and so are total bytes moved, but the scan's seq/rand
+	// split shifts: a sharded pass charges up to Workers-1 seeks per query
+	// that the serial scan does not, so access-count columns of figures
+	// that include UCR-Suite reflect the parallel layout. Reproducing the
+	// paper's accounting exactly requires Workers == 0.
+	Workers int
 }
 
 // DefaultConfig returns the paper's setup at the given scale.
@@ -97,6 +106,12 @@ func leafFor(n int) int {
 		l = 8
 	}
 	return l
+}
+
+// options assembles the per-run method options: the given leaf size plus the
+// harness-wide knobs carried by the config.
+func (c Config) options(leaf int) core.Options {
+	return core.Options{LeafSize: leaf, Workers: c.Workers}
 }
 
 // Report is a printable experiment result.

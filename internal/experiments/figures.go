@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"hydra/internal/core"
 	"hydra/internal/dataset"
 	"hydra/internal/methods"
 	"hydra/internal/storage"
@@ -76,7 +75,7 @@ func Fig2LeafSize(cfg Config) (*Report, error) {
 		var totals []time.Duration
 		max := time.Duration(0)
 		for _, leaf := range sw.leaves {
-			run, err := runMethod(sw.method, sw.ds, sw.wl, core.Options{LeafSize: leaf}, cfg.K)
+			run, err := runMethod(sw.method, sw.ds, sw.wl, cfg.options(leaf), cfg.K)
 			if err != nil {
 				return nil, err
 			}
@@ -116,7 +115,7 @@ func Fig3Scalability(cfg Config) (*Report, error) {
 		ds := dataset.RandomWalk(cfg.numSeries(gb, cfg.SeriesLen), cfg.SeriesLen, cfg.Seed)
 		ds.Name = fmt.Sprintf("synth-%.0fGB-eq", gb)
 		wl := cfg.synthRand(ds, cfg.Seed+100)
-		opts := core.Options{LeafSize: leafFor(ds.Len())}
+		opts := cfg.options(leafFor(ds.Len()))
 		for _, name := range methods.All() {
 			run, err := runMethod(name, ds, wl, opts, cfg.K)
 			if err != nil {
@@ -154,7 +153,7 @@ func Fig4DiskAccesses(cfg Config, sizesGB []float64, lengths []int) (*Report, er
 	add := func(variant string, gb float64, length int) error {
 		ds := dataset.RandomWalk(cfg.numSeries(gb, length), length, cfg.Seed)
 		wl := cfg.synthRand(ds, cfg.Seed+100)
-		opts := core.Options{LeafSize: leafFor(ds.Len())}
+		opts := cfg.options(leafFor(ds.Len()))
 		for _, name := range methods.BestSix() {
 			run, err := runMethod(name, ds, wl, opts, cfg.K)
 			if err != nil {
@@ -200,7 +199,7 @@ func Fig5Lengths(cfg Config, lengths []int) (*Report, error) {
 	for _, l := range lengths {
 		ds := dataset.RandomWalk(cfg.numSeries(100, l), l, cfg.Seed)
 		wl := cfg.synthRand(ds, cfg.Seed+100)
-		opts := core.Options{LeafSize: leafFor(ds.Len())}
+		opts := cfg.options(leafFor(ds.Len()))
 		for _, name := range methods.BestSix() {
 			run, err := runMethod(name, ds, wl, opts, cfg.K)
 			if err != nil {
@@ -233,7 +232,7 @@ func scalabilityComparison(cfg Config, id string, dev storage.DeviceProfile, siz
 	for _, gb := range sizesGB {
 		ds := dataset.RandomWalk(cfg.numSeries(gb, cfg.SeriesLen), cfg.SeriesLen, cfg.Seed)
 		wl := cfg.synthRand(ds, cfg.Seed+100)
-		opts := core.Options{LeafSize: leafFor(ds.Len())}
+		opts := cfg.options(leafFor(ds.Len()))
 		runs, err := runAll(methods.BestSix(), ds, wl, opts, cfg.K)
 		if err != nil {
 			return nil, err

@@ -30,7 +30,7 @@ func Fig8Footprint(cfg Config, sizesGB []float64, lengths []int) (*Report, error
 	}
 	for _, gb := range sizesGB {
 		ds := dataset.RandomWalk(cfg.numSeries(gb, cfg.SeriesLen), cfg.SeriesLen, cfg.Seed)
-		opts := core.Options{LeafSize: leafFor(ds.Len())}
+		opts := cfg.options(leafFor(ds.Len()))
 		for _, name := range footprintMethods {
 			m, err := core.New(name, opts)
 			if err != nil {
@@ -62,7 +62,7 @@ func Fig8Footprint(cfg Config, sizesGB []float64, lengths []int) (*Report, error
 	for _, l := range lengths {
 		ds := dataset.RandomWalk(cfg.numSeries(100, l), l, cfg.Seed)
 		queries := dataset.SynthRand(minInt(cfg.NumQueries, 20), l, cfg.Seed+100).Queries
-		opts := core.Options{LeafSize: leafFor(ds.Len())}
+		opts := cfg.options(leafFor(ds.Len()))
 		for _, name := range tlbMethods {
 			m, err := core.New(name, opts)
 			if err != nil {

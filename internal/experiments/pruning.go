@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"hydra/internal/core"
 	"hydra/internal/dataset"
 	"hydra/internal/methods"
 	"hydra/internal/storage"
@@ -46,7 +45,7 @@ func Fig9Pruning(cfg Config) (*Report, error) {
 		{"Deep-Ctrl", deep, dataset.Ctrl(deep, cfg.NumQueries, ctrlNoise, cfg.Seed+106)},
 	}
 	for _, c := range cases {
-		opts := core.Options{LeafSize: leafFor(c.ds.Len())}
+		opts := cfg.options(leafFor(c.ds.Len()))
 		for _, name := range pruningMethods {
 			run, err := runMethod(name, c.ds, c.wl, opts, cfg.K)
 			if err != nil {
@@ -107,7 +106,7 @@ func Table2Controlled(cfg Config) (*Report, error) {
 	}
 
 	for _, c := range cases {
-		opts := core.Options{LeafSize: leafFor(c.ds.Len())}
+		opts := cfg.options(leafFor(c.ds.Len()))
 		runs, err := runAll(methods.BestSix(), c.ds, c.wl, opts, cfg.K)
 		if err != nil {
 			return nil, err
@@ -171,7 +170,7 @@ func Fig10Matrix(cfg Config) (*Report, error) {
 	for _, c := range cells {
 		ds := dataset.RandomWalk(cfg.numSeries(c.gb, c.length), c.length, cfg.Seed)
 		wl := cfg.synthRand(ds, cfg.Seed+100)
-		opts := core.Options{LeafSize: leafFor(ds.Len())}
+		opts := cfg.options(leafFor(ds.Len()))
 		runs, err := runAll(pruningMethods, ds, wl, opts, cfg.K)
 		if err != nil {
 			return nil, err

@@ -19,6 +19,7 @@ package ads
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"hydra/internal/core"
 	"hydra/internal/index/isaxtree"
@@ -35,8 +36,30 @@ type Index struct {
 	opts core.Options
 	c    *core.Collection
 	tree *isaxtree.Tree
+	// mu guards materialized — the only per-query mutable state of the
+	// index, so concurrent queries against one built Index stay race-free.
+	mu sync.Mutex
 	// materialized marks adaptively loaded leaves (on-disk leaf caches).
 	materialized map[*isaxtree.Node]bool
+}
+
+// chargeAdaptiveLeaf charges the I/O of visiting a leaf under the adaptive
+// materialization policy: random fetches from the raw file on first touch
+// (marking the leaf materialized), one leaf access afterwards.
+func (ix *Index) chargeAdaptiveLeaf(leaf *isaxtree.Node) {
+	ix.mu.Lock()
+	first := !ix.materialized[leaf]
+	if first {
+		ix.materialized[leaf] = true
+	}
+	ix.mu.Unlock()
+	if first {
+		for range leaf.Members {
+			ix.c.Counters.ChargeRand(ix.c.File.SeriesBytes())
+		}
+	} else {
+		ix.c.File.ChargeLeafRead(len(leaf.Members))
+	}
 }
 
 // New creates an ADS+ index.
@@ -91,16 +114,9 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 	// adaptively (random fetches from the raw file on first touch only).
 	approxVisited := map[int]bool{}
 	if leaf := ix.tree.ApproxLeaf(qword); leaf != nil {
-		if !ix.materialized[leaf] {
-			for range leaf.Members {
-				ix.c.Counters.ChargeRand(f.SeriesBytes())
-			}
-			ix.materialized[leaf] = true
-		} else {
-			f.ChargeLeafRead(len(leaf.Members))
-		}
+		ix.chargeAdaptiveLeaf(leaf)
 		for _, id := range leaf.Members {
-			d := series.SquaredDistEAOrdered(q, f.Peek(id), ord, set.Bound())
+			d := series.SquaredDistEAOrderedBlocked(q, f.Peek(id), ord, set.Bound())
 			qs.DistCalcs++
 			qs.RawSeriesExamined++
 			set.Add(id, d)
@@ -125,7 +141,7 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 			continue
 		}
 		raw := f.Read(i)
-		d := series.SquaredDistEAOrdered(q, raw, ord, set.Bound())
+		d := series.SquaredDistEAOrderedBlocked(q, raw, ord, set.Bound())
 		qs.DistCalcs++
 		qs.RawSeriesExamined++
 		set.Add(i, d)
@@ -137,11 +153,13 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 func (ix *Index) TreeStats() stats.TreeStats {
 	ts := ix.tree.TreeStats(ix.c.File.SeriesBytes(), false)
 	// Materialized leaf caches count toward the (adaptive) disk footprint.
+	ix.mu.Lock()
 	for n, ok := range ix.materialized {
 		if ok {
 			ts.DiskBytes += int64(len(n.Members)) * ix.c.File.SeriesBytes()
 		}
 	}
+	ix.mu.Unlock()
 	return ts
 }
 

@@ -28,16 +28,9 @@ func (ix *Index) ApproxKNN(q series.Series, k int) ([]core.Match, stats.QuerySta
 	set := core.NewKNNSet(k)
 	ord := series.NewOrder(q)
 	if leaf := ix.tree.ApproxLeaf(qword); leaf != nil {
-		if !ix.materialized[leaf] {
-			for range leaf.Members {
-				ix.c.Counters.ChargeRand(f.SeriesBytes())
-			}
-			ix.materialized[leaf] = true
-		} else {
-			f.ChargeLeafRead(len(leaf.Members))
-		}
+		ix.chargeAdaptiveLeaf(leaf)
 		for _, id := range leaf.Members {
-			d := series.SquaredDistEAOrdered(q, f.Peek(id), ord, set.Bound())
+			d := series.SquaredDistEAOrderedBlocked(q, f.Peek(id), ord, set.Bound())
 			qs.DistCalcs++
 			qs.RawSeriesExamined++
 			set.Add(id, d)
@@ -68,7 +61,7 @@ func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.Qu
 		if lb > set.Bound() {
 			continue
 		}
-		d := series.SquaredDistEA(q, f.Read(i), set.Bound())
+		d := series.SquaredDistEABlocked(q, f.Read(i), set.Bound())
 		qs.DistCalcs++
 		qs.RawSeriesExamined++
 		set.Add(i, d)

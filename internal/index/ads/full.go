@@ -97,7 +97,7 @@ func (ix *FullIndex) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats
 		}
 		f.ChargeLeafRead(len(n.Members))
 		for _, id := range n.Members {
-			d := series.SquaredDistEAOrdered(q, f.Peek(id), ord, set.Bound())
+			d := series.SquaredDistEAOrderedBlocked(q, f.Peek(id), ord, set.Bound())
 			qs.DistCalcs++
 			qs.RawSeriesExamined++
 			set.Add(id, d)

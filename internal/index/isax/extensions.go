@@ -56,7 +56,7 @@ func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.Qu
 			}
 			ix.c.File.ChargeLeafRead(len(n.Members))
 			for _, id := range n.Members {
-				d := series.SquaredDistEA(q, ix.c.File.Peek(id), set.Bound())
+				d := series.SquaredDistEABlocked(q, ix.c.File.Peek(id), set.Bound())
 				qs.DistCalcs++
 				qs.RawSeriesExamined++
 				set.Add(id, d)

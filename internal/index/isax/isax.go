@@ -129,7 +129,7 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 func (ix *Index) visitLeaf(n *isaxtree.Node, q series.Series, ord series.Order, set *core.KNNSet, qs *stats.QueryStats) {
 	ix.c.File.ChargeLeafRead(len(n.Members))
 	for _, id := range n.Members {
-		d := series.SquaredDistEAOrdered(q, ix.c.File.Peek(id), ord, set.Bound())
+		d := series.SquaredDistEAOrderedBlocked(q, ix.c.File.Peek(id), ord, set.Bound())
 		qs.DistCalcs++
 		qs.RawSeriesExamined++
 		set.Add(id, d)

@@ -284,7 +284,7 @@ func (ix *Index) descend(qw []uint8) *node {
 func (ix *Index) visitLeaf(n *node, q series.Series, ord series.Order, set *core.KNNSet, qs *stats.QueryStats) {
 	ix.c.File.ChargeLeafRead(len(n.members))
 	for _, id := range n.members {
-		d := series.SquaredDistEAOrdered(q, ix.c.File.Peek(id), ord, set.Bound())
+		d := series.SquaredDistEAOrderedBlocked(q, ix.c.File.Peek(id), ord, set.Bound())
 		qs.DistCalcs++
 		qs.RawSeriesExamined++
 		set.Add(id, d)

@@ -1,6 +1,7 @@
 package methods
 
 import (
+	"math"
 	"sync"
 	"testing"
 
@@ -41,6 +42,163 @@ func TestParallelBuilds(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// TestConcurrentQueriesOneCollection: one built method instance over ONE
+// shared collection must answer concurrent queries race-free (run under
+// -race) and return the same matches as serial execution. This is the
+// regression test for the shared SeriesFile cursor (now atomic) and for
+// ADS+'s adaptive materialization map (now mutex-guarded) — TestParallelBuilds
+// above only covers separate collections.
+func TestConcurrentQueriesOneCollection(t *testing.T) {
+	ds := dataset.RandomWalk(300, 64, 81)
+	queries := dataset.SynthRand(6, 64, 82).Queries
+	const k = 3
+	for _, name := range All() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m, err := core.New(name, core.Options{LeafSize: 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			coll := core.NewCollection(ds)
+			if err := m.Build(coll); err != nil {
+				t.Fatal(err)
+			}
+			// Serial reference answers from the same built instance (queries
+			// are read-only for every method, so asking first is safe).
+			preSerial := coll.Counters.Snapshot().TotalBytes()
+			want := make([][]core.Match, len(queries))
+			for qi, q := range queries {
+				res, _, err := m.KNN(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[qi] = res
+			}
+			postSerial := coll.Counters.Snapshot().TotalBytes()
+			serialBytes := postSerial - preSerial
+			const workers = 4
+			var wg sync.WaitGroup
+			errCh := make(chan error, workers*len(queries))
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for qi, q := range queries {
+						got, _, err := m.KNN(q, k)
+						if err != nil {
+							errCh <- err
+							return
+						}
+						for i := range want[qi] {
+							if got[i].ID != want[qi][i].ID || got[i].Dist != want[qi][i].Dist {
+								t.Errorf("%s query %d match %d: (%d, %v), want (%d, %v)",
+									name, qi, i, got[i].ID, got[i].Dist, want[qi][i].ID, want[qi][i].Dist)
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Error(err)
+			}
+			// If serial queries charge I/O, the concurrent ones must have
+			// accumulated charges too (none lost); memory-resident methods
+			// legitimately charge nothing per query.
+			if after := coll.Counters.Snapshot().TotalBytes(); serialBytes > 0 && after == postSerial {
+				t.Errorf("%s: concurrent queries charged no I/O (serial pass charged %d bytes)",
+					name, serialBytes)
+			}
+		})
+	}
+}
+
+// TestParallelScanMatchesAllOracles: the parallel scan must agree with every
+// registered method's exact answer — bit-identically with the serial
+// UCR-Suite scan (same kernel, same tie-breaks), and up to float
+// reassociation noise with the other methods.
+func TestParallelScanMatchesAllOracles(t *testing.T) {
+	ds := dataset.RandomWalk(250, 64, 91)
+	queries := dataset.SynthRand(4, 64, 92).Queries
+	built := buildAll(t, ds, core.Options{LeafSize: 16})
+	for _, k := range []int{1, 10, 100} {
+		for qi, q := range queries {
+			par, _, err := core.ParallelScanKNN(core.NewCollection(ds), q, k, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, bm := range built {
+				want, _, err := bm.m.KNN(q, k)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if len(par) != len(want) {
+					t.Fatalf("k=%d q=%d vs %s: %d matches, want %d", k, qi, name, len(par), len(want))
+				}
+				for i := range want {
+					exact := name == "UCR-Suite"
+					if exact && (par[i].ID != want[i].ID || par[i].Dist != want[i].Dist) {
+						t.Errorf("k=%d q=%d match %d: parallel (%d, %v) not bit-identical to serial scan (%d, %v)",
+							k, qi, i, par[i].ID, par[i].Dist, want[i].ID, want[i].Dist)
+					}
+					if !exact && math.Abs(par[i].Dist-want[i].Dist) > 1e-6*(1+want[i].Dist) {
+						t.Errorf("k=%d q=%d match %d vs %s: dist %v, want %v",
+							k, qi, i, name, par[i].Dist, want[i].Dist)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestUCRParallelModeBitIdentical: the registered UCR-Suite method with
+// Options.Workers set must return the serial method's exact answers.
+func TestUCRParallelModeBitIdentical(t *testing.T) {
+	ds := dataset.RandomWalk(200, 64, 95)
+	queries := dataset.SynthRand(4, 64, 96).Queries
+	serial, err := core.New("UCR-Suite", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.Build(core.NewCollection(ds)); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{-1, 2, 5} {
+		par, err := core.New("UCR-Suite", core.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := par.Build(core.NewCollection(ds)); err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range queries {
+			for _, k := range []int{1, 10} {
+				want, _, err := serial.KNN(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, qs, err := par.KNN(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("w=%d q=%d k=%d: %d matches, want %d", workers, qi, k, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("w=%d q=%d k=%d match %d: %+v, want %+v", workers, qi, k, i, got[i], want[i])
+					}
+				}
+				if qs.PruningRatio() != 0 {
+					t.Errorf("w=%d: parallel scan must examine all series, pruning=%f", workers, qs.PruningRatio())
+				}
+			}
+		}
 	}
 }
 

@@ -22,11 +22,16 @@ func init() {
 // Scan is the UCR-suite whole-matching scan.
 type Scan struct {
 	c *core.Collection
+	// workers is the intra-query parallelism degree (core.Options.Workers):
+	// 0 or 1 scans serially, >1 fans out over that many shards, negative
+	// uses GOMAXPROCS. Parallel answers are bit-identical to serial ones
+	// (see core.ParallelScanKNN).
+	workers int
 }
 
-// New creates the scan method. Options are accepted for interface symmetry;
-// the scan has no parameters.
-func New(core.Options) *Scan { return &Scan{} }
+// New creates the scan method. The only honored option is Workers; the scan
+// has no other parameters.
+func New(opts core.Options) *Scan { return &Scan{workers: opts.Workers} }
 
 // Name implements core.Method.
 func (s *Scan) Name() string { return "UCR-Suite" }
@@ -38,7 +43,9 @@ func (s *Scan) Build(c *core.Collection) error {
 }
 
 // KNN implements core.Method: one full sequential pass with reordered early
-// abandoning against the running k-th best distance.
+// abandoning against the running k-th best distance. With Workers set, the
+// pass is fanned out over scan shards sharing a best-so-far bound; the
+// answer stays bit-identical to the serial scan.
 func (s *Scan) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if s.c == nil {
@@ -46,6 +53,9 @@ func (s *Scan) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, erro
 	}
 	if len(q) != s.c.File.SeriesLen() {
 		return nil, qs, fmt.Errorf("ucr: query length %d, collection length %d", len(q), s.c.File.SeriesLen())
+	}
+	if s.workers > 1 || s.workers < 0 {
+		return core.ParallelScanKNN(s.c, q, k, s.workers)
 	}
 	ord := series.NewOrder(q)
 	set := core.NewKNNSet(k)

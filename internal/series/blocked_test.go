@@ -1,0 +1,111 @@
+package series
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randPair(n int, rng *rand.Rand) (Series, Series) {
+	q := make(Series, n)
+	c := make(Series, n)
+	for i := range q {
+		q[i] = float32(rng.NormFloat64())
+		c[i] = float32(rng.NormFloat64())
+	}
+	return q, c
+}
+
+// TestBlockedEquivalence: with no abandoning, the blocked kernels must match
+// the scalar kernels within 1e-9 for every length 1..129 (covering every
+// remainder of the 16-element block and the 4-wide unroll).
+func TestBlockedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inf := math.Inf(1)
+	for n := 1; n <= 129; n++ {
+		q, c := randPair(n, rng)
+		ord := NewOrder(q)
+		want := SquaredDist(q, c)
+		tol := 1e-9 * (1 + want)
+		if got := SquaredDistEABlocked(q, c, inf); math.Abs(got-want) > tol {
+			t.Errorf("n=%d: blocked %v, scalar %v", n, got, want)
+		}
+		if got := SquaredDistEAOrderedBlocked(q, c, ord, inf); math.Abs(got-want) > tol {
+			t.Errorf("n=%d: ordered blocked %v, scalar %v", n, got, want)
+		}
+	}
+}
+
+// TestBlockedPruningParity: the blocked kernels must never abandon a
+// candidate the scalar kernels keep — whenever the scalar result is within
+// the bound, the blocked kernel must have completed the full computation and
+// returned the true distance (within 1e-9). This includes the adversarial
+// case bound == true distance, where a reassociated partial sum can sit one
+// ulp above the bound (absorbed by the kernels' relative slack).
+func TestBlockedPruningParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for n := 1; n <= 129; n++ {
+		q, c := randPair(n, rng)
+		ord := NewOrder(q)
+		full := SquaredDist(q, c)
+		tol := 1e-9 * (1 + full)
+		for _, bound := range []float64{0, full * 0.25, full * 0.5, full, full * 2, math.Inf(1)} {
+			scalar := SquaredDistEA(q, c, bound)
+			blocked := SquaredDistEABlocked(q, c, bound)
+			if scalar <= bound && math.Abs(blocked-full) > tol {
+				t.Errorf("n=%d bound=%v: blocked abandoned (%v) a candidate scalar keeps (%v, full %v)",
+					n, bound, blocked, scalar, full)
+			}
+			if blocked <= bound && math.Abs(blocked-full) > tol {
+				t.Errorf("n=%d bound=%v: kept candidate has dist %v, want %v", n, bound, blocked, full)
+			}
+
+			scalarOrd := SquaredDistEAOrdered(q, c, ord, bound)
+			blockedOrd := SquaredDistEAOrderedBlocked(q, c, ord, bound)
+			if scalarOrd <= bound && math.Abs(blockedOrd-full) > tol {
+				t.Errorf("n=%d bound=%v: ordered blocked abandoned (%v) a candidate scalar keeps (%v, full %v)",
+					n, bound, blockedOrd, scalarOrd, full)
+			}
+			if blockedOrd <= bound && math.Abs(blockedOrd-full) > tol {
+				t.Errorf("n=%d bound=%v: kept candidate has ordered dist %v, want %v", n, bound, blockedOrd, full)
+			}
+		}
+	}
+}
+
+// TestBlockedAbandonExceedsBound: like the scalar kernels, an abandoned
+// computation must return a partial sum strictly above the bound, so callers
+// can use `d > bound` to detect pruning.
+func TestBlockedAbandonExceedsBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for n := 1; n <= 129; n++ {
+		q, c := randPair(n, rng)
+		ord := NewOrder(q)
+		full := SquaredDist(q, c)
+		bound := full * 0.5
+		if got := SquaredDistEABlocked(q, c, bound); got <= bound {
+			t.Errorf("n=%d: blocked returned %v <= bound %v but full dist is %v", n, got, bound, full)
+		}
+		if got := SquaredDistEAOrderedBlocked(q, c, ord, bound); got <= bound {
+			t.Errorf("n=%d: ordered blocked returned %v <= bound %v but full dist is %v", n, got, bound, full)
+		}
+	}
+}
+
+func TestBlockedMismatchedLengthsPanic(t *testing.T) {
+	for name, f := range map[string]func(){
+		"blocked": func() { SquaredDistEABlocked(make(Series, 3), make(Series, 4), 1) },
+		"ordered": func() {
+			SquaredDistEAOrderedBlocked(make(Series, 3), make(Series, 4), Order{0, 1, 2}, 1)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on mismatched lengths", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,86 @@
+package storage
+
+import (
+	"fmt"
+
+	"hydra/internal/series"
+)
+
+// Shard is a contiguous view of a SeriesFile with its own sequential cursor,
+// built by SeriesFile.Shards for concurrent scans. Each shard charges the
+// file's shared atomic Counters, so parallel workers scanning disjoint
+// shards keep the paper's seq/rand accounting exact: a full pass over every
+// shard moves exactly the file size, with at most one seek per shard (the
+// initial positioning; the shard starting at offset zero begins where a
+// rewound cursor would, like a serial scan's first read).
+//
+// A Shard is NOT safe for concurrent use by multiple goroutines — it is the
+// per-worker cursor. Distinct shards of the same file are safe to use
+// concurrently.
+type Shard struct {
+	f       *SeriesFile
+	lo, hi  int
+	nextSeq int64 // local cursor; -1 while unpositioned (first read seeks)
+}
+
+// Shards splits the file into p contiguous per-cursor views covering
+// [0, Len) in order. It returns min(p, Len) non-empty shards (nil for an
+// empty file); p < 1 is treated as 1. The views share the file's Counters
+// and data; creating them charges nothing and does not move the file's own
+// cursor.
+func (f *SeriesFile) Shards(p int) []*Shard {
+	n := len(f.data)
+	if p < 1 {
+		p = 1
+	}
+	if p > n {
+		p = n
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]*Shard, p)
+	for w := 0; w < p; w++ {
+		lo := w * n / p
+		cur := int64(-1)
+		if lo == 0 {
+			cur = 0
+		}
+		out[w] = &Shard{f: f, lo: lo, hi: (w + 1) * n / p, nextSeq: cur}
+	}
+	return out
+}
+
+// Lo returns the first series index of the shard (inclusive).
+func (s *Shard) Lo() int { return s.lo }
+
+// Hi returns the end of the shard (exclusive).
+func (s *Shard) Hi() int { return s.hi }
+
+// Len returns the number of series in the shard.
+func (s *Shard) Len() int { return s.hi - s.lo }
+
+// Read returns series i (a file-global index within [Lo, Hi)), charging a
+// sequential access if i continues the shard's previous read and a random
+// access (seek) otherwise.
+func (s *Shard) Read(i int) series.Series {
+	if i < s.lo || i >= s.hi {
+		panic(fmt.Sprintf("storage: shard read %d outside [%d,%d)", i, s.lo, s.hi))
+	}
+	if int64(i) == s.nextSeq {
+		s.f.c.ChargeSeq(s.f.SeriesBytes())
+	} else {
+		s.f.c.ChargeRand(s.f.SeriesBytes())
+	}
+	s.nextSeq = int64(i) + 1
+	return s.f.data[i]
+}
+
+// Peek returns series i without charging any I/O (the shard-local analogue
+// of SeriesFile.Peek).
+func (s *Shard) Peek(i int) series.Series {
+	if i < s.lo || i >= s.hi {
+		panic(fmt.Sprintf("storage: shard peek %d outside [%d,%d)", i, s.lo, s.hi))
+	}
+	return s.f.data[i]
+}

@@ -1,0 +1,165 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestShardsPartition: shards must tile [0, Len) contiguously, in order,
+// with no empty shard.
+func TestShardsPartition(t *testing.T) {
+	f, _ := makeFile(103, 4)
+	for _, p := range []int{1, 2, 3, 4, 7, 64, 103, 500} {
+		shards := f.Shards(p)
+		wantShards := p
+		if wantShards > 103 {
+			wantShards = 103
+		}
+		if len(shards) != wantShards {
+			t.Fatalf("Shards(%d): got %d shards, want %d", p, len(shards), wantShards)
+		}
+		next := 0
+		for i, sh := range shards {
+			if sh.Lo() != next {
+				t.Errorf("Shards(%d): shard %d starts at %d, want %d", p, i, sh.Lo(), next)
+			}
+			if sh.Len() <= 0 {
+				t.Errorf("Shards(%d): shard %d is empty", p, i)
+			}
+			next = sh.Hi()
+		}
+		if next != 103 {
+			t.Errorf("Shards(%d): coverage ends at %d, want 103", p, next)
+		}
+	}
+	if got := f.Shards(0); len(got) != 1 {
+		t.Errorf("Shards(0): got %d shards, want 1", len(got))
+	}
+	empty := NewSeriesFile(nil, &Counters{})
+	if got := empty.Shards(4); got != nil {
+		t.Errorf("Shards over empty file: got %v, want nil", got)
+	}
+}
+
+// TestShardedScanAccounting is the paper's §4.2 invariant under sharding: a
+// full scan split over p shards must move exactly the file size, as
+// sequential transfers except one initial seek per shard (none for the shard
+// that starts at offset zero).
+func TestShardedScanAccounting(t *testing.T) {
+	const n, l = 103, 7
+	for _, p := range []int{1, 2, 3, 4, 8, 103, 200} {
+		f, c := makeFile(n, l)
+		shards := f.Shards(p)
+		for _, sh := range shards {
+			for i := sh.Lo(); i < sh.Hi(); i++ {
+				sh.Read(i)
+			}
+		}
+		snap := c.Snapshot()
+		if snap.TotalBytes() != f.SizeBytes() {
+			t.Errorf("p=%d: moved %d bytes, want file size %d", p, snap.TotalBytes(), f.SizeBytes())
+		}
+		wantRand := int64(len(shards) - 1) // shard 0 starts sequential
+		if snap.RandOps != wantRand {
+			t.Errorf("p=%d: %d random ops, want %d", p, snap.RandOps, wantRand)
+		}
+		if int64(p) < snap.RandOps {
+			t.Errorf("p=%d: %d random ops exceeds one seek per shard", p, snap.RandOps)
+		}
+		if wantSeq := int64(n) - wantRand; snap.SeqOps != wantSeq {
+			t.Errorf("p=%d: %d sequential ops, want %d", p, snap.SeqOps, wantSeq)
+		}
+	}
+}
+
+// TestShardSkipsChargeSeeks: a shard-local skip behaves like the serial
+// cursor — the skipped-to read is a seek, continuations are sequential.
+func TestShardSkipsChargeSeeks(t *testing.T) {
+	f, c := makeFile(20, 2)
+	sh := f.Shards(2)[1] // [10, 20), unpositioned
+	sh.Read(10)          // first touch: seek
+	sh.Read(11)          // continues: seq
+	sh.Read(15)          // skip: seek
+	sh.Read(16)          // continues: seq
+	if got := c.RandOps(); got != 2 {
+		t.Errorf("RandOps=%d want 2", got)
+	}
+	if got := c.SeqOps(); got != 2 {
+		t.Errorf("SeqOps=%d want 2", got)
+	}
+}
+
+// TestShardBounds: reads outside the shard's range must panic rather than
+// silently touching another worker's region.
+func TestShardBounds(t *testing.T) {
+	f, _ := makeFile(10, 2)
+	sh := f.Shards(2)[0] // [0, 5)
+	for _, bad := range []func(){
+		func() { sh.Read(5) },
+		func() { sh.Read(-1) },
+		func() { sh.Peek(7) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on out-of-shard access")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+// TestShardsConcurrent: concurrent full scans over disjoint shards of one
+// file must be race-free (run under -race) and lose no charges.
+func TestShardsConcurrent(t *testing.T) {
+	const n, l, p = 400, 8, 8
+	f, c := makeFile(n, l)
+	shards := f.Shards(p)
+	var wg sync.WaitGroup
+	for _, sh := range shards {
+		wg.Add(1)
+		go func(sh *Shard) {
+			defer wg.Done()
+			for i := sh.Lo(); i < sh.Hi(); i++ {
+				sh.Read(i)
+			}
+		}(sh)
+	}
+	wg.Wait()
+	snap := c.Snapshot()
+	if snap.TotalBytes() != f.SizeBytes() {
+		t.Errorf("moved %d bytes, want %d", snap.TotalBytes(), f.SizeBytes())
+	}
+	if snap.RandOps != p-1 {
+		t.Errorf("RandOps=%d want %d", snap.RandOps, p-1)
+	}
+}
+
+// TestSerialCursorConcurrentReadsRaceFree: the serial Read API on a shared
+// SeriesFile must be memory-safe under concurrency (atomic cursor) and lose
+// no byte charges, even though seq/rand attribution interleaves; exact
+// attribution requires Shards (see the SeriesFile doc).
+func TestSerialCursorConcurrentReadsRaceFree(t *testing.T) {
+	const n, l, workers = 200, 4, 8
+	f, c := makeFile(n, l)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				f.Read(i)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := c.Snapshot()
+	want := int64(workers) * f.SizeBytes()
+	if snap.TotalBytes() != want {
+		t.Errorf("moved %d bytes, want %d", snap.TotalBytes(), want)
+	}
+	if snap.SeqOps+snap.RandOps != workers*n {
+		t.Errorf("ops=%d want %d", snap.SeqOps+snap.RandOps, workers*n)
+	}
+}

@@ -160,11 +160,18 @@ const BytesPerValue = 4
 // Counters. Access position is tracked so that consecutive reads are charged
 // as sequential and everything else as a seek, mirroring how the paper counts
 // skip-sequential methods.
+//
+// Concurrency: the cursor is atomic, so concurrent Read/ReadRange calls are
+// race-free and never lose a charge — but goroutines interleaving reads on
+// one shared cursor scramble the seq/rand attribution (each one's read looks
+// like a seek to the next). Concurrent scans that need the paper's exact
+// accounting must use per-shard views from Shards, which give every worker
+// its own cursor while charging the same atomic Counters.
 type SeriesFile struct {
 	data    []series.Series
 	length  int
 	c       *Counters
-	nextSeq int64 // index of the series a sequential read would hit next
+	nextSeq atomic.Int64 // index of the series a sequential read would hit next
 }
 
 // NewSeriesFile wraps data (all series must share the same length) in a
@@ -179,7 +186,7 @@ func NewSeriesFile(data []series.Series, c *Counters) *SeriesFile {
 			panic(fmt.Sprintf("storage: series %d has length %d, want %d", i, len(s), length))
 		}
 	}
-	return &SeriesFile{data: data, length: length, c: c, nextSeq: 0}
+	return &SeriesFile{data: data, length: length, c: c}
 }
 
 // Len returns the number of series in the file.
@@ -200,17 +207,20 @@ func (f *SeriesFile) Counters() *Counters { return f.c }
 // Rewind resets the sequential cursor to the start of the file (e.g., before
 // a full scan). It charges nothing: the first read of a scan is charged as
 // one seek by Read if the cursor had moved.
-func (f *SeriesFile) Rewind() { f.nextSeq = 0 }
+func (f *SeriesFile) Rewind() { f.nextSeq.Store(0) }
 
 // Read returns series i, charging a sequential access if i continues the
 // previous read and a random access (seek) otherwise.
 func (f *SeriesFile) Read(i int) series.Series {
-	if int64(i) == f.nextSeq {
+	// The CAS advances the cursor and detects continuation in one step; on a
+	// miss (a seek, or another goroutine interleaving on the shared cursor)
+	// the read is charged as random and the cursor repositioned.
+	if f.nextSeq.CompareAndSwap(int64(i), int64(i)+1) {
 		f.c.ChargeSeq(f.SeriesBytes())
 	} else {
 		f.c.ChargeRand(f.SeriesBytes())
+		f.nextSeq.Store(int64(i) + 1)
 	}
-	f.nextSeq = int64(i) + 1
 	return f.data[i]
 }
 
@@ -222,12 +232,12 @@ func (f *SeriesFile) ReadRange(lo, hi int) []series.Series {
 		panic(fmt.Sprintf("storage: ReadRange[%d,%d) out of bounds 0..%d", lo, hi, len(f.data)))
 	}
 	n := int64(hi-lo) * f.SeriesBytes()
-	if int64(lo) == f.nextSeq {
+	if f.nextSeq.CompareAndSwap(int64(lo), int64(hi)) {
 		f.c.ChargeSeq(n)
 	} else {
 		f.c.ChargeRand(n)
+		f.nextSeq.Store(int64(hi))
 	}
-	f.nextSeq = int64(hi)
 	return f.data[lo:hi]
 }
 
@@ -240,7 +250,7 @@ func (f *SeriesFile) Peek(i int) series.Series { return f.data[i] }
 // bulk-loading index builders read their input.
 func (f *SeriesFile) ChargeFullScan() {
 	f.c.ChargeSeq(f.SizeBytes())
-	f.nextSeq = int64(len(f.data))
+	f.nextSeq.Store(int64(len(f.data)))
 }
 
 // ChargeLeafRead charges one leaf access: a seek plus a sequential transfer
