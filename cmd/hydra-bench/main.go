@@ -5,7 +5,13 @@
 //
 //	hydra-bench -experiment all              # everything (slow)
 //	hydra-bench -experiment fig6 -scale 1024 # one artifact at 1/1024 scale
+//	hydra-bench -experiment fig5 -index idx/ # cache indexes across runs
 //	hydra-bench -list
+//
+// With -index, tree indexes are snapshotted into the named directory on
+// first build and loaded on later runs (build-once/query-many): only the
+// first run of a parametrization pays construction, and the build column of
+// cached runs reports snapshot load cost instead.
 //
 // The -scale flag is the divisor applied to the paper's collection sizes
 // (1 = full paper scale; 1024 = default; 16384 = quick smoke run).
@@ -32,6 +38,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "generator seed")
 		k          = flag.Int("k", 1, "number of nearest neighbors")
 		workers    = flag.Int("workers", 0, "intra-query scan parallelism (0 = serial, -1 = GOMAXPROCS)")
+		indexDir   = flag.String("index", "", "snapshot cache directory: persist indexes on first build, load on later runs")
 		list       = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -54,6 +61,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.K = *k
 	cfg.Workers = *workers
+	cfg.IndexDir = *indexDir
 
 	ids := experiments.IDs()
 	if *experiment != "all" {

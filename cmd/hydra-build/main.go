@@ -1,0 +1,111 @@
+// Command hydra-build constructs similarity search indexes and persists
+// them as versioned snapshots (docs/FORMAT.md), decoupling the paper's two
+// cost phases: pay the build once here, then answer arbitrarily many query
+// workloads with hydra-query -index (or hydra-bench -index), which load the
+// snapshot instead of rebuilding.
+//
+// Usage:
+//
+//	hydra-build -data synth.hyd -method DSTree -out dstree.hydx
+//	hydra-build -data synth.hyd -method DSTree,VA+file -out idx/
+//	hydra-build -data synth.hyd -method all -out idx/
+//
+// With a single method, -out names the snapshot file; with several (or
+// "all", every snapshot-capable method), -out names a directory that
+// receives one <method>.hydx per method.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"text/tabwriter"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/methods"
+	"hydra/internal/persist"
+	"hydra/internal/storage"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "collection file (from hydra-gen)")
+		method   = flag.String("method", "", "method name, comma list, or 'all' (snapshot-capable methods)")
+		out      = flag.String("out", "", "output snapshot file (single method) or directory (several)")
+		leafSize = flag.Int("leaf", 0, "leaf size (0 = paper default scaled to collection)")
+		device   = flag.String("device", "hdd", "device profile for reported build time: hdd|ssd")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "hydra-build: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if *dataPath == "" || *method == "" || *out == "" {
+		fail("-data, -method and -out are required")
+	}
+	dev := storage.HDD
+	if strings.EqualFold(*device, "ssd") {
+		dev = storage.SSD
+	}
+
+	ds, err := dataset.LoadFile(*dataPath)
+	if err != nil {
+		fail("loading data: %v", err)
+	}
+
+	names := methods.ParseList(*method, core.Persistables())
+	if len(names) == 0 {
+		fail("-method names no methods")
+	}
+	multi := len(names) > 1
+	if multi {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fail("creating output directory: %v", err)
+		}
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Method\tBuild(s)\tSeqOps\tRandOps\tSnapshot(B)\tPath")
+	for _, name := range names {
+		m, err := core.New(name, core.Options{LeafSize: *leafSize})
+		if err != nil {
+			fail("%v", err)
+		}
+		p, ok := m.(core.Persistable)
+		if !ok {
+			fail("method %q does not support snapshots (snapshot-capable: %s)",
+				name, strings.Join(core.Persistables(), ", "))
+		}
+		coll := core.NewCollection(ds)
+		bs, err := core.BuildInstrumented(p, coll)
+		if err != nil {
+			fail("building %s: %v", name, err)
+		}
+		path := *out
+		if multi {
+			path = filepath.Join(*out, persist.FileStem(name)+persist.SnapshotExt)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fail("creating %s: %v", path, err)
+		}
+		if err := core.SaveIndex(p, coll, f); err != nil {
+			f.Close()
+			fail("saving %s: %v", name, err)
+		}
+		if err := f.Close(); err != nil {
+			fail("closing %s: %v", path, err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			fail("stat %s: %v", path, err)
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%d\t%d\t%d\t%s\n",
+			name, bs.TotalTime(dev).Seconds(), bs.IO.SeqOps, bs.IO.RandOps, fi.Size(), path)
+	}
+	tw.Flush()
+}

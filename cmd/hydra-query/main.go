@@ -7,6 +7,11 @@
 //	hydra-query -data synth.hyd -queries q.hyd -method DSTree -k 1
 //	hydra-query -data synth.hyd -queries q.hyd -method all -device ssd
 //	hydra-query -data synth.hyd -queries q.hyd -method UCR-Suite -workers -1
+//	hydra-query -data synth.hyd -queries q.hyd -index dstree.hydx
+//
+// With -index, the named snapshot (from hydra-build) is loaded instead of
+// rebuilding: the Idx(s) column then reports load time, the pay-per-run cost
+// of the build-once/query-many workflow.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"hydra/internal/core"
 	"hydra/internal/dataset"
 	"hydra/internal/methods"
+	"hydra/internal/stats"
 	"hydra/internal/storage"
 )
 
@@ -27,6 +33,7 @@ func main() {
 		dataPath  = flag.String("data", "", "collection file (from hydra-gen)")
 		queryPath = flag.String("queries", "", "workload file (from hydra-gen)")
 		method    = flag.String("method", "DSTree", "method name, comma list, or 'all'")
+		indexPath = flag.String("index", "", "index snapshot (from hydra-build) to load instead of building")
 		k         = flag.Int("k", 1, "number of nearest neighbors")
 		leafSize  = flag.Int("leaf", 0, "leaf size (0 = paper default scaled to collection)")
 		device    = flag.String("device", "hdd", "device profile: hdd|ssd")
@@ -59,25 +66,51 @@ func main() {
 		fail("%v", err)
 	}
 
-	names := []string{*method}
-	if *method == "all" {
-		names = methods.All()
-	} else if strings.Contains(*method, ",") {
-		names = strings.Split(*method, ",")
+	names := methods.ParseList(*method, methods.All())
+	if *indexPath != "" {
+		// Snapshot mode: one run, method named by the snapshot itself.
+		names = names[:1]
+	}
+	if len(names) == 0 {
+		fail("-method names no methods")
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Method\tIdx(s)\tQueries(s)\tSeqOps\tRandOps\tPruning\tMeanDist")
 	for _, name := range names {
-		name = strings.TrimSpace(name)
-		m, err := core.New(name, core.Options{LeafSize: *leafSize, Workers: *workers})
-		if err != nil {
-			fail("%v", err)
-		}
+		var m core.Method
+		var bs stats.BuildStats
 		coll := core.NewCollection(ds)
-		bs, err := core.BuildInstrumented(m, coll)
-		if err != nil {
-			fail("building %s: %v", name, err)
+		if *indexPath != "" {
+			f, err := os.Open(*indexPath)
+			if err != nil {
+				fail("opening index: %v", err)
+			}
+			loaded, lbs, err := core.LoadIndexInstrumented(f, coll)
+			f.Close()
+			if err != nil {
+				fail("loading index %s: %v", *indexPath, err)
+			}
+			methodSet := false
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "method" {
+					methodSet = true
+				}
+			})
+			if methodSet && name != loaded.Name() {
+				fail("-method %s conflicts with snapshot method %s", name, loaded.Name())
+			}
+			m, bs, name = loaded, lbs, loaded.Name()
+		} else {
+			var err error
+			m, err = core.New(name, core.Options{LeafSize: *leafSize, Workers: *workers})
+			if err != nil {
+				fail("%v", err)
+			}
+			bs, err = core.BuildInstrumented(m, coll)
+			if err != nil {
+				fail("building %s: %v", name, err)
+			}
 		}
 		var totalDist float64
 		var nMatches int

@@ -7,8 +7,19 @@
 // table of the paper's evaluation section.
 //
 // Start with README.md, the examples/ directory, and internal/core for the
-// public API. The root package hosts the per-artifact benchmarks
-// (bench_test.go).
+// public API; ARCHITECTURE.md maps the layers and interfaces. The root
+// package hosts the per-artifact benchmarks (bench_test.go).
+//
+// # Persistence
+//
+// Tree-backed methods implement core.Persistable: their built state saves
+// to a versioned, checksummed snapshot (internal/persist; wire format in
+// docs/FORMAT.md) and reattaches to a collection later. A loaded index
+// answers KNN bit-identically to the instance that was saved — IDs, float64
+// distances, pruning ratios and simulated I/O counts, serially and under
+// the concurrent paths below — so index construction becomes a pay-once
+// cost (hydra-build / hydra-query -index / hydra-bench -index), the
+// build-once/query-many workflow of the paper's Figures 5-8.
 //
 // # Concurrency model
 //

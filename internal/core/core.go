@@ -273,11 +273,20 @@ var registryOrder []string
 // Register adds a method factory under the given name. Index packages call
 // this from init; duplicate names panic.
 func Register(name string, f Factory) {
+	RegisterHidden(name, f)
+	registryOrder = append(registryOrder, name)
+}
+
+// RegisterHidden adds a factory resolvable by New but excluded from Names():
+// variants that exist for persistence or build-cost comparisons without
+// being part of the paper's evaluated set (e.g. ADS-FULL, §3.2). Hidden
+// methods can be saved, loaded and queried like any other, but "all"-style
+// method iteration never picks them up.
+func RegisterHidden(name string, f Factory) {
 	if _, dup := registry[name]; dup {
 		panic(fmt.Sprintf("core: duplicate method registration %q", name))
 	}
 	registry[name] = f
-	registryOrder = append(registryOrder, name)
 }
 
 // New instantiates a registered method by name.

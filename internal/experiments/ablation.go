@@ -143,7 +143,7 @@ func ablationSFA(r *Report, cfg Config, ds *dataset.Dataset, wl *dataset.Workloa
 		run, err := runMethod("SFA", ds, wl, core.Options{
 			LeafSize:     leafFor(ds.Len()),
 			SFAEquiWidth: variant.equiWidth,
-		}, cfg.K)
+		}, cfg.K, cfg.IndexDir)
 		if err != nil {
 			return err
 		}

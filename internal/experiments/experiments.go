@@ -43,6 +43,13 @@ type Config struct {
 	// CalibNoise is the noise level of difficulty-calibrated Synth-Rand
 	// workloads at reduced scales (see synthRand); default 0.15.
 	CalibNoise float64
+	// IndexDir, when non-empty, enables the snapshot cache (hydra-bench
+	// -index): tree indexes are persisted there on first build and loaded on
+	// later runs, so only the first run of a parametrization pays
+	// construction. Cached and fresh runs answer queries bit-identically;
+	// the build column of a cached run reports snapshot load cost
+	// (stats.BuildStats.FromSnapshot).
+	IndexDir string
 	// Workers is the intra-query parallelism degree passed to the methods
 	// (core.Options.Workers): 0 keeps the paper's serial execution. Only the
 	// scan methods honor it. Answers and pruning ratios are bit-identical
@@ -163,14 +170,17 @@ func (m *MethodRun) Idx10KTime(d storage.DeviceProfile) time.Duration {
 	return m.Build.TotalTime(d) + m.Workload.Extrapolate10K(d, 10000)
 }
 
-// runMethod builds one method over ds and answers the workload.
-func runMethod(name string, ds *dataset.Dataset, wl *dataset.Workload, opts core.Options, k int) (*MethodRun, error) {
+// runMethod builds one method over ds and answers the workload. A non-empty
+// snapdir switches index acquisition to the snapshot cache (see buildOrLoad):
+// persisted indexes are loaded instead of rebuilt, the build-once/query-many
+// workflow.
+func runMethod(name string, ds *dataset.Dataset, wl *dataset.Workload, opts core.Options, k int, snapdir string) (*MethodRun, error) {
 	m, err := core.New(name, opts)
 	if err != nil {
 		return nil, err
 	}
 	coll := core.NewCollection(ds)
-	bs, err := core.BuildInstrumented(m, coll)
+	m, bs, err := buildOrLoad(m, coll, name, opts, snapdir)
 	if err != nil {
 		return nil, fmt.Errorf("%s build: %w", name, err)
 	}
@@ -182,10 +192,10 @@ func runMethod(name string, ds *dataset.Dataset, wl *dataset.Workload, opts core
 }
 
 // runAll runs the listed methods over a fresh copy of the collection each.
-func runAll(names []string, ds *dataset.Dataset, wl *dataset.Workload, opts core.Options, k int) ([]*MethodRun, error) {
+func runAll(names []string, ds *dataset.Dataset, wl *dataset.Workload, opts core.Options, k int, snapdir string) ([]*MethodRun, error) {
 	out := make([]*MethodRun, 0, len(names))
 	for _, n := range names {
-		r, err := runMethod(n, ds, wl, opts, k)
+		r, err := runMethod(n, ds, wl, opts, k, snapdir)
 		if err != nil {
 			return nil, err
 		}

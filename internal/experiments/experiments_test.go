@@ -73,7 +73,7 @@ func TestWinnerAndEasyHard(t *testing.T) {
 	cfg := tinyConfig()
 	ds := dataset.RandomWalk(cfg.numSeries(25, 64), 64, 1)
 	wl := dataset.SynthRand(10, 64, 2)
-	runs, err := runAll([]string{"UCR-Suite", "VA+file"}, ds, wl, core.Options{LeafSize: 16}, 1)
+	runs, err := runAll([]string{"UCR-Suite", "VA+file"}, ds, wl, core.Options{LeafSize: 16}, 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestExtrapolationScenario(t *testing.T) {
 	// query cost.
 	ds := dataset.RandomWalk(300, 64, 7)
 	wl := dataset.SynthRand(12, 64, 8)
-	run, err := runMethod("DSTree", ds, wl, core.Options{LeafSize: 32}, 1)
+	run, err := runMethod("DSTree", ds, wl, core.Options{LeafSize: 32}, 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestLeafFor(t *testing.T) {
 func TestReportStatsAccounting(t *testing.T) {
 	// A build must attribute at least one full sequential scan of the data.
 	ds := dataset.RandomWalk(200, 64, 9)
-	run, err := runMethod("iSAX2+", ds, dataset.SynthRand(3, 64, 10), core.Options{LeafSize: 32}, 1)
+	run, err := runMethod("iSAX2+", ds, dataset.SynthRand(3, 64, 10), core.Options{LeafSize: 32}, 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -75,7 +75,7 @@ func Fig2LeafSize(cfg Config) (*Report, error) {
 		var totals []time.Duration
 		max := time.Duration(0)
 		for _, leaf := range sw.leaves {
-			run, err := runMethod(sw.method, sw.ds, sw.wl, cfg.options(leaf), cfg.K)
+			run, err := runMethod(sw.method, sw.ds, sw.wl, cfg.options(leaf), cfg.K, cfg.IndexDir)
 			if err != nil {
 				return nil, err
 			}
@@ -117,7 +117,7 @@ func Fig3Scalability(cfg Config) (*Report, error) {
 		wl := cfg.synthRand(ds, cfg.Seed+100)
 		opts := cfg.options(leafFor(ds.Len()))
 		for _, name := range methods.All() {
-			run, err := runMethod(name, ds, wl, opts, cfg.K)
+			run, err := runMethod(name, ds, wl, opts, cfg.K, cfg.IndexDir)
 			if err != nil {
 				return nil, err
 			}
@@ -155,7 +155,7 @@ func Fig4DiskAccesses(cfg Config, sizesGB []float64, lengths []int) (*Report, er
 		wl := cfg.synthRand(ds, cfg.Seed+100)
 		opts := cfg.options(leafFor(ds.Len()))
 		for _, name := range methods.BestSix() {
-			run, err := runMethod(name, ds, wl, opts, cfg.K)
+			run, err := runMethod(name, ds, wl, opts, cfg.K, cfg.IndexDir)
 			if err != nil {
 				return err
 			}
@@ -201,7 +201,7 @@ func Fig5Lengths(cfg Config, lengths []int) (*Report, error) {
 		wl := cfg.synthRand(ds, cfg.Seed+100)
 		opts := cfg.options(leafFor(ds.Len()))
 		for _, name := range methods.BestSix() {
-			run, err := runMethod(name, ds, wl, opts, cfg.K)
+			run, err := runMethod(name, ds, wl, opts, cfg.K, cfg.IndexDir)
 			if err != nil {
 				return nil, err
 			}
@@ -233,7 +233,7 @@ func scalabilityComparison(cfg Config, id string, dev storage.DeviceProfile, siz
 		ds := dataset.RandomWalk(cfg.numSeries(gb, cfg.SeriesLen), cfg.SeriesLen, cfg.Seed)
 		wl := cfg.synthRand(ds, cfg.Seed+100)
 		opts := cfg.options(leafFor(ds.Len()))
-		runs, err := runAll(methods.BestSix(), ds, wl, opts, cfg.K)
+		runs, err := runAll(methods.BestSix(), ds, wl, opts, cfg.K, cfg.IndexDir)
 		if err != nil {
 			return nil, err
 		}

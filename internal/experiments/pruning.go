@@ -47,7 +47,7 @@ func Fig9Pruning(cfg Config) (*Report, error) {
 	for _, c := range cases {
 		opts := cfg.options(leafFor(c.ds.Len()))
 		for _, name := range pruningMethods {
-			run, err := runMethod(name, c.ds, c.wl, opts, cfg.K)
+			run, err := runMethod(name, c.ds, c.wl, opts, cfg.K, cfg.IndexDir)
 			if err != nil {
 				return nil, err
 			}
@@ -107,7 +107,7 @@ func Table2Controlled(cfg Config) (*Report, error) {
 
 	for _, c := range cases {
 		opts := cfg.options(leafFor(c.ds.Len()))
-		runs, err := runAll(methods.BestSix(), c.ds, c.wl, opts, cfg.K)
+		runs, err := runAll(methods.BestSix(), c.ds, c.wl, opts, cfg.K, cfg.IndexDir)
 		if err != nil {
 			return nil, err
 		}
@@ -171,7 +171,7 @@ func Fig10Matrix(cfg Config) (*Report, error) {
 		ds := dataset.RandomWalk(cfg.numSeries(c.gb, c.length), c.length, cfg.Seed)
 		wl := cfg.synthRand(ds, cfg.Seed+100)
 		opts := cfg.options(leafFor(ds.Len()))
-		runs, err := runAll(pruningMethods, ds, wl, opts, cfg.K)
+		runs, err := runAll(pruningMethods, ds, wl, opts, cfg.K, cfg.IndexDir)
 		if err != nil {
 			return nil, err
 		}

@@ -22,7 +22,7 @@ func shapeRuns(t *testing.T) map[string]*MethodRun {
 	wl := cfg.synthRand(ds, 6)
 	out := map[string]*MethodRun{}
 	for _, name := range []string{"UCR-Suite", "ADS+", "VA+file", "iSAX2+", "DSTree", "SFA"} {
-		run, err := runMethod(name, ds, wl, core.Options{LeafSize: 32}, 1)
+		run, err := runMethod(name, ds, wl, core.Options{LeafSize: 32}, 1, "")
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+)
+
+// TestSnapshotCacheRoundTrip verifies the build-once/query-many path of the
+// harness: the first run with an IndexDir builds and persists, the second
+// loads, and both answer the workload identically.
+func TestSnapshotCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ds := dataset.RandomWalk(300, 64, 3)
+	cfg := DefaultConfig(1.0 / 4096)
+	cfg.NumQueries = 4
+	wl := cfg.synthRand(ds, 9)
+	opts := core.Options{LeafSize: 16}
+
+	first, err := runMethod("DSTree", ds, wl, opts, 1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Build.FromSnapshot {
+		t.Fatalf("first run must build, not load")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache dir entries = %v (err %v), want one snapshot", entries, err)
+	}
+
+	second, err := runMethod("DSTree", ds, wl, opts, 1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Build.FromSnapshot {
+		t.Fatalf("second run must load from the cache")
+	}
+	if len(first.Workload.Queries) != len(second.Workload.Queries) {
+		t.Fatalf("workload sizes differ")
+	}
+	for i := range first.Workload.Queries {
+		a, b := first.Workload.Queries[i], second.Workload.Queries[i]
+		if a.RawSeriesExamined != b.RawSeriesExamined || a.DistCalcs != b.DistCalcs || a.LBCalcs != b.LBCalcs {
+			t.Errorf("query %d: cached run cost (%d,%d,%d) != fresh (%d,%d,%d)",
+				i, b.RawSeriesExamined, b.DistCalcs, b.LBCalcs, a.RawSeriesExamined, a.DistCalcs, a.LBCalcs)
+		}
+	}
+
+	// A different parametrization must miss the cache, not load a wrong index.
+	third, err := runMethod("DSTree", ds, wl, core.Options{LeafSize: 32}, 1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Build.FromSnapshot {
+		t.Fatalf("changed options must rebuild, not hit the cache")
+	}
+
+	// Scans have nothing to persist and must keep working with a cache dir.
+	scan, err := runMethod("UCR-Suite", ds, wl, opts, 1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.Build.FromSnapshot {
+		t.Fatalf("UCR-Suite cannot come from a snapshot")
+	}
+}
+
+// TestSnapshotCacheIgnoresDamage: a truncated cache entry is rebuilt and
+// replaced, never trusted.
+func TestSnapshotCacheIgnoresDamage(t *testing.T) {
+	dir := t.TempDir()
+	ds := dataset.RandomWalk(200, 64, 4)
+	cfg := DefaultConfig(1.0 / 4096)
+	cfg.NumQueries = 2
+	wl := cfg.synthRand(ds, 9)
+	opts := core.Options{LeafSize: 16}
+
+	if _, err := runMethod("iSAX2+", ds, wl, opts, 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("want one cache entry, got %v (err %v)", entries, err)
+	}
+	path := dir + "/" + entries[0].Name()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run, err := runMethod("iSAX2+", ds, wl, opts, 1, dir)
+	if err != nil {
+		t.Fatalf("damaged cache entry must trigger a rebuild, got %v", err)
+	}
+	if run.Build.FromSnapshot {
+		t.Fatalf("damaged cache entry must not be loaded")
+	}
+	if fixed, err := os.ReadFile(path); err != nil || len(fixed) != len(raw) {
+		t.Errorf("rebuild must rewrite the cache entry (len %d, want %d, err %v)", len(fixed), len(raw), err)
+	}
+}

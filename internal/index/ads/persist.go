@@ -1,0 +1,126 @@
+package ads
+
+import (
+	"fmt"
+	"sort"
+
+	"hydra/internal/core"
+	"hydra/internal/index/isaxtree"
+	"hydra/internal/persist"
+)
+
+func init() {
+	// ADS-FULL is not part of the paper's evaluated set (Names() excludes
+	// it), but it is loadable by name so its snapshots round-trip through
+	// core.LoadIndex like every other tree method.
+	core.RegisterHidden("ADS-FULL", func(opts core.Options) core.Method { return NewFull(opts) })
+}
+
+// indexSection holds the iSAX tree; adaptiveSection holds ADS+'s
+// materialized-leaf set (the state SIMS accumulates as queries touch leaves).
+const (
+	indexSection    = "ads-tree"
+	adaptiveSection = "ads-adaptive"
+)
+
+// BuildOptions implements core.Persistable.
+func (ix *Index) BuildOptions() core.Options { return ix.opts }
+
+// EncodeIndex implements core.Persistable: the tree section plus the
+// adaptive section listing materialized leaves as indices into the
+// deterministic leaf order.
+func (ix *Index) EncodeIndex(enc *persist.Encoder) error {
+	if ix.c == nil {
+		return fmt.Errorf("ads: method not built")
+	}
+	ix.tree.Encode(enc.Section(indexSection))
+
+	leaves := ix.tree.Leaves()
+	pos := make(map[*isaxtree.Node]int, len(leaves))
+	for i, n := range leaves {
+		pos[n] = i
+	}
+	var mat []int
+	ix.mu.Lock()
+	for n, ok := range ix.materialized {
+		if ok {
+			mat = append(mat, pos[n])
+		}
+	}
+	ix.mu.Unlock()
+	sort.Ints(mat)
+	enc.Section(adaptiveSection).Ints(mat)
+	return nil
+}
+
+// DecodeIndex implements core.Persistable.
+func (ix *Index) DecodeIndex(dec *persist.Decoder, c *core.Collection) error {
+	if ix.c != nil {
+		return fmt.Errorf("ads: already built")
+	}
+	tr, err := dec.Section(indexSection)
+	if err != nil {
+		return err
+	}
+	tree, err := isaxtree.DecodeTree(tr, c.File.Len())
+	if err != nil {
+		return err
+	}
+	if err := tr.Close(); err != nil {
+		return err
+	}
+	ar, err := dec.Section(adaptiveSection)
+	if err != nil {
+		return err
+	}
+	mat := ar.Ints()
+	if err := ar.Close(); err != nil {
+		return err
+	}
+	leaves := tree.Leaves()
+	materialized := make(map[*isaxtree.Node]bool, len(mat))
+	for _, li := range mat {
+		if li < 0 || li >= len(leaves) {
+			return fmt.Errorf("ads: materialized leaf index %d out of range [0,%d)", li, len(leaves))
+		}
+		materialized[leaves[li]] = true
+	}
+	ix.c = c
+	ix.tree = tree
+	ix.materialized = materialized
+	return nil
+}
+
+// BuildOptions implements core.Persistable.
+func (ix *FullIndex) BuildOptions() core.Options { return ix.opts }
+
+// EncodeIndex implements core.Persistable: ADS-FULL is the tree alone —
+// every leaf is materialized at construction, so there is no adaptive state.
+func (ix *FullIndex) EncodeIndex(enc *persist.Encoder) error {
+	if ix.c == nil {
+		return fmt.Errorf("ads-full: method not built")
+	}
+	ix.tree.Encode(enc.Section(indexSection))
+	return nil
+}
+
+// DecodeIndex implements core.Persistable.
+func (ix *FullIndex) DecodeIndex(dec *persist.Decoder, c *core.Collection) error {
+	if ix.c != nil {
+		return fmt.Errorf("ads-full: already built")
+	}
+	tr, err := dec.Section(indexSection)
+	if err != nil {
+		return err
+	}
+	tree, err := isaxtree.DecodeTree(tr, c.File.Len())
+	if err != nil {
+		return err
+	}
+	if err := tr.Close(); err != nil {
+		return err
+	}
+	ix.c = c
+	ix.tree = tree
+	return nil
+}

@@ -1,0 +1,46 @@
+package isax
+
+import (
+	"fmt"
+
+	"hydra/internal/core"
+	"hydra/internal/index/isaxtree"
+	"hydra/internal/persist"
+)
+
+// indexSection holds the serialized iSAX tree (summaries + structure); the
+// materialized leaf payloads live in the raw file the index reattaches to.
+const indexSection = "isax-tree"
+
+// BuildOptions implements core.Persistable.
+func (ix *Index) BuildOptions() core.Options { return ix.opts }
+
+// EncodeIndex implements core.Persistable.
+func (ix *Index) EncodeIndex(enc *persist.Encoder) error {
+	if ix.c == nil {
+		return fmt.Errorf("isax: method not built")
+	}
+	ix.tree.Encode(enc.Section(indexSection))
+	return nil
+}
+
+// DecodeIndex implements core.Persistable.
+func (ix *Index) DecodeIndex(dec *persist.Decoder, c *core.Collection) error {
+	if ix.c != nil {
+		return fmt.Errorf("isax: already built")
+	}
+	tr, err := dec.Section(indexSection)
+	if err != nil {
+		return err
+	}
+	tree, err := isaxtree.DecodeTree(tr, c.File.Len())
+	if err != nil {
+		return err
+	}
+	if err := tr.Close(); err != nil {
+		return err
+	}
+	ix.c = c
+	ix.tree = tree
+	return nil
+}

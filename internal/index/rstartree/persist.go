@@ -1,0 +1,129 @@
+package rstartree
+
+import (
+	"fmt"
+
+	"hydra/internal/core"
+	"hydra/internal/persist"
+	"hydra/internal/transform/paa"
+)
+
+// indexSection holds the R*-tree structure (levels, rectangles, series IDs).
+// The PAA transform is deterministic given (series length, segments) and is
+// rebuilt on load; construction-only state (the PAA point cache and the
+// forced-reinsertion bookkeeping) is not persisted because a loaded index
+// only answers queries.
+const indexSection = "rstartree"
+
+// maxDecodeDepth bounds decoder recursion so a crafted snapshot encoding an
+// absurdly long node chain fails with an error instead of exhausting the
+// stack; far above any tree real data produces.
+const maxDecodeDepth = 1 << 16
+
+// BuildOptions implements core.Persistable.
+func (ix *Index) BuildOptions() core.Options { return ix.opts }
+
+// EncodeIndex implements core.Persistable.
+func (ix *Index) EncodeIndex(enc *persist.Encoder) error {
+	if ix.c == nil {
+		return fmt.Errorf("rstartree: method not built")
+	}
+	w := enc.Section(indexSection)
+	w.Int(ix.xform.Segments())
+	w.Int(ix.maxCap)
+	w.Int(ix.minCap)
+	encodeRNode(w, ix.root)
+	return nil
+}
+
+func encodeRNode(w *persist.Writer, n *node) {
+	w.Int(n.level)
+	w.Int(len(n.entries))
+	for _, e := range n.entries {
+		w.F64s(e.lo)
+		w.F64s(e.hi)
+		w.Int(e.id)
+		if n.level > 0 {
+			encodeRNode(w, e.child)
+		}
+	}
+}
+
+// DecodeIndex implements core.Persistable.
+func (ix *Index) DecodeIndex(dec *persist.Decoder, c *core.Collection) error {
+	if ix.c != nil {
+		return fmt.Errorf("rstartree: already built")
+	}
+	r, err := dec.Section(indexSection)
+	if err != nil {
+		return err
+	}
+	segments := r.Int()
+	maxCap := r.Int()
+	minCap := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if segments <= 0 || maxCap < 4 || minCap < 1 || minCap > maxCap {
+		return fmt.Errorf("rstartree: invalid snapshot parameters segments=%d cap=%d/%d", segments, minCap, maxCap)
+	}
+	xform := paa.New(c.File.SeriesLen(), segments)
+	root, err := decodeRNode(r, xform.Segments(), c.File.Len(), maxDecodeDepth)
+	if err != nil {
+		return err
+	}
+	if err := r.Close(); err != nil {
+		return err
+	}
+	ix.c = c
+	ix.xform = xform
+	ix.maxCap = maxCap
+	ix.minCap = minCap
+	ix.root = root
+	return nil
+}
+
+func decodeRNode(r *persist.Reader, dims, numSeries, depthBudget int) (*node, error) {
+	if depthBudget <= 0 {
+		return nil, fmt.Errorf("rstartree: tree deeper than %d levels", maxDecodeDepth)
+	}
+	n := &node{level: r.Int()}
+	count := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n.level < 0 {
+		return nil, fmt.Errorf("rstartree: negative node level")
+	}
+	if count < 0 || count > numSeries {
+		return nil, fmt.Errorf("rstartree: node with %d entries", count)
+	}
+	n.entries = make([]entry, count)
+	for i := range n.entries {
+		e := &n.entries[i]
+		e.lo = r.F64s()
+		e.hi = r.F64s()
+		e.id = r.Int()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if len(e.lo) != dims || len(e.hi) != dims {
+			return nil, fmt.Errorf("rstartree: entry rectangle arity %d/%d, want %d", len(e.lo), len(e.hi), dims)
+		}
+		if n.level == 0 {
+			if e.id < 0 || e.id >= numSeries {
+				return nil, fmt.Errorf("rstartree: leaf entry %d out of range [0,%d)", e.id, numSeries)
+			}
+			continue
+		}
+		child, err := decodeRNode(r, dims, numSeries, depthBudget-1)
+		if err != nil {
+			return nil, err
+		}
+		if child.level != n.level-1 {
+			return nil, fmt.Errorf("rstartree: child level %d under level %d", child.level, n.level)
+		}
+		e.child = child
+	}
+	return n, nil
+}

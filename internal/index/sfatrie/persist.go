@@ -1,0 +1,193 @@
+package sfatrie
+
+import (
+	"fmt"
+	"sort"
+
+	"hydra/internal/core"
+	"hydra/internal/persist"
+	"hydra/internal/transform/sfa"
+)
+
+// Sections: the trained MCB transform, the per-series feature/word arrays,
+// and the trie structure.
+const (
+	xformSection = "sfa-mcb"
+	dataSection  = "sfa-data"
+	trieSection  = "sfa-trie"
+)
+
+// BuildOptions implements core.Persistable.
+func (ix *Index) BuildOptions() core.Options { return ix.opts }
+
+// EncodeIndex implements core.Persistable.
+func (ix *Index) EncodeIndex(enc *persist.Encoder) error {
+	if ix.c == nil {
+		return fmt.Errorf("sfatrie: method not built")
+	}
+	xw := enc.Section(xformSection)
+	xw.Int(ix.xform.SeriesLen())
+	xw.Int(ix.xform.Dims())
+	xw.Int(ix.xform.Alphabet())
+	xw.U8(uint8(ix.xform.BinningScheme()))
+	xw.F64Mat(ix.xform.Breakpoints())
+
+	dw := enc.Section(dataSection)
+	dw.F64Mat(ix.feats)
+	dw.U8Mat(ix.words)
+
+	tw := enc.Section(trieSection)
+	encodeTrieNode(tw, ix.root)
+	return nil
+}
+
+func encodeTrieNode(w *persist.Writer, n *node) {
+	w.U8s(n.prefix)
+	w.Bool(n.isLeaf)
+	if n.isLeaf {
+		w.Ints(n.members)
+		w.Bool(n.mbrLo != nil)
+		if n.mbrLo != nil {
+			w.F64s(n.mbrLo)
+			w.F64s(n.mbrHi)
+		}
+		return
+	}
+	syms := make([]int, 0, len(n.children))
+	for sym := range n.children {
+		syms = append(syms, int(sym))
+	}
+	sort.Ints(syms)
+	w.Int(len(syms))
+	for _, sym := range syms {
+		w.U8(uint8(sym))
+		encodeTrieNode(w, n.children[uint8(sym)])
+	}
+}
+
+// DecodeIndex implements core.Persistable.
+func (ix *Index) DecodeIndex(dec *persist.Decoder, c *core.Collection) error {
+	if ix.c != nil {
+		return fmt.Errorf("sfatrie: already built")
+	}
+	xr, err := dec.Section(xformSection)
+	if err != nil {
+		return err
+	}
+	seriesLen := xr.Int()
+	dims := xr.Int()
+	alphabet := xr.Int()
+	binning := xr.U8()
+	bps := xr.F64Mat()
+	if err := xr.Close(); err != nil {
+		return err
+	}
+	if seriesLen != c.File.SeriesLen() {
+		return fmt.Errorf("sfatrie: snapshot series length %d, collection %d", seriesLen, c.File.SeriesLen())
+	}
+	xform, err := sfa.Restore(seriesLen, dims, alphabet, sfa.Binning(binning), bps)
+	if err != nil {
+		return err
+	}
+
+	dr, err := dec.Section(dataSection)
+	if err != nil {
+		return err
+	}
+	feats := dr.F64Mat()
+	words := dr.U8Mat()
+	if err := dr.Close(); err != nil {
+		return err
+	}
+	if len(feats) != c.File.Len() || len(words) != c.File.Len() {
+		return fmt.Errorf("sfatrie: %d features / %d words for %d series", len(feats), len(words), c.File.Len())
+	}
+
+	tr, err := dec.Section(trieSection)
+	if err != nil {
+		return err
+	}
+	var numNodes, numLeaves int
+	root, err := decodeTrieNode(tr, 0, dims, alphabet, c.File.Len(), &numNodes, &numLeaves)
+	if err != nil {
+		return err
+	}
+	if err := tr.Close(); err != nil {
+		return err
+	}
+
+	ix.c = c
+	ix.xform = xform
+	ix.feats = feats
+	ix.words = words
+	ix.root = root
+	ix.numNodes = numNodes
+	ix.numLeaves = numLeaves
+	return nil
+}
+
+func decodeTrieNode(r *persist.Reader, depth, dims, alphabet, numSeries int, numNodes, numLeaves *int) (*node, error) {
+	n := &node{
+		prefix:   r.U8s(),
+		depth:    depth,
+		children: map[uint8]*node{},
+	}
+	n.isLeaf = r.Bool()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if len(n.prefix) != depth {
+		return nil, fmt.Errorf("sfatrie: node prefix length %d at depth %d", len(n.prefix), depth)
+	}
+	*numNodes++
+	if n.isLeaf {
+		*numLeaves++
+		n.members = r.Ints()
+		for _, id := range n.members {
+			if id < 0 || id >= numSeries {
+				return nil, fmt.Errorf("sfatrie: leaf member %d out of range [0,%d)", id, numSeries)
+			}
+		}
+		if r.Bool() {
+			n.mbrLo = r.F64s()
+			n.mbrHi = r.F64s()
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+			if len(n.mbrLo) != dims || len(n.mbrHi) != dims {
+				return nil, fmt.Errorf("sfatrie: leaf MBR arity %d/%d, want %d", len(n.mbrLo), len(n.mbrHi), dims)
+			}
+		}
+		return n, r.Err()
+	}
+	// Internal nodes route on word symbol [depth], so depth must stay below
+	// the word length; this also bounds decoder recursion at dims levels.
+	if depth >= dims {
+		return nil, fmt.Errorf("sfatrie: internal node at depth %d with %d-symbol words", depth, dims)
+	}
+	count := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if count < 0 || count > alphabet {
+		return nil, fmt.Errorf("sfatrie: node with %d children (alphabet %d)", count, alphabet)
+	}
+	for i := 0; i < count; i++ {
+		sym := r.U8()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if int(sym) >= alphabet {
+			return nil, fmt.Errorf("sfatrie: child symbol %d outside alphabet %d", sym, alphabet)
+		}
+		if _, dup := n.children[sym]; dup {
+			return nil, fmt.Errorf("sfatrie: duplicate child symbol %d", sym)
+		}
+		child, err := decodeTrieNode(r, depth+1, dims, alphabet, numSeries, numNodes, numLeaves)
+		if err != nil {
+			return nil, err
+		}
+		n.children[sym] = child
+	}
+	return n, nil
+}

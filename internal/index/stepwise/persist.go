@@ -1,0 +1,72 @@
+package stepwise
+
+import (
+	"fmt"
+
+	"hydra/internal/core"
+	"hydra/internal/persist"
+	"hydra/internal/transform/dhwt"
+)
+
+// indexSection holds the vertically-stored DHWT coefficients and the
+// in-memory residual-energy sums — the complete pre-processing product of
+// the Stepwise build.
+const indexSection = "stepwise"
+
+// BuildOptions implements core.Persistable.
+func (ix *Index) BuildOptions() core.Options { return ix.opts }
+
+// EncodeIndex implements core.Persistable.
+func (ix *Index) EncodeIndex(enc *persist.Encoder) error {
+	if ix.c == nil {
+		return fmt.Errorf("stepwise: method not built")
+	}
+	w := enc.Section(indexSection)
+	w.Int(ix.padded)
+	w.Int(ix.filterLevels)
+	w.F64Mat(ix.coeffs)
+	w.F64Mat(ix.resid)
+	return nil
+}
+
+// DecodeIndex implements core.Persistable.
+func (ix *Index) DecodeIndex(dec *persist.Decoder, c *core.Collection) error {
+	if ix.c != nil {
+		return fmt.Errorf("stepwise: already built")
+	}
+	r, err := dec.Section(indexSection)
+	if err != nil {
+		return err
+	}
+	padded := r.Int()
+	filterLevels := r.Int()
+	coeffs := r.F64Mat()
+	resid := r.F64Mat()
+	if err := r.Close(); err != nil {
+		return err
+	}
+	n := c.File.Len()
+	if len(coeffs) != n || len(resid) != n {
+		return fmt.Errorf("stepwise: %d coefficient rows / %d residual rows for %d series", len(coeffs), len(resid), n)
+	}
+	if padded < c.File.SeriesLen() || filterLevels < 1 || filterLevels > dhwt.Levels(padded) {
+		return fmt.Errorf("stepwise: invalid snapshot parameters padded=%d levels=%d", padded, filterLevels)
+	}
+	if _, hi := dhwt.LevelRange(filterLevels - 1); hi > padded {
+		return fmt.Errorf("stepwise: filter levels %d exceed %d coefficients", filterLevels, padded)
+	}
+	for i := range coeffs {
+		if len(coeffs[i]) != padded {
+			return fmt.Errorf("stepwise: coefficient row %d has %d values, want %d", i, len(coeffs[i]), padded)
+		}
+		if len(resid[i]) != filterLevels+1 {
+			return fmt.Errorf("stepwise: residual row %d has %d levels, want %d", i, len(resid[i]), filterLevels+1)
+		}
+	}
+	ix.c = c
+	ix.padded = padded
+	ix.filterLevels = filterLevels
+	ix.coeffs = coeffs
+	ix.resid = resid
+	return nil
+}

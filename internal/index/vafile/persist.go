@@ -1,0 +1,89 @@
+package vafile
+
+import (
+	"fmt"
+
+	"hydra/internal/core"
+	"hydra/internal/persist"
+	"hydra/internal/transform/dft"
+	"hydra/internal/transform/vaq"
+)
+
+// Sections: the trained quantizer (bit allocation + k-means boundaries) and
+// the approximation file (one code per series). The DFT is deterministic
+// given (series length, dims) and is rebuilt on load.
+const (
+	quantSection = "vaq-quantizer"
+	codesSection = "vaq-codes"
+)
+
+// BuildOptions implements core.Persistable.
+func (ix *Index) BuildOptions() core.Options { return ix.opts }
+
+// EncodeIndex implements core.Persistable.
+func (ix *Index) EncodeIndex(enc *persist.Encoder) error {
+	if ix.c == nil {
+		return fmt.Errorf("vafile: method not built")
+	}
+	qw := enc.Section(quantSection)
+	qw.Int(ix.xform.Dims())
+	qw.Ints(ix.quant.Bits())
+	qw.F64Mat(ix.quant.Bounds())
+	enc.Section(codesSection).U8Mat(ix.codes)
+	return nil
+}
+
+// DecodeIndex implements core.Persistable.
+func (ix *Index) DecodeIndex(dec *persist.Decoder, c *core.Collection) error {
+	if ix.c != nil {
+		return fmt.Errorf("vafile: already built")
+	}
+	qr, err := dec.Section(quantSection)
+	if err != nil {
+		return err
+	}
+	dims := qr.Int()
+	bits := qr.Ints()
+	bounds := qr.F64Mat()
+	if err := qr.Close(); err != nil {
+		return err
+	}
+	quant, err := vaq.Restore(dims, bits, bounds)
+	if err != nil {
+		return err
+	}
+	xform := dft.New(c.File.SeriesLen(), dims)
+	if xform.Dims() != dims {
+		return fmt.Errorf("vafile: %d feature dims do not fit series of length %d", dims, c.File.SeriesLen())
+	}
+
+	cr, err := dec.Section(codesSection)
+	if err != nil {
+		return err
+	}
+	codes := cr.U8Mat()
+	if err := cr.Close(); err != nil {
+		return err
+	}
+	if len(codes) != c.File.Len() {
+		return fmt.Errorf("vafile: %d codes for %d series", len(codes), c.File.Len())
+	}
+	for i, code := range codes {
+		if len(code) != dims {
+			return fmt.Errorf("vafile: code %d has %d dims, want %d", i, len(code), dims)
+		}
+		// Cell indices must address a valid quantizer interval: LowerBound
+		// indexes bounds[d][cell-1], so an out-of-range cell in a
+		// corrupt-but-checksummed snapshot would panic mid-query.
+		for d, cell := range code {
+			if int(cell) > len(bounds[d]) {
+				return fmt.Errorf("vafile: code %d dim %d cell %d exceeds %d intervals", i, d, cell, len(bounds[d])+1)
+			}
+		}
+	}
+	ix.c = c
+	ix.xform = xform
+	ix.quant = quant
+	ix.codes = codes
+	return nil
+}

@@ -7,6 +7,8 @@
 package methods
 
 import (
+	"strings"
+
 	"hydra/internal/core"
 
 	// Each import registers one method in its init function.
@@ -24,6 +26,24 @@ import (
 
 // All returns the names of every registered method.
 func All() []string { return core.Names() }
+
+// ParseList expands a CLI -method value: "all" becomes the given set, a
+// comma list becomes its trimmed non-empty names, anything else is a single
+// name. hydra-query (all = All()) and hydra-build (all = Persistables())
+// share it so flag semantics never drift between the tools.
+func ParseList(v string, all []string) []string {
+	if v == "all" {
+		return append([]string(nil), all...)
+	}
+	parts := strings.Split(v, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 // Indexes returns the names of the index-based methods (those with a Build
 // phase that constructs an access structure), in the paper's Table 1 order.

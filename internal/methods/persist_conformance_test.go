@@ -1,0 +1,351 @@
+package methods
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	"hydra/internal/index/ads"
+	"hydra/internal/persist"
+	"hydra/internal/series"
+)
+
+// persistDataset is the shared fixture: small enough to run every method,
+// non-power-of-two length to exercise padding/segmentation edge cases.
+func persistDataset(t *testing.T) (*dataset.Dataset, []series.Series) {
+	t.Helper()
+	ds := dataset.RandomWalk(240, 96, 42)
+	queries := append(
+		dataset.SynthRand(3, 96, 7).Queries,
+		dataset.Ctrl(ds, 3, 1.5, 8).Queries...,
+	)
+	return ds, queries
+}
+
+// knnAll answers every query at k=1 and k=5.
+func knnAll(t *testing.T, m core.Method, queries []series.Series) [][]core.Match {
+	t.Helper()
+	var out [][]core.Match
+	for qi, q := range queries {
+		for _, k := range []int{1, 5} {
+			got, _, err := m.KNN(q, k)
+			if err != nil {
+				t.Fatalf("%s query %d k=%d: %v", m.Name(), qi, k, err)
+			}
+			out = append(out, got)
+		}
+	}
+	return out
+}
+
+// requireBitIdentical asserts two result lists agree exactly: same IDs and
+// bit-for-bit equal distances.
+func requireBitIdentical(t *testing.T, label string, want, got [][]core.Match) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d result sets, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if len(want[i]) != len(got[i]) {
+			t.Fatalf("%s result %d: %d matches, want %d", label, i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			w, g := want[i][j], got[i][j]
+			if w.ID != g.ID || math.Float64bits(w.Dist) != math.Float64bits(g.Dist) {
+				t.Fatalf("%s result %d match %d: got (%d, %x), want (%d, %x)",
+					label, i, j, g.ID, math.Float64bits(g.Dist), w.ID, math.Float64bits(w.Dist))
+			}
+		}
+	}
+}
+
+// TestPersistablesCoverTreeMethods pins the set of snapshot-capable methods:
+// every tree-backed method of the paper, and nothing else.
+func TestPersistablesCoverTreeMethods(t *testing.T) {
+	want := map[string]bool{
+		"ADS+": true, "DSTree": true, "iSAX2+": true, "M-tree": true,
+		"R*-tree": true, "SFA": true, "Stepwise": true, "VA+file": true,
+	}
+	got := core.Persistables()
+	if len(got) != len(want) {
+		t.Errorf("Persistables() = %v, want %d methods", got, len(want))
+	}
+	for _, name := range got {
+		if !want[name] {
+			t.Errorf("unexpected persistable method %q", name)
+		}
+	}
+	// ADS-FULL is hidden: loadable by name, absent from Names().
+	for _, name := range core.Names() {
+		if name == "ADS-FULL" {
+			t.Errorf("ADS-FULL must not appear in core.Names()")
+		}
+	}
+	if _, err := core.New("ADS-FULL", core.Options{}); err != nil {
+		t.Errorf("hidden ADS-FULL not resolvable: %v", err)
+	}
+}
+
+// TestPersistRoundTripBitIdentical is the acceptance criterion of the
+// persistence layer: for every persistable method, save → load → KNN must be
+// bit-identical to build → KNN, both serially and under concurrent queries.
+func TestPersistRoundTripBitIdentical(t *testing.T) {
+	ds, queries := persistDataset(t)
+	for _, name := range core.Persistables() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m, err := core.New(name, core.Options{LeafSize: 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			built := m.(core.Persistable)
+			collBuilt := core.NewCollection(ds)
+			if err := built.Build(collBuilt); err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			want := knnAll(t, built, queries)
+
+			var buf bytes.Buffer
+			if err := core.SaveIndex(built, collBuilt, &buf); err != nil {
+				t.Fatalf("SaveIndex: %v", err)
+			}
+
+			collLoaded := core.NewCollection(ds)
+			loaded, err := core.LoadIndex(bytes.NewReader(buf.Bytes()), collLoaded)
+			if err != nil {
+				t.Fatalf("LoadIndex: %v", err)
+			}
+			if loaded.Name() != name {
+				t.Fatalf("loaded method %q, want %q", loaded.Name(), name)
+			}
+			got := knnAll(t, loaded, queries)
+			requireBitIdentical(t, name+" serial", want, got)
+
+			// The loaded index must also serve the PR 1 concurrent-query path:
+			// many goroutines, one index, answers unchanged.
+			var wg sync.WaitGroup
+			errs := make([]error, len(queries))
+			results := make([][]core.Match, len(queries))
+			for qi := range queries {
+				wg.Add(1)
+				go func(qi int) {
+					defer wg.Done()
+					res, _, err := loaded.KNN(queries[qi], 5)
+					results[qi], errs[qi] = res, err
+				}(qi)
+			}
+			wg.Wait()
+			for qi := range queries {
+				if errs[qi] != nil {
+					t.Fatalf("concurrent query %d: %v", qi, errs[qi])
+				}
+				// want holds (k=1, k=5) pairs per query; compare the k=5 entry.
+				requireBitIdentical(t, name+" concurrent",
+					[][]core.Match{want[2*qi+1]}, [][]core.Match{results[qi]})
+			}
+
+			// A second build on the loaded instance must be rejected.
+			if err := loaded.Build(core.NewCollection(ds)); err == nil {
+				t.Errorf("Build on a loaded index must fail")
+			}
+		})
+	}
+}
+
+// TestPersistFileRoundTrip exercises the hydra-build workflow shape: write
+// the snapshot to a file, reopen it from disk (the process-restart proxy),
+// and load with instrumentation.
+func TestPersistFileRoundTrip(t *testing.T) {
+	ds, queries := persistDataset(t)
+	dir := t.TempDir()
+	for _, name := range []string{"DSTree", "VA+file"} {
+		m, err := core.New(name, core.Options{LeafSize: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		built := m.(core.Persistable)
+		coll := core.NewCollection(ds)
+		if err := built.Build(coll); err != nil {
+			t.Fatal(err)
+		}
+		want := knnAll(t, built, queries)
+
+		path := filepath.Join(dir, "snap.hydx")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.SaveIndex(built, coll, f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		rf, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		collLoaded := core.NewCollection(ds)
+		loaded, bs, err := core.LoadIndexInstrumented(rf, collLoaded)
+		rf.Close()
+		if err != nil {
+			t.Fatalf("%s: LoadIndexInstrumented: %v", name, err)
+		}
+		if !bs.Finished || !bs.FromSnapshot {
+			t.Errorf("%s: load stats = %+v, want Finished+FromSnapshot", name, bs)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bs.IO.SeqBytes != fi.Size() {
+			t.Errorf("%s: load charged %d sequential bytes, snapshot is %d", name, bs.IO.SeqBytes, fi.Size())
+		}
+		requireBitIdentical(t, name+" file", want, knnAll(t, loaded, queries))
+	}
+}
+
+// TestPersistADSFull round-trips the hidden ADS-FULL variant.
+func TestPersistADSFull(t *testing.T) {
+	ds, queries := persistDataset(t)
+	built := ads.NewFull(core.Options{LeafSize: 16})
+	coll := core.NewCollection(ds)
+	if err := built.Build(coll); err != nil {
+		t.Fatal(err)
+	}
+	want := knnAll(t, built, queries)
+	var buf bytes.Buffer
+	if err := core.SaveIndex(built, coll, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.LoadIndex(bytes.NewReader(buf.Bytes()), core.NewCollection(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name() != "ADS-FULL" {
+		t.Fatalf("loaded %q", loaded.Name())
+	}
+	requireBitIdentical(t, "ADS-FULL", want, knnAll(t, loaded, queries))
+}
+
+// TestPersistADSAdaptiveState verifies ADS+'s lazily-materialized leaves
+// survive the round trip: a leaf materialized before the save must be
+// charged as materialized (cheap leaf re-read, not per-series random
+// fetches) after a load.
+func TestPersistADSAdaptiveState(t *testing.T) {
+	ds, queries := persistDataset(t)
+	m, err := core.New("ADS+", core.Options{LeafSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := m.(core.Persistable)
+	coll := core.NewCollection(ds)
+	if err := built.Build(coll); err != nil {
+		t.Fatal(err)
+	}
+	// Touch leaves so some materialize adaptively.
+	for _, q := range queries {
+		if _, _, err := built.KNN(q, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := core.SaveIndex(built, coll, &buf); err != nil {
+		t.Fatal(err)
+	}
+	collLoaded := core.NewCollection(ds)
+	loaded, err := core.LoadIndex(bytes.NewReader(buf.Bytes()), collLoaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical queries must now produce identical I/O profiles: the
+	// materialized-leaf set carried over, so neither instance re-fetches.
+	for qi, q := range queries {
+		_, wantQS, err := core.RunQuery(built, coll, q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, gotQS, err := core.RunQuery(loaded, collLoaded, q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantQS.IO != gotQS.IO {
+			t.Errorf("query %d: loaded I/O %+v, built I/O %+v (adaptive state lost?)", qi, gotQS.IO, wantQS.IO)
+		}
+	}
+
+	// The footprint measure must agree too (materialized leaves count
+	// toward the adaptive disk footprint).
+	wantTS := built.(core.TreeIndex).TreeStats()
+	gotTS := loaded.(core.TreeIndex).TreeStats()
+	if wantTS.DiskBytes != gotTS.DiskBytes || wantTS.TotalNodes != gotTS.TotalNodes {
+		t.Errorf("TreeStats disk=%d nodes=%d, want disk=%d nodes=%d",
+			gotTS.DiskBytes, gotTS.TotalNodes, wantTS.DiskBytes, wantTS.TotalNodes)
+	}
+}
+
+// TestPersistRejectsDamage covers the mandated failure modes: truncation,
+// corruption, version skew, and loading against the wrong collection.
+func TestPersistRejectsDamage(t *testing.T) {
+	ds, _ := persistDataset(t)
+	m, err := core.New("iSAX2+", core.Options{LeafSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := m.(core.Persistable)
+	coll := core.NewCollection(ds)
+	if err := built.Build(coll); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := core.SaveIndex(built, coll, &buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, frac := range []int{4, 2} {
+			cut := raw[:len(raw)/frac]
+			if _, err := core.LoadIndex(bytes.NewReader(cut), core.NewCollection(ds)); err == nil {
+				t.Errorf("truncation to %d bytes must fail", len(cut))
+			}
+		}
+	})
+	t.Run("corrupted", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[len(bad)-10] ^= 0x04
+		if _, err := core.LoadIndex(bytes.NewReader(bad), core.NewCollection(ds)); !errors.Is(err, persist.ErrChecksum) {
+			t.Errorf("err = %v, want ErrChecksum", err)
+		}
+	})
+	t.Run("wrong-version", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[len(persist.Magic)] ^= 0xFF
+		if _, err := core.LoadIndex(bytes.NewReader(bad), core.NewCollection(ds)); !errors.Is(err, persist.ErrVersion) {
+			t.Errorf("err = %v, want ErrVersion", err)
+		}
+	})
+	t.Run("not-a-snapshot", func(t *testing.T) {
+		if _, err := core.LoadIndex(bytes.NewReader([]byte("HYD1not-an-index")), core.NewCollection(ds)); !errors.Is(err, persist.ErrMagic) {
+			t.Errorf("err = %v, want ErrMagic", err)
+		}
+	})
+	t.Run("wrong-collection", func(t *testing.T) {
+		other := dataset.RandomWalk(240, 96, 99) // same shape, different data
+		if _, err := core.LoadIndex(bytes.NewReader(raw), core.NewCollection(other)); err == nil {
+			t.Errorf("loading against a different collection must fail")
+		}
+		smaller := dataset.RandomWalk(100, 96, 42)
+		if _, err := core.LoadIndex(bytes.NewReader(raw), core.NewCollection(smaller)); err == nil {
+			t.Errorf("loading against a different-size collection must fail")
+		}
+	})
+}

@@ -60,16 +60,23 @@ func (q *QueryStats) Add(o QueryStats) {
 	}
 }
 
+// String formats the per-query cost counters for logs and test output.
 func (q QueryStats) String() string {
 	return fmt.Sprintf("examined=%d/%d dist=%d lb=%d io={%s} cpu=%s",
 		q.RawSeriesExamined, q.DatasetSize, q.DistCalcs, q.LBCalcs, q.IO, q.CPUTime)
 }
 
-// BuildStats captures the cost of constructing an index.
+// BuildStats captures the cost of constructing an index — or, in the
+// build-once/query-many workflow, of loading it from a snapshot.
 type BuildStats struct {
 	IO       storage.Snapshot
 	CPUTime  time.Duration
 	Finished bool
+	// FromSnapshot is set when the index was loaded from a persisted
+	// snapshot (core.LoadIndexInstrumented) rather than built: CPUTime is
+	// then the decode time and IO the snapshot read, the costs the paper's
+	// answering-time vs. build-time tradeoff amortizes away.
+	FromSnapshot bool
 }
 
 // TotalTime returns CPU time plus simulated I/O time on device d.

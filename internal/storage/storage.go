@@ -148,6 +148,7 @@ func (s Snapshot) IOTime(d DeviceProfile) time.Duration {
 	return d.IOTime(s.RandOps, s.TotalBytes())
 }
 
+// String formats the access totals for logs and test output.
 func (s Snapshot) String() string {
 	return fmt.Sprintf("seq=%d ops/%d B, rand=%d ops/%d B", s.SeqOps, s.SeqBytes, s.RandOps, s.RandBytes)
 }

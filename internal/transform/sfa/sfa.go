@@ -25,6 +25,7 @@ const (
 	EquiWidth
 )
 
+// String names the binning scheme as the ablation tables print it.
 func (b Binning) String() string {
 	if b == EquiWidth {
 		return "equi-width"
@@ -126,6 +127,44 @@ func computeBreakpoints(col []float64, a int, b Binning) []float64 {
 	}
 	return bps
 }
+
+// Restore rebuilds a trained transform from its persisted parameters: the
+// series length and word length (the DFT is deterministic given both), the
+// alphabet, the binning scheme, and the learned MCB breakpoints. It is the
+// snapshot-loading counterpart of Train.
+func Restore(seriesLen, dims, alphabet int, binning Binning, bps [][]float64) (*Transform, error) {
+	if seriesLen <= 0 || dims <= 0 || alphabet <= 1 {
+		return nil, fmt.Errorf("sfa: invalid restore parameters len=%d dims=%d alphabet=%d", seriesLen, dims, alphabet)
+	}
+	d := dft.New(seriesLen, dims)
+	if d.Dims() != dims {
+		return nil, fmt.Errorf("sfa: %d dims do not fit series of length %d", dims, seriesLen)
+	}
+	if len(bps) != dims {
+		return nil, fmt.Errorf("sfa: %d breakpoint rows for %d dims", len(bps), dims)
+	}
+	for dim, row := range bps {
+		if len(row) != alphabet-1 {
+			return nil, fmt.Errorf("sfa: dim %d has %d breakpoints, want %d", dim, len(row), alphabet-1)
+		}
+		for i := 1; i < len(row); i++ {
+			if row[i] < row[i-1] {
+				return nil, fmt.Errorf("sfa: dim %d breakpoints not sorted", dim)
+			}
+		}
+	}
+	return &Transform{dft: d, alphabet: alphabet, binning: binning, bps: bps}, nil
+}
+
+// SeriesLen returns the expected input length.
+func (t *Transform) SeriesLen() int { return t.dft.SeriesLen() }
+
+// BinningScheme returns the MCB scheme the transform was trained with.
+func (t *Transform) BinningScheme() Binning { return t.binning }
+
+// Breakpoints returns the learned per-dimension MCB breakpoints (not a
+// copy — callers must not mutate).
+func (t *Transform) Breakpoints() [][]float64 { return t.bps }
 
 // Dims returns the SFA word length.
 func (t *Transform) Dims() int { return t.dft.Dims() }

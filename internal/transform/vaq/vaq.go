@@ -123,8 +123,31 @@ func (q *Quantizer) fitBoundaries(features [][]float64) error {
 	return nil
 }
 
+// Restore rebuilds a trained quantizer from its persisted parameters (the
+// snapshot-loading counterpart of Train). The boundary invariants are
+// checked with ErrCheck plus the per-dimension arity rule.
+func Restore(dims int, bits []int, bounds [][]float64) (*Quantizer, error) {
+	if dims <= 0 || len(bits) != dims || len(bounds) != dims {
+		return nil, fmt.Errorf("vaq: restore arity mismatch dims=%d bits=%d bounds=%d", dims, len(bits), len(bounds))
+	}
+	for d, b := range bits {
+		if b < 0 || b > MaxBitsPerDim {
+			return nil, fmt.Errorf("vaq: dim %d has %d bits", d, b)
+		}
+	}
+	q := &Quantizer{dims: dims, bits: bits, bounds: bounds}
+	if err := q.ErrCheck(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
 // Dims returns the feature dimensionality.
 func (q *Quantizer) Dims() int { return q.dims }
+
+// Bounds returns the per-dimension decision boundaries (not a copy —
+// callers must not mutate).
+func (q *Quantizer) Bounds() [][]float64 { return q.bounds }
 
 // Bits returns the per-dimension bit allocation.
 func (q *Quantizer) Bits() []int { return q.bits }
