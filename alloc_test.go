@@ -1,0 +1,90 @@
+package hydra
+
+import (
+	"fmt"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/dataset"
+	_ "hydra/internal/methods"
+)
+
+// queryAllocBudget is the steady-state heap-allocation budget per exact KNN
+// query on the pooled-scratch paths: one allocation for the returned matches
+// plus one of slack (pool churn across GC cycles). CI runs this test as a
+// dedicated gate; a regression that re-introduces per-query buffer or heap
+// allocations fails it immediately.
+const queryAllocBudget = 2.0
+
+// TestQueryAllocBudget pins the steady-state allocations per query of every
+// method whose full KNN path runs on pooled scratch. Methods whose query
+// setup still allocates (SFA and VA+file pay DFT feature extraction) are
+// tracked by BenchmarkQueryAllocs instead of gated here.
+func TestQueryAllocBudget(t *testing.T) {
+	if raceEnabled {
+		// The race detector's instrumentation allocates, and sync.Pool
+		// deliberately fakes misses under it; the budget only holds for
+		// production builds. CI runs this gate in its own non-race step.
+		t.Skip("allocation budget is measured without the race detector")
+	}
+	ds := dataset.RandomWalk(2000, 256, 42)
+	queries := dataset.SynthRand(8, 256, 7).Queries
+	for _, name := range []string{"UCR-Suite", "ADS+", "iSAX2+", "DSTree"} {
+		t.Run(name, func(t *testing.T) {
+			m, err := core.New(name, core.Options{LeafSize: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			coll := core.NewCollection(ds)
+			if err := m.Build(coll); err != nil {
+				t.Fatal(err)
+			}
+			// Warm up: grow scratch buffers, materialize adaptive leaves
+			// (ADS+), populate the pool.
+			for _, q := range queries {
+				if _, _, err := m.KNN(q, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			i := 0
+			avg := testing.AllocsPerRun(100, func() {
+				q := queries[i%len(queries)]
+				i++
+				if _, _, err := m.KNN(q, 1); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg > queryAllocBudget {
+				t.Errorf("%s: %.2f allocs per steady-state query, budget %.0f", name, avg, queryAllocBudget)
+			}
+		})
+	}
+}
+
+// TestParallelScanStillExact guards the pooled parallel path: answers must
+// stay bit-identical to the serial scan for any worker count (the scratch
+// pool and mutex merge must not perturb the deterministic selection).
+func TestParallelScanStillExact(t *testing.T) {
+	ds := dataset.RandomWalk(1500, 128, 9)
+	coll := core.NewCollection(ds)
+	queries := dataset.SynthRand(6, 128, 11).Queries
+	for _, q := range queries {
+		// The oracle is the one-worker pooled scan: reordered early
+		// abandoning accumulates in query order, so brute force (natural
+		// order) differs in the last ulp — the bit-identity contract is
+		// serial-scan vs parallel-scan.
+		want, _, err := core.ParallelScanKNN(coll, q, 3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 7} {
+			got, _, err := core.ParallelScanKNN(coll, q, 3, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("workers=%d: %v want %v", workers, got, want)
+			}
+		}
+	}
+}

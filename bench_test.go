@@ -12,6 +12,7 @@ package hydra
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"runtime"
 	"strconv"
 	"testing"
@@ -385,6 +386,82 @@ func BenchmarkWorkloadConcurrent(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.RunWorkloadConcurrent(reps, wl, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkArenaVsSliced compares a full leaf-style scan over the flat
+// arena layout (storage.SeriesFile) against the legacy slice-of-slices
+// layout. To make the sliced baseline honest about what a long-lived heap
+// looks like, its series are independent allocations created in shuffled
+// order (interleaved allocation is what the old layout degraded to once
+// index build, buffers and GC had churned the heap); the arena scan streams
+// one contiguous 64-byte-aligned block. Both scans compute identical sums.
+func BenchmarkArenaVsSliced(b *testing.B) {
+	const n, l = 8192, 256
+	ds := dataset.RandomWalk(n, l, 42)
+	coll := core.NewCollection(ds) // aliases the generator's arena
+	q := dataset.SynthRand(1, l, 7).Queries[0]
+
+	sliced := make([]series.Series, n)
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		sliced[i] = ds.Series[i].Clone()
+	}
+
+	bound := math.Inf(1) // full computation: the memory-bound regime
+	b.Run("arena", func(b *testing.B) {
+		b.SetBytes(int64(n) * int64(l) * storage.BytesPerValue)
+		var sum float64
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < n; j++ {
+				sum += series.SquaredDistEABlocked(q, coll.File.Peek(j), bound)
+			}
+		}
+		_ = sum
+	})
+	b.Run("sliced", func(b *testing.B) {
+		b.SetBytes(int64(n) * int64(l) * storage.BytesPerValue)
+		var sum float64
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < n; j++ {
+				sum += series.SquaredDistEABlocked(q, sliced[j], bound)
+			}
+		}
+		_ = sum
+	})
+}
+
+// BenchmarkQueryAllocs tracks steady-state heap allocations per exact 1-NN
+// query over a pre-built index (-benchmem columns). The pooled-scratch
+// methods sit at 1 alloc/query (the returned matches); TestQueryAllocBudget
+// gates them in CI.
+func BenchmarkQueryAllocs(b *testing.B) {
+	ds := dataset.RandomWalk(4000, 256, 42)
+	queries := dataset.SynthRand(16, 256, 7).Queries
+	for _, name := range []string{"UCR-Suite", "ADS+", "iSAX2+", "DSTree", "SFA", "VA+file"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			m, err := core.New(name, core.Options{LeafSize: 64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			coll := core.NewCollection(ds)
+			if err := m.Build(coll); err != nil {
+				b.Fatal(err)
+			}
+			for _, q := range queries { // warm scratch pools
+				if _, _, err := m.KNN(q, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := m.KNN(queries[i%len(queries)], 1); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -6,6 +6,7 @@
 //	hydra-bench -experiment all              # everything (slow)
 //	hydra-bench -experiment fig6 -scale 1024 # one artifact at 1/1024 scale
 //	hydra-bench -experiment fig5 -index idx/ # cache indexes across runs
+//	hydra-bench -experiment fig3 -out bench/ # also write bench/BENCH_fig3.json
 //	hydra-bench -list
 //
 // With -index, tree indexes are snapshotted into the named directory on
@@ -13,14 +14,22 @@
 // first run of a parametrization pays construction, and the build column of
 // cached runs reports snapshot load cost instead.
 //
+// Every experiment additionally reports its allocation profile — bytes/query
+// and allocs/query from runtime.MemStats deltas over the queries the
+// experiment answered — so the zero-allocation query-path work stays visible
+// run over run; -out writes each report plus that profile to
+// BENCH_<id>.json for trend tracking.
+//
 // The -scale flag is the divisor applied to the paper's collection sizes
 // (1 = full paper scale; 1024 = default; 16384 = quick smoke run).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -28,6 +37,41 @@ import (
 	"hydra/internal/experiments"
 	_ "hydra/internal/methods"
 )
+
+// memProfile is the per-experiment allocation report derived from
+// runtime.MemStats deltas bracketing the workload-answering phase
+// (experiments.QueryMemTally), so index construction and data generation do
+// not pollute the per-query numbers.
+type memProfile struct {
+	Queries        int64   `json:"queries"`
+	BytesPerQuery  float64 `json:"bytes_per_query"`
+	AllocsPerQuery float64 `json:"allocs_per_query"`
+}
+
+// benchJSON is the schema of a BENCH_<id>.json artifact.
+type benchJSON struct {
+	ID        string     `json:"id"`
+	Title     string     `json:"title"`
+	Scale     float64    `json:"scale_divisor"`
+	Workers   int        `json:"workers"`
+	WallClock string     `json:"wall_clock"`
+	Header    []string   `json:"header"`
+	Rows      [][]string `json:"rows"`
+	Notes     []string   `json:"notes,omitempty"`
+	Mem       memProfile `json:"mem"`
+}
+
+// measureMem converts query-tally deltas into the per-query profile. The
+// underlying counters (TotalAlloc, Mallocs) are monotonic, so the deltas
+// are exact regardless of concurrent GC.
+func measureMem(q0, b0, a0, q1, b1, a1 int64) memProfile {
+	p := memProfile{Queries: q1 - q0}
+	if p.Queries > 0 {
+		p.BytesPerQuery = float64(b1-b0) / float64(p.Queries)
+		p.AllocsPerQuery = float64(a1-a0) / float64(p.Queries)
+	}
+	return p
+}
 
 func main() {
 	var (
@@ -39,6 +83,7 @@ func main() {
 		k          = flag.Int("k", 1, "number of nearest neighbors")
 		workers    = flag.Int("workers", 0, "intra-query scan parallelism (0 = serial, -1 = GOMAXPROCS)")
 		indexDir   = flag.String("index", "", "snapshot cache directory: persist indexes on first build, load on later runs")
+		outDir     = flag.String("out", "", "directory for BENCH_<id>.json artifacts (report + allocation profile)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -63,19 +108,49 @@ func main() {
 	cfg.Workers = *workers
 	cfg.IndexDir = *indexDir
 
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "hydra-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	ids := experiments.IDs()
 	if *experiment != "all" {
 		ids = strings.Split(*experiment, ",")
 	}
 	for _, id := range ids {
 		start := time.Now()
+		q0, b0, a0 := experiments.QueryMemTally()
 		rep, err := experiments.Run(strings.TrimSpace(id), cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hydra-bench: %v\n", err)
 			os.Exit(1)
 		}
+		q1, b1, a1 := experiments.QueryMemTally()
+		elapsed := time.Since(start).Round(time.Millisecond)
+		mem := measureMem(q0, b0, a0, q1, b1, a1)
 		rep.Fprint(os.Stdout)
-		fmt.Printf("(%s regenerated in %s at scale 1/%.0f)\n\n", rep.ID, time.Since(start).Round(time.Millisecond), *scaleDiv)
+		fmt.Printf("mem: %.0f bytes/query, %.1f allocs/query over %d queries\n",
+			mem.BytesPerQuery, mem.AllocsPerQuery, mem.Queries)
+		fmt.Printf("(%s regenerated in %s at scale 1/%.0f)\n\n", rep.ID, elapsed, *scaleDiv)
+		if *outDir != "" {
+			art := benchJSON{
+				ID: rep.ID, Title: rep.Title, Scale: *scaleDiv, Workers: *workers,
+				WallClock: elapsed.String(), Header: rep.Header, Rows: rep.Rows,
+				Notes: rep.Notes, Mem: mem,
+			}
+			blob, err := json.MarshalIndent(art, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hydra-bench: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, "BENCH_"+rep.ID+".json")
+			if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "hydra-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 	_ = dataset.ScaleDefault // documented in -scale help
 }

@@ -21,6 +21,30 @@
 // cost (hydra-build / hydra-query -index / hydra-bench -index), the
 // build-once/query-many workflow of the paper's Figures 5-8.
 //
+// # Data layout and allocation model
+//
+// The raw data of a collection lives in one flat, 64-byte-aligned float32
+// arena (storage.NewArena), series stored back-to-back exactly as the
+// simulated disk lays them out; storage.SeriesFile.Read/ReadRange/Peek hand
+// out capped subslice views of it. Views are read-only — mutating one
+// corrupts the arena for every reader; Clone first or copy out with
+// series.Series.AppendTo (the aliasing contract is specified in the
+// internal/series package docs). Index summaries follow the same
+// discipline: iSAX words and PAA vectors, SFA features and words, and VA+
+// codes are contiguous parallel arrays scored many candidates per call by
+// batched lower-bound kernels (sax.MinDistFullCardBatch,
+// vaq.Quantizer.LowerBoundBatch), and DSTree nodes keep their EAPCA
+// synopsis in one contiguous block scored pairwise per split.
+//
+// Steady-state exact queries do not allocate beyond the returned matches:
+// every method draws its per-query state (reordered query, query summary,
+// candidate-bound buffer, k-NN heap backing, traversal heap) from a pooled
+// core.Scratch (core.ScratchPool, sync.Pool-backed), and the CI gate
+// TestQueryAllocBudget pins the pooled paths to at most 2 heap allocations
+// per query. Batched bounds and pooled scratch change no answer: values,
+// visit decisions, per-query stats and I/O counts are bit-identical to the
+// per-candidate formulation.
+//
 // # Concurrency model
 //
 // The suite distinguishes two axes of parallelism, both layered on top of

@@ -11,7 +11,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"hydra/internal/dataset"
 	"hydra/internal/series"
@@ -35,9 +34,19 @@ type Collection struct {
 }
 
 // NewCollection wraps a dataset with fresh counters and a simulated file.
+// Datasets built arena-first (generators, dataset.Load, subseq.Chop) are
+// aliased — the file shares the dataset's flat backing, so replicas over one
+// dataset cost no extra series memory; hand-assembled datasets are copied
+// into a fresh arena once, here.
 func NewCollection(d *dataset.Dataset) *Collection {
 	c := &storage.Counters{}
-	return &Collection{Data: d, File: storage.NewSeriesFile(d.Series, c), Counters: c}
+	var f *storage.SeriesFile
+	if flat := d.Flat(); flat != nil {
+		f = storage.NewSeriesFileFlat(flat, d.Len(), d.SeriesLen(), c)
+	} else {
+		f = storage.NewSeriesFile(d.Series, c)
+	}
+	return &Collection{Data: d, File: f, Counters: c}
 }
 
 // Method is an exact whole-matching similarity search method.
@@ -152,6 +161,16 @@ func NewKNNSet(k int) *KNNSet {
 	return &KNNSet{k: k, heap: make([]Match, 0, k)}
 }
 
+// Reset empties the set and switches it to capacity k, reusing the heap
+// backing — the allocation-free counterpart of NewKNNSet used by Scratch.
+func (s *KNNSet) Reset(k int) {
+	if k < 1 {
+		k = 1
+	}
+	s.k = k
+	s.heap = s.heap[:0]
+}
+
 // Bound returns the current pruning bound: the k-th smallest squared
 // distance seen, or +Inf if fewer than k candidates have been added.
 func (s *KNNSet) Bound() float64 {
@@ -218,20 +237,31 @@ func (s *KNNSet) down(i int) {
 }
 
 // Results returns the matches sorted by ascending true (square-rooted)
-// distance, ties by ascending ID.
+// distance, ties by ascending ID. The slice is freshly allocated — the one
+// unavoidable allocation of a pooled-scratch query — so callers may keep it.
 func (s *KNNSet) Results() []Match {
 	out := make([]Match, len(s.heap))
 	copy(out, s.heap)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
-		}
-		return out[i].ID < out[j].ID
-	})
+	sortMatches(out)
 	for i := range out {
 		out[i].Dist = math.Sqrt(out[i].Dist)
 	}
 	return out
+}
+
+// sortMatches orders by (Dist ascending, ID ascending) with an insertion
+// sort: k stays small (the paper evaluates k=1), and avoiding sort.Slice
+// keeps the result path free of closure and reflection allocations.
+func sortMatches(m []Match) {
+	for i := 1; i < len(m); i++ {
+		x := m[i]
+		j := i - 1
+		for j >= 0 && (m[j].Dist > x.Dist || (m[j].Dist == x.Dist && m[j].ID > x.ID)) {
+			m[j+1] = m[j]
+			j--
+		}
+		m[j+1] = x
+	}
 }
 
 // ChargeMaterialization charges the I/O of writing the collection's raw

@@ -10,6 +10,7 @@ import (
 	"hydra/internal/dataset"
 	"hydra/internal/series"
 	"hydra/internal/stats"
+	"hydra/internal/storage"
 )
 
 // BestSoFar is a lock-free pruning bound shared by concurrent scan workers,
@@ -74,6 +75,12 @@ func (s *KNNSet) Merge(o *KNNSet) {
 // I/O accounting keeps the paper's §4.2 convention exactly: the scan moves
 // the file size once, as sequential reads plus at most one seek per shard.
 // workers <= 0 selects runtime.GOMAXPROCS(0).
+//
+// Per-query state (the query order, each worker's result set) comes from a
+// package-level ScratchPool, so a steady stream of parallel queries reuses
+// the same buffers instead of re-allocating them. Worker sets are merged
+// into one shared set under a mutex as workers finish; the (distance, then
+// ascending ID) selection makes the merged top-k independent of merge order.
 func ParallelScanKNN(c *Collection, q series.Series, k, workers int) ([]Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	qs.DatasetSize = int64(c.File.Len())
@@ -87,18 +94,21 @@ func ParallelScanKNN(c *Collection, q series.Series, k, workers int) ([]Match, s
 	if len(shards) == 0 {
 		return nil, qs, nil
 	}
-	ord := series.NewOrder(q)
+	ps := scanScratch.Get()
+	defer scanScratch.Put(ps)
+	ord := ps.Order(q)
+	merged := ps.KNN(k)
 	shared := NewBestSoFar()
-	sets := make([]*KNNSet, len(shards))
-	perShard := make([]stats.QueryStats, len(shards))
+	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for w := range shards {
 		wg.Add(1)
-		go func(w int) {
+		go func(sh *storage.Shard) {
 			defer wg.Done()
-			sh := shards[w]
-			set := NewKNNSet(k)
-			ws := &perShard[w]
+			wsc := scanScratch.Get()
+			defer scanScratch.Put(wsc)
+			set := wsc.KNN(k)
+			var ws stats.QueryStats
 			for i := sh.Lo(); i < sh.Hi(); i++ {
 				cand := sh.Read(i)
 				bound := set.Bound()
@@ -112,20 +122,20 @@ func ParallelScanKNN(c *Collection, q series.Series, k, workers int) ([]Match, s
 					shared.Tighten(set.Bound())
 				}
 			}
-			sets[w] = set
-		}(w)
+			mu.Lock()
+			merged.Merge(set)
+			qs.DistCalcs += ws.DistCalcs
+			qs.RawSeriesExamined += ws.RawSeriesExamined
+			mu.Unlock()
+		}(&shards[w])
 	}
 	wg.Wait()
-	merged := sets[0]
-	for _, s := range sets[1:] {
-		merged.Merge(s)
-	}
-	for w := range perShard {
-		qs.DistCalcs += perShard[w].DistCalcs
-		qs.RawSeriesExamined += perShard[w].RawSeriesExamined
-	}
 	return merged.Results(), qs, nil
 }
+
+// scanScratch pools the per-query and per-worker scratch state of
+// ParallelScanKNN across all collections in the process.
+var scanScratch ScratchPool
 
 // Replica is one worker's private (method, collection) pair for concurrent
 // workload execution. Replicas built over the same dataset share the backing

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"hydra/internal/series"
+)
+
+// Scratch is the per-query reusable state of the zero-allocation query
+// paths: the reordered query, the query summary (PAA vector, DFT features,
+// …), the candidate lower-bound buffer, the k-NN heap backing, a node
+// priority queue for best-first traversals, and a lower-bound lookup table
+// for the batched kernels. Buffers grow on demand and never shrink, so
+// steady-state queries stop allocating after the first few.
+//
+// A Scratch serves one query at a time; concurrent queries each take their
+// own from a ScratchPool. Everything handed out by a Scratch (orders,
+// buffers, the KNNSet) is invalidated by the next use of the same getter —
+// results that outlive the query must be copied out (KNNSet.Results does).
+type Scratch struct {
+	ob      series.OrderBuilder
+	summary []float64
+	table   []float64
+	lb      []float64
+	word    []uint8
+	ids     []int
+	idSort  boundSorter
+	set     KNNSet
+	heap    BoundHeap
+}
+
+// Order returns the reordered-early-abandoning order for q, equivalent to
+// series.NewOrder without allocating. Valid until the next Order call.
+func (s *Scratch) Order(q series.Series) series.Order { return s.ob.Build(q) }
+
+// Summary returns a length-n float64 buffer for the query's reduced
+// representation. Contents are undefined; the caller fills it.
+func (s *Scratch) Summary(n int) []float64 { s.summary = growFloats(s.summary, n); return s.summary }
+
+// Table returns a length-n float64 buffer for a lower-bound lookup table
+// (sax.Quantizer.MinDistTable, vaq.Quantizer.LowerBoundTable). Contents are
+// undefined.
+func (s *Scratch) Table(n int) []float64 { s.table = growFloats(s.table, n); return s.table }
+
+// LB returns a length-n float64 buffer for per-candidate lower bounds.
+// Contents are undefined.
+func (s *Scratch) LB(n int) []float64 { s.lb = growFloats(s.lb, n); return s.lb }
+
+// Word returns a length-n byte buffer for the query's symbolic word.
+// Contents are undefined.
+func (s *Scratch) Word(n int) []uint8 {
+	if cap(s.word) < n {
+		s.word = make([]uint8, n)
+	}
+	s.word = s.word[:n]
+	return s.word
+}
+
+// KNN returns the scratch's result set, reset to capacity k. The set reuses
+// its heap backing across queries; Results still copies out, so returned
+// matches are safe to keep.
+func (s *Scratch) KNN(k int) *KNNSet { s.set.Reset(k); return &s.set }
+
+// Heap returns the scratch's node priority queue, reset to empty.
+func (s *Scratch) Heap() *BoundHeap { s.heap.Reset(); return &s.heap }
+
+// SortedByBound returns the ids 0..len(lbs)-1 sorted by (lbs[id] ascending,
+// id ascending) — the candidate visit order of filter-file methods. The
+// returned slice is scratch-owned and valid until the next call.
+func (s *Scratch) SortedByBound(lbs []float64) []int {
+	n := len(lbs)
+	if cap(s.ids) < n {
+		s.ids = make([]int, n)
+	}
+	s.ids = s.ids[:n]
+	for i := range s.ids {
+		s.ids[i] = i
+	}
+	s.idSort.ids = s.ids
+	s.idSort.lb = lbs
+	sort.Sort(&s.idSort)
+	return s.ids
+}
+
+// boundSorter orders candidate ids by their lower bounds, ties by id — a
+// total order, so every sort yields the same unique permutation that
+// sort.Slice over (lb, id) pairs produced.
+type boundSorter struct {
+	ids []int
+	lb  []float64
+}
+
+func (b *boundSorter) Len() int { return len(b.ids) }
+func (b *boundSorter) Less(i, j int) bool {
+	li, lj := b.lb[b.ids[i]], b.lb[b.ids[j]]
+	if li != lj {
+		return li < lj
+	}
+	return b.ids[i] < b.ids[j]
+}
+func (b *boundSorter) Swap(i, j int) { b.ids[i], b.ids[j] = b.ids[j], b.ids[i] }
+
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// ScratchPool hands out Scratches for concurrent queries against one built
+// index. The zero value is ready to use; every method holds one and brackets
+// its KNN with Get/Put, which is what drives steady-state per-query heap
+// allocations to ~zero while staying safe under concurrent queries (each
+// in-flight query owns its Scratch exclusively).
+type ScratchPool struct {
+	p sync.Pool
+}
+
+// Get returns a Scratch for exclusive use until Put.
+func (sp *ScratchPool) Get() *Scratch {
+	if v := sp.p.Get(); v != nil {
+		return v.(*Scratch)
+	}
+	return &Scratch{}
+}
+
+// Put returns s to the pool. s must not be used afterwards.
+func (sp *ScratchPool) Put(s *Scratch) { sp.p.Put(s) }
+
+// BoundHeap is a min-heap of (node, lower bound) pairs for best-first index
+// traversals, replacing the per-package container/heap boilerplate with one
+// allocation-free implementation: the backing array lives in a Scratch and
+// node pointers are stored in interface words without boxing. The sift
+// procedures mirror container/heap exactly, so pop order (including the
+// order of equal bounds) matches the former per-package heaps.
+type BoundHeap struct {
+	items []boundItem
+}
+
+type boundItem struct {
+	lb   float64
+	node any // always a node pointer; pointers store into any without allocating
+}
+
+// Reset empties the heap, keeping its backing.
+func (h *BoundHeap) Reset() { h.items = h.items[:0] }
+
+// Len returns the number of queued nodes.
+func (h *BoundHeap) Len() int { return len(h.items) }
+
+// Push queues node with the given lower bound.
+func (h *BoundHeap) Push(lb float64, node any) {
+	h.items = append(h.items, boundItem{lb: lb, node: node})
+	h.up(len(h.items) - 1)
+}
+
+// PopMin removes and returns the queued node with the smallest bound.
+func (h *BoundHeap) PopMin() (float64, any) {
+	n := len(h.items) - 1
+	h.items[0], h.items[n] = h.items[n], h.items[0]
+	h.down(0, n)
+	it := h.items[n]
+	h.items[n] = boundItem{} // drop the node reference
+	h.items = h.items[:n]
+	return it.lb, it.node
+}
+
+func (h *BoundHeap) up(j int) {
+	for {
+		i := (j - 1) / 2
+		if i == j || h.items[i].lb <= h.items[j].lb {
+			break
+		}
+		h.items[i], h.items[j] = h.items[j], h.items[i]
+		j = i
+	}
+}
+
+func (h *BoundHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.items[j2].lb < h.items[j1].lb {
+			j = j2
+		}
+		if h.items[j].lb >= h.items[i].lb {
+			break
+		}
+		h.items[i], h.items[j] = h.items[j], h.items[i]
+		i = j
+	}
+}

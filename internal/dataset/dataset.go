@@ -14,12 +14,67 @@ import (
 	"math/rand"
 
 	"hydra/internal/series"
+	"hydra/internal/storage"
 )
 
 // Dataset is an in-memory collection of equal-length, Z-normalized series.
+//
+// Collections produced by this package (generators, Load, FromFlat) keep all
+// series back-to-back in one flat aligned arena and expose them as views, so
+// wrapping them in a simulated file (core.NewCollection) aliases the arena
+// instead of copying, and replicas over one dataset share memory. Hand-built
+// datasets that fill Series directly still work everywhere; they are copied
+// into an arena at collection-wrapping time.
 type Dataset struct {
 	Name   string
 	Series []series.Series
+	// flat is the contiguous backing of Series when the dataset was built
+	// arena-first (nil for hand-assembled datasets).
+	flat []float32
+}
+
+// FromFlat builds a dataset over an existing flat backing of n series of the
+// given length stored back-to-back; Series[i] becomes a capped view of
+// flat[i*l:(i+1)*l]. The backing is aliased, not copied.
+func FromFlat(name string, flat []float32, n, l int) *Dataset {
+	if len(flat) != n*l {
+		panic(fmt.Sprintf("dataset: flat backing of %d values cannot hold %d×%d series", len(flat), n, l))
+	}
+	d := &Dataset{Name: name, Series: make([]series.Series, n), flat: flat}
+	for i := range d.Series {
+		d.Series[i] = series.Series(flat[i*l : (i+1)*l : (i+1)*l])
+	}
+	return d
+}
+
+// newArenaDataset allocates an aligned arena for n series of length l and
+// returns the dataset plus its series views, ready for the generator to
+// fill (and Z-normalize) in place.
+func newArenaDataset(name string, n, l int) *Dataset {
+	return FromFlat(name, storage.NewArena(n*l), n, l)
+}
+
+// Flat returns the dataset's contiguous backing, or nil when the series are
+// individually allocated. Callers must not mutate it.
+//
+// Rebinding Series entries after generation (tests do this to inject edge
+// cases) detaches them from the backing; Flat detects that — every view
+// must still alias its arena slot — and returns nil so collection wrapping
+// falls back to copying the Series slices, which are the source of truth.
+func (d *Dataset) Flat() []float32 {
+	if d.flat == nil {
+		return nil
+	}
+	l := d.SeriesLen()
+	if len(d.flat) != len(d.Series)*l {
+		return nil
+	}
+	for i, s := range d.Series {
+		if len(s) != l || (l > 0 && &s[0] != &d.flat[i*l]) {
+			return nil
+		}
+	}
+	return d.flat
 }
 
 // Len returns the number of series in the collection.
@@ -82,15 +137,15 @@ const (
 // prices").
 func RandomWalk(n, length int, seed int64) *Dataset {
 	rng := rand.New(rand.NewSource(seed))
-	d := &Dataset{Name: "synthetic", Series: make([]series.Series, n)}
+	d := newArenaDataset("synthetic", n, length)
 	for i := range d.Series {
-		s := make(series.Series, length)
+		s := d.Series[i]
 		var acc float64
 		for j := range s {
 			acc += rng.NormFloat64()
 			s[j] = float32(acc)
 		}
-		d.Series[i] = s.ZNormalize()
+		s.ZNormalize()
 	}
 	return d
 }
@@ -100,9 +155,9 @@ func RandomWalk(n, length int, seed int64) *Dataset {
 // concentrated in short spans — summarizations describe them relatively well.
 func Seismic(n, length int, seed int64) *Dataset {
 	rng := rand.New(rand.NewSource(seed))
-	d := &Dataset{Name: "seismic", Series: make([]series.Series, n)}
+	d := newArenaDataset("seismic", n, length)
 	for i := range d.Series {
-		s := make(series.Series, length)
+		s := d.Series[i]
 		// AR(2) background with random burst envelope.
 		var x1, x2 float64
 		burstAt := rng.Intn(length)
@@ -118,7 +173,7 @@ func Seismic(n, length int, seed int64) *Dataset {
 			}
 			s[j] = float32(v)
 		}
-		d.Series[i] = s.ZNormalize()
+		s.ZNormalize()
 	}
 	return d
 }
@@ -128,9 +183,9 @@ func Seismic(n, length int, seed int64) *Dataset {
 // energy in few Fourier coefficients.
 func Astro(n, length int, seed int64) *Dataset {
 	rng := rand.New(rand.NewSource(seed))
-	d := &Dataset{Name: "astro", Series: make([]series.Series, n)}
+	d := newArenaDataset("astro", n, length)
 	for i := range d.Series {
-		s := make(series.Series, length)
+		s := d.Series[i]
 		k := 1 + rng.Intn(3)
 		freqs := make([]float64, k)
 		phases := make([]float64, k)
@@ -148,7 +203,7 @@ func Astro(n, length int, seed int64) *Dataset {
 			v += rng.NormFloat64() * 0.4
 			s[j] = float32(v)
 		}
-		d.Series[i] = s.ZNormalize()
+		s.ZNormalize()
 	}
 	return d
 }
@@ -157,7 +212,7 @@ func Astro(n, length int, seed int64) *Dataset {
 // walks. The paper's SALD series have length 128.
 func SALD(n, length int, seed int64) *Dataset {
 	rng := rand.New(rand.NewSource(seed))
-	d := &Dataset{Name: "sald", Series: make([]series.Series, n)}
+	d := newArenaDataset("sald", n, length)
 	win := length / 16
 	if win < 2 {
 		win = 2
@@ -169,7 +224,7 @@ func SALD(n, length int, seed int64) *Dataset {
 			acc += rng.NormFloat64()
 			raw[j] = acc
 		}
-		s := make(series.Series, length)
+		s := d.Series[i]
 		// Moving-average smoothing removes high-frequency content.
 		var sum float64
 		for j := 0; j < win; j++ {
@@ -179,7 +234,7 @@ func SALD(n, length int, seed int64) *Dataset {
 			s[j] = float32(sum / float64(win))
 			sum += raw[j+win] - raw[j]
 		}
-		d.Series[i] = s.ZNormalize()
+		s.ZNormalize()
 	}
 	return d
 }
@@ -200,9 +255,9 @@ func Deep1B(n, length int, seed int64) *Dataset {
 			basis[f][j] = rng.NormFloat64()
 		}
 	}
-	d := &Dataset{Name: "deep1b", Series: make([]series.Series, n)}
+	d := newArenaDataset("deep1b", n, length)
 	for i := range d.Series {
-		s := make(series.Series, length)
+		s := d.Series[i]
 		w := make([]float64, factors)
 		for f := range w {
 			w[f] = rng.NormFloat64()
@@ -215,7 +270,7 @@ func Deep1B(n, length int, seed int64) *Dataset {
 			v += rng.NormFloat64() * 1.2
 			s[j] = float32(v)
 		}
-		d.Series[i] = s.ZNormalize()
+		s.ZNormalize()
 	}
 	return d
 }

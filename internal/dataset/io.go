@@ -7,8 +7,6 @@ import (
 	"io"
 	"math"
 	"os"
-
-	"hydra/internal/series"
 )
 
 // File format: a small header followed by raw little-endian float32 values.
@@ -72,23 +70,39 @@ func Load(r io.Reader) (*Dataset, error) {
 	if _, err := io.ReadFull(br, name); err != nil {
 		return nil, err
 	}
+	// Per-field caps as before, plus a product cap that keeps the arena
+	// size computable on any platform without rejecting anything the suite
+	// can actually hold in memory (2^40 values = 4 TiB of float32).
 	const maxSeries = 1 << 28
-	if count > maxSeries || length > maxSeries {
+	const maxValues = 1 << 40
+	product := uint64(count) * uint64(length)
+	if count > maxSeries || length > maxSeries || product > maxValues || product > uint64(math.MaxInt) {
 		return nil, fmt.Errorf("dataset: implausible header count=%d length=%d", count, length)
 	}
-	d := &Dataset{Name: string(name), Series: make([]series.Series, count)}
+	// Decode into one flat backing that grows with the data actually read
+	// (append doubling), so a hostile header claiming terabytes fails with
+	// a short-read error after the real payload ends instead of forcing the
+	// full claimed allocation up front. The loaded collection still has the
+	// contiguous layout, so wrapping it in a simulated file later aliases
+	// instead of copying. (Large Go allocations are page-aligned, which
+	// subsumes the arena's 64-byte alignment for any collection where the
+	// alignment matters.)
+	total := int(product)
+	startCap := total
+	if startCap > 1<<20 {
+		startCap = 1 << 20
+	}
+	flat := make([]float32, 0, startCap)
 	buf := make([]byte, 4*length)
-	for i := range d.Series {
+	for i := 0; i < int(count); i++ {
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return nil, fmt.Errorf("dataset: reading series %d: %w", i, err)
 		}
-		s := make(series.Series, length)
-		for j := range s {
-			s[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:]))
+		for j := 0; j < int(length); j++ {
+			flat = append(flat, math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:])))
 		}
-		d.Series[i] = s
 	}
-	return d, nil
+	return FromFlat(string(name), flat, int(count), int(length)), nil
 }
 
 // SaveFile writes the collection to the named file.

@@ -12,8 +12,10 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"text/tabwriter"
 	"time"
 
@@ -170,6 +172,23 @@ func (m *MethodRun) Idx10KTime(d storage.DeviceProfile) time.Duration {
 	return m.Build.TotalTime(d) + m.Workload.Extrapolate10K(d, 10000)
 }
 
+// queryMem tallies process-wide heap activity during workload answering
+// (runMethod brackets core.RunWorkload with MemStats reads, so generation
+// and index construction are excluded). hydra-bench reports the deltas as
+// bytes/query and allocs/query per experiment. Experiments answer workloads
+// serially, so the process-wide deltas belong to the bracketed queries.
+var queryMem struct {
+	queries atomic.Int64
+	bytes   atomic.Int64
+	allocs  atomic.Int64
+}
+
+// QueryMemTally returns the cumulative (queries answered, bytes allocated,
+// heap allocations) of all workloads run by this package so far.
+func QueryMemTally() (queries, bytes, allocs int64) {
+	return queryMem.queries.Load(), queryMem.bytes.Load(), queryMem.allocs.Load()
+}
+
 // runMethod builds one method over ds and answers the workload. A non-empty
 // snapdir switches index acquisition to the snapshot cache (see buildOrLoad):
 // persisted indexes are loaded instead of rebuilt, the build-once/query-many
@@ -184,7 +203,13 @@ func runMethod(name string, ds *dataset.Dataset, wl *dataset.Workload, opts core
 	if err != nil {
 		return nil, fmt.Errorf("%s build: %w", name, err)
 	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	ws, err := core.RunWorkload(m, coll, wl, k)
+	runtime.ReadMemStats(&m1)
+	queryMem.queries.Add(int64(len(ws.Queries)))
+	queryMem.bytes.Add(int64(m1.TotalAlloc - m0.TotalAlloc))
+	queryMem.allocs.Add(int64(m1.Mallocs - m0.Mallocs))
 	if err != nil {
 		return nil, fmt.Errorf("%s workload: %w", name, err)
 	}

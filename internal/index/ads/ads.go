@@ -25,6 +25,7 @@ import (
 	"hydra/internal/index/isaxtree"
 	"hydra/internal/series"
 	"hydra/internal/stats"
+	"hydra/internal/transform/sax"
 )
 
 func init() {
@@ -36,6 +37,8 @@ type Index struct {
 	opts core.Options
 	c    *core.Collection
 	tree *isaxtree.Tree
+	// pool hands each in-flight query its reusable scratch buffers.
+	pool core.ScratchPool
 	// mu guards materialized — the only per-query mutable state of the
 	// index, so concurrent queries against one built Index stay race-free.
 	mu sync.Mutex
@@ -84,7 +87,7 @@ func (ix *Index) Build(c *core.Collection) error {
 	// One sequential read to compute summaries; the only thing written is
 	// the (tiny) summary array: Segments bytes per series.
 	c.File.ChargeFullScan()
-	ix.tree.Summarize(c.Data.Series)
+	ix.tree.Summarize(c.File)
 	for i := 0; i < c.File.Len(); i++ {
 		ix.tree.Insert(i)
 	}
@@ -92,7 +95,10 @@ func (ix *Index) Build(c *core.Collection) error {
 	return nil
 }
 
-// KNN implements core.Method (the SIMS algorithm).
+// KNN implements core.Method (the SIMS algorithm). All per-query state
+// comes from the index's scratch pool, and the summary-array bounds of step
+// 2 go through the batched table kernel — the values, visit decisions and
+// answers are bit-identical to the per-series formulation.
 func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
@@ -102,17 +108,31 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 	if len(q) != f.SeriesLen() {
 		return nil, qs, fmt.Errorf("ads: query length %d, collection length %d", len(q), f.SeriesLen())
 	}
-	qpaa := ix.tree.PAA.Apply(q)
-	qword := make([]uint8, len(qpaa))
+	sc := ix.pool.Get()
+	defer ix.pool.Put(sc)
+	seg := ix.tree.Segments
+	qpaa := ix.tree.PAA.ApplyInto(q, sc.Summary(seg))
+	qword := sc.Word(seg)
 	for i, v := range qpaa {
 		qword[i] = ix.tree.Quant.Symbol(v)
 	}
-	ord := series.NewOrder(q)
-	set := core.NewKNNSet(k)
+	ord := sc.Order(q)
+	set := sc.KNN(k)
+
+	// Step 2 first (it depends only on the query): lower bounds against the
+	// whole in-memory summary array, scored by the batched kernel against a
+	// per-query (segment, symbol) contribution table.
+	widths := ix.tree.PAA.Widths()
+	table := sc.Table(sax.TableLen(seg))
+	ix.tree.Quant.MinDistTable(qpaa, widths, table)
+	lbs := sc.LB(f.Len())
+	sax.MinDistFullCardBatch(table, ix.tree.Words, seg, lbs)
+	qs.LBCalcs += int64(f.Len())
 
 	// Step 1: approximate answer from the query's own leaf; materialize it
 	// adaptively (random fetches from the raw file on first touch only).
-	approxVisited := map[int]bool{}
+	// Visited members have their bound forced to +Inf, which excludes them
+	// from step 3 exactly like the former visited set.
 	if leaf := ix.tree.ApproxLeaf(qword); leaf != nil {
 		ix.chargeAdaptiveLeaf(leaf)
 		for _, id := range leaf.Members {
@@ -120,16 +140,8 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 			qs.DistCalcs++
 			qs.RawSeriesExamined++
 			set.Add(id, d)
-			approxVisited[id] = true
+			lbs[id] = math.Inf(1)
 		}
-	}
-
-	// Step 2: lower bounds against the in-memory summary array.
-	widths := ix.tree.PAA.Widths()
-	lbs := make([]float64, f.Len())
-	for i, w := range ix.tree.Words {
-		lbs[i] = ix.tree.Quant.MinDistFullCard(qpaa, w, widths)
-		qs.LBCalcs++
 	}
 
 	// Step 3: skip-sequential scan over the raw file. The SeriesFile charges
@@ -137,7 +149,7 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 	// the paper's "one random disk access corresponds to one skip".
 	f.Rewind()
 	for i := 0; i < f.Len(); i++ {
-		if lbs[i] >= set.Bound() || approxVisited[i] {
+		if lbs[i] >= set.Bound() {
 			continue
 		}
 		raw := f.Read(i)
@@ -196,7 +208,7 @@ func (ix *Index) LeafLB(q series.Series, leaf int) float64 {
 	widths := ix.tree.PAA.Widths()
 	min := math.Inf(1)
 	for _, id := range nonEmpty[leaf].Members {
-		if lb := ix.tree.Quant.MinDistFullCard(qpaa, ix.tree.Words[id], widths); lb < min {
+		if lb := ix.tree.Quant.MinDistFullCard(qpaa, ix.tree.Word(id), widths); lb < min {
 			min = lb
 		}
 	}

@@ -99,7 +99,8 @@ func TestSummaryArrayComplete(t *testing.T) {
 	ds := dataset.RandomWalk(500, 64, 6)
 	ix, _ := build(t, ds, 32)
 	tree := ix.Tree()
-	if len(tree.Words) != ds.Len() || len(tree.PAAs) != ds.Len() {
+	if tree.NumSeries() != ds.Len() ||
+		len(tree.Words) != ds.Len()*tree.Segments || len(tree.PAAs) != ds.Len()*tree.Segments {
 		t.Fatalf("summary array incomplete: %d words, %d PAAs", len(tree.Words), len(tree.PAAs))
 	}
 	if err := tree.Validate(); err != nil {

@@ -56,7 +56,7 @@ func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.Qu
 	set := core.NewRangeSet(r)
 	f.Rewind()
 	for i := 0; i < f.Len(); i++ {
-		lb := ix.tree.Quant.MinDistFullCard(qpaa, ix.tree.Words[i], widths)
+		lb := ix.tree.Quant.MinDistFullCard(qpaa, ix.tree.Word(i), widths)
 		qs.LBCalcs++
 		if lb > set.Bound() {
 			continue

@@ -1,7 +1,6 @@
 package ads
 
 import (
-	"container/heap"
 	"fmt"
 
 	"hydra/internal/core"
@@ -44,31 +43,13 @@ func (ix *FullIndex) Build(c *core.Collection) error {
 	ix.tree = isaxtree.New(c.File.SeriesLen(), ix.opts.Segments, ix.opts.LeafSize)
 
 	c.File.ChargeFullScan() // pass 1: summaries
-	ix.tree.Summarize(c.Data.Series)
+	ix.tree.Summarize(c.File)
 	for i := 0; i < c.File.Len(); i++ {
 		ix.tree.Insert(i)
 	}
 	c.File.ChargeFullScan()                  // pass 2: read data again
 	c.Counters.ChargeSeq(c.File.SizeBytes()) // ... and write the leaves
 	return nil
-}
-
-type fullPQItem struct {
-	n  *isaxtree.Node
-	lb float64
-}
-type fullPQ []fullPQItem
-
-func (p fullPQ) Len() int           { return len(p) }
-func (p fullPQ) Less(i, j int) bool { return p[i].lb < p[j].lb }
-func (p fullPQ) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
-func (p *fullPQ) Push(x any)        { *p = append(*p, x.(fullPQItem)) }
-func (p *fullPQ) Pop() any {
-	old := *p
-	n := len(old)
-	it := old[n-1]
-	*p = old[:n-1]
-	return it
 }
 
 // KNN implements core.Method: approximate descent then best-first exact over
@@ -107,28 +88,29 @@ func (ix *FullIndex) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats
 		visit(approx)
 	}
 
-	h := &fullPQ{}
+	h := &core.BoundHeap{}
 	for _, n := range ix.tree.Root {
 		lb := ix.tree.MinDist(qpaa, n)
 		qs.LBCalcs++
-		heap.Push(h, fullPQItem{n: n, lb: lb})
+		h.Push(lb, n)
 	}
 	for h.Len() > 0 {
-		it := heap.Pop(h).(fullPQItem)
-		if it.lb >= set.Bound() {
+		lb, it := h.PopMin()
+		if lb >= set.Bound() {
 			break
 		}
-		if it.n.IsLeaf {
-			if it.n != approx {
-				visit(it.n)
+		n := it.(*isaxtree.Node)
+		if n.IsLeaf {
+			if n != approx {
+				visit(n)
 			}
 			continue
 		}
-		for _, child := range it.n.Children {
+		for _, child := range n.Children {
 			lb := ix.tree.MinDist(qpaa, child)
 			qs.LBCalcs++
 			if lb < set.Bound() {
-				heap.Push(h, fullPQItem{n: child, lb: lb})
+				h.Push(lb, child)
 			}
 		}
 	}

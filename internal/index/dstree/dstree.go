@@ -19,7 +19,6 @@
 package dstree
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -43,6 +42,9 @@ const (
 type node struct {
 	ends []int // exclusive per-segment end offsets
 	// Synopsis over member series (min/max of per-segment mean and std).
+	// The four arrays are parallel sections of one contiguous backing (see
+	// newNode), so the lower-bound kernel streams one block per node
+	// instead of chasing four separate heap allocations.
 	minMean, maxMean []float64
 	minStd, maxStd   []float64
 	count            int
@@ -65,6 +67,8 @@ type Index struct {
 	numNodes  int
 	numLeaves int
 	leafCache []*node
+	// pool hands each in-flight query its reusable scratch buffers.
+	pool core.ScratchPool
 	// hOnly disables vertical splits (ablation of the paper's
 	// "data-adaptive partitioning" discussion, §5).
 	hOnly bool
@@ -106,21 +110,26 @@ func (ix *Index) Build(c *core.Collection) error {
 }
 
 func newNode(ends []int, depth int) *node {
-	k := len(ends)
-	nd := &node{
-		ends:    ends,
-		minMean: make([]float64, k), maxMean: make([]float64, k),
-		minStd: make([]float64, k), maxStd: make([]float64, k),
-		isLeaf: true,
-		depth:  depth,
-	}
-	for i := 0; i < k; i++ {
+	nd := &node{ends: ends, isLeaf: true, depth: depth}
+	nd.attachSynopsis(make([]float64, 4*len(ends)))
+	for i := range nd.ends {
 		nd.minMean[i] = math.Inf(1)
 		nd.maxMean[i] = math.Inf(-1)
 		nd.minStd[i] = math.Inf(1)
 		nd.maxStd[i] = math.Inf(-1)
 	}
 	return nd
+}
+
+// attachSynopsis slices the node's four parallel synopsis arrays out of one
+// contiguous backing of 4·len(ends) values: minMean | maxMean | minStd |
+// maxStd.
+func (nd *node) attachSynopsis(syn []float64) {
+	k := len(nd.ends)
+	nd.minMean = syn[0*k : 1*k : 1*k]
+	nd.maxMean = syn[1*k : 2*k : 2*k]
+	nd.minStd = syn[2*k : 3*k : 3*k]
+	nd.maxStd = syn[3*k : 4*k : 4*k]
 }
 
 // update extends the node synopsis with one series' EAPCA.
@@ -405,6 +414,48 @@ func lb(qp eapca.Prefix, nd *node) float64 {
 	return sum
 }
 
+// lbPair scores both children of an internal node in one pass — the batched
+// form of lb for the DSTree's natural candidate set. Siblings share their
+// segmentation (apply gives both the winning candidate's ends), so the
+// query's per-segment (mean, std) is computed once and both synopsis blocks
+// are streamed together; each child's sum accumulates exactly as in lb, so
+// the bounds are bit-identical. Hand-crafted snapshots could in principle
+// carry siblings with different (individually valid) segmentations; those
+// fall back to two plain lb calls.
+func lbPair(qp eapca.Prefix, a, b *node) (la, lbd float64) {
+	if !sameEnds(a.ends, b.ends) {
+		return lb(qp, a), lb(qp, b)
+	}
+	lo := 0
+	for s, hi := range a.ends {
+		qm, qs := qp.MeanStd(lo, hi)
+		w := float64(hi - lo)
+		dm := intervalDist(qm, a.minMean[s], a.maxMean[s])
+		ds := intervalDist(qs, a.minStd[s], a.maxStd[s])
+		la += w * (dm*dm + ds*ds)
+		dm = intervalDist(qm, b.minMean[s], b.maxMean[s])
+		ds = intervalDist(qs, b.minStd[s], b.maxStd[s])
+		lbd += w * (dm*dm + ds*ds)
+		lo = hi
+	}
+	return la, lbd
+}
+
+func sameEnds(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) > 0 && &a[0] == &b[0] {
+		return true // siblings built by apply share the ends slice
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func intervalDist(v, lo, hi float64) float64 {
 	switch {
 	case v < lo:
@@ -416,19 +467,10 @@ func intervalDist(v, lo, hi float64) float64 {
 	}
 }
 
-type pqItem struct {
-	n  *node
-	lb float64
-}
-type pq []pqItem
-
-func (p pq) Len() int           { return len(p) }
-func (p pq) Less(i, j int) bool { return p[i].lb < p[j].lb }
-func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
-
-// KNN implements core.Method.
+// KNN implements core.Method. Per-query state (query prefix sums, order,
+// result set, traversal heap) comes from the index's scratch pool, and
+// sibling bounds are scored pairwise by lbPair over the nodes' contiguous
+// synopsis blocks.
 func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
@@ -437,9 +479,11 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 	if len(q) != ix.c.File.SeriesLen() {
 		return nil, qs, fmt.Errorf("dstree: query length %d, collection length %d", len(q), ix.c.File.SeriesLen())
 	}
-	qp := eapca.NewPrefix(q)
-	ord := series.NewOrder(q)
-	set := core.NewKNNSet(k)
+	sc := ix.pool.Get()
+	defer ix.pool.Put(sc)
+	qp := eapca.NewPrefixInto(q, sc.Summary(2*(len(q)+1)))
+	ord := sc.Order(q)
+	set := sc.KNN(k)
 
 	// ng-approximate descent.
 	approx := ix.root
@@ -449,25 +493,27 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 	ix.visitLeaf(approx, q, ord, set, &qs)
 
 	// Exact best-first traversal.
-	h := &pq{}
-	heap.Push(h, pqItem{n: ix.root, lb: 0})
+	h := sc.Heap()
+	h.Push(0, ix.root)
 	for h.Len() > 0 {
-		it := heap.Pop(h).(pqItem)
-		if it.lb >= set.Bound() {
+		l, it := h.PopMin()
+		if l >= set.Bound() {
 			break
 		}
-		if it.n.isLeaf {
-			if it.n != approx {
-				ix.visitLeaf(it.n, q, ord, set, &qs)
+		n := it.(*node)
+		if n.isLeaf {
+			if n != approx {
+				ix.visitLeaf(n, q, ord, set, &qs)
 			}
 			continue
 		}
-		for _, child := range it.n.children {
-			l := lb(qp, child)
-			qs.LBCalcs++
-			if l < set.Bound() {
-				heap.Push(h, pqItem{n: child, lb: l})
-			}
+		l0, l1 := lbPair(qp, n.children[0], n.children[1])
+		qs.LBCalcs += 2
+		if l0 < set.Bound() {
+			h.Push(l0, n.children[0])
+		}
+		if l1 < set.Bound() {
+			h.Push(l1, n.children[1])
 		}
 	}
 	return set.Results(), qs, nil

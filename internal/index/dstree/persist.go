@@ -81,23 +81,28 @@ func decodeDSNode(r *persist.Reader, seriesLen, numSeries int, numNodes, numLeav
 	if depthBudget <= 0 {
 		return nil, fmt.Errorf("dstree: tree deeper than %d levels", maxDecodeDepth)
 	}
-	nd := &node{
-		ends:    r.Ints(),
-		minMean: r.F64s(),
-		maxMean: r.F64s(),
-		minStd:  r.F64s(),
-		maxStd:  r.F64s(),
-		count:   r.Int(),
-		depth:   r.Int(),
-		isLeaf:  r.Bool(),
-	}
+	nd := &node{ends: r.Ints()}
+	minMean := r.F64s()
+	maxMean := r.F64s()
+	minStd := r.F64s()
+	maxStd := r.F64s()
+	nd.count = r.Int()
+	nd.depth = r.Int()
+	nd.isLeaf = r.Bool()
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
 	k := len(nd.ends)
-	if k == 0 || len(nd.minMean) != k || len(nd.maxMean) != k || len(nd.minStd) != k || len(nd.maxStd) != k {
+	if k == 0 || len(minMean) != k || len(maxMean) != k || len(minStd) != k || len(maxStd) != k {
 		return nil, fmt.Errorf("dstree: node synopsis arity mismatch (%d segments)", k)
 	}
+	// Repack the wire-format arrays into the node's contiguous synopsis
+	// block, restoring the query-time memory layout of a built tree.
+	nd.attachSynopsis(make([]float64, 4*k))
+	copy(nd.minMean, minMean)
+	copy(nd.maxMean, maxMean)
+	copy(nd.minStd, minStd)
+	copy(nd.maxStd, maxStd)
 	prev := 0
 	for _, end := range nd.ends {
 		if end <= prev || end > seriesLen {

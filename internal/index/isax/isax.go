@@ -12,7 +12,6 @@
 package isax
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -31,6 +30,8 @@ type Index struct {
 	opts core.Options
 	c    *core.Collection
 	tree *isaxtree.Tree
+	// pool hands each in-flight query its reusable scratch buffers.
+	pool core.ScratchPool
 }
 
 // New creates an iSAX2+ index.
@@ -54,7 +55,7 @@ func (ix *Index) Build(c *core.Collection) error {
 	// Bulk loading: one sequential read to summarize, tree construction over
 	// summaries in memory, then one sequential write materializing leaves.
 	c.File.ChargeFullScan()
-	ix.tree.Summarize(c.Data.Series)
+	ix.tree.Summarize(c.File)
 	for i := 0; i < c.File.Len(); i++ {
 		ix.tree.Insert(i)
 	}
@@ -62,19 +63,8 @@ func (ix *Index) Build(c *core.Collection) error {
 	return nil
 }
 
-type pqItem struct {
-	n  *isaxtree.Node
-	lb float64
-}
-type pq []pqItem
-
-func (p pq) Len() int           { return len(p) }
-func (p pq) Less(i, j int) bool { return p[i].lb < p[j].lb }
-func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
-
-// KNN implements core.Method.
+// KNN implements core.Method. Per-query state (query summary, order, result
+// set, traversal heap) comes from the index's scratch pool.
 func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
@@ -83,13 +73,15 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 	if len(q) != ix.c.File.SeriesLen() {
 		return nil, qs, fmt.Errorf("isax: query length %d, collection length %d", len(q), ix.c.File.SeriesLen())
 	}
-	qpaa := ix.tree.PAA.Apply(q)
-	qword := make([]uint8, len(qpaa))
+	sc := ix.pool.Get()
+	defer ix.pool.Put(sc)
+	qpaa := ix.tree.PAA.ApplyInto(q, sc.Summary(ix.tree.Segments))
+	qword := sc.Word(len(qpaa))
 	for i, v := range qpaa {
 		qword[i] = ix.tree.Quant.Symbol(v)
 	}
-	ord := series.NewOrder(q)
-	set := core.NewKNNSet(k)
+	ord := sc.Order(q)
+	set := sc.KNN(k)
 
 	// ng-approximate step.
 	approx := ix.tree.ApproxLeaf(qword)
@@ -98,28 +90,29 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 	}
 
 	// Exact step: best-first over the root children and their subtrees.
-	h := &pq{}
+	h := sc.Heap()
 	for _, n := range ix.tree.Root {
 		lb := ix.tree.MinDist(qpaa, n)
 		qs.LBCalcs++
-		heap.Push(h, pqItem{n: n, lb: lb})
+		h.Push(lb, n)
 	}
 	for h.Len() > 0 {
-		it := heap.Pop(h).(pqItem)
-		if it.lb >= set.Bound() {
+		lb, it := h.PopMin()
+		if lb >= set.Bound() {
 			break
 		}
-		if it.n.IsLeaf {
-			if it.n != approx {
-				ix.visitLeaf(it.n, q, ord, set, &qs)
+		n := it.(*isaxtree.Node)
+		if n.IsLeaf {
+			if n != approx {
+				ix.visitLeaf(n, q, ord, set, &qs)
 			}
 			continue
 		}
-		for _, child := range it.n.Children {
+		for _, child := range n.Children {
 			lb := ix.tree.MinDist(qpaa, child)
 			qs.LBCalcs++
 			if lb < set.Bound() {
-				heap.Push(h, pqItem{n: child, lb: lb})
+				h.Push(lb, child)
 			}
 		}
 	}

@@ -11,8 +11,8 @@ import (
 	"fmt"
 	"sort"
 
-	"hydra/internal/series"
 	"hydra/internal/stats"
+	"hydra/internal/storage"
 	"hydra/internal/transform/paa"
 	"hydra/internal/transform/sax"
 )
@@ -35,40 +35,66 @@ type Tree struct {
 	Segments int
 
 	Root map[uint64]*Node
-	// Words[i] holds series i's symbols at maximum cardinality; PAAs[i] its
-	// PAA vector (ADS+ keeps these in memory as its summary array).
-	Words [][]uint8
-	PAAs  [][]float64
+	// Words holds every series' symbols at maximum cardinality, back-to-back
+	// with stride Segments (series i at [i*Segments, (i+1)*Segments)); PAAs
+	// holds the PAA vectors in the same flat layout. ADS+ keeps these in
+	// memory as its summary array, and the contiguous layout is what the
+	// batched lower-bound kernel (sax.MinDistFullCardBatch) streams. Use
+	// Word/PAARow for per-series views.
+	Words []uint8
+	PAAs  []float64
 
 	NumNodes  int
 	NumLeaves int
 	leafCache []*Node
 }
 
-// New builds an empty tree for length-n series.
+// NumSeries returns the number of summarized series.
+func (t *Tree) NumSeries() int {
+	if t.Segments == 0 {
+		return 0
+	}
+	return len(t.Words) / t.Segments
+}
+
+// Word returns series i's max-cardinality symbols (a view into the flat
+// summary array; do not mutate).
+func (t *Tree) Word(i int) []uint8 {
+	return t.Words[i*t.Segments : (i+1)*t.Segments : (i+1)*t.Segments]
+}
+
+// PAARow returns series i's PAA vector (a view; do not mutate).
+func (t *Tree) PAARow(i int) []float64 {
+	return t.PAAs[i*t.Segments : (i+1)*t.Segments : (i+1)*t.Segments]
+}
+
+// New builds an empty tree for length-n series. The stored segment count is
+// the PAA transform's actual one (paa.New caps it at the series length), so
+// the flat summary stride always matches the rows the transform produces.
 func New(n, segments, leafSize int) *Tree {
+	p := paa.New(n, segments)
 	return &Tree{
 		Quant:    sax.NewQuantizer(),
-		PAA:      paa.New(n, segments),
+		PAA:      p,
 		LeafSize: leafSize,
-		Segments: segments,
+		Segments: p.Segments(),
 		Root:     map[uint64]*Node{},
 	}
 }
 
 // Summarize computes and stores the PAA vector and iSAX symbols of every
-// series, reading the collection once.
-func (t *Tree) Summarize(data []series.Series) {
-	t.Words = make([][]uint8, len(data))
-	t.PAAs = make([][]float64, len(data))
-	for i, s := range data {
-		p := t.PAA.Apply(s)
-		w := make([]uint8, len(p))
+// series into the flat summary arrays, reading the file once (uncharged:
+// builders charge the pass at full-scan granularity).
+func (t *Tree) Summarize(f *storage.SeriesFile) {
+	n := f.Len()
+	t.Words = make([]uint8, n*t.Segments)
+	t.PAAs = make([]float64, n*t.Segments)
+	for i := 0; i < n; i++ {
+		p := t.PAA.ApplyInto(f.Peek(i), t.PAARow(i))
+		w := t.Word(i)
 		for j, v := range p {
 			w[j] = t.Quant.Symbol(v)
 		}
-		t.PAAs[i] = p
-		t.Words[i] = w
 	}
 }
 
@@ -83,7 +109,7 @@ func (t *Tree) RootKey(word []uint8) uint64 {
 
 // Insert places series id into the tree, splitting overflowing leaves.
 func (t *Tree) Insert(id int) {
-	word := t.Words[id]
+	word := t.Word(id)
 	key := t.RootKey(word)
 	n, ok := t.Root[key]
 	if !ok {
@@ -119,7 +145,7 @@ func (t *Tree) split(n *Node) {
 		}
 		ones := 0
 		for _, id := range n.Members {
-			if t.Words[id][seg]>>(sax.MaxBits-bits-1)&1 == 1 {
+			if t.Words[id*t.Segments+seg]>>(sax.MaxBits-bits-1)&1 == 1 {
 				ones++
 			}
 		}
@@ -153,7 +179,7 @@ func (t *Tree) split(n *Node) {
 	members := n.Members
 	n.Members = nil
 	for _, id := range members {
-		bit := t.Words[id][best] >> (sax.MaxBits - bits - 1) & 1
+		bit := t.Words[id*t.Segments+best] >> (sax.MaxBits - bits - 1) & 1
 		c := n.Children[bit]
 		c.Members = append(c.Members, id)
 	}
@@ -244,22 +270,23 @@ func (t *Tree) TreeStats(seriesBytes int64, materialized bool) stats.TreeStats {
 		walk(n)
 	}
 	// The full summary array kept in memory (ADS+'s SAX cache; iSAX2+ holds
-	// it during bulk loading).
-	ts.MemBytes += int64(len(t.Words)) * int64(t.Segments)
+	// it during bulk loading). Words is flat: its length is already the
+	// total symbol count.
+	ts.MemBytes += int64(len(t.Words))
 	return ts
 }
 
 // Validate checks structural invariants: every series in exactly one leaf,
 // words consistent with leaf regions.
 func (t *Tree) Validate() error {
-	seen := make([]bool, len(t.Words))
+	seen := make([]bool, t.NumSeries())
 	for _, leaf := range t.Leaves() {
 		for _, id := range leaf.Members {
 			if seen[id] {
 				return fmt.Errorf("isaxtree: series %d appears in multiple leaves", id)
 			}
 			seen[id] = true
-			if !leaf.Word.Matches(t.Words[id]) {
+			if !leaf.Word.Matches(t.Word(id)) {
 				return fmt.Errorf("isaxtree: series %d does not match its leaf word", id)
 			}
 		}

@@ -6,14 +6,16 @@ import (
 
 	"hydra/internal/dataset"
 	"hydra/internal/series"
+	"hydra/internal/storage"
 	"hydra/internal/transform/sax"
 )
 
 func buildTree(t *testing.T, n, length, leafSize int) (*Tree, *dataset.Dataset) {
 	t.Helper()
 	ds := dataset.RandomWalk(n, length, 3)
+	f := storage.NewSeriesFile(ds.Series, &storage.Counters{})
 	tr := New(length, 16, leafSize)
-	tr.Summarize(ds.Series)
+	tr.Summarize(f)
 	for i := 0; i < n; i++ {
 		tr.Insert(i)
 	}
@@ -44,7 +46,7 @@ func TestLeafSizesRespected(t *testing.T) {
 				if leaf.Word.Bits[seg] < sax.MaxBits {
 					for _, id := range leaf.Members[1:] {
 						b := leaf.Word.Bits[seg]
-						if tr.Words[id][seg]>>(sax.MaxBits-b-1) != tr.Words[leaf.Members[0]][seg]>>(sax.MaxBits-b-1) {
+						if tr.Word(id)[seg]>>(sax.MaxBits-b-1) != tr.Word(leaf.Members[0])[seg]>>(sax.MaxBits-b-1) {
 							canSplit = true
 						}
 					}
@@ -60,7 +62,7 @@ func TestLeafSizesRespected(t *testing.T) {
 func TestApproxLeafContainsMatchingWords(t *testing.T) {
 	tr, ds := buildTree(t, 1000, 64, 16)
 	for i := 0; i < 50; i++ {
-		leaf := tr.ApproxLeaf(tr.Words[i])
+		leaf := tr.ApproxLeaf(tr.Word(i))
 		if leaf == nil {
 			t.Fatalf("series %d has no leaf on its own path", i)
 		}
@@ -80,8 +82,8 @@ func TestApproxLeafContainsMatchingWords(t *testing.T) {
 func TestMinDistZeroForOwnLeaf(t *testing.T) {
 	tr, _ := buildTree(t, 500, 64, 16)
 	for i := 0; i < 20; i++ {
-		leaf := tr.ApproxLeaf(tr.Words[i])
-		if d := tr.MinDist(tr.PAAs[i], leaf); d != 0 {
+		leaf := tr.ApproxLeaf(tr.Word(i))
+		if d := tr.MinDist(tr.PAARow(i), leaf); d != 0 {
 			t.Errorf("series %d MinDist to its own leaf = %g, want 0", i, d)
 		}
 	}

@@ -10,13 +10,22 @@ import (
 
 // Encode serializes the tree — summary arrays and node structure — into w.
 // Nodes are written in deterministic order (sorted root keys, child 0 before
-// child 1), so identical trees always produce identical bytes.
+// child 1), so identical trees always produce identical bytes. The flat
+// in-memory summary arrays are written row by row, preserving the wire
+// format of the per-series matrix sections.
 func (t *Tree) Encode(w *persist.Writer) {
 	w.Int(t.PAA.SeriesLen())
 	w.Int(t.Segments)
 	w.Int(t.LeafSize)
-	w.U8Mat(t.Words)
-	w.F64Mat(t.PAAs)
+	n := t.NumSeries()
+	words := make([][]uint8, n)
+	paas := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		words[i] = t.Word(i)
+		paas[i] = t.PAARow(i)
+	}
+	w.U8Mat(words)
+	w.F64Mat(paas)
 
 	keys := make([]uint64, 0, len(t.Root))
 	for k := range t.Root {
@@ -61,18 +70,23 @@ func DecodeTree(r *persist.Reader, numSeries int) (*Tree, error) {
 		return nil, fmt.Errorf("isaxtree: invalid snapshot dimensions n=%d segments=%d leaf=%d", n, segments, leafSize)
 	}
 	t := New(n, segments, leafSize)
-	segments = t.PAA.Segments() // paa.New caps segments at the series length
-	t.Segments = segments
-	t.Words = r.U8Mat()
-	t.PAAs = r.F64Mat()
-	if len(t.Words) != numSeries || len(t.PAAs) != numSeries {
-		return nil, fmt.Errorf("isaxtree: %d words / %d PAA vectors for %d series", len(t.Words), len(t.PAAs), numSeries)
+	segments = t.Segments // paa.New caps segments at the series length
+	words := r.U8Mat()
+	paas := r.F64Mat()
+	if len(words) != numSeries || len(paas) != numSeries {
+		return nil, fmt.Errorf("isaxtree: %d words / %d PAA vectors for %d series", len(words), len(paas), numSeries)
 	}
-	for i := range t.Words {
-		if len(t.Words[i]) != segments || len(t.PAAs[i]) != segments {
+	// Flatten the per-series rows into the contiguous summary arrays the
+	// batched kernels stream — the arena-aware load path.
+	t.Words = make([]uint8, numSeries*segments)
+	t.PAAs = make([]float64, numSeries*segments)
+	for i := range words {
+		if len(words[i]) != segments || len(paas[i]) != segments {
 			return nil, fmt.Errorf("isaxtree: summary row %d has %d/%d values, want %d",
-				i, len(t.Words[i]), len(t.PAAs[i]), segments)
+				i, len(words[i]), len(paas[i]), segments)
 		}
+		copy(t.Word(i), words[i])
+		copy(t.PAARow(i), paas[i])
 	}
 	rootCount := r.Int()
 	if err := r.Err(); err != nil {

@@ -32,9 +32,18 @@ func (ix *Index) EncodeIndex(enc *persist.Encoder) error {
 	xw.U8(uint8(ix.xform.BinningScheme()))
 	xw.F64Mat(ix.xform.Breakpoints())
 
+	// The flat in-memory arrays are written row by row, preserving the wire
+	// format of the per-series matrix section.
+	n := ix.c.File.Len()
+	featRows := make([][]float64, n)
+	wordRows := make([][]uint8, n)
+	for i := 0; i < n; i++ {
+		featRows[i] = ix.feat(i)
+		wordRows[i] = ix.word(i)
+	}
 	dw := enc.Section(dataSection)
-	dw.F64Mat(ix.feats)
-	dw.U8Mat(ix.words)
+	dw.F64Mat(featRows)
+	dw.U8Mat(wordRows)
 
 	tw := enc.Section(trieSection)
 	encodeTrieNode(tw, ix.root)
@@ -94,13 +103,25 @@ func (ix *Index) DecodeIndex(dec *persist.Decoder, c *core.Collection) error {
 	if err != nil {
 		return err
 	}
-	feats := dr.F64Mat()
-	words := dr.U8Mat()
+	featRows := dr.F64Mat()
+	wordRows := dr.U8Mat()
 	if err := dr.Close(); err != nil {
 		return err
 	}
-	if len(feats) != c.File.Len() || len(words) != c.File.Len() {
-		return fmt.Errorf("sfatrie: %d features / %d words for %d series", len(feats), len(words), c.File.Len())
+	if len(featRows) != c.File.Len() || len(wordRows) != c.File.Len() {
+		return fmt.Errorf("sfatrie: %d features / %d words for %d series", len(featRows), len(wordRows), c.File.Len())
+	}
+	// Flatten the per-series rows into the contiguous stride-dims arrays of
+	// a built index, validating row arity on the way.
+	feats := make([]float64, len(featRows)*dims)
+	words := make([]uint8, len(wordRows)*dims)
+	for i := range featRows {
+		if len(featRows[i]) != dims || len(wordRows[i]) != dims {
+			return fmt.Errorf("sfatrie: summary row %d has %d/%d values, want %d",
+				i, len(featRows[i]), len(wordRows[i]), dims)
+		}
+		copy(feats[i*dims:], featRows[i])
+		copy(words[i*dims:], wordRows[i])
 	}
 
 	tr, err := dec.Section(trieSection)
@@ -149,14 +170,18 @@ func decodeTrieNode(r *persist.Reader, depth, dims, alphabet, numSeries int, num
 			}
 		}
 		if r.Bool() {
-			n.mbrLo = r.F64s()
-			n.mbrHi = r.F64s()
+			mbrLo := r.F64s()
+			mbrHi := r.F64s()
 			if err := r.Err(); err != nil {
 				return nil, err
 			}
-			if len(n.mbrLo) != dims || len(n.mbrHi) != dims {
-				return nil, fmt.Errorf("sfatrie: leaf MBR arity %d/%d, want %d", len(n.mbrLo), len(n.mbrHi), dims)
+			if len(mbrLo) != dims || len(mbrHi) != dims {
+				return nil, fmt.Errorf("sfatrie: leaf MBR arity %d/%d, want %d", len(mbrLo), len(mbrHi), dims)
 			}
+			// Repack into the contiguous lo|hi block of a built leaf.
+			n.setMBR(make([]float64, 2*dims))
+			copy(n.mbrLo, mbrLo)
+			copy(n.mbrHi, mbrHi)
 		}
 		return n, r.Err()
 	}

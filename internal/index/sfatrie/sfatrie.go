@@ -11,7 +11,6 @@
 package sfatrie
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -32,13 +31,29 @@ type Index struct {
 	c     *core.Collection
 	xform *sfa.Transform
 	root  *node
-	// feats[i] caches the Fourier features of series i (conceptually stored
-	// with the leaf entries on disk).
-	feats     [][]float64
-	words     [][]uint8
+	// feats caches the Fourier features of every series, back-to-back with
+	// stride Dims (series i at [i*Dims, (i+1)*Dims)) — conceptually stored
+	// with the leaf entries on disk; words holds the SFA words in the same
+	// flat layout. Use feat/word for per-series views.
+	feats     []float64
+	words     []uint8
 	numNodes  int
 	numLeaves int
 	leafCache []*node // deterministic leaf order for LeafBounder
+	// pool hands each in-flight query its reusable scratch buffers.
+	pool core.ScratchPool
+}
+
+// feat returns series id's feature vector (a view; do not mutate).
+func (ix *Index) feat(id int) []float64 {
+	d := ix.xform.Dims()
+	return ix.feats[id*d : (id+1)*d : (id+1)*d]
+}
+
+// word returns series id's SFA word (a view; do not mutate).
+func (ix *Index) word(id int) []uint8 {
+	d := ix.xform.Dims()
+	return ix.words[id*d : (id+1)*d : (id+1)*d]
 }
 
 type node struct {
@@ -48,8 +63,18 @@ type node struct {
 	// leaf payload
 	isLeaf  bool
 	members []int
-	mbrLo   []float64 // feature-space MBR over members (len == depth grown lazily? full dims)
-	mbrHi   []float64
+	// mbrLo/mbrHi are the halves of one contiguous block (see setMBR): the
+	// feature-space MBR over members, streamed as a unit by the leaf bound.
+	mbrLo []float64
+	mbrHi []float64
+}
+
+// setMBR points the leaf's MBR views at the halves of one contiguous
+// backing of 2·d values (lo | hi).
+func (n *node) setMBR(block []float64) {
+	d := len(block) / 2
+	n.mbrLo = block[:d:d]
+	n.mbrHi = block[d : 2*d : 2*d]
 }
 
 // New creates an SFA trie with the given options.
@@ -86,11 +111,12 @@ func (ix *Index) Build(c *core.Collection) error {
 	ix.xform = t
 
 	n := c.File.Len()
-	ix.feats = make([][]float64, n)
-	ix.words = make([][]uint8, n)
+	d := t.Dims()
+	ix.feats = make([]float64, n*d)
+	ix.words = make([]uint8, n*d)
 	for i := 0; i < n; i++ {
-		ix.feats[i] = t.Features(c.File.Peek(i))
-		ix.words[i] = t.Word(ix.feats[i])
+		copy(ix.feat(i), t.Features(c.File.Peek(i)))
+		copy(ix.word(i), t.Word(ix.feat(i)))
 	}
 
 	ix.root = &node{children: map[uint8]*node{}}
@@ -105,10 +131,10 @@ func (ix *Index) Build(c *core.Collection) error {
 
 func (ix *Index) insert(id int) {
 	cur := ix.root
-	w := ix.words[id]
+	w := ix.word(id)
 	for {
 		if cur.isLeaf {
-			cur.addMember(id, ix.feats[id])
+			cur.addMember(id, ix.feat(id))
 			if len(cur.members) > ix.opts.LeafSize && cur.depth < ix.xform.Dims() {
 				ix.split(cur)
 			}
@@ -134,8 +160,9 @@ func (ix *Index) insert(id int) {
 func (n *node) addMember(id int, feat []float64) {
 	n.members = append(n.members, id)
 	if n.mbrLo == nil {
-		n.mbrLo = append([]float64{}, feat...)
-		n.mbrHi = append([]float64{}, feat...)
+		n.setMBR(make([]float64, 2*len(feat)))
+		copy(n.mbrLo, feat)
+		copy(n.mbrHi, feat)
 		return
 	}
 	for d, v := range feat {
@@ -157,7 +184,7 @@ func (ix *Index) split(n *node) {
 	n.mbrLo, n.mbrHi = nil, nil
 	ix.numLeaves--
 	for _, id := range members {
-		sym := ix.words[id][n.depth]
+		sym := ix.words[id*ix.xform.Dims()+n.depth]
 		child, ok := n.children[sym]
 		if !ok {
 			child = &node{
@@ -170,7 +197,7 @@ func (ix *Index) split(n *node) {
 			ix.numNodes++
 			ix.numLeaves++
 		}
-		child.addMember(id, ix.feats[id])
+		child.addMember(id, ix.feat(id))
 	}
 	// Children may themselves overflow (all members share a symbol).
 	for _, child := range n.children {
@@ -201,19 +228,8 @@ func (ix *Index) lb(qf []float64, n *node) float64 {
 	return ix.xform.MinDistPrefix(qf, n.prefix)
 }
 
-type pqItem struct {
-	n  *node
-	lb float64
-}
-type pq []pqItem
-
-func (p pq) Len() int           { return len(p) }
-func (p pq) Less(i, j int) bool { return p[i].lb < p[j].lb }
-func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
-
-// KNN implements core.Method.
+// KNN implements core.Method. Per-query state (order, result set, traversal
+// heap) comes from the index's scratch pool.
 func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
@@ -222,10 +238,12 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 	if len(q) != ix.c.File.SeriesLen() {
 		return nil, qs, fmt.Errorf("sfatrie: query length %d, collection length %d", len(q), ix.c.File.SeriesLen())
 	}
+	sc := ix.pool.Get()
+	defer ix.pool.Put(sc)
 	qf := ix.xform.Features(q)
 	qw := ix.xform.Word(qf)
-	ord := series.NewOrder(q)
-	set := core.NewKNNSet(k)
+	ord := sc.Order(q)
+	set := sc.KNN(k)
 
 	// ng-approximate step: descend the query's own path to one leaf.
 	if leaf := ix.descend(qw); leaf != nil {
@@ -233,24 +251,25 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 	}
 
 	// Exact step: best-first traversal with lower-bound pruning.
-	h := &pq{}
-	heap.Push(h, pqItem{n: ix.root, lb: 0})
+	h := sc.Heap()
+	h.Push(0, ix.root)
 	for h.Len() > 0 {
-		it := heap.Pop(h).(pqItem)
-		if it.lb >= set.Bound() {
+		l, it := h.PopMin()
+		if l >= set.Bound() {
 			break
 		}
-		if it.n.isLeaf {
-			if !it.n.visited(qw) { // approximate leaf already processed
-				ix.visitLeaf(it.n, q, ord, set, &qs)
+		n := it.(*node)
+		if n.isLeaf {
+			if !n.visited(qw) { // approximate leaf already processed
+				ix.visitLeaf(n, q, ord, set, &qs)
 			}
 			continue
 		}
-		for _, child := range it.n.children {
+		for _, child := range n.children {
 			lb := ix.lb(qf, child)
 			qs.LBCalcs++
 			if lb < set.Bound() {
-				heap.Push(h, pqItem{n: child, lb: lb})
+				h.Push(lb, child)
 			}
 		}
 	}

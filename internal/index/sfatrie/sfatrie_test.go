@@ -26,7 +26,7 @@ func TestPrefixStructure(t *testing.T) {
 	walk = func(n *node) {
 		if n.isLeaf {
 			for _, id := range n.members {
-				w := ix.words[id]
+				w := ix.word(id)
 				for d, sym := range n.prefix {
 					if w[d] != sym {
 						t.Fatalf("member %d word %v does not match leaf prefix %v", id, w, n.prefix)
@@ -69,7 +69,7 @@ func TestLeafMBRContainsMembers(t *testing.T) {
 	ix, _ := build(t, ds, 16)
 	for _, n := range ix.leafNodes() {
 		for _, id := range n.members {
-			f := ix.feats[id]
+			f := ix.feat(id)
 			for d := range f {
 				if f[d] < n.mbrLo[d]-1e-12 || f[d] > n.mbrHi[d]+1e-12 {
 					t.Fatalf("member %d outside leaf MBR in dim %d", id, d)
@@ -99,11 +99,9 @@ func TestAlphabetOption(t *testing.T) {
 	if ix.xform.Alphabet() != 4 {
 		t.Errorf("alphabet %d want 4", ix.xform.Alphabet())
 	}
-	for _, w := range ix.words {
-		for _, sym := range w {
-			if sym >= 4 {
-				t.Fatalf("symbol %d out of 4-letter alphabet", sym)
-			}
+	for _, sym := range ix.words {
+		if sym >= 4 {
+			t.Fatalf("symbol %d out of 4-letter alphabet", sym)
 		}
 	}
 	q := dataset.SynthRand(1, 64, 6).Queries[0]
@@ -121,7 +119,7 @@ func TestApproxDescendReachesMemberLeaf(t *testing.T) {
 	ds := dataset.RandomWalk(600, 64, 7)
 	ix, _ := build(t, ds, 16)
 	for i := 0; i < 40; i++ {
-		leaf := ix.descend(ix.words[i])
+		leaf := ix.descend(ix.word(i))
 		if leaf == nil {
 			t.Fatalf("series %d: no leaf on its own path", i)
 		}

@@ -25,8 +25,8 @@ func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.Qu
 	ix.c.Counters.ChargeSeq(ix.ApproxFileBytes())
 	set := core.NewRangeSet(r)
 	f.Rewind()
-	for i, code := range ix.codes {
-		lb := ix.quant.LowerBound(qf, code)
+	for i := 0; i < ix.numCodes(); i++ {
+		lb := ix.quant.LowerBound(qf, ix.code(i))
 		qs.LBCalcs++
 		if lb > set.Bound() {
 			continue

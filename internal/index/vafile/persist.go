@@ -29,7 +29,13 @@ func (ix *Index) EncodeIndex(enc *persist.Encoder) error {
 	qw.Int(ix.xform.Dims())
 	qw.Ints(ix.quant.Bits())
 	qw.F64Mat(ix.quant.Bounds())
-	enc.Section(codesSection).U8Mat(ix.codes)
+	// The flat code array is written row by row, preserving the wire format
+	// of the per-series matrix section.
+	rows := make([][]uint8, ix.numCodes())
+	for i := range rows {
+		rows[i] = ix.code(i)
+	}
+	enc.Section(codesSection).U8Mat(rows)
 	return nil
 }
 
@@ -61,14 +67,15 @@ func (ix *Index) DecodeIndex(dec *persist.Decoder, c *core.Collection) error {
 	if err != nil {
 		return err
 	}
-	codes := cr.U8Mat()
+	rows := cr.U8Mat()
 	if err := cr.Close(); err != nil {
 		return err
 	}
-	if len(codes) != c.File.Len() {
-		return fmt.Errorf("vafile: %d codes for %d series", len(codes), c.File.Len())
+	if len(rows) != c.File.Len() {
+		return fmt.Errorf("vafile: %d codes for %d series", len(rows), c.File.Len())
 	}
-	for i, code := range codes {
+	codes := make([]uint8, len(rows)*dims)
+	for i, code := range rows {
 		if len(code) != dims {
 			return fmt.Errorf("vafile: code %d has %d dims, want %d", i, len(code), dims)
 		}
@@ -80,6 +87,7 @@ func (ix *Index) DecodeIndex(dec *persist.Decoder, c *core.Collection) error {
 				return fmt.Errorf("vafile: code %d dim %d cell %d exceeds %d intervals", i, d, cell, len(bounds[d])+1)
 			}
 		}
+		copy(codes[i*dims:], code)
 	}
 	ix.c = c
 	ix.xform = xform

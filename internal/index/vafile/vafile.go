@@ -13,7 +13,6 @@ package vafile
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"hydra/internal/core"
 	"hydra/internal/series"
@@ -32,7 +31,27 @@ type Index struct {
 	c     *core.Collection
 	xform *dft.Transform
 	quant *vaq.Quantizer
-	codes [][]uint8
+	// codes is the approximation file: every series' cell indices
+	// back-to-back with stride Dims — the contiguous array the batched
+	// lower-bound kernel (vaq.Quantizer.LowerBoundBatch) streams during
+	// phase 1. Use code for per-series views.
+	codes []uint8
+	// pool hands each in-flight query its reusable scratch buffers.
+	pool core.ScratchPool
+}
+
+// code returns series i's approximation code (a view; do not mutate).
+func (ix *Index) code(i int) []uint8 {
+	d := ix.quant.Dims()
+	return ix.codes[i*d : (i+1)*d : (i+1)*d]
+}
+
+// numCodes returns the number of encoded series.
+func (ix *Index) numCodes() int {
+	if d := ix.quant.Dims(); d > 0 {
+		return len(ix.codes) / d
+	}
+	return 0
 }
 
 // New creates a VA+file with the given options.
@@ -77,9 +96,9 @@ func (ix *Index) Build(c *core.Collection) error {
 	}
 	ix.quant = q
 
-	ix.codes = make([][]uint8, len(feats))
+	ix.codes = make([]uint8, len(feats)*q.Dims())
 	for i, f := range feats {
-		ix.codes[i] = q.Encode(f)
+		copy(ix.code(i), q.Encode(f))
 	}
 	// Writing the approximation file is one sequential write.
 	c.Counters.ChargeSeq(ix.ApproxFileBytes())
@@ -88,10 +107,13 @@ func (ix *Index) Build(c *core.Collection) error {
 
 // ApproxFileBytes returns the on-disk size of the approximation file.
 func (ix *Index) ApproxFileBytes() int64 {
-	return int64(len(ix.codes)) * ix.quant.ApproxBytes()
+	return int64(ix.numCodes()) * ix.quant.ApproxBytes()
 }
 
-// KNN implements core.Method.
+// KNN implements core.Method. Phase 1 scores the whole approximation file
+// with the batched table kernel over the flat code array; all per-query
+// state comes from the index's scratch pool. Bounds, visit order and
+// answers are bit-identical to the per-code formulation.
 func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
@@ -100,39 +122,34 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 	if len(q) != ix.c.File.SeriesLen() {
 		return nil, qs, fmt.Errorf("vafile: query length %d, collection length %d", len(q), ix.c.File.SeriesLen())
 	}
+	sc := ix.pool.Get()
+	defer ix.pool.Put(sc)
 	qf := ix.xform.Apply(q)
-	ord := series.NewOrder(q)
+	ord := sc.Order(q)
 
-	// Phase 1: sequential scan of the approximation file.
+	// Phase 1: sequential scan of the approximation file, one table gather
+	// per (candidate, dimension).
 	ix.c.Counters.ChargeSeq(ix.ApproxFileBytes())
-	type cand struct {
-		id int
-		lb float64
-	}
-	cands := make([]cand, len(ix.codes))
-	for i, code := range ix.codes {
-		cands[i] = cand{id: i, lb: ix.quant.LowerBound(qf, code)}
-		qs.LBCalcs++
-	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].lb != cands[b].lb {
-			return cands[a].lb < cands[b].lb
-		}
-		return cands[a].id < cands[b].id
-	})
+	n := ix.numCodes()
+	table := sc.Table(ix.quant.TableLen())
+	ix.quant.LowerBoundTable(qf, table)
+	lbs := sc.LB(n)
+	ix.quant.LowerBoundBatch(table, ix.codes, lbs)
+	qs.LBCalcs += int64(n)
+	order := sc.SortedByBound(lbs)
 
 	// Phase 2: visit raw series in ascending lower-bound order.
-	set := core.NewKNNSet(k)
+	set := sc.KNN(k)
 	f := ix.c.File
-	for _, cd := range cands {
-		if cd.lb >= set.Bound() {
+	for _, id := range order {
+		if lbs[id] >= set.Bound() {
 			break
 		}
-		raw := f.Read(cd.id) // charged as a seek (ascending-LB order is scattered)
+		raw := f.Read(id) // charged as a seek (ascending-LB order is scattered)
 		d := series.SquaredDistEAOrdered(q, raw, ord, set.Bound())
 		qs.DistCalcs++
 		qs.RawSeriesExamined++
-		set.Add(cd.id, d)
+		set.Add(id, d)
 	}
 	return set.Results(), qs, nil
 }
@@ -142,7 +159,7 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 // (here: each series) acts as its own region. For TLB purposes we group
 // series into pages of quantizer codes.
 func (ix *Index) LeafMembers() [][]int {
-	out := make([][]int, len(ix.codes))
+	out := make([][]int, ix.numCodes())
 	for i := range out {
 		out[i] = []int{i}
 	}
@@ -152,5 +169,5 @@ func (ix *Index) LeafMembers() [][]int {
 // LeafLB implements core.LeafBounder.
 func (ix *Index) LeafLB(q series.Series, leaf int) float64 {
 	qf := ix.xform.Apply(q)
-	return math.Sqrt(ix.quant.LowerBound(qf, ix.codes[leaf]))
+	return math.Sqrt(ix.quant.LowerBound(qf, ix.code(leaf)))
 }

@@ -67,8 +67,8 @@ func TestVisitsStopAtBound(t *testing.T) {
 	best := matches[0].Dist * matches[0].Dist
 	qf := ix.xform.Apply(q)
 	mustVisit := 0
-	for _, code := range ix.codes {
-		if ix.quant.LowerBound(qf, code) < best {
+	for i := 0; i < ix.numCodes(); i++ {
+		if ix.quant.LowerBound(qf, ix.code(i)) < best {
 			mustVisit++
 		}
 	}

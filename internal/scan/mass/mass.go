@@ -75,19 +75,19 @@ func (s *Scan) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, erro
 		if hi > f.Len() {
 			hi = f.Len()
 		}
-		block := f.ReadRange(lo, hi)
+		// The flat arena view streams the block without materializing
+		// per-series slice headers; its values are series lo..hi-1
+		// back-to-back, exactly the widened layout Convolve wants.
+		block := f.FlatRange(lo, hi)
 		x := make([]float64, (hi-lo)*n)
-		for j, cand := range block {
-			off := j * n
-			for i, v := range cand {
-				x[off+i] = float64(v)
-			}
+		for i, v := range block {
+			x[i] = float64(v)
 		}
 		dots := fft.Convolve(x, qf)
-		for j, cand := range block {
+		for j := 0; j < hi-lo; j++ {
 			var cEnergy float64
-			for _, v := range cand {
-				cEnergy += float64(v) * float64(v)
+			for _, v := range x[j*n : (j+1)*n] {
+				cEnergy += v * v
 			}
 			dot := dots[j*n+n-1]
 			d := qEnergy + cEnergy - 2*dot

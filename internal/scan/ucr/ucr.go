@@ -27,6 +27,11 @@ type Scan struct {
 	// uses GOMAXPROCS. Parallel answers are bit-identical to serial ones
 	// (see core.ParallelScanKNN).
 	workers int
+	// pool hands each in-flight query its reusable scratch buffers. The
+	// serial scan is the suite's steady-state allocation benchmark: with
+	// pooled scratch it performs one heap allocation per query (the
+	// returned matches), enforced by TestQueryAllocBudget.
+	pool core.ScratchPool
 }
 
 // New creates the scan method. The only honored option is Workers; the scan
@@ -57,8 +62,10 @@ func (s *Scan) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, erro
 	if s.workers > 1 || s.workers < 0 {
 		return core.ParallelScanKNN(s.c, q, k, s.workers)
 	}
-	ord := series.NewOrder(q)
-	set := core.NewKNNSet(k)
+	sc := s.pool.Get()
+	defer s.pool.Put(sc)
+	ord := sc.Order(q)
+	set := sc.KNN(k)
 	f := s.c.File
 	f.Rewind()
 	for i := 0; i < f.Len(); i++ {

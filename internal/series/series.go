@@ -3,6 +3,26 @@
 // suite, including the UCR-suite optimizations (squared distances, early
 // abandoning, and reordered early abandoning) that the paper applies to all
 // evaluated methods.
+//
+// # Aliasing contract
+//
+// A Series is a slice header, and throughout the suite it is usually a view
+// into shared backing memory rather than an owned allocation: collections
+// keep all their series back-to-back in one flat arena
+// (internal/storage.SeriesFile) and every Read/Peek hands out a subslice of
+// it. The rules that make this safe:
+//
+//   - Series obtained from a collection, file, or shard are read-only
+//     views. Mutating one (including ZNormalize, which works in place)
+//     corrupts the shared arena for every other reader. Clone first, or
+//     copy out with AppendTo.
+//   - Views are capped (cap == len), so append on a view reallocates
+//     instead of bleeding into the neighboring series.
+//   - A view stays valid as long as the collection it came from; it never
+//     needs copying for lifetime reasons, only for mutation.
+//
+// Kernels in this package never mutate their arguments, so views can be
+// passed to them freely.
 package series
 
 import (
@@ -21,6 +41,14 @@ func (s Series) Clone() Series {
 	c := make(Series, len(s))
 	copy(c, s)
 	return c
+}
+
+// AppendTo appends s's values to dst and returns the extended slice — the
+// copy-free-until-needed way to take ownership of an arena view (see the
+// aliasing contract in the package docs): callers that must mutate or
+// outlive a view copy it into a buffer they own, reusing dst's capacity.
+func (s Series) AppendTo(dst []float32) []float32 {
+	return append(dst, s...)
 }
 
 // Mean returns the arithmetic mean of s. The mean of an empty series is 0.
@@ -142,6 +170,52 @@ func NewOrder(q Series) Order {
 	})
 	return o
 }
+
+// OrderBuilder builds reordered-early-abandoning orders without allocating
+// after its buffers have grown once: the zero value is ready to use, and
+// each Build overwrites the previous order. It produces exactly the same
+// permutation as NewOrder (the comparator is a total order, so every sort
+// yields the unique sorted sequence). Query paths that answer many queries
+// keep one per scratch (core.Scratch) to strike per-query allocations.
+//
+// An OrderBuilder is not safe for concurrent use; the Order it returns is
+// only valid until the next Build.
+type OrderBuilder struct {
+	ord  Order
+	keys []float64 // |q[i]| per position, the sort key
+}
+
+// Build fills the builder's order for query q and returns it.
+func (b *OrderBuilder) Build(q Series) Order {
+	n := len(q)
+	if cap(b.ord) < n {
+		b.ord = make(Order, n)
+		b.keys = make([]float64, n)
+	}
+	b.ord = b.ord[:n]
+	b.keys = b.keys[:n]
+	for i := range b.ord {
+		b.ord[i] = i
+		b.keys[i] = math.Abs(float64(q[i]))
+	}
+	sort.Sort(b)
+	return b.ord
+}
+
+// Len implements sort.Interface.
+func (b *OrderBuilder) Len() int { return len(b.ord) }
+
+// Less implements sort.Interface: decreasing |q[i]|, ties by position.
+func (b *OrderBuilder) Less(i, j int) bool {
+	va, vb := b.keys[b.ord[i]], b.keys[b.ord[j]]
+	if va != vb {
+		return va > vb
+	}
+	return b.ord[i] < b.ord[j]
+}
+
+// Swap implements sort.Interface.
+func (b *OrderBuilder) Swap(i, j int) { b.ord[i], b.ord[j] = b.ord[j], b.ord[i] }
 
 // SquaredDistEAOrdered computes the squared distance with early abandoning,
 // visiting coordinates in the given order. ord must be a permutation of

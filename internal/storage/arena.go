@@ -1,0 +1,30 @@
+package storage
+
+import "unsafe"
+
+// arenaAlign is the byte alignment of arena base addresses: one cache line,
+// so a blocked distance kernel streaming a series never straddles an extra
+// line at the start, and (on platforms with wider vectors) the backing is
+// ready for aligned SIMD loads.
+const arenaAlign = 64
+
+// NewArena allocates a flat float32 buffer of length n whose base address is
+// 64-byte aligned. This is the backing store of the suite's contiguous data
+// layout: datasets and SeriesFiles keep all series back-to-back in one arena
+// and hand out subslice views, so leaf scans walk a single contiguous region
+// instead of pointer-chasing per-series heap allocations.
+//
+// The returned slice has cap == len: views derived from it cannot grow into
+// each other with append.
+func NewArena(n int) []float32 {
+	if n <= 0 {
+		return nil
+	}
+	const pad = arenaAlign / 4 // alignment slack, in float32s
+	buf := make([]float32, n+pad)
+	off := 0
+	if rem := uintptr(unsafe.Pointer(&buf[0])) % arenaAlign; rem != 0 {
+		off = int((arenaAlign - rem) / 4)
+	}
+	return buf[off : off+n : off+n]
+}

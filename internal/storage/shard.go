@@ -21,15 +21,22 @@ type Shard struct {
 	f       *SeriesFile
 	lo, hi  int
 	nextSeq int64 // local cursor; -1 while unpositioned (first read seeks)
+	// Pad to one cache line: shards live back-to-back in the slice Shards
+	// returns, and every Read writes nextSeq — without the pad, adjacent
+	// workers' cursors would share a line and each read would ping-pong it
+	// between cores (false sharing on the parallel scan's hottest loop).
+	_ [4]uint64
 }
 
 // Shards splits the file into p contiguous per-cursor views covering
 // [0, Len) in order. It returns min(p, Len) non-empty shards (nil for an
 // empty file); p < 1 is treated as 1. The views share the file's Counters
-// and data; creating them charges nothing and does not move the file's own
-// cursor.
-func (f *SeriesFile) Shards(p int) []*Shard {
-	n := len(f.data)
+// and arena; creating them charges nothing and does not move the file's own
+// cursor. Shards are returned by value in one backing slice (workers index
+// or take the address of their own element), keeping shard creation a
+// single allocation on the per-query parallel path.
+func (f *SeriesFile) Shards(p int) []Shard {
+	n := f.count
 	if p < 1 {
 		p = 1
 	}
@@ -39,14 +46,14 @@ func (f *SeriesFile) Shards(p int) []*Shard {
 	if n == 0 {
 		return nil
 	}
-	out := make([]*Shard, p)
+	out := make([]Shard, p)
 	for w := 0; w < p; w++ {
 		lo := w * n / p
 		cur := int64(-1)
 		if lo == 0 {
 			cur = 0
 		}
-		out[w] = &Shard{f: f, lo: lo, hi: (w + 1) * n / p, nextSeq: cur}
+		out[w] = Shard{f: f, lo: lo, hi: (w + 1) * n / p, nextSeq: cur}
 	}
 	return out
 }
@@ -73,7 +80,7 @@ func (s *Shard) Read(i int) series.Series {
 		s.f.c.ChargeRand(s.f.SeriesBytes())
 	}
 	s.nextSeq = int64(i) + 1
-	return s.f.data[i]
+	return s.f.at(i)
 }
 
 // Peek returns series i without charging any I/O (the shard-local analogue
@@ -82,5 +89,5 @@ func (s *Shard) Peek(i int) series.Series {
 	if i < s.lo || i >= s.hi {
 		panic(fmt.Sprintf("storage: shard peek %d outside [%d,%d)", i, s.lo, s.hi))
 	}
-	return s.f.data[i]
+	return s.f.at(i)
 }

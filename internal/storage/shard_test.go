@@ -117,14 +117,14 @@ func TestShardsConcurrent(t *testing.T) {
 	f, c := makeFile(n, l)
 	shards := f.Shards(p)
 	var wg sync.WaitGroup
-	for _, sh := range shards {
+	for w := range shards {
 		wg.Add(1)
 		go func(sh *Shard) {
 			defer wg.Done()
 			for i := sh.Lo(); i < sh.Hi(); i++ {
 				sh.Read(i)
 			}
-		}(sh)
+		}(&shards[w])
 	}
 	wg.Wait()
 	snap := c.Snapshot()

@@ -157,10 +157,16 @@ func (s Snapshot) String() string {
 const BytesPerValue = 4
 
 // SeriesFile models the raw data file: N series of fixed length stored
-// back-to-back on the simulated disk. All reads are charged to the attached
+// back-to-back on the simulated disk. The backing store is a single flat,
+// 64-byte-aligned float32 arena (series i occupies arena[i*L:(i+1)*L]), so
+// the in-memory layout matches the on-disk one: leaf scans and sequential
+// passes stream one contiguous region instead of pointer-chasing per-series
+// heap allocations. Read, ReadRange and Peek return subslices of the arena;
+// callers must treat them as immutable views (see the package series docs
+// for the aliasing contract). All reads are charged to the attached
 // Counters. Access position is tracked so that consecutive reads are charged
-// as sequential and everything else as a seek, mirroring how the paper counts
-// skip-sequential methods.
+// as sequential and everything else as a seek, mirroring how the paper
+// counts skip-sequential methods.
 //
 // Concurrency: the cursor is atomic, so concurrent Read/ReadRange calls are
 // race-free and never lose a charge — but goroutines interleaving reads on
@@ -169,29 +175,53 @@ const BytesPerValue = 4
 // accounting must use per-shard views from Shards, which give every worker
 // its own cursor while charging the same atomic Counters.
 type SeriesFile struct {
-	data    []series.Series
+	arena   []float32 // flat backing, count*length values
+	count   int
 	length  int
 	c       *Counters
 	nextSeq atomic.Int64 // index of the series a sequential read would hit next
 }
 
-// NewSeriesFile wraps data (all series must share the same length) in a
-// simulated file charging accesses to c. The backing slices are not copied.
+// NewSeriesFile copies data (all series must share the same length) into a
+// fresh aligned arena and wraps it in a simulated file charging accesses to
+// c. Input built over a flat backing already (dataset generators, Chop)
+// should go through NewSeriesFileFlat instead, which aliases without
+// copying — that is what lets query replicas share one arena.
 func NewSeriesFile(data []series.Series, c *Counters) *SeriesFile {
 	length := 0
 	if len(data) > 0 {
 		length = len(data[0])
 	}
+	arena := NewArena(len(data) * length)
 	for i, s := range data {
 		if len(s) != length {
 			panic(fmt.Sprintf("storage: series %d has length %d, want %d", i, len(s), length))
 		}
+		copy(arena[i*length:], s)
 	}
-	return &SeriesFile{data: data, length: length, c: c}
+	return &SeriesFile{arena: arena, count: len(data), length: length, c: c}
+}
+
+// NewSeriesFileFlat wraps an existing flat backing (count series of the
+// given length stored back-to-back) without copying. The file aliases flat:
+// collections sharing one arena (replicas over the same dataset) share
+// memory exactly as they share the simulated disk.
+func NewSeriesFileFlat(flat []float32, count, length int, c *Counters) *SeriesFile {
+	if len(flat) != count*length || count < 0 || length < 0 {
+		panic(fmt.Sprintf("storage: flat backing of %d values cannot hold %d×%d series", len(flat), count, length))
+	}
+	return &SeriesFile{arena: flat, count: count, length: length, c: c}
+}
+
+// at returns the arena view of series i. The three-index slice caps the view
+// at its own end, so an append through it can never bleed into a neighbor.
+func (f *SeriesFile) at(i int) series.Series {
+	lo := i * f.length
+	return series.Series(f.arena[lo : lo+f.length : lo+f.length])
 }
 
 // Len returns the number of series in the file.
-func (f *SeriesFile) Len() int { return len(f.data) }
+func (f *SeriesFile) Len() int { return f.count }
 
 // SeriesLen returns the length of each series.
 func (f *SeriesFile) SeriesLen() int { return f.length }
@@ -200,7 +230,7 @@ func (f *SeriesFile) SeriesLen() int { return f.length }
 func (f *SeriesFile) SeriesBytes() int64 { return int64(f.length) * BytesPerValue }
 
 // SizeBytes returns the on-disk size of the whole file.
-func (f *SeriesFile) SizeBytes() int64 { return int64(len(f.data)) * f.SeriesBytes() }
+func (f *SeriesFile) SizeBytes() int64 { return int64(f.count) * f.SeriesBytes() }
 
 // Counters returns the counters this file charges to.
 func (f *SeriesFile) Counters() *Counters { return f.c }
@@ -222,36 +252,59 @@ func (f *SeriesFile) Read(i int) series.Series {
 		f.c.ChargeRand(f.SeriesBytes())
 		f.nextSeq.Store(int64(i) + 1)
 	}
-	return f.data[i]
+	return f.at(i)
 }
 
-// ReadRange returns series [lo, hi), charged as one seek (if not already
-// positioned at lo) plus a sequential transfer of the whole range. Tree
-// indexes use this for materialized leaves: one leaf access = one random op.
+// ReadRange returns arena views of series [lo, hi), charged as exactly one
+// sequential transfer of the whole range, preceded by one seek (a zero-byte
+// random op) when the cursor was not already positioned at lo. Tree indexes
+// and block scans use this for materialized runs: the bytes always count as
+// one sequential operation, never as per-series random transfers.
 func (f *SeriesFile) ReadRange(lo, hi int) []series.Series {
-	if lo < 0 || hi > len(f.data) || lo > hi {
-		panic(fmt.Sprintf("storage: ReadRange[%d,%d) out of bounds 0..%d", lo, hi, len(f.data)))
+	if lo < 0 || hi > f.count || lo > hi {
+		panic(fmt.Sprintf("storage: ReadRange[%d,%d) out of bounds 0..%d", lo, hi, f.count))
 	}
 	n := int64(hi-lo) * f.SeriesBytes()
-	if f.nextSeq.CompareAndSwap(int64(lo), int64(hi)) {
-		f.c.ChargeSeq(n)
-	} else {
-		f.c.ChargeRand(n)
+	if !f.nextSeq.CompareAndSwap(int64(lo), int64(hi)) {
+		f.c.ChargeRand(0) // the seek repositioning the head
 		f.nextSeq.Store(int64(hi))
 	}
-	return f.data[lo:hi]
+	f.c.ChargeSeq(n) // the whole range is one sequential transfer
+	out := make([]series.Series, hi-lo)
+	for i := range out {
+		out[i] = f.at(lo + i)
+	}
+	return out
+}
+
+// FlatRange returns the arena values of series [lo, hi) as one flat view
+// (stride SeriesLen), with exactly ReadRange's charge model: one sequential
+// transfer, plus one zero-byte seek when the cursor was elsewhere. Block
+// scans that stream values (MASS) use it to avoid materializing per-series
+// view headers.
+func (f *SeriesFile) FlatRange(lo, hi int) []float32 {
+	if lo < 0 || hi > f.count || lo > hi {
+		panic(fmt.Sprintf("storage: FlatRange[%d,%d) out of bounds 0..%d", lo, hi, f.count))
+	}
+	n := int64(hi-lo) * f.SeriesBytes()
+	if !f.nextSeq.CompareAndSwap(int64(lo), int64(hi)) {
+		f.c.ChargeRand(0) // the seek repositioning the head
+		f.nextSeq.Store(int64(hi))
+	}
+	f.c.ChargeSeq(n)
+	return f.arena[lo*f.length : hi*f.length : hi*f.length]
 }
 
 // Peek returns series i without charging any I/O. It is used by index
 // construction paths whose I/O is charged at a coarser granularity (e.g.,
 // one sequential pass over the file) and by test oracles.
-func (f *SeriesFile) Peek(i int) series.Series { return f.data[i] }
+func (f *SeriesFile) Peek(i int) series.Series { return f.at(i) }
 
 // ChargeFullScan charges one sequential pass over the entire file, the way
 // bulk-loading index builders read their input.
 func (f *SeriesFile) ChargeFullScan() {
 	f.c.ChargeSeq(f.SizeBytes())
-	f.nextSeq.Store(int64(len(f.data)))
+	f.nextSeq.Store(int64(f.count))
 }
 
 // ChargeLeafRead charges one leaf access: a seek plus a sequential transfer

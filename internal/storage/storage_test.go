@@ -76,6 +76,36 @@ func TestReadRange(t *testing.T) {
 	}
 }
 
+// TestReadRangeChargesOneSequentialOp pins the range-read charge model: a
+// range is always exactly one sequential transfer of its bytes, plus one
+// zero-byte seek when the cursor was elsewhere — never per-series random
+// transfers, and never range bytes drifting into the random-byte column.
+func TestReadRangeChargesOneSequentialOp(t *testing.T) {
+	f, c := makeFile(10, 4)
+	f.ReadRange(0, 5) // cursor at 0: pure sequential
+	if got := c.Snapshot(); got != (Snapshot{SeqOps: 1, SeqBytes: 5 * 4 * BytesPerValue}) {
+		t.Fatalf("aligned range: %v", got)
+	}
+	c.Reset()
+	f.ReadRange(2, 7) // cursor at 5: one seek, then one sequential transfer
+	want := Snapshot{SeqOps: 1, SeqBytes: 5 * 4 * BytesPerValue, RandOps: 1, RandBytes: 0}
+	if got := c.Snapshot(); got != want {
+		t.Fatalf("misaligned range: %v want %v", got, want)
+	}
+	c.Reset()
+	f.ReadRange(7, 10) // continues: sequential again, no seek
+	if got := c.Snapshot(); got != (Snapshot{SeqOps: 1, SeqBytes: 3 * 4 * BytesPerValue}) {
+		t.Fatalf("continuing range: %v", got)
+	}
+	// The simulated time of a misaligned range equals seek + transfer —
+	// bytes never pay the seek latency twice.
+	c.Reset()
+	f.ReadRange(0, 10)
+	if got, wantT := c.Snapshot().IOTime(HDD), HDD.IOTime(1, 10*4*BytesPerValue); got != wantT {
+		t.Fatalf("IO time %v want %v", got, wantT)
+	}
+}
+
 func TestReadRangeBounds(t *testing.T) {
 	f, _ := makeFile(4, 2)
 	defer func() {

@@ -21,6 +21,7 @@ import (
 	"hydra/internal/core"
 	"hydra/internal/dataset"
 	"hydra/internal/series"
+	"hydra/internal/storage"
 	"hydra/internal/transform/fft"
 )
 
@@ -36,10 +37,15 @@ func Chop(long series.Series, m int) (*dataset.Dataset, error) {
 		return nil, fmt.Errorf("subseq: window %d longer than series %d", m, len(long))
 	}
 	n := len(long) - m + 1
-	ds := &dataset.Dataset{Name: "subsequences", Series: make([]series.Series, n)}
+	// Materialize the windows into one flat arena: each is Z-normalized
+	// independently (so they cannot share backing with each other or with
+	// long), and the contiguous layout means indexing the result copies
+	// nothing further.
+	ds := dataset.FromFlat("subsequences", storage.NewArena(n*m), n, m)
 	for i := 0; i < n; i++ {
-		w := long[i : i+m].Clone()
-		ds.Series[i] = w.ZNormalize()
+		w := ds.Series[i]
+		copy(w, long[i:i+m])
+		w.ZNormalize()
 	}
 	return ds, nil
 }

@@ -29,7 +29,16 @@ type Prefix struct {
 
 // NewPrefix builds prefix sums for s.
 func NewPrefix(s series.Series) Prefix {
-	p := Prefix{S: make([]float64, len(s)+1), S2: make([]float64, len(s)+1)}
+	return NewPrefixInto(s, make([]float64, 2*(len(s)+1)))
+}
+
+// NewPrefixInto builds prefix sums for s inside buf, which must have length
+// 2*(len(s)+1) — the allocation-free variant for pooled query scratch. The
+// two halves of buf become the S and S2 arrays.
+func NewPrefixInto(s series.Series, buf []float64) Prefix {
+	n := len(s) + 1
+	p := Prefix{S: buf[:n:n], S2: buf[n : 2*n : 2*n]}
+	p.S[0], p.S2[0] = 0, 0
 	for i, v := range s {
 		f := float64(v)
 		p.S[i+1] = p.S[i] + f

@@ -61,10 +61,19 @@ func (t *Transform) SegmentBounds(i int) (lo, hi int) {
 
 // Apply returns the PAA representation of s.
 func (t *Transform) Apply(s series.Series) []float64 {
+	return t.ApplyInto(s, make([]float64, len(t.ends)))
+}
+
+// ApplyInto computes the PAA representation of s into out (length
+// Segments()) and returns it — the allocation-free variant for pooled
+// query scratch.
+func (t *Transform) ApplyInto(s series.Series, out []float64) []float64 {
 	if len(s) != t.n {
 		panic("paa: series length mismatch")
 	}
-	out := make([]float64, len(t.ends))
+	if len(out) != len(t.ends) {
+		panic("paa: output length mismatch")
+	}
 	lo := 0
 	for i, hi := range t.ends {
 		var sum float64

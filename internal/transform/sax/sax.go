@@ -172,6 +172,83 @@ func (q *Quantizer) MinDistFullCard(queryPAA []float64, symbols []uint8, widths 
 	return sum
 }
 
+// TableLen returns the length of a MinDistTable lookup table for seg
+// segments: one entry per (segment, max-cardinality symbol) pair.
+func TableLen(seg int) int { return seg << MaxBits }
+
+// MinDistTable fills table (length TableLen(len(queryPAA))) with the
+// per-segment, per-symbol contributions of MinDistFullCard:
+// table[i<<MaxBits+sym] = widths[i] · d(queryPAA[i], region(sym))². Batched
+// per-series bounds then reduce to one table gather per segment, which is
+// how ADS+'s SIMS scores its whole in-memory summary array per query: the
+// table costs seg·2^MaxBits region computations once, instead of seg region
+// computations per series.
+func (q *Quantizer) MinDistTable(queryPAA []float64, widths []float64, table []float64) {
+	for i, v := range queryPAA {
+		row := table[i<<MaxBits : (i+1)<<MaxBits]
+		w := widths[i]
+		for sym := range row {
+			var lo, hi float64
+			if sym == 0 {
+				lo = math.Inf(-1)
+			} else {
+				lo = q.bps[sym-1]
+			}
+			if sym >= len(q.bps) {
+				hi = math.Inf(1)
+			} else {
+				hi = q.bps[sym]
+			}
+			var d float64
+			switch {
+			case v < lo:
+				d = lo - v
+			case v > hi:
+				d = v - hi
+			}
+			row[sym] = w * d * d
+		}
+	}
+}
+
+// MinDistFullCardBatch scores many candidates per call against a
+// MinDistTable: words holds the candidates' max-cardinality symbols
+// back-to-back (stride seg), and out[i] receives the squared lower bound of
+// candidate i. Candidates are processed four at a time with independent
+// accumulators (the blocked style of the raw-distance kernels in package
+// series); each candidate's sum accumulates in segment order, so every
+// out[i] is bit-identical to MinDistFullCard on the same inputs.
+func MinDistFullCardBatch(table []float64, words []uint8, seg int, out []float64) {
+	n := len(out)
+	if len(words) != n*seg {
+		panic(fmt.Sprintf("sax: %d flat symbols for %d candidates of %d segments", len(words), n, seg))
+	}
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		w0 := words[(i+0)*seg : (i+1)*seg]
+		w1 := words[(i+1)*seg : (i+2)*seg]
+		w2 := words[(i+2)*seg : (i+3)*seg]
+		w3 := words[(i+3)*seg : (i+4)*seg]
+		var s0, s1, s2, s3 float64
+		for j := 0; j < seg; j++ {
+			row := table[j<<MaxBits : (j+1)<<MaxBits]
+			s0 += row[w0[j]]
+			s1 += row[w1[j]]
+			s2 += row[w2[j]]
+			s3 += row[w3[j]]
+		}
+		out[i], out[i+1], out[i+2], out[i+3] = s0, s1, s2, s3
+	}
+	for ; i < n; i++ {
+		w := words[i*seg : (i+1)*seg]
+		var sum float64
+		for j := 0; j < seg; j++ {
+			sum += table[j<<MaxBits+int(w[j])]
+		}
+		out[i] = sum
+	}
+}
+
 // MinDistWords returns the squared lower-bounding distance between two iSAX
 // words (region-to-region), used by index maintenance.
 func (q *Quantizer) MinDistWords(a, b Word, widths []float64) float64 {

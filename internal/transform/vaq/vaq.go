@@ -24,6 +24,20 @@ type Quantizer struct {
 	// bounds[d] holds the 2^bits[d]-1 finite decision boundaries of
 	// dimension d (empty when bits[d] == 0).
 	bounds [][]float64
+	// offs[d] is dimension d's starting index in a LowerBoundTable
+	// (cumulative cell counts), set once the bit allocation is final.
+	offs []int
+}
+
+// finalizeOffsets computes the per-dimension table offsets for the current
+// bit allocation. Called at the end of Train/TrainUniform/Restore.
+func (q *Quantizer) finalizeOffsets() {
+	q.offs = make([]int, q.dims)
+	off := 0
+	for d, b := range q.bits {
+		q.offs[d] = off
+		off += 1 << b
+	}
 }
 
 // TrainUniform learns a quantizer with the classic VA-file's uniform bit
@@ -50,6 +64,7 @@ func TrainUniform(features [][]float64, totalBits int) (*Quantizer, error) {
 	if err := q.fitBoundaries(features); err != nil {
 		return nil, err
 	}
+	q.finalizeOffsets()
 	return q, nil
 }
 
@@ -99,6 +114,7 @@ func Train(features [][]float64, totalBits int) (*Quantizer, error) {
 	if err := q.fitBoundaries(features); err != nil {
 		return nil, err
 	}
+	q.finalizeOffsets()
 	return q, nil
 }
 
@@ -139,6 +155,7 @@ func Restore(dims int, bits []int, bounds [][]float64) (*Quantizer, error) {
 	if err := q.ErrCheck(); err != nil {
 		return nil, err
 	}
+	q.finalizeOffsets()
 	return q, nil
 }
 
@@ -224,6 +241,93 @@ func (q *Quantizer) LowerBound(queryFeat []float64, code []uint8) float64 {
 		sum += dd * dd
 	}
 	return sum
+}
+
+// TableLen returns the length of a LowerBoundTable: one entry per
+// (dimension, cell) pair, Σ_d 2^bits[d] in total (0-bit dimensions
+// contribute their single whole-line cell, whose entry is always 0).
+func (q *Quantizer) TableLen() int {
+	n := 0
+	for _, b := range q.bits {
+		n += 1 << b
+	}
+	return n
+}
+
+// LowerBoundTable fills table (length TableLen()) with the per-(dimension,
+// cell) contributions of LowerBound for the given query features: the
+// squared distance from queryFeat[d] to each cell interval, dimensions laid
+// out back-to-back in increasing d. One table amortizes the interval
+// arithmetic over every code scored for the query.
+func (q *Quantizer) LowerBoundTable(queryFeat []float64, table []float64) {
+	off := 0
+	for d := 0; d < q.dims; d++ {
+		cells := 1 << q.bits[d]
+		row := table[off : off+cells]
+		off += cells
+		if q.bits[d] == 0 {
+			row[0] = 0
+			continue
+		}
+		v := queryFeat[d]
+		// k-means may collapse centroids, leaving fewer boundaries than the
+		// bit budget allows; Encode only ever emits cells 0..len(bounds), so
+		// entries past that stay untouched (no code references them).
+		for cell := 0; cell <= len(q.bounds[d]) && cell < len(row); cell++ {
+			lo, hi := q.Region(d, uint8(cell))
+			var dd float64
+			switch {
+			case v < lo:
+				dd = lo - v
+			case v > hi:
+				dd = v - hi
+			}
+			row[cell] = dd * dd
+		}
+	}
+}
+
+// LowerBoundBatch scores many approximation codes per call against a
+// LowerBoundTable: codes holds the candidates' cell indices back-to-back
+// (stride Dims()), and out[i] receives candidate i's squared lower bound.
+// Candidates are processed four at a time with independent accumulators;
+// each candidate accumulates in dimension order (0-bit dimensions add their
+// zero entry, which leaves the non-negative sum bit-unchanged), so out[i]
+// is bit-identical to LowerBound on the same inputs.
+func (q *Quantizer) LowerBoundBatch(table []float64, codes []uint8, out []float64) {
+	n := len(out)
+	dims := q.dims
+	if len(codes) != n*dims {
+		panic(fmt.Sprintf("vaq: %d flat cells for %d codes of %d dims", len(codes), n, dims))
+	}
+	if q.offs == nil {
+		panic("vaq: quantizer missing cell offsets (not built via Train/Restore)")
+	}
+	offs := q.offs
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		c0 := codes[(i+0)*dims : (i+1)*dims]
+		c1 := codes[(i+1)*dims : (i+2)*dims]
+		c2 := codes[(i+2)*dims : (i+3)*dims]
+		c3 := codes[(i+3)*dims : (i+4)*dims]
+		var s0, s1, s2, s3 float64
+		for d := 0; d < dims; d++ {
+			row := table[offs[d]:]
+			s0 += row[c0[d]]
+			s1 += row[c1[d]]
+			s2 += row[c2[d]]
+			s3 += row[c3[d]]
+		}
+		out[i], out[i+1], out[i+2], out[i+3] = s0, s1, s2, s3
+	}
+	for ; i < n; i++ {
+		code := codes[i*dims : (i+1)*dims]
+		var sum float64
+		for d := 0; d < dims; d++ {
+			sum += table[offs[d]+int(code[d])]
+		}
+		out[i] = sum
+	}
 }
 
 // UpperBound returns a squared upper bound from the query features to any

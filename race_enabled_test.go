@@ -1,0 +1,8 @@
+//go:build race
+
+package hydra
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose instrumentation (and sync.Pool's deliberate randomized misses under
+// it) perturbs allocation counts. See TestQueryAllocBudget.
+const raceEnabled = true
