@@ -307,7 +307,10 @@ func BenchmarkDeviceModels(b *testing.B) {
 // BenchmarkKernels compares the scalar early-abandoning distance kernels
 // against the blocked multi-accumulator variants, with a wide-open bound
 // (full computation, the kernels' throughput) and with a tight bound (the
-// abandon-dominated regime of a well-pruned scan).
+// abandon-dominated regime of a well-pruned scan). The blocked kernels
+// dispatch through internal/simd: run once normally and once with
+// HYDRA_SIMD=off to compare the AVX2 and pure-Go backends (the per-kernel
+// backend benchmarks live in internal/simd's own suite).
 func BenchmarkKernels(b *testing.B) {
 	const n = 256
 	q := dataset.RandomWalk(1, n, 1).Series[0]

@@ -46,29 +46,34 @@ type memProfile struct {
 	Queries        int64   `json:"queries"`
 	BytesPerQuery  float64 `json:"bytes_per_query"`
 	AllocsPerQuery float64 `json:"allocs_per_query"`
+	NsPerQuery     float64 `json:"ns_per_query"`
 }
 
-// benchJSON is the schema of a BENCH_<id>.json artifact.
+// benchJSON is the schema of a BENCH_<id>.json artifact. Host records the
+// machine and the selected SIMD kernel backend, so numbers from different
+// machines (or backends) are never silently compared as like for like.
 type benchJSON struct {
-	ID        string     `json:"id"`
-	Title     string     `json:"title"`
-	Scale     float64    `json:"scale_divisor"`
-	Workers   int        `json:"workers"`
-	WallClock string     `json:"wall_clock"`
-	Header    []string   `json:"header"`
-	Rows      [][]string `json:"rows"`
-	Notes     []string   `json:"notes,omitempty"`
-	Mem       memProfile `json:"mem"`
+	ID        string               `json:"id"`
+	Title     string               `json:"title"`
+	Scale     float64              `json:"scale_divisor"`
+	Workers   int                  `json:"workers"`
+	WallClock string               `json:"wall_clock"`
+	Host      experiments.HostInfo `json:"host"`
+	Header    []string             `json:"header"`
+	Rows      [][]string           `json:"rows"`
+	Notes     []string             `json:"notes,omitempty"`
+	Mem       memProfile           `json:"mem"`
 }
 
 // measureMem converts query-tally deltas into the per-query profile. The
 // underlying counters (TotalAlloc, Mallocs) are monotonic, so the deltas
 // are exact regardless of concurrent GC.
-func measureMem(q0, b0, a0, q1, b1, a1 int64) memProfile {
+func measureMem(q0, b0, a0, n0, q1, b1, a1, n1 int64) memProfile {
 	p := memProfile{Queries: q1 - q0}
 	if p.Queries > 0 {
 		p.BytesPerQuery = float64(b1-b0) / float64(p.Queries)
 		p.AllocsPerQuery = float64(a1-a0) / float64(p.Queries)
+		p.NsPerQuery = float64(n1-n0) / float64(p.Queries)
 	}
 	return p
 }
@@ -115,30 +120,33 @@ func main() {
 		}
 	}
 
+	host := experiments.Host()
+	fmt.Printf("hydra-bench: %s\n\n", host)
+
 	ids := experiments.IDs()
 	if *experiment != "all" {
 		ids = strings.Split(*experiment, ",")
 	}
 	for _, id := range ids {
 		start := time.Now()
-		q0, b0, a0 := experiments.QueryMemTally()
+		q0, b0, a0, n0 := experiments.QueryMemTally()
 		rep, err := experiments.Run(strings.TrimSpace(id), cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hydra-bench: %v\n", err)
 			os.Exit(1)
 		}
-		q1, b1, a1 := experiments.QueryMemTally()
+		q1, b1, a1, n1 := experiments.QueryMemTally()
 		elapsed := time.Since(start).Round(time.Millisecond)
-		mem := measureMem(q0, b0, a0, q1, b1, a1)
+		mem := measureMem(q0, b0, a0, n0, q1, b1, a1, n1)
 		rep.Fprint(os.Stdout)
-		fmt.Printf("mem: %.0f bytes/query, %.1f allocs/query over %d queries\n",
-			mem.BytesPerQuery, mem.AllocsPerQuery, mem.Queries)
+		fmt.Printf("mem: %.0f bytes/query, %.1f allocs/query, %.0f ns/query over %d queries\n",
+			mem.BytesPerQuery, mem.AllocsPerQuery, mem.NsPerQuery, mem.Queries)
 		fmt.Printf("(%s regenerated in %s at scale 1/%.0f)\n\n", rep.ID, elapsed, *scaleDiv)
 		if *outDir != "" {
 			art := benchJSON{
 				ID: rep.ID, Title: rep.Title, Scale: *scaleDiv, Workers: *workers,
-				WallClock: elapsed.String(), Header: rep.Header, Rows: rep.Rows,
-				Notes: rep.Notes, Mem: mem,
+				WallClock: elapsed.String(), Host: host, Header: rep.Header,
+				Rows: rep.Rows, Notes: rep.Notes, Mem: mem,
 			}
 			blob, err := json.MarshalIndent(art, "", "  ")
 			if err != nil {

@@ -33,8 +33,22 @@
 // discipline: iSAX words and PAA vectors, SFA features and words, and VA+
 // codes are contiguous parallel arrays scored many candidates per call by
 // batched lower-bound kernels (sax.MinDistFullCardBatch,
-// vaq.Quantizer.LowerBoundBatch), and DSTree nodes keep their EAPCA
-// synopsis in one contiguous block scored pairwise per split.
+// vaq.Quantizer.LowerBoundBatch — both streaming segment-major transposed
+// code copies), and DSTree nodes keep their EAPCA synopsis in one
+// contiguous block scored pairwise per split.
+//
+// # Kernel layer
+//
+// The innermost loops — exact distance with blocked early abandoning,
+// gathered reordered distance, batched code-table bounds, and
+// interval/region bounds — live in internal/simd as hand-written AVX2+FMA
+// assembly with a portable Go twin, selected once at startup by CPU-feature
+// detection (HYDRA_SIMD=off forces the Go backend; the purego build tag
+// compiles the assembly out). The two backends are bit-identical on every
+// input, so answers never depend on the machine that computed them;
+// internal/simd's package docs specify the contract and the recipe for
+// adding kernels, and hydra-bench records the selected backend with every
+// measurement.
 //
 // Steady-state exact queries do not allocate beyond the returned matches:
 // every method draws its per-query state (reordered query, query summary,
@@ -78,12 +92,13 @@
 // and the same tie-breaks (ascending ID on equal distance) as the serial
 // UCR-suite scan, for every worker count. Candidates that reach the result
 // set are never early-abandoned under any bound in play, so their distances
-// are full sums computed in the serial kernel's element order, and the
-// (distance, ID) top-k selection is insertion-order independent. The
-// blocked distance kernels used by the leaf-materializing indexes
-// (series.SquaredDistEABlocked and the ordered variant) agree with the
-// scalar kernels to within 1e-9 relative error and never abandon a
-// candidate the scalar kernels keep. Simulated I/O counts, pruning ratios
+// are full sums computed in the serial kernel's lane structure and
+// reduction order, and the (distance, ID) top-k selection is
+// insertion-order independent. The blocked distance kernels used by the
+// scans and leaf-materializing indexes (series.SquaredDistEABlocked and the
+// ordered variant) agree with the scalar kernels to within 1e-9 relative
+// error, never abandon a candidate the scalar kernels keep, and return
+// bit-identical values on every SIMD backend (the internal/simd contract). Simulated I/O counts, pruning ratios
 // and disk-access figures are exactly reproducible in serial mode and for
 // all sharded scans; only measured wall-clock times vary run to run.
 package hydra

@@ -78,7 +78,7 @@ func main() {
 	if err := scan.Build(coll); err != nil {
 		log.Fatal(err)
 	}
-	q := pattern.Clone().ZNormalize()
+	q := pattern.ZNormalizedInto(make(series.Series, len(pattern)))
 	dtwMatches, _, err := scan.KNN(q, 2)
 	if err != nil {
 		log.Fatal(err)

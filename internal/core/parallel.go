@@ -115,7 +115,7 @@ func ParallelScanKNN(c *Collection, q series.Series, k, workers int) ([]Match, s
 				if g := shared.Load(); g < bound {
 					bound = g
 				}
-				d := series.SquaredDistEAOrdered(q, cand, ord, bound)
+				d := series.SquaredDistEAOrderedBlocked(q, cand, ord, bound)
 				ws.DistCalcs++
 				ws.RawSeriesExamined++
 				if set.Add(i, d) {

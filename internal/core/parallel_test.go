@@ -11,14 +11,15 @@ import (
 )
 
 // serialScanKNN is the reference the parallel scan must match bit-for-bit:
-// the UCR-suite whole-matching scan (reordered early abandoning against the
-// running k-th best), exactly as internal/scan/ucr implements it.
+// the UCR-suite whole-matching scan (blocked reordered early abandoning
+// against the running k-th best, on the dispatched kernel layer), exactly
+// as internal/scan/ucr implements it.
 func serialScanKNN(c *Collection, q series.Series, k int) []Match {
 	ord := series.NewOrder(q)
 	set := NewKNNSet(k)
 	c.File.Rewind()
 	for i := 0; i < c.File.Len(); i++ {
-		set.Add(i, series.SquaredDistEAOrdered(q, c.File.Read(i), ord, set.Bound()))
+		set.Add(i, series.SquaredDistEAOrderedBlocked(q, c.File.Read(i), ord, set.Bound()))
 	}
 	return set.Results()
 }

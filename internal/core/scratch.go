@@ -21,6 +21,7 @@ import (
 type Scratch struct {
 	ob      series.OrderBuilder
 	summary []float64
+	aux     []float64
 	table   []float64
 	lb      []float64
 	word    []uint8
@@ -46,6 +47,12 @@ func (s *Scratch) Table(n int) []float64 { s.table = growFloats(s.table, n); ret
 // LB returns a length-n float64 buffer for per-candidate lower bounds.
 // Contents are undefined.
 func (s *Scratch) LB(n int) []float64 { s.lb = growFloats(s.lb, n); return s.lb }
+
+// Aux returns a second length-n float64 buffer, independent of Summary —
+// for query paths that need two live summary-sized buffers at once (the
+// DSTree keeps its prefix sums in Summary and its per-node (mean, std,
+// width) triple for the EAPCA bound kernel here). Contents are undefined.
+func (s *Scratch) Aux(n int) []float64 { s.aux = growFloats(s.aux, n); return s.aux }
 
 // Word returns a length-n byte buffer for the query's symbolic word.
 // Contents are undefined.

@@ -22,6 +22,7 @@ import (
 	"hydra/internal/core"
 	"hydra/internal/dataset"
 	"hydra/internal/series"
+	"hydra/internal/simd"
 	"hydra/internal/stats"
 	"hydra/internal/storage"
 )
@@ -181,12 +182,46 @@ var queryMem struct {
 	queries atomic.Int64
 	bytes   atomic.Int64
 	allocs  atomic.Int64
+	nanos   atomic.Int64
 }
 
 // QueryMemTally returns the cumulative (queries answered, bytes allocated,
-// heap allocations) of all workloads run by this package so far.
-func QueryMemTally() (queries, bytes, allocs int64) {
-	return queryMem.queries.Load(), queryMem.bytes.Load(), queryMem.allocs.Load()
+// heap allocations, wall-clock nanoseconds spent answering) of all
+// workloads run by this package so far. The nanoseconds bracket only
+// workload answering — generation and index construction are excluded — so
+// deltas divide into an honest CPU-side ns/query for trend tracking
+// (tools/benchdiff).
+func QueryMemTally() (queries, bytes, allocs, nanos int64) {
+	return queryMem.queries.Load(), queryMem.bytes.Load(), queryMem.allocs.Load(), queryMem.nanos.Load()
+}
+
+// HostInfo describes the machine and kernel backend a run executed on —
+// recorded in hydra-bench output so performance numbers stay attributable
+// (the same experiment differs several-fold between the avx2+fma and go
+// backends).
+type HostInfo struct {
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	MaxProcs    int      `json:"maxprocs"`
+	CPUFeatures []string `json:"cpu_features"`
+	SIMDBackend string   `json:"simd_backend"`
+}
+
+// Host probes the current machine and selected kernel backend.
+func Host() HostInfo {
+	return HostInfo{
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		MaxProcs:    runtime.GOMAXPROCS(0),
+		CPUFeatures: simd.Features(),
+		SIMDBackend: simd.Backend(),
+	}
+}
+
+// String renders the host line hydra-bench prints as its header.
+func (h HostInfo) String() string {
+	return fmt.Sprintf("%s/%s maxprocs=%d cpu=[%s] simd=%s",
+		h.GOOS, h.GOARCH, h.MaxProcs, strings.Join(h.CPUFeatures, " "), h.SIMDBackend)
 }
 
 // runMethod builds one method over ds and answers the workload. A non-empty
@@ -205,7 +240,9 @@ func runMethod(name string, ds *dataset.Dataset, wl *dataset.Workload, opts core
 	}
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
+	start := time.Now()
 	ws, err := core.RunWorkload(m, coll, wl, k)
+	queryMem.nanos.Add(time.Since(start).Nanoseconds())
 	runtime.ReadMemStats(&m1)
 	queryMem.queries.Add(int64(len(ws.Queries)))
 	queryMem.bytes.Add(int64(m1.TotalAlloc - m0.TotalAlloc))

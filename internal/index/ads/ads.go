@@ -24,6 +24,7 @@ import (
 	"hydra/internal/core"
 	"hydra/internal/index/isaxtree"
 	"hydra/internal/series"
+	"hydra/internal/simd"
 	"hydra/internal/stats"
 	"hydra/internal/transform/sax"
 )
@@ -37,6 +38,13 @@ type Index struct {
 	opts core.Options
 	c    *core.Collection
 	tree *isaxtree.Tree
+	// wordsT is the segment-major (transposed) copy of the tree's summary
+	// array: segment j's max-cardinality symbols for all series are
+	// contiguous at wordsT[j*n : (j+1)*n]. It is what the batched SIMS
+	// lower-bound kernel streams (simd gathers want contiguous codes per
+	// segment); the candidate-major original stays in the tree for
+	// insertion, splitting and persistence.
+	wordsT []uint8
 	// pool hands each in-flight query its reusable scratch buffers.
 	pool core.ScratchPool
 	// mu guards materialized — the only per-query mutable state of the
@@ -92,6 +100,8 @@ func (ix *Index) Build(c *core.Collection) error {
 		ix.tree.Insert(i)
 	}
 	c.Counters.ChargeSeq(int64(c.File.Len()) * int64(ix.opts.Segments))
+	ix.wordsT = make([]uint8, len(ix.tree.Words))
+	simd.Transpose8(ix.tree.Words, ix.tree.Segments, ix.wordsT)
 	return nil
 }
 
@@ -126,7 +136,7 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 	table := sc.Table(sax.TableLen(seg))
 	ix.tree.Quant.MinDistTable(qpaa, widths, table)
 	lbs := sc.LB(f.Len())
-	sax.MinDistFullCardBatch(table, ix.tree.Words, seg, lbs)
+	sax.MinDistFullCardBatch(table, ix.wordsT, seg, lbs)
 	qs.LBCalcs += int64(f.Len())
 
 	// Step 1: approximate answer from the query's own leaf; materialize it
@@ -164,6 +174,8 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 // TreeStats implements core.TreeIndex.
 func (ix *Index) TreeStats() stats.TreeStats {
 	ts := ix.tree.TreeStats(ix.c.File.SeriesBytes(), false)
+	// The transposed summary copy the SIMS batch kernel streams.
+	ts.MemBytes += int64(len(ix.wordsT))
 	// Materialized leaf caches count toward the (adaptive) disk footprint.
 	ix.mu.Lock()
 	for n, ok := range ix.materialized {

@@ -7,6 +7,7 @@ import (
 	"hydra/internal/core"
 	"hydra/internal/index/isaxtree"
 	"hydra/internal/persist"
+	"hydra/internal/simd"
 )
 
 func init() {
@@ -87,6 +88,8 @@ func (ix *Index) DecodeIndex(dec *persist.Decoder, c *core.Collection) error {
 	}
 	ix.c = c
 	ix.tree = tree
+	ix.wordsT = make([]uint8, len(tree.Words))
+	simd.Transpose8(tree.Words, tree.Segments, ix.wordsT)
 	ix.materialized = materialized
 	return nil
 }

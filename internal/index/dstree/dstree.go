@@ -24,6 +24,7 @@ import (
 
 	"hydra/internal/core"
 	"hydra/internal/series"
+	"hydra/internal/simd"
 	"hydra/internal/stats"
 	"hydra/internal/transform/eapca"
 )
@@ -398,46 +399,54 @@ func (ix *Index) rangeQoS(ends []int, side []int, prefixes []eapca.Prefix, membe
 	return total
 }
 
-// lb returns the squared lower-bounding distance between the query (as
-// prefix sums) and any series inside node nd.
-func lb(qp eapca.Prefix, nd *node) float64 {
-	var sum float64
+// lbWith returns the squared lower-bounding distance between the query (as
+// prefix sums) and any series inside node nd, using buf (length at least
+// 3·len(nd.ends)) as scratch for the query's per-segment (mean, std, width)
+// triple. The segment loop runs on the dispatched EAPCA kernel
+// (simd.EAPCABound) over the node's contiguous synopsis block.
+func lbWith(qp eapca.Prefix, nd *node, buf []float64) float64 {
+	qm, qs, w := fillQueryTriple(qp, nd.ends, buf)
+	return simd.EAPCABound(qm, qs, w, nd.minMean, nd.maxMean, nd.minStd, nd.maxStd)
+}
+
+// fillQueryTriple slices buf (length at least 3·len(ends)) into the
+// (mean, std, width) arrays of the query under the given segmentation and
+// fills them — the shared setup of lbWith and lbPair, so the triple layout
+// the EAPCA kernel consumes is defined in exactly one place.
+func fillQueryTriple(qp eapca.Prefix, ends []int, buf []float64) (qm, qs, w []float64) {
+	k := len(ends)
+	qm, qs, w = buf[:k:k], buf[k:2*k:2*k], buf[2*k:3*k:3*k]
 	lo := 0
-	for s, hi := range nd.ends {
-		qm, qs := qp.MeanStd(lo, hi)
-		w := float64(hi - lo)
-		dm := intervalDist(qm, nd.minMean[s], nd.maxMean[s])
-		ds := intervalDist(qs, nd.minStd[s], nd.maxStd[s])
-		sum += w * (dm*dm + ds*ds)
+	for s, hi := range ends {
+		qm[s], qs[s] = qp.MeanStd(lo, hi)
+		w[s] = float64(hi - lo)
 		lo = hi
 	}
-	return sum
+	return qm, qs, w
+}
+
+// lb is lbWith with a freshly allocated scratch — for callers outside the
+// pooled query paths (tests, diagnostics).
+func lb(qp eapca.Prefix, nd *node) float64 {
+	return lbWith(qp, nd, make([]float64, 3*len(nd.ends)))
 }
 
 // lbPair scores both children of an internal node in one pass — the batched
 // form of lb for the DSTree's natural candidate set. Siblings share their
 // segmentation (apply gives both the winning candidate's ends), so the
-// query's per-segment (mean, std) is computed once and both synopsis blocks
-// are streamed together; each child's sum accumulates exactly as in lb, so
-// the bounds are bit-identical. Hand-crafted snapshots could in principle
-// carry siblings with different (individually valid) segmentations; those
-// fall back to two plain lb calls.
-func lbPair(qp eapca.Prefix, a, b *node) (la, lbd float64) {
+// query's per-segment (mean, std, width) triple is computed once into buf
+// and both synopsis blocks are scored against it; each child's sum
+// accumulates exactly as in lbWith, so the bounds are bit-identical across
+// backends. Hand-crafted snapshots could in principle carry siblings with
+// different (individually valid) segmentations; those fall back to two
+// plain lb calls.
+func lbPair(qp eapca.Prefix, a, b *node, buf []float64) (la, lbd float64) {
 	if !sameEnds(a.ends, b.ends) {
 		return lb(qp, a), lb(qp, b)
 	}
-	lo := 0
-	for s, hi := range a.ends {
-		qm, qs := qp.MeanStd(lo, hi)
-		w := float64(hi - lo)
-		dm := intervalDist(qm, a.minMean[s], a.maxMean[s])
-		ds := intervalDist(qs, a.minStd[s], a.maxStd[s])
-		la += w * (dm*dm + ds*ds)
-		dm = intervalDist(qm, b.minMean[s], b.maxMean[s])
-		ds = intervalDist(qs, b.minStd[s], b.maxStd[s])
-		lbd += w * (dm*dm + ds*ds)
-		lo = hi
-	}
+	qm, qs, w := fillQueryTriple(qp, a.ends, buf)
+	la = simd.EAPCABound(qm, qs, w, a.minMean, a.maxMean, a.minStd, a.maxStd)
+	lbd = simd.EAPCABound(qm, qs, w, b.minMean, b.maxMean, b.minStd, b.maxStd)
 	return la, lbd
 }
 
@@ -454,17 +463,6 @@ func sameEnds(a, b []int) bool {
 		}
 	}
 	return true
-}
-
-func intervalDist(v, lo, hi float64) float64 {
-	switch {
-	case v < lo:
-		return lo - v
-	case v > hi:
-		return v - hi
-	default:
-		return 0
-	}
 }
 
 // KNN implements core.Method. Per-query state (query prefix sums, order,
@@ -507,7 +505,7 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 			}
 			continue
 		}
-		l0, l1 := lbPair(qp, n.children[0], n.children[1])
+		l0, l1 := lbPair(qp, n.children[0], n.children[1], sc.Aux(3*len(n.children[0].ends)))
 		qs.LBCalcs += 2
 		if l0 < set.Bound() {
 			h.Push(l0, n.children[0])

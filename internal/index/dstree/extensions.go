@@ -43,9 +43,13 @@ func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.Qu
 	}
 	qp := eapca.NewPrefix(q)
 	set := core.NewRangeSet(r)
+	var buf []float64
 	var walk func(n *node)
 	walk = func(n *node) {
-		if lb(qp, n) > set.Bound() {
+		if need := 3 * len(n.ends); cap(buf) < need {
+			buf = make([]float64, need)
+		}
+		if lbWith(qp, n, buf[:3*len(n.ends)]) > set.Bound() {
 			qs.LBCalcs++
 			return
 		}

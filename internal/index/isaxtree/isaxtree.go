@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 
+	"hydra/internal/simd"
 	"hydra/internal/stats"
 	"hydra/internal/storage"
 	"hydra/internal/transform/paa"
@@ -25,6 +26,24 @@ type Node struct {
 	SplitSeg int
 	Children [2]*Node
 	Depth    int
+
+	// RegLo and RegHi cache the word's per-segment breakpoint regions
+	// (±Inf at unbounded edges), computed once at node creation — a word
+	// never changes after its node exists. They are the lo/hi arrays the
+	// vectorized MinDist kernel streams, replacing per-query Region calls.
+	RegLo, RegHi []float64
+}
+
+// fillRegions materializes the node's region cache from its word. Must be
+// called whenever a Node is created (insertion, splitting, snapshot
+// decoding); MinDist reads the cache unconditionally.
+func (n *Node) fillRegions(q *sax.Quantizer) {
+	seg := len(n.Word.Symbols)
+	buf := make([]float64, 2*seg)
+	n.RegLo, n.RegHi = buf[:seg:seg], buf[seg:]
+	for i := 0; i < seg; i++ {
+		n.RegLo[i], n.RegHi[i] = q.Region(n.Word.SymbolAt(i), n.Word.Bits[i])
+	}
 }
 
 // Tree is the iSAX index structure over a collection's summaries.
@@ -38,9 +57,11 @@ type Tree struct {
 	// Words holds every series' symbols at maximum cardinality, back-to-back
 	// with stride Segments (series i at [i*Segments, (i+1)*Segments)); PAAs
 	// holds the PAA vectors in the same flat layout. ADS+ keeps these in
-	// memory as its summary array, and the contiguous layout is what the
-	// batched lower-bound kernel (sax.MinDistFullCardBatch) streams. Use
-	// Word/PAARow for per-series views.
+	// memory as its summary array; the batched lower-bound kernel
+	// (sax.MinDistFullCardBatch) streams a segment-major transposed copy
+	// of Words that ADS+ materializes at build time (simd.Transpose8) —
+	// passing this candidate-major array to the batch kernel computes
+	// wrong bounds. Use Word/PAARow for per-series views.
 	Words []uint8
 	PAAs  []float64
 
@@ -118,6 +139,7 @@ func (t *Tree) Insert(id int) {
 			w.Symbols[i] = word[i] >> (sax.MaxBits - 1) << (sax.MaxBits - 1)
 		}
 		n = &Node{Word: w, IsLeaf: true, Depth: 1}
+		n.fillRegions(t.Quant)
 		t.Root[key] = n
 		t.NumNodes++
 		t.NumLeaves++
@@ -171,6 +193,7 @@ func (t *Tree) split(n *Node) {
 		w.Bits[best] = bits + 1
 		w.Symbols[best] = (prefix<<1 | b) << (sax.MaxBits - bits - 1)
 		n.Children[b] = &Node{Word: w, IsLeaf: true, Depth: n.Depth + 1}
+		n.Children[b].fillRegions(t.Quant)
 		t.NumNodes++
 		t.NumLeaves++
 	}
@@ -213,9 +236,10 @@ func (t *Tree) ApproxLeaf(word []uint8) *Node {
 }
 
 // MinDist returns the squared lower-bounding distance between a query's PAA
-// vector and node n.
+// vector and node n: the width-weighted distance from the query PAA to the
+// node's cached breakpoint regions, on the dispatched kernel layer.
 func (t *Tree) MinDist(qpaa []float64, n *Node) float64 {
-	return t.Quant.MinDist(qpaa, n.Word, t.PAA.Widths())
+	return simd.WeightedIntervalDistSq(qpaa, n.RegLo, n.RegHi, t.PAA.Widths())
 }
 
 // Leaves returns all leaves in deterministic order (sorted root keys,
@@ -252,7 +276,9 @@ func (t *Tree) TreeStats(seriesBytes int64, materialized bool) stats.TreeStats {
 	ts := stats.TreeStats{TotalNodes: t.NumNodes, LeafNodes: t.NumLeaves}
 	var walk func(n *Node)
 	walk = func(n *Node) {
-		ts.MemBytes += int64(2*t.Segments) + 48 // word + node overhead
+		// Word + node overhead + the RegLo/RegHi region cache (2 float64
+		// per segment, added by the kernel-layer PR).
+		ts.MemBytes += int64(2*t.Segments) + 48 + int64(16*t.Segments)
 		if n.IsLeaf {
 			ts.FillFactors = append(ts.FillFactors, float64(len(n.Members))/float64(t.LeafSize))
 			ts.LeafDepths = append(ts.LeafDepths, n.Depth)

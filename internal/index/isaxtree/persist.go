@@ -134,6 +134,7 @@ func decodeNode(r *persist.Reader, t *Tree, numSeries, depthBudget int) (*Node, 
 			return nil, fmt.Errorf("isaxtree: word cardinality %d bits outside [1,%d]", b, sax.MaxBits)
 		}
 	}
+	n.fillRegions(t.Quant)
 	t.NumNodes++
 	if n.IsLeaf {
 		t.NumLeaves++

@@ -17,6 +17,7 @@ import (
 
 	"hydra/internal/core"
 	"hydra/internal/series"
+	"hydra/internal/simd"
 	"hydra/internal/stats"
 	"hydra/internal/transform/sfa"
 )
@@ -212,18 +213,9 @@ func (ix *Index) split(n *node) {
 // prefix bound for internal nodes.
 func (ix *Index) lb(qf []float64, n *node) float64 {
 	if n.isLeaf && n.mbrLo != nil {
-		var sum float64
-		for d, v := range qf {
-			switch {
-			case v < n.mbrLo[d]:
-				dd := n.mbrLo[d] - v
-				sum += dd * dd
-			case v > n.mbrHi[d]:
-				dd := v - n.mbrHi[d]
-				sum += dd * dd
-			}
-		}
-		return sum
+		// MBR bound on the dispatched kernel layer (the lo/hi halves are
+		// parallel sections of one contiguous backing, see setMBR).
+		return simd.IntervalDistSq(qf, n.mbrLo, n.mbrHi)
 	}
 	return ix.xform.MinDistPrefix(qf, n.prefix)
 }

@@ -5,6 +5,7 @@ import (
 
 	"hydra/internal/core"
 	"hydra/internal/persist"
+	"hydra/internal/simd"
 	"hydra/internal/transform/dft"
 	"hydra/internal/transform/vaq"
 )
@@ -93,5 +94,7 @@ func (ix *Index) DecodeIndex(dec *persist.Decoder, c *core.Collection) error {
 	ix.xform = xform
 	ix.quant = quant
 	ix.codes = codes
+	ix.codesT = make([]uint8, len(codes))
+	simd.Transpose8(codes, dims, ix.codesT)
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 
 	"hydra/internal/core"
 	"hydra/internal/series"
+	"hydra/internal/simd"
 	"hydra/internal/stats"
 	"hydra/internal/transform/dft"
 	"hydra/internal/transform/vaq"
@@ -32,10 +33,13 @@ type Index struct {
 	xform *dft.Transform
 	quant *vaq.Quantizer
 	// codes is the approximation file: every series' cell indices
-	// back-to-back with stride Dims — the contiguous array the batched
-	// lower-bound kernel (vaq.Quantizer.LowerBoundBatch) streams during
-	// phase 1. Use code for per-series views.
+	// back-to-back with stride Dims. Use code for per-series views.
 	codes []uint8
+	// codesT is the dimension-major (transposed) copy of codes — dimension
+	// d's cells for all series are contiguous at codesT[d*n : (d+1)*n] —
+	// the array the batched lower-bound kernel
+	// (vaq.Quantizer.LowerBoundBatch) streams during phase 1.
+	codesT []uint8
 	// pool hands each in-flight query its reusable scratch buffers.
 	pool core.ScratchPool
 }
@@ -100,6 +104,8 @@ func (ix *Index) Build(c *core.Collection) error {
 	for i, f := range feats {
 		copy(ix.code(i), q.Encode(f))
 	}
+	ix.codesT = make([]uint8, len(ix.codes))
+	simd.Transpose8(ix.codes, q.Dims(), ix.codesT)
 	// Writing the approximation file is one sequential write.
 	c.Counters.ChargeSeq(ix.ApproxFileBytes())
 	return nil
@@ -134,7 +140,7 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 	table := sc.Table(ix.quant.TableLen())
 	ix.quant.LowerBoundTable(qf, table)
 	lbs := sc.LB(n)
-	ix.quant.LowerBoundBatch(table, ix.codes, lbs)
+	ix.quant.LowerBoundBatch(table, ix.codesT, lbs)
 	qs.LBCalcs += int64(n)
 	order := sc.SortedByBound(lbs)
 
@@ -146,7 +152,7 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 			break
 		}
 		raw := f.Read(id) // charged as a seek (ascending-LB order is scattered)
-		d := series.SquaredDistEAOrdered(q, raw, ord, set.Bound())
+		d := series.SquaredDistEAOrderedBlocked(q, raw, ord, set.Bound())
 		qs.DistCalcs++
 		qs.RawSeriesExamined++
 		set.Add(id, d)

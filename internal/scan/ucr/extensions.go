@@ -23,7 +23,7 @@ func (s *Scan) RangeSearch(q series.Series, r float64) ([]core.Match, stats.Quer
 	set := core.NewRangeSet(r)
 	f.Rewind()
 	for i := 0; i < f.Len(); i++ {
-		d := series.SquaredDistEAOrdered(q, f.Read(i), ord, set.Bound())
+		d := series.SquaredDistEAOrderedBlocked(q, f.Read(i), ord, set.Bound())
 		qs.DistCalcs++
 		qs.RawSeriesExamined++
 		set.Add(i, d)

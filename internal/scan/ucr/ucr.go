@@ -70,7 +70,7 @@ func (s *Scan) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, erro
 	f.Rewind()
 	for i := 0; i < f.Len(); i++ {
 		cand := f.Read(i)
-		d := series.SquaredDistEAOrdered(q, cand, ord, set.Bound())
+		d := series.SquaredDistEAOrderedBlocked(q, cand, ord, set.Bound())
 		qs.DistCalcs++
 		qs.RawSeriesExamined++
 		set.Add(i, d)

@@ -1,16 +1,21 @@
 package series
 
-import "fmt"
+import (
+	"fmt"
+
+	"hydra/internal/simd"
+)
 
 // The blocked kernels below compute the same squared distances as
 // SquaredDistEA / SquaredDistEAOrdered but test the early-abandon bound once
-// per block of eaBlock elements instead of once per element, and split the
-// accumulation over four independent accumulators (a 4-wide unroll) so the
-// additions form independent dependency chains. On the raw-data scans that
+// per 16-element block instead of once per element, and split the
+// accumulation over eight independent lanes — the dispatch layer
+// (internal/simd) runs them as AVX2+FMA assembly where the hardware allows
+// and as a bit-identical Go twin everywhere else. On the raw-data scans that
 // dominate exact query answering (the paper's §4.3 finding) this trades a
 // bounded amount of extra arithmetic — at most one block beyond the scalar
-// abandon point — for far fewer branches and better instruction-level
-// parallelism.
+// abandon point — for vector loads, fused multiply-adds and far fewer
+// branches.
 //
 // Guarantees relative to the scalar kernels:
 //
@@ -20,56 +25,24 @@ import "fmt"
 //   - A candidate the scalar kernel keeps (true squared distance <= bound)
 //     is never abandoned: partial sums of squares are non-decreasing, so no
 //     block-boundary partial sum can exceed a bound the total respects —
-//     and the abandon test adds a relative slack of eaRelSlack to absorb the
-//     reassociation error when a partial sum lands exactly on the bound.
+//     and the abandon test adds a small relative slack (see
+//     internal/simd) to absorb the reassociation error when a partial sum
+//     lands exactly on the bound.
 //   - Whenever the blocked kernel abandons, the returned partial sum exceeds
 //     bound (strictly, since the slack is positive), exactly like the scalar
 //     kernels.
-
-// eaBlock is the number of elements accumulated between early-abandon tests
-// in the blocked kernels. It must be a multiple of the 4-wide unroll.
-const eaBlock = 16
-
-// eaRelSlack is the relative margin the blocked kernels require before
-// abandoning: a block-boundary partial sum must exceed bound*(1+eaRelSlack).
-// Reassociating a sum of non-negative float64 terms perturbs it by at most a
-// few n·ulp, many orders of magnitude below this slack for any realistic
-// series length, so a candidate whose true distance is within the bound is
-// never lost to rounding.
-const eaRelSlack = 1e-9
+//   - Results are bit-identical across SIMD backends (the internal/simd
+//     contract), so answers do not depend on the machine the query ran on.
 
 // SquaredDistEABlocked computes the squared Euclidean distance between q and
 // c with blocked early abandoning: the bound is tested once per 16-element
-// block over four independent accumulators. See the package comment above
+// block over independent accumulator lanes. See the package comment above
 // for the equivalence and pruning-parity guarantees.
 func SquaredDistEABlocked(q, c Series, bound float64) float64 {
 	if len(q) != len(c) {
 		panic(fmt.Sprintf("series: squared distance of mismatched lengths %d and %d", len(q), len(c)))
 	}
-	var s0, s1, s2, s3 float64
-	n := len(q)
-	i := 0
-	for ; i+eaBlock <= n; i += eaBlock {
-		for j := i; j < i+eaBlock; j += 4 {
-			d0 := float64(q[j]) - float64(c[j])
-			d1 := float64(q[j+1]) - float64(c[j+1])
-			d2 := float64(q[j+2]) - float64(c[j+2])
-			d3 := float64(q[j+3]) - float64(c[j+3])
-			s0 += d0 * d0
-			s1 += d1 * d1
-			s2 += d2 * d2
-			s3 += d3 * d3
-		}
-		if sum := s0 + s1 + s2 + s3; sum > bound*(1+eaRelSlack) {
-			return sum
-		}
-	}
-	sum := s0 + s1 + s2 + s3
-	for ; i < n; i++ {
-		d := float64(q[i]) - float64(c[i])
-		sum += d * d
-	}
-	return sum
+	return simd.SquaredDistEABlocked(q, c, bound)
 }
 
 // SquaredDistEAOrderedBlocked computes the squared distance with blocked
@@ -79,30 +52,5 @@ func SquaredDistEAOrderedBlocked(q, c Series, ord Order, bound float64) float64 
 	if len(q) != len(c) {
 		panic(fmt.Sprintf("series: squared distance of mismatched lengths %d and %d", len(q), len(c)))
 	}
-	var s0, s1, s2, s3 float64
-	n := len(ord)
-	i := 0
-	for ; i+eaBlock <= n; i += eaBlock {
-		for j := i; j < i+eaBlock; j += 4 {
-			o0, o1, o2, o3 := ord[j], ord[j+1], ord[j+2], ord[j+3]
-			d0 := float64(q[o0]) - float64(c[o0])
-			d1 := float64(q[o1]) - float64(c[o1])
-			d2 := float64(q[o2]) - float64(c[o2])
-			d3 := float64(q[o3]) - float64(c[o3])
-			s0 += d0 * d0
-			s1 += d1 * d1
-			s2 += d2 * d2
-			s3 += d3 * d3
-		}
-		if sum := s0 + s1 + s2 + s3; sum > bound*(1+eaRelSlack) {
-			return sum
-		}
-	}
-	sum := s0 + s1 + s2 + s3
-	for ; i < n; i++ {
-		o := ord[i]
-		d := float64(q[o]) - float64(c[o])
-		sum += d * d
-	}
-	return sum
+	return simd.SquaredDistEAOrderedBlocked(q, c, ord, bound)
 }

@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"hydra/internal/simd"
 )
 
 // Series is a univariate data series stored in single precision, matching the
@@ -97,6 +99,31 @@ func (s Series) ZNormalize() Series {
 	return s
 }
 
+// ZNormalizedInto writes the Z-normalized form of s into dst (which must
+// have length len(s)) and returns dst, leaving s untouched — the
+// aliasing-safe counterpart of ZNormalize for read-only arena views: query
+// preprocessing normalizes into a reusable buffer instead of Cloning the
+// view just to mutate the copy. dst may be s itself, reproducing ZNormalize.
+func (s Series) ZNormalizedInto(dst []float32) Series {
+	if len(dst) != len(s) {
+		panic(fmt.Sprintf("series: normalizing %d values into a %d-value buffer", len(s), len(dst)))
+	}
+	const eps = 1e-8
+	m := s.Mean()
+	sd := s.Std()
+	if sd < eps {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	inv := 1.0 / sd
+	for i, v := range s {
+		dst[i] = float32((float64(v) - m) * inv)
+	}
+	return dst
+}
+
 // IsZNormalized reports whether s has mean≈0 and std≈1 (or is all zeros)
 // within tolerance tol.
 func (s Series) IsZNormalized(tol float64) bool {
@@ -110,17 +137,14 @@ func (s Series) IsZNormalized(tol float64) bool {
 
 // SquaredDist returns the squared Euclidean distance between q and c.
 // It panics if the lengths differ: whole matching requires |q| == |c|
-// (Definition 3 in the paper).
+// (Definition 3 in the paper). The accumulation runs on the dispatched
+// kernel layer (internal/simd): results are bit-identical across machines,
+// and within reassociation error (≪1e-9 relatively) of a sequential loop.
 func SquaredDist(q, c Series) float64 {
 	if len(q) != len(c) {
 		panic(fmt.Sprintf("series: squared distance of mismatched lengths %d and %d", len(q), len(c)))
 	}
-	var sum float64
-	for i := range q {
-		d := float64(q[i]) - float64(c[i])
-		sum += d * d
-	}
-	return sum
+	return simd.SquaredDist(q, c)
 }
 
 // Dist returns the Euclidean distance between q and c.

@@ -1,0 +1,152 @@
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Backend-vs-backend kernel benchmarks: "dispatched" is whatever Backend()
+// selected (the assembly on AVX2 machines), "go" pins the portable twin.
+// The README performance table and the PR acceptance numbers come from
+// these on an AVX2+FMA host.
+
+func benchSeries(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	return s
+}
+
+func BenchmarkSquaredDist(b *testing.B) {
+	const n = 256
+	q, c := benchSeries(n, 1), benchSeries(n, 2)
+	b.Run("dispatched", func(b *testing.B) {
+		b.SetBytes(2 * 4 * n)
+		var sum float64
+		for i := 0; i < b.N; i++ {
+			sum += SquaredDist(q, c)
+		}
+		_ = sum
+	})
+	b.Run("go", func(b *testing.B) {
+		b.SetBytes(2 * 4 * n)
+		var sum float64
+		for i := 0; i < b.N; i++ {
+			sum += squaredDistGo(q, c)
+		}
+		_ = sum
+	})
+}
+
+func BenchmarkSquaredDistEABlocked(b *testing.B) {
+	const n = 256
+	q, c := benchSeries(n, 1), benchSeries(n, 2)
+	full := squaredDistGo(q, c)
+	for _, regime := range []struct {
+		name  string
+		bound float64
+	}{{"full", math.Inf(1)}, {"abandon", full / 8}} {
+		thr := eaThreshold(regime.bound)
+		b.Run(regime.name+"/dispatched", func(b *testing.B) {
+			b.SetBytes(2 * 4 * n)
+			var sum float64
+			for i := 0; i < b.N; i++ {
+				sum += SquaredDistEABlocked(q, c, regime.bound)
+			}
+			_ = sum
+		})
+		b.Run(regime.name+"/go", func(b *testing.B) {
+			b.SetBytes(2 * 4 * n)
+			var sum float64
+			for i := 0; i < b.N; i++ {
+				sum += squaredDistEABlockedGo(q, c, thr)
+			}
+			_ = sum
+		})
+	}
+}
+
+func BenchmarkSquaredDistEAOrderedBlocked(b *testing.B) {
+	const n = 256
+	q, c := benchSeries(n, 1), benchSeries(n, 2)
+	ord := rand.New(rand.NewSource(3)).Perm(n)
+	thr := eaThreshold(math.Inf(1))
+	b.Run("dispatched", func(b *testing.B) {
+		b.SetBytes(2 * 4 * n)
+		var sum float64
+		for i := 0; i < b.N; i++ {
+			sum += SquaredDistEAOrderedBlocked(q, c, ord, math.Inf(1))
+		}
+		_ = sum
+	})
+	b.Run("go", func(b *testing.B) {
+		b.SetBytes(2 * 4 * n)
+		var sum float64
+		for i := 0; i < b.N; i++ {
+			sum += squaredDistEAOrderedBlockedGo(q, c, ord, thr)
+		}
+		_ = sum
+	})
+}
+
+func BenchmarkCodeBoundBatch(b *testing.B) {
+	// The ADS+ SIMS shape: 16 segments at cardinality 256, many candidates.
+	const dims, stride = 16, 256
+	const n = 1 << 15
+	rng := rand.New(rand.NewSource(4))
+	table := make([]float64, dims*stride)
+	for i := range table {
+		table[i] = math.Abs(rng.NormFloat64())
+	}
+	codesT := make([]uint8, dims*n)
+	for i := range codesT {
+		codesT[i] = uint8(rng.Intn(256))
+	}
+	out := make([]float64, n)
+	b.Run("dispatched", func(b *testing.B) {
+		b.SetBytes(dims * n)
+		for i := 0; i < b.N; i++ {
+			CodeBoundBatchStride(table, stride, codesT, out)
+		}
+	})
+	b.Run("go", func(b *testing.B) {
+		b.SetBytes(dims * n)
+		for i := 0; i < b.N; i++ {
+			clear(out)
+			for lo := 0; lo < n; lo += codeTile {
+				hi := min(lo+codeTile, n)
+				for d := 0; d < dims; d++ {
+					codeBoundAccumGo(table[d*stride:], codesT[d*n+lo:d*n+hi], out[lo:hi])
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkWeightedIntervalDistSq(b *testing.B) {
+	// The iSAX node-bound shape: 16 PAA segments.
+	const n = 16
+	rng := rand.New(rand.NewSource(5))
+	v, lo, hi := intervalCase(rng, n, 0)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 16
+	}
+	b.Run("dispatched", func(b *testing.B) {
+		var sum float64
+		for i := 0; i < b.N; i++ {
+			sum += WeightedIntervalDistSq(v, lo, hi, w)
+		}
+		_ = sum
+	})
+	b.Run("go", func(b *testing.B) {
+		var sum float64
+		for i := 0; i < b.N; i++ {
+			sum += weightedIntervalDistSqGo(v, lo, hi, w)
+		}
+		_ = sum
+	})
+}

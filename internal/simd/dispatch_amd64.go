@@ -1,0 +1,147 @@
+//go:build amd64 && !purego
+
+package simd
+
+// useAVX2 selects the assembly backend for every dispatched kernel. It is
+// decided once in init (CPU probe + HYDRA_SIMD override) and never changes
+// afterwards, so concurrent queries always agree on the backend.
+var useAVX2 bool
+
+func init() {
+	detectFeatures()
+	useAVX2 = hasAVX2 && hasFMA && !envDisabled()
+}
+
+// Backend reports the kernel backend selected at startup: "avx2+fma" when
+// the assembly kernels are active, "go" otherwise.
+func Backend() string {
+	if useAVX2 {
+		return "avx2+fma"
+	}
+	return "go"
+}
+
+// Features reports the probed hardware capabilities relevant to the kernel
+// layer, independent of which backend was selected.
+func Features() []string {
+	var fs []string
+	if hasAVX {
+		fs = append(fs, "avx")
+	}
+	if hasAVX2 {
+		fs = append(fs, "avx2")
+	}
+	if hasFMA {
+		fs = append(fs, "fma")
+	}
+	return fs
+}
+
+// HasAVX2 reports whether the hardware (and OS) can run the assembly
+// backend, regardless of whether it was selected.
+func HasAVX2() bool { return hasAVX2 && hasFMA }
+
+//go:noescape
+func squaredDistAVX2(q, c []float32) float64
+
+//go:noescape
+func squaredDistEABlockedAVX2(q, c []float32, thr float64) float64
+
+//go:noescape
+func squaredDistEAOrderedBlockedAVX2(q, c []float32, ord []int, thr float64) float64
+
+//go:noescape
+func codeBoundAccumAVX2(row []float64, codes []uint8, out []float64)
+
+//go:noescape
+func intervalDistSqAVX2(v, lo, hi []float64) float64
+
+//go:noescape
+func weightedIntervalDistSqAVX2(v, lo, hi, w []float64) float64
+
+//go:noescape
+func eapcaBoundAVX2(qm, qs, w, minMean, maxMean, minStd, maxStd []float64) float64
+
+//go:noescape
+func storeWeightedIntervalSqAVX2(v, w float64, lo, hi, out []float64)
+
+// SquaredDist returns the squared Euclidean distance between q and c.
+// Precondition: len(c) >= len(q); only the first len(q) elements are read.
+func SquaredDist(q, c []float32) float64 {
+	if useAVX2 {
+		return squaredDistAVX2(q, c)
+	}
+	return squaredDistGo(q, c)
+}
+
+// SquaredDistEABlocked computes the squared distance with blocked early
+// abandoning: the bound is tested once per 16-element block, and an abandon
+// returns a partial sum strictly above bound. Precondition: len(c) >= len(q).
+func SquaredDistEABlocked(q, c []float32, bound float64) float64 {
+	thr := eaThreshold(bound)
+	if useAVX2 {
+		return squaredDistEABlockedAVX2(q, c, thr)
+	}
+	return squaredDistEABlockedGo(q, c, thr)
+}
+
+// SquaredDistEAOrderedBlocked is SquaredDistEABlocked visiting coordinates
+// in the given order. Precondition: every ord[i] indexes into both q and c.
+func SquaredDistEAOrderedBlocked(q, c []float32, ord []int, bound float64) float64 {
+	thr := eaThreshold(bound)
+	if useAVX2 {
+		return squaredDistEAOrderedBlockedAVX2(q, c, ord, thr)
+	}
+	return squaredDistEAOrderedBlockedGo(q, c, ord, thr)
+}
+
+// codeBoundAccum adds row[codes[i]] into out[i] for every candidate of one
+// (tile, dimension) pair.
+func codeBoundAccum(row []float64, codes []uint8, out []float64) {
+	if useAVX2 {
+		codeBoundAccumAVX2(row, codes, out)
+		return
+	}
+	codeBoundAccumGo(row, codes, out)
+}
+
+// IntervalDistSq returns Σ_i d(v[i], [lo[i], hi[i]])², the squared distance
+// from a vector to a box — the MBR lower bound of SFA leaves and R-tree
+// nodes. Preconditions: len(lo) and len(hi) >= len(v).
+func IntervalDistSq(v, lo, hi []float64) float64 {
+	if useAVX2 {
+		return intervalDistSqAVX2(v, lo, hi)
+	}
+	return intervalDistSqGo(v, lo, hi)
+}
+
+// WeightedIntervalDistSq returns Σ_i w[i]·d(v[i], [lo[i], hi[i]])², the
+// segment-width-weighted box bound of PAA/iSAX node regions.
+// Preconditions: len(lo), len(hi) and len(w) >= len(v).
+func WeightedIntervalDistSq(v, lo, hi, w []float64) float64 {
+	if useAVX2 {
+		return weightedIntervalDistSqAVX2(v, lo, hi, w)
+	}
+	return weightedIntervalDistSqGo(v, lo, hi, w)
+}
+
+// EAPCABound returns Σ_s w[s]·(d(qm[s], [minMean[s], maxMean[s]])² +
+// d(qs[s], [minStd[s], maxStd[s]])²), the EAPCA node lower bound of the
+// DSTree. Preconditions: all slices >= len(w) long.
+func EAPCABound(qm, qs, w, minMean, maxMean, minStd, maxStd []float64) float64 {
+	if useAVX2 {
+		return eapcaBoundAVX2(qm, qs, w, minMean, maxMean, minStd, maxStd)
+	}
+	return eapcaBoundGo(qm, qs, w, minMean, maxMean, minStd, maxStd)
+}
+
+// StoreWeightedIntervalSq fills out[i] = w·d(v, [lo[i], hi[i]])² — the
+// row-filling primitive of the per-query lower-bound tables.
+// Preconditions: len(lo) and len(hi) >= len(out).
+func StoreWeightedIntervalSq(v, w float64, lo, hi, out []float64) {
+	if useAVX2 {
+		storeWeightedIntervalSqAVX2(v, w, lo, hi, out)
+		return
+	}
+	storeWeightedIntervalSqGo(v, w, lo, hi, out)
+}

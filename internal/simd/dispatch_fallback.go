@@ -1,0 +1,67 @@
+//go:build !amd64 || purego
+
+package simd
+
+// This build has no assembly backend (non-amd64 architecture or the purego
+// tag): every kernel is its Go twin, and Backend always reports "go".
+
+// Backend reports the kernel backend selected at startup: always "go" in
+// this build.
+func Backend() string { return "go" }
+
+// Features reports the probed hardware capabilities relevant to the kernel
+// layer; none are probed in this build.
+func Features() []string { return nil }
+
+// HasAVX2 reports whether the hardware can run the assembly backend; this
+// build never can.
+func HasAVX2() bool { return false }
+
+// SquaredDist returns the squared Euclidean distance between q and c.
+// Precondition: len(c) >= len(q); only the first len(q) elements are read.
+func SquaredDist(q, c []float32) float64 { return squaredDistGo(q, c) }
+
+// SquaredDistEABlocked computes the squared distance with blocked early
+// abandoning: the bound is tested once per 16-element block, and an abandon
+// returns a partial sum strictly above bound. Precondition: len(c) >= len(q).
+func SquaredDistEABlocked(q, c []float32, bound float64) float64 {
+	return squaredDistEABlockedGo(q, c, eaThreshold(bound))
+}
+
+// SquaredDistEAOrderedBlocked is SquaredDistEABlocked visiting coordinates
+// in the given order. Precondition: every ord[i] indexes into both q and c.
+func SquaredDistEAOrderedBlocked(q, c []float32, ord []int, bound float64) float64 {
+	return squaredDistEAOrderedBlockedGo(q, c, ord, eaThreshold(bound))
+}
+
+// codeBoundAccum adds row[codes[i]] into out[i] for every candidate of one
+// (tile, dimension) pair.
+func codeBoundAccum(row []float64, codes []uint8, out []float64) {
+	codeBoundAccumGo(row, codes, out)
+}
+
+// IntervalDistSq returns Σ_i d(v[i], [lo[i], hi[i]])², the squared distance
+// from a vector to a box — the MBR lower bound of SFA leaves and R-tree
+// nodes. Preconditions: len(lo) and len(hi) >= len(v).
+func IntervalDistSq(v, lo, hi []float64) float64 { return intervalDistSqGo(v, lo, hi) }
+
+// WeightedIntervalDistSq returns Σ_i w[i]·d(v[i], [lo[i], hi[i]])², the
+// segment-width-weighted box bound of PAA/iSAX node regions.
+// Preconditions: len(lo), len(hi) and len(w) >= len(v).
+func WeightedIntervalDistSq(v, lo, hi, w []float64) float64 {
+	return weightedIntervalDistSqGo(v, lo, hi, w)
+}
+
+// EAPCABound returns Σ_s w[s]·(d(qm[s], [minMean[s], maxMean[s]])² +
+// d(qs[s], [minStd[s], maxStd[s]])²), the EAPCA node lower bound of the
+// DSTree. Preconditions: all slices >= len(w) long.
+func EAPCABound(qm, qs, w, minMean, maxMean, minStd, maxStd []float64) float64 {
+	return eapcaBoundGo(qm, qs, w, minMean, maxMean, minStd, maxStd)
+}
+
+// StoreWeightedIntervalSq fills out[i] = w·d(v, [lo[i], hi[i]])² — the
+// row-filling primitive of the per-query lower-bound tables.
+// Preconditions: len(lo) and len(hi) >= len(out).
+func StoreWeightedIntervalSq(v, w float64, lo, hi, out []float64) {
+	storeWeightedIntervalSqGo(v, w, lo, hi, out)
+}

@@ -1,0 +1,177 @@
+//go:build amd64 && !purego
+
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Direct assembly-vs-Go equivalence: these tests name the AVX2 symbols, so
+// they only compile where the assembly backend exists. The skip guards
+// cover amd64 hardware that cannot run it.
+
+func TestSquaredDistEquivalence(t *testing.T) {
+	if !HasAVX2() {
+		t.Skip("no AVX2+FMA hardware; Go-vs-Go is vacuous")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range tailLengths() {
+		for off := 0; off < 4; off++ {
+			q := misalignF32(rng, n, off)
+			c := misalignF32(rng, n, off+1)
+			asm := squaredDistAVX2(q, c)
+			ref := squaredDistGo(q, c)
+			if !bitEq(asm, ref) {
+				t.Fatalf("n=%d off=%d: asm %v (bits %x), go %v (bits %x)",
+					n, off, asm, math.Float64bits(asm), ref, math.Float64bits(ref))
+			}
+		}
+	}
+}
+
+func TestSquaredDistEABlockedEquivalence(t *testing.T) {
+	if !HasAVX2() {
+		t.Skip("no AVX2+FMA hardware; Go-vs-Go is vacuous")
+	}
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range tailLengths() {
+		for off := 0; off < 3; off++ {
+			q := misalignF32(rng, n, off)
+			c := misalignF32(rng, n, off+2)
+			full := squaredDistGo(q, c)
+			for _, bound := range []float64{0, full * 0.25, full * 0.5, full, full * 2, math.Inf(1)} {
+				thr := eaThreshold(bound)
+				asm := squaredDistEABlockedAVX2(q, c, thr)
+				ref := squaredDistEABlockedGo(q, c, thr)
+				if !bitEq(asm, ref) {
+					t.Fatalf("n=%d off=%d bound=%v: asm %v, go %v", n, off, bound, asm, ref)
+				}
+			}
+		}
+	}
+}
+
+func TestSquaredDistEAOrderedBlockedEquivalence(t *testing.T) {
+	if !HasAVX2() {
+		t.Skip("no AVX2+FMA hardware; Go-vs-Go is vacuous")
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range tailLengths() {
+		for off := 0; off < 3; off++ {
+			q := misalignF32(rng, n, off)
+			c := misalignF32(rng, n, off+1)
+			ord := rng.Perm(n)
+			full := squaredDistGo(q, c)
+			for _, bound := range []float64{0, full * 0.5, full, math.Inf(1)} {
+				thr := eaThreshold(bound)
+				asm := squaredDistEAOrderedBlockedAVX2(q, c, ord, thr)
+				ref := squaredDistEAOrderedBlockedGo(q, c, ord, thr)
+				if !bitEq(asm, ref) {
+					t.Fatalf("n=%d off=%d bound=%v: asm %v, go %v", n, off, bound, asm, ref)
+				}
+			}
+		}
+	}
+}
+
+func TestCodeBoundAccumEquivalence(t *testing.T) {
+	if !HasAVX2() {
+		t.Skip("no AVX2+FMA hardware; Go-vs-Go is vacuous")
+	}
+	rng := rand.New(rand.NewSource(4))
+	row := misalignF64(rng, 256, 1)
+	for _, n := range tailLengths() {
+		codes := make([]uint8, n)
+		for i := range codes {
+			codes[i] = uint8(rng.Intn(256))
+		}
+		asmOut := misalignF64(rng, n, 3)
+		refOut := append([]float64(nil), asmOut...)
+		codeBoundAccumAVX2(row, codes, asmOut)
+		codeBoundAccumGo(row, codes, refOut)
+		for i := range asmOut {
+			if !bitEq(asmOut[i], refOut[i]) {
+				t.Fatalf("n=%d out[%d]: asm %v, go %v", n, i, asmOut[i], refOut[i])
+			}
+		}
+	}
+}
+
+func TestIntervalDistSqEquivalence(t *testing.T) {
+	if !HasAVX2() {
+		t.Skip("no AVX2+FMA hardware; Go-vs-Go is vacuous")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range tailLengths() {
+		for off := 0; off < 3; off++ {
+			v, lo, hi := intervalCase(rng, n, off)
+			asm := intervalDistSqAVX2(v, lo, hi)
+			ref := intervalDistSqGo(v, lo, hi)
+			if !bitEq(asm, ref) {
+				t.Fatalf("n=%d off=%d: asm %v, go %v", n, off, asm, ref)
+			}
+		}
+	}
+}
+
+func TestWeightedIntervalDistSqEquivalence(t *testing.T) {
+	if !HasAVX2() {
+		t.Skip("no AVX2+FMA hardware; Go-vs-Go is vacuous")
+	}
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range tailLengths() {
+		v, lo, hi := intervalCase(rng, n, 1)
+		w := misalignF64(rng, n, 2)
+		for i := range w {
+			w[i] = math.Abs(w[i]) + 1
+		}
+		asm := weightedIntervalDistSqAVX2(v, lo, hi, w)
+		ref := weightedIntervalDistSqGo(v, lo, hi, w)
+		if !bitEq(asm, ref) {
+			t.Fatalf("n=%d: asm %v, go %v", n, asm, ref)
+		}
+	}
+}
+
+func TestEAPCABoundEquivalence(t *testing.T) {
+	if !HasAVX2() {
+		t.Skip("no AVX2+FMA hardware; Go-vs-Go is vacuous")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range tailLengths() {
+		qm, minMean, maxMean := intervalCase(rng, n, 0)
+		qs, minStd, maxStd := intervalCase(rng, n, 1)
+		w := misalignF64(rng, n, 2)
+		for i := range w {
+			w[i] = math.Abs(w[i]) + 1
+		}
+		asm := eapcaBoundAVX2(qm, qs, w, minMean, maxMean, minStd, maxStd)
+		ref := eapcaBoundGo(qm, qs, w, minMean, maxMean, minStd, maxStd)
+		if !bitEq(asm, ref) {
+			t.Fatalf("n=%d: asm %v, go %v", n, asm, ref)
+		}
+	}
+}
+
+func TestStoreWeightedIntervalSqEquivalence(t *testing.T) {
+	if !HasAVX2() {
+		t.Skip("no AVX2+FMA hardware; Go-vs-Go is vacuous")
+	}
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range tailLengths() {
+		_, lo, hi := intervalCase(rng, n, 1)
+		v := rng.NormFloat64()
+		w := math.Abs(rng.NormFloat64()) + 1
+		asmOut := make([]float64, n)
+		refOut := make([]float64, n)
+		storeWeightedIntervalSqAVX2(v, w, lo, hi, asmOut)
+		storeWeightedIntervalSqGo(v, w, lo, hi, refOut)
+		for i := range asmOut {
+			if !bitEq(asmOut[i], refOut[i]) {
+				t.Fatalf("n=%d out[%d]: asm %v, go %v", n, i, asmOut[i], refOut[i])
+			}
+		}
+	}
+}

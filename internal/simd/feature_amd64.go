@@ -1,0 +1,44 @@
+//go:build amd64 && !purego
+
+package simd
+
+// cpuid executes the CPUID instruction for the given leaf and subleaf.
+// Implemented in feature_amd64.s.
+func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (the OS-enabled state mask).
+// Implemented in feature_amd64.s. Only valid when CPUID reports OSXSAVE.
+func xgetbv() (eax, edx uint32)
+
+// detected hardware capabilities, probed once in init.
+var hasAVX, hasFMA, hasAVX2 bool
+
+// detectFeatures probes CPUID for the features the assembly backend needs:
+// AVX2 and FMA instruction support, plus OS-managed YMM state (OSXSAVE and
+// XCR0 bits 1-2), without which AVX instructions fault even on capable
+// hardware.
+func detectFeatures() {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 1 {
+		return
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	osxsave := ecx1&osxsaveBit != 0
+	ymmEnabled := false
+	if osxsave {
+		xcr0, _ := xgetbv()
+		ymmEnabled = xcr0&0x6 == 0x6 // XMM and YMM state
+	}
+	hasAVX = ecx1&avxBit != 0 && ymmEnabled
+	hasFMA = ecx1&fmaBit != 0 && ymmEnabled
+	if maxLeaf >= 7 {
+		_, ebx7, _, _ := cpuid(7, 0)
+		const avx2Bit = 1 << 5
+		hasAVX2 = ebx7&avx2Bit != 0 && hasAVX
+	}
+}

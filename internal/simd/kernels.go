@@ -1,0 +1,226 @@
+package simd
+
+import "math"
+
+// The Go twins of the assembly kernels. Each mirrors its AVX2 counterpart
+// lane for lane: the same elements feed the same accumulator, every fused
+// multiply-add the assembly issues is a math.FMA here, and the final
+// reduction folds lanes in the same fixed tree. That correspondence — not
+// testing luck — is what makes the two backends bit-identical (see the
+// package contract in doc.go).
+
+// reduce8 folds eight lane accumulators in the fixed order the assembly
+// uses: lanewise add of the two vector accumulators, cross-half add, then
+// the final pair.
+func reduce8(l0, l1, l2, l3, l4, l5, l6, l7 float64) float64 {
+	m0, m1, m2, m3 := l0+l4, l1+l5, l2+l6, l3+l7
+	return (m0 + m2) + (m1 + m3)
+}
+
+// reduce4 folds four lane accumulators: cross-half add, then the pair.
+func reduce4(l0, l1, l2, l3 float64) float64 {
+	return (l0 + l2) + (l1 + l3)
+}
+
+// clampDist returns the distance from v to the interval [lo, hi]: lo-v
+// below it, v-hi above it, 0 inside. Infinite interval edges behave
+// naturally (the unbounded side never contributes). Mirrors the assembly's
+// max(lo-v, v-hi, 0) — the only divergence is the sign of a zero result,
+// which squaring erases.
+func clampDist(v, lo, hi float64) float64 {
+	t := lo - v
+	if u := v - hi; u > t {
+		t = u
+	}
+	if t < 0 {
+		t = 0
+	}
+	return t
+}
+
+func squaredDistGo(q, c []float32) float64 {
+	var l0, l1, l2, l3, l4, l5, l6, l7 float64
+	n := len(q)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d0 := float64(q[i+0]) - float64(c[i+0])
+		d1 := float64(q[i+1]) - float64(c[i+1])
+		d2 := float64(q[i+2]) - float64(c[i+2])
+		d3 := float64(q[i+3]) - float64(c[i+3])
+		d4 := float64(q[i+4]) - float64(c[i+4])
+		d5 := float64(q[i+5]) - float64(c[i+5])
+		d6 := float64(q[i+6]) - float64(c[i+6])
+		d7 := float64(q[i+7]) - float64(c[i+7])
+		l0 = math.FMA(d0, d0, l0)
+		l1 = math.FMA(d1, d1, l1)
+		l2 = math.FMA(d2, d2, l2)
+		l3 = math.FMA(d3, d3, l3)
+		l4 = math.FMA(d4, d4, l4)
+		l5 = math.FMA(d5, d5, l5)
+		l6 = math.FMA(d6, d6, l6)
+		l7 = math.FMA(d7, d7, l7)
+	}
+	sum := reduce8(l0, l1, l2, l3, l4, l5, l6, l7)
+	for ; i < n; i++ {
+		d := float64(q[i]) - float64(c[i])
+		sum = math.FMA(d, d, sum)
+	}
+	return sum
+}
+
+func squaredDistEABlockedGo(q, c []float32, thr float64) float64 {
+	var l0, l1, l2, l3, l4, l5, l6, l7 float64
+	n := len(q)
+	i := 0
+	for ; i+16 <= n; i += 16 {
+		for _, b := range [2]int{i, i + 8} {
+			d0 := float64(q[b+0]) - float64(c[b+0])
+			d1 := float64(q[b+1]) - float64(c[b+1])
+			d2 := float64(q[b+2]) - float64(c[b+2])
+			d3 := float64(q[b+3]) - float64(c[b+3])
+			d4 := float64(q[b+4]) - float64(c[b+4])
+			d5 := float64(q[b+5]) - float64(c[b+5])
+			d6 := float64(q[b+6]) - float64(c[b+6])
+			d7 := float64(q[b+7]) - float64(c[b+7])
+			l0 = math.FMA(d0, d0, l0)
+			l1 = math.FMA(d1, d1, l1)
+			l2 = math.FMA(d2, d2, l2)
+			l3 = math.FMA(d3, d3, l3)
+			l4 = math.FMA(d4, d4, l4)
+			l5 = math.FMA(d5, d5, l5)
+			l6 = math.FMA(d6, d6, l6)
+			l7 = math.FMA(d7, d7, l7)
+		}
+		if sum := reduce8(l0, l1, l2, l3, l4, l5, l6, l7); sum > thr {
+			return sum
+		}
+	}
+	sum := reduce8(l0, l1, l2, l3, l4, l5, l6, l7)
+	for ; i < n; i++ {
+		d := float64(q[i]) - float64(c[i])
+		sum = math.FMA(d, d, sum)
+	}
+	return sum
+}
+
+func squaredDistEAOrderedBlockedGo(q, c []float32, ord []int, thr float64) float64 {
+	var l0, l1, l2, l3, l4, l5, l6, l7 float64
+	n := len(ord)
+	i := 0
+	for ; i+16 <= n; i += 16 {
+		for _, b := range [2]int{i, i + 8} {
+			o0, o1, o2, o3 := ord[b+0], ord[b+1], ord[b+2], ord[b+3]
+			o4, o5, o6, o7 := ord[b+4], ord[b+5], ord[b+6], ord[b+7]
+			d0 := float64(q[o0]) - float64(c[o0])
+			d1 := float64(q[o1]) - float64(c[o1])
+			d2 := float64(q[o2]) - float64(c[o2])
+			d3 := float64(q[o3]) - float64(c[o3])
+			d4 := float64(q[o4]) - float64(c[o4])
+			d5 := float64(q[o5]) - float64(c[o5])
+			d6 := float64(q[o6]) - float64(c[o6])
+			d7 := float64(q[o7]) - float64(c[o7])
+			l0 = math.FMA(d0, d0, l0)
+			l1 = math.FMA(d1, d1, l1)
+			l2 = math.FMA(d2, d2, l2)
+			l3 = math.FMA(d3, d3, l3)
+			l4 = math.FMA(d4, d4, l4)
+			l5 = math.FMA(d5, d5, l5)
+			l6 = math.FMA(d6, d6, l6)
+			l7 = math.FMA(d7, d7, l7)
+		}
+		if sum := reduce8(l0, l1, l2, l3, l4, l5, l6, l7); sum > thr {
+			return sum
+		}
+	}
+	sum := reduce8(l0, l1, l2, l3, l4, l5, l6, l7)
+	for ; i < n; i++ {
+		o := ord[i]
+		d := float64(q[o]) - float64(c[o])
+		sum = math.FMA(d, d, sum)
+	}
+	return sum
+}
+
+func codeBoundAccumGo(row []float64, codes []uint8, out []float64) {
+	for i, code := range codes {
+		out[i] += row[code]
+	}
+}
+
+func intervalDistSqGo(v, lo, hi []float64) float64 {
+	var l0, l1, l2, l3 float64
+	n := len(v)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		t0 := clampDist(v[i+0], lo[i+0], hi[i+0])
+		t1 := clampDist(v[i+1], lo[i+1], hi[i+1])
+		t2 := clampDist(v[i+2], lo[i+2], hi[i+2])
+		t3 := clampDist(v[i+3], lo[i+3], hi[i+3])
+		l0 = math.FMA(t0, t0, l0)
+		l1 = math.FMA(t1, t1, l1)
+		l2 = math.FMA(t2, t2, l2)
+		l3 = math.FMA(t3, t3, l3)
+	}
+	sum := reduce4(l0, l1, l2, l3)
+	for ; i < n; i++ {
+		t := clampDist(v[i], lo[i], hi[i])
+		sum = math.FMA(t, t, sum)
+	}
+	return sum
+}
+
+func weightedIntervalDistSqGo(v, lo, hi, w []float64) float64 {
+	var l0, l1, l2, l3 float64
+	n := len(v)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		t0 := clampDist(v[i+0], lo[i+0], hi[i+0])
+		t1 := clampDist(v[i+1], lo[i+1], hi[i+1])
+		t2 := clampDist(v[i+2], lo[i+2], hi[i+2])
+		t3 := clampDist(v[i+3], lo[i+3], hi[i+3])
+		l0 = math.FMA(w[i+0], t0*t0, l0)
+		l1 = math.FMA(w[i+1], t1*t1, l1)
+		l2 = math.FMA(w[i+2], t2*t2, l2)
+		l3 = math.FMA(w[i+3], t3*t3, l3)
+	}
+	sum := reduce4(l0, l1, l2, l3)
+	for ; i < n; i++ {
+		t := clampDist(v[i], lo[i], hi[i])
+		sum = math.FMA(w[i], t*t, sum)
+	}
+	return sum
+}
+
+func eapcaBoundGo(qm, qs, w, minMean, maxMean, minStd, maxStd []float64) float64 {
+	var l0, l1, l2, l3 float64
+	n := len(w)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		m0 := clampDist(qm[i+0], minMean[i+0], maxMean[i+0])
+		m1 := clampDist(qm[i+1], minMean[i+1], maxMean[i+1])
+		m2 := clampDist(qm[i+2], minMean[i+2], maxMean[i+2])
+		m3 := clampDist(qm[i+3], minMean[i+3], maxMean[i+3])
+		s0 := clampDist(qs[i+0], minStd[i+0], maxStd[i+0])
+		s1 := clampDist(qs[i+1], minStd[i+1], maxStd[i+1])
+		s2 := clampDist(qs[i+2], minStd[i+2], maxStd[i+2])
+		s3 := clampDist(qs[i+3], minStd[i+3], maxStd[i+3])
+		l0 = math.FMA(w[i+0], math.FMA(s0, s0, m0*m0), l0)
+		l1 = math.FMA(w[i+1], math.FMA(s1, s1, m1*m1), l1)
+		l2 = math.FMA(w[i+2], math.FMA(s2, s2, m2*m2), l2)
+		l3 = math.FMA(w[i+3], math.FMA(s3, s3, m3*m3), l3)
+	}
+	sum := reduce4(l0, l1, l2, l3)
+	for ; i < n; i++ {
+		m := clampDist(qm[i], minMean[i], maxMean[i])
+		s := clampDist(qs[i], minStd[i], maxStd[i])
+		sum = math.FMA(w[i], math.FMA(s, s, m*m), sum)
+	}
+	return sum
+}
+
+func storeWeightedIntervalSqGo(v, w float64, lo, hi, out []float64) {
+	for i := range out {
+		t := clampDist(v, lo[i], hi[i])
+		out[i] = w * (t * t)
+	}
+}

@@ -1,0 +1,468 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX2+FMA kernels. Each mirrors its Go twin in kernels.go lane for lane:
+// float32 distance kernels convert 8 floats per step into two 4-lane f64
+// accumulators (Y0 lanes take elements ≡0..3 mod 8, Y1 takes ≡4..7), every
+// accumulation is a fused multiply-add, and reductions fold
+// (acc0+acc1) → cross-half add → final pair, exactly reduce8/reduce4.
+// Scalar tails use VEX scalar ops with the same FMA, in the same order.
+
+// hsum8 reduces Y0+Y1 into X0 low lane: m = Y0+Y1; t = [m0+m2, m1+m3];
+// s = t0+t1. Clobbers Y1/X1.
+#define HSUM8(YA, YB, XA, XB)  \
+	VADDPD  YB, YA, YA       \
+	VEXTRACTF128 $1, YA, XB  \
+	VADDPD  XB, XA, XA       \
+	VPERMILPD $1, XA, XB     \
+	VADDSD  XB, XA, XA
+
+// hsum4 reduces Y0 into X0 low lane: t = [a0+a2, a1+a3]; s = t0+t1.
+#define HSUM4(YA, XA, XB)  \
+	VEXTRACTF128 $1, YA, XB  \
+	VADDPD  XB, XA, XA       \
+	VPERMILPD $1, XA, XB     \
+	VADDSD  XB, XA, XA
+
+// STEP8 accumulates 8 contiguous float32 squared differences at element
+// offset reg IDX (elements IDX..IDX+7) from bases QP/CP into Y0 (lanes
+// 0..3) and Y1 (lanes 4..7). Clobbers Y2-Y5.
+#define STEP8(QP, CP, IDX)  \
+	VMOVUPS (QP)(IDX*4), X2     \
+	VMOVUPS 16(QP)(IDX*4), X3   \
+	VMOVUPS (CP)(IDX*4), X4     \
+	VMOVUPS 16(CP)(IDX*4), X5   \
+	VCVTPS2PD X2, Y2            \
+	VCVTPS2PD X3, Y3            \
+	VCVTPS2PD X4, Y4            \
+	VCVTPS2PD X5, Y5            \
+	VSUBPD  Y4, Y2, Y2          \
+	VSUBPD  Y5, Y3, Y3          \
+	VFMADD231PD Y2, Y2, Y0      \
+	VFMADD231PD Y3, Y3, Y1
+
+// SCALARSTEP accumulates one float32 squared difference at element offset
+// IDX into X0 low lane. Clobbers X2, X3.
+#define SCALARSTEP(QP, CP, IDX)  \
+	VMOVSS (QP)(IDX*4), X2    \
+	VMOVSS (CP)(IDX*4), X3    \
+	VCVTSS2SD X2, X2, X2      \
+	VCVTSS2SD X3, X3, X3      \
+	VSUBSD X3, X2, X2         \
+	VFMADD231SD X2, X2, X0
+
+// func squaredDistAVX2(q, c []float32) float64
+TEXT ·squaredDistAVX2(SB), NOSPLIT, $0-56
+	MOVQ q_base+0(FP), SI
+	MOVQ c_base+24(FP), DI
+	MOVQ q_len+8(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	XORQ AX, AX
+	MOVQ CX, DX
+	SUBQ $7, DX
+
+loop8:
+	CMPQ AX, DX
+	JGE  reduce
+	STEP8(SI, DI, AX)
+	ADDQ $8, AX
+	JMP  loop8
+
+reduce:
+	HSUM8(Y0, Y1, X0, X1)
+
+tail:
+	CMPQ AX, CX
+	JGE  done
+	SCALARSTEP(SI, DI, AX)
+	INCQ AX
+	JMP  tail
+
+done:
+	VMOVSD X0, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func squaredDistEABlockedAVX2(q, c []float32, thr float64) float64
+TEXT ·squaredDistEABlockedAVX2(SB), NOSPLIT, $0-64
+	MOVQ q_base+0(FP), SI
+	MOVQ c_base+24(FP), DI
+	MOVQ q_len+8(FP), CX
+	VMOVSD thr+48(FP), X15
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	XORQ AX, AX
+	MOVQ CX, DX
+	SUBQ $15, DX
+
+block:
+	CMPQ AX, DX
+	JGE  reduce
+	STEP8(SI, DI, AX)
+	ADDQ $8, AX
+	STEP8(SI, DI, AX)
+	ADDQ $8, AX
+
+	// partial = hsum8 into X6 without disturbing the accumulators.
+	VADDPD Y1, Y0, Y6
+	VEXTRACTF128 $1, Y6, X7
+	VADDPD X7, X6, X6
+	VPERMILPD $1, X6, X7
+	VADDSD X7, X6, X6
+	VUCOMISD X15, X6
+	JA   abandoned
+	JMP  block
+
+abandoned:
+	VMOVSD X6, ret+56(FP)
+	VZEROUPPER
+	RET
+
+reduce:
+	HSUM8(Y0, Y1, X0, X1)
+
+tail:
+	CMPQ AX, CX
+	JGE  done
+	SCALARSTEP(SI, DI, AX)
+	INCQ AX
+	JMP  tail
+
+done:
+	VMOVSD X0, ret+56(FP)
+	VZEROUPPER
+	RET
+
+// GATHERSTEP8 accumulates 8 gathered float32 squared differences at order
+// positions IDX..IDX+7 (int64 indices at base OP) from bases QP/CP into
+// Y0/Y1. Clobbers Y2-Y7 and X13 (gather mask).
+#define GATHERSTEP8(QP, CP, OP, IDX)  \
+	VMOVDQU (OP)(IDX*8), Y2        \
+	VMOVDQU 32(OP)(IDX*8), Y3      \
+	VPCMPEQD X13, X13, X13         \
+	VGATHERQPS X13, (QP)(Y2*4), X4 \
+	VPCMPEQD X13, X13, X13         \
+	VGATHERQPS X13, (CP)(Y2*4), X5 \
+	VPCMPEQD X13, X13, X13         \
+	VGATHERQPS X13, (QP)(Y3*4), X6 \
+	VPCMPEQD X13, X13, X13         \
+	VGATHERQPS X13, (CP)(Y3*4), X7 \
+	VCVTPS2PD X4, Y4               \
+	VCVTPS2PD X5, Y5               \
+	VCVTPS2PD X6, Y6               \
+	VCVTPS2PD X7, Y7               \
+	VSUBPD  Y5, Y4, Y4             \
+	VSUBPD  Y7, Y6, Y6             \
+	VFMADD231PD Y4, Y4, Y0         \
+	VFMADD231PD Y6, Y6, Y1
+
+// SCALARSTEPORD accumulates one squared difference at element ord[IDX]
+// into X0 low lane. Clobbers R9, X2, X3.
+#define SCALARSTEPORD(QP, CP, OP, IDX)  \
+	MOVQ (OP)(IDX*8), R9      \
+	VMOVSS (QP)(R9*4), X2     \
+	VMOVSS (CP)(R9*4), X3     \
+	VCVTSS2SD X2, X2, X2      \
+	VCVTSS2SD X3, X3, X3      \
+	VSUBSD X3, X2, X2         \
+	VFMADD231SD X2, X2, X0
+
+// func squaredDistEAOrderedBlockedAVX2(q, c []float32, ord []int, thr float64) float64
+TEXT ·squaredDistEAOrderedBlockedAVX2(SB), NOSPLIT, $0-88
+	MOVQ q_base+0(FP), SI
+	MOVQ c_base+24(FP), DI
+	MOVQ ord_base+48(FP), BX
+	MOVQ ord_len+56(FP), CX
+	VMOVSD thr+72(FP), X15
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	XORQ AX, AX
+	MOVQ CX, DX
+	SUBQ $15, DX
+
+block:
+	CMPQ AX, DX
+	JGE  reduce
+	GATHERSTEP8(SI, DI, BX, AX)
+	ADDQ $8, AX
+	GATHERSTEP8(SI, DI, BX, AX)
+	ADDQ $8, AX
+
+	VADDPD Y1, Y0, Y8
+	VEXTRACTF128 $1, Y8, X9
+	VADDPD X9, X8, X8
+	VPERMILPD $1, X8, X9
+	VADDSD X9, X8, X8
+	VUCOMISD X15, X8
+	JA   abandoned
+	JMP  block
+
+abandoned:
+	VMOVSD X8, ret+80(FP)
+	VZEROUPPER
+	RET
+
+reduce:
+	HSUM8(Y0, Y1, X0, X1)
+
+tail:
+	CMPQ AX, CX
+	JGE  done
+	SCALARSTEPORD(SI, DI, BX, AX)
+	INCQ AX
+	JMP  tail
+
+done:
+	VMOVSD X0, ret+80(FP)
+	VZEROUPPER
+	RET
+
+// func codeBoundAccumAVX2(row []float64, codes []uint8, out []float64)
+TEXT ·codeBoundAccumAVX2(SB), NOSPLIT, $0-72
+	MOVQ row_base+0(FP), SI
+	MOVQ codes_base+24(FP), BX
+	MOVQ codes_len+32(FP), CX
+	MOVQ out_base+48(FP), DI
+	XORQ AX, AX
+	MOVQ CX, DX
+	SUBQ $7, DX
+
+loop8:
+	CMPQ AX, DX
+	JGE  tail
+	VPMOVZXBQ (BX)(AX*1), Y2
+	VPMOVZXBQ 4(BX)(AX*1), Y3
+	VPCMPEQD Y13, Y13, Y13
+	VGATHERQPD Y13, (SI)(Y2*8), Y4
+	VPCMPEQD Y13, Y13, Y13
+	VGATHERQPD Y13, (SI)(Y3*8), Y5
+	VMOVUPD (DI)(AX*8), Y6
+	VMOVUPD 32(DI)(AX*8), Y7
+	VADDPD Y4, Y6, Y6
+	VADDPD Y5, Y7, Y7
+	VMOVUPD Y6, (DI)(AX*8)
+	VMOVUPD Y7, 32(DI)(AX*8)
+	ADDQ $8, AX
+	JMP  loop8
+
+tail:
+	CMPQ AX, CX
+	JGE  done
+	MOVBLZX (BX)(AX*1), R9
+	VMOVSD (SI)(R9*8), X2
+	VADDSD (DI)(AX*8), X2, X2
+	VMOVSD X2, (DI)(AX*8)
+	INCQ AX
+	JMP  tail
+
+done:
+	VZEROUPPER
+	RET
+
+// CLAMP4 computes max(LO-V, V-HI, 0) into DST (all ymm). Y14 must hold
+// zero. Clobbers YT.
+#define CLAMP4(V, LO, HI, DST, YT)  \
+	VSUBPD V, LO, DST   \
+	VSUBPD HI, V, YT    \
+	VMAXPD YT, DST, DST \
+	VMAXPD Y14, DST, DST
+
+// SCALARCLAMP computes max(lo-v, v-hi, 0) into DST (xmm scalars). X14
+// must hold zero. Clobbers XT.
+#define SCALARCLAMP(V, LO, HI, DST, XT)  \
+	VSUBSD V, LO, DST   \
+	VSUBSD HI, V, XT    \
+	VMAXSD XT, DST, DST \
+	VMAXSD X14, DST, DST
+
+// func intervalDistSqAVX2(v, lo, hi []float64) float64
+TEXT ·intervalDistSqAVX2(SB), NOSPLIT, $0-80
+	MOVQ v_base+0(FP), SI
+	MOVQ lo_base+24(FP), BX
+	MOVQ hi_base+48(FP), DI
+	MOVQ v_len+8(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y14, Y14, Y14
+	XORQ AX, AX
+	MOVQ CX, DX
+	SUBQ $3, DX
+
+loop4:
+	CMPQ AX, DX
+	JGE  reduce
+	VMOVUPD (SI)(AX*8), Y2
+	VMOVUPD (BX)(AX*8), Y3
+	VMOVUPD (DI)(AX*8), Y4
+	CLAMP4(Y2, Y3, Y4, Y5, Y6)
+	VFMADD231PD Y5, Y5, Y0
+	ADDQ $4, AX
+	JMP  loop4
+
+reduce:
+	HSUM4(Y0, X0, X1)
+
+tail:
+	CMPQ AX, CX
+	JGE  done
+	VMOVSD (SI)(AX*8), X2
+	VMOVSD (BX)(AX*8), X3
+	VMOVSD (DI)(AX*8), X4
+	SCALARCLAMP(X2, X3, X4, X5, X6)
+	VFMADD231SD X5, X5, X0
+	INCQ AX
+	JMP  tail
+
+done:
+	VMOVSD X0, ret+72(FP)
+	VZEROUPPER
+	RET
+
+// func weightedIntervalDistSqAVX2(v, lo, hi, w []float64) float64
+TEXT ·weightedIntervalDistSqAVX2(SB), NOSPLIT, $0-104
+	MOVQ v_base+0(FP), SI
+	MOVQ lo_base+24(FP), BX
+	MOVQ hi_base+48(FP), DI
+	MOVQ w_base+72(FP), R8
+	MOVQ v_len+8(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y14, Y14, Y14
+	XORQ AX, AX
+	MOVQ CX, DX
+	SUBQ $3, DX
+
+loop4:
+	CMPQ AX, DX
+	JGE  reduce
+	VMOVUPD (SI)(AX*8), Y2
+	VMOVUPD (BX)(AX*8), Y3
+	VMOVUPD (DI)(AX*8), Y4
+	CLAMP4(Y2, Y3, Y4, Y5, Y6)
+	VMULPD Y5, Y5, Y5
+	VMOVUPD (R8)(AX*8), Y7
+	VFMADD231PD Y5, Y7, Y0
+	ADDQ $4, AX
+	JMP  loop4
+
+reduce:
+	HSUM4(Y0, X0, X1)
+
+tail:
+	CMPQ AX, CX
+	JGE  done
+	VMOVSD (SI)(AX*8), X2
+	VMOVSD (BX)(AX*8), X3
+	VMOVSD (DI)(AX*8), X4
+	SCALARCLAMP(X2, X3, X4, X5, X6)
+	VMULSD X5, X5, X5
+	VMOVSD (R8)(AX*8), X7
+	VFMADD231SD X5, X7, X0
+	INCQ AX
+	JMP  tail
+
+done:
+	VMOVSD X0, ret+96(FP)
+	VZEROUPPER
+	RET
+
+// func eapcaBoundAVX2(qm, qs, w, minMean, maxMean, minStd, maxStd []float64) float64
+TEXT ·eapcaBoundAVX2(SB), NOSPLIT, $0-176
+	MOVQ qm_base+0(FP), SI
+	MOVQ qs_base+24(FP), DI
+	MOVQ w_base+48(FP), BX
+	MOVQ minMean_base+72(FP), R8
+	MOVQ maxMean_base+96(FP), R9
+	MOVQ minStd_base+120(FP), R10
+	MOVQ maxStd_base+144(FP), R11
+	MOVQ w_len+56(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y14, Y14, Y14
+	XORQ AX, AX
+	MOVQ CX, DX
+	SUBQ $3, DX
+
+loop4:
+	CMPQ AX, DX
+	JGE  reduce
+	VMOVUPD (SI)(AX*8), Y2
+	VMOVUPD (R8)(AX*8), Y3
+	VMOVUPD (R9)(AX*8), Y4
+	CLAMP4(Y2, Y3, Y4, Y5, Y6)
+	VMOVUPD (DI)(AX*8), Y2
+	VMOVUPD (R10)(AX*8), Y3
+	VMOVUPD (R11)(AX*8), Y4
+	CLAMP4(Y2, Y3, Y4, Y7, Y6)
+	VMULPD Y5, Y5, Y5
+	VFMADD231PD Y7, Y7, Y5
+	VMOVUPD (BX)(AX*8), Y8
+	VFMADD231PD Y5, Y8, Y0
+	ADDQ $4, AX
+	JMP  loop4
+
+reduce:
+	HSUM4(Y0, X0, X1)
+
+tail:
+	CMPQ AX, CX
+	JGE  done
+	VMOVSD (SI)(AX*8), X2
+	VMOVSD (R8)(AX*8), X3
+	VMOVSD (R9)(AX*8), X4
+	SCALARCLAMP(X2, X3, X4, X5, X6)
+	VMOVSD (DI)(AX*8), X2
+	VMOVSD (R10)(AX*8), X3
+	VMOVSD (R11)(AX*8), X4
+	SCALARCLAMP(X2, X3, X4, X7, X6)
+	VMULSD X5, X5, X5
+	VFMADD231SD X7, X7, X5
+	VMOVSD (BX)(AX*8), X8
+	VFMADD231SD X5, X8, X0
+	INCQ AX
+	JMP  tail
+
+done:
+	VMOVSD X0, ret+168(FP)
+	VZEROUPPER
+	RET
+
+// func storeWeightedIntervalSqAVX2(v, w float64, lo, hi, out []float64)
+TEXT ·storeWeightedIntervalSqAVX2(SB), NOSPLIT, $0-88
+	VBROADCASTSD v+0(FP), Y2
+	VBROADCASTSD w+8(FP), Y8
+	MOVQ lo_base+16(FP), BX
+	MOVQ hi_base+40(FP), DI
+	MOVQ out_base+64(FP), SI
+	MOVQ out_len+72(FP), CX
+	VXORPD Y14, Y14, Y14
+	XORQ AX, AX
+	MOVQ CX, DX
+	SUBQ $3, DX
+
+loop4:
+	CMPQ AX, DX
+	JGE  tail
+	VMOVUPD (BX)(AX*8), Y3
+	VMOVUPD (DI)(AX*8), Y4
+	CLAMP4(Y2, Y3, Y4, Y5, Y6)
+	VMULPD Y5, Y5, Y5
+	VMULPD Y8, Y5, Y5
+	VMOVUPD Y5, (SI)(AX*8)
+	ADDQ $4, AX
+	JMP  loop4
+
+tail:
+	CMPQ AX, CX
+	JGE  done
+	VMOVSD (BX)(AX*8), X3
+	VMOVSD (DI)(AX*8), X4
+	SCALARCLAMP(X2, X3, X4, X5, X6)
+	VMULSD X5, X5, X5
+	VMULSD X8, X5, X5
+	VMOVSD X5, (SI)(AX*8)
+	INCQ AX
+	JMP  tail
+
+done:
+	VZEROUPPER
+	RET

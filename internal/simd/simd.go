@@ -1,0 +1,98 @@
+package simd
+
+import "os"
+
+// eaRelSlack is the relative margin the blocked early-abandoning kernels
+// require before abandoning: a block-boundary partial sum must exceed
+// bound*(1+eaRelSlack). Reassociating a sum of non-negative float64 terms
+// perturbs it by at most a few n·ulp, many orders of magnitude below this
+// slack for any realistic series length, so a candidate whose true distance
+// is within the bound is never lost to rounding. Both backends test against
+// the same precomputed threshold, keeping abandon decisions bit-identical.
+const eaRelSlack = 1e-9
+
+// eaThreshold is the abandon threshold for the given bound.
+func eaThreshold(bound float64) float64 { return bound * (1 + eaRelSlack) }
+
+// envDisabled reports whether the HYDRA_SIMD environment variable forces
+// the Go backend ("off", "go" or "0"); every other value — including
+// "avx2", which CI uses to document intent — keeps automatic detection.
+func envDisabled() bool {
+	switch os.Getenv("HYDRA_SIMD") {
+	case "off", "go", "0":
+		return true
+	}
+	return false
+}
+
+// codeTile is the number of candidates scored per tile by the batched code
+// kernels: the out-tile (codeTile × 8 bytes) stays L1-resident while every
+// dimension's row streams over it, instead of dragging the full out array
+// through the cache once per dimension.
+const codeTile = 4096
+
+// CodeBoundBatch scores len(out) candidates against a per-(dimension, cell)
+// contribution table with dimension rows starting at offs[d]: out[i] =
+// Σ_d table[offs[d]+codesT[d*n+i]]. codesT is the segment-major (transposed)
+// code array — dimension d's cell indices for all candidates are contiguous
+// at codesT[d*n : (d+1)*n] — which is what lets the AVX2 backend turn the
+// per-candidate table lookups into vector gathers. Each out[i] accumulates
+// one add per dimension in increasing d from zero, so results are
+// bit-identical to the per-candidate scalar formulation on either backend.
+//
+// Preconditions: len(codesT) == len(offs)*len(out), and every referenced
+// cell index stays inside its dimension's row.
+func CodeBoundBatch(table []float64, offs []int, codesT []uint8, out []float64) {
+	n := len(out)
+	if len(codesT) != len(offs)*n {
+		panic("simd: transposed code array does not match offsets × candidates")
+	}
+	clear(out)
+	for lo := 0; lo < n; lo += codeTile {
+		hi := min(lo+codeTile, n)
+		for d, off := range offs {
+			codeBoundAccum(table[off:], codesT[d*n+lo:d*n+hi], out[lo:hi])
+		}
+	}
+}
+
+// CodeBoundBatchStride is CodeBoundBatch for tables whose dimension rows
+// all have the same length: dimension d's row starts at table[d*stride].
+// dims is inferred as len(codesT)/len(out).
+func CodeBoundBatchStride(table []float64, stride int, codesT []uint8, out []float64) {
+	n := len(out)
+	if n == 0 {
+		return
+	}
+	dims := len(codesT) / n
+	if len(codesT) != dims*n {
+		panic("simd: transposed code array is not a whole number of dimensions")
+	}
+	clear(out)
+	for lo := 0; lo < n; lo += codeTile {
+		hi := min(lo+codeTile, n)
+		for d := 0; d < dims; d++ {
+			codeBoundAccum(table[d*stride:], codesT[d*n+lo:d*n+hi], out[lo:hi])
+		}
+	}
+}
+
+// Transpose8 fills dst with the segment-major (transposed) view of the
+// candidate-major code array src: dst[d*n+i] = src[i*dims+d]. It is the
+// build-time companion of CodeBoundBatch — indexes lay codes out per
+// candidate, the batched kernels stream them per dimension.
+func Transpose8(src []uint8, dims int, dst []uint8) {
+	if dims <= 0 {
+		return
+	}
+	n := len(src) / dims
+	if len(src) != n*dims || len(dst) != len(src) {
+		panic("simd: transpose size mismatch")
+	}
+	for i := 0; i < n; i++ {
+		row := src[i*dims : (i+1)*dims]
+		for d, v := range row {
+			dst[d*n+i] = v
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The equivalence suite: every dispatched kernel must return bit-identical
+// results on the assembly and Go backends, across lengths (including every
+// tail shape around the 4/8/16-lane widths), misaligned subslice views,
+// and abandon bounds. On machines without AVX2 the comparisons reduce to
+// Go-vs-Go and pass trivially; the CI assembly job provides the real
+// coverage.
+
+// tailLengths is every length from 0 to beyond twice the widest lane
+// structure (the 16-element abandon block), plus a few larger sizes that
+// exercise long main loops with every tail remainder.
+func tailLengths() []int {
+	ls := make([]int, 0, 48)
+	for n := 0; n <= 33; n++ {
+		ls = append(ls, n)
+	}
+	for _, n := range []int{63, 64, 65, 127, 128, 129, 255, 256, 257} {
+		ls = append(ls, n)
+	}
+	return ls
+}
+
+// misalign returns a view of length n starting at element off of a larger
+// backing array, mimicking the capped arena views of storage.SeriesFile
+// (odd offsets are reachable in production via subsequence chopping).
+func misalignF32(rng *rand.Rand, n, off int) []float32 {
+	b := make([]float32, n+off+3)
+	for i := range b {
+		b[i] = float32(rng.NormFloat64())
+	}
+	return b[off : off+n : off+n]
+}
+
+func misalignF64(rng *rand.Rand, n, off int) []float64 {
+	b := make([]float64, n+off+3)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	return b[off : off+n : off+n]
+}
+
+func bitEq(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func TestBackendReported(t *testing.T) {
+	b := Backend()
+	if b != "avx2+fma" && b != "go" {
+		t.Fatalf("unexpected backend %q", b)
+	}
+	t.Logf("backend=%s features=%v hasAVX2=%v", b, Features(), HasAVX2())
+}
+
+// intervalCase builds (v, lo, hi) triples with lo <= hi, v landing below,
+// inside and above the interval, and ±Inf edges sprinkled in — the region
+// shapes of sax/vaq tables and MBRs.
+func intervalCase(rng *rand.Rand, n, off int) (v, lo, hi []float64) {
+	v = misalignF64(rng, n, off)
+	lo = misalignF64(rng, n, off+1)
+	hi = misalignF64(rng, n, off+2)
+	for i := range lo {
+		if lo[i] > hi[i] {
+			lo[i], hi[i] = hi[i], lo[i]
+		}
+		switch rng.Intn(8) {
+		case 0:
+			lo[i] = math.Inf(-1)
+		case 1:
+			hi[i] = math.Inf(1)
+		case 2:
+			lo[i], hi[i] = math.Inf(-1), math.Inf(1)
+		case 3:
+			v[i] = lo[i] // exactly on the edge
+		}
+	}
+	return v, lo, hi
+}
+
+// TestCodeBoundBatchMatchesScalar pins the bit-identical contract of the
+// batched code kernel against the per-candidate scalar formulation, for
+// both offset-table and strided-table forms, across tile boundaries.
+func TestCodeBoundBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 3, 7, 8, 9, 100, codeTile - 1, codeTile, codeTile + 5} {
+		dims := 5
+		offs := []int{0, 16, 48, 64, 96}
+		rowLens := []int{16, 32, 16, 32, 8}
+		table := make([]float64, 104)
+		for i := range table {
+			table[i] = rng.NormFloat64()
+		}
+		codesT := make([]uint8, dims*n)
+		for d := 0; d < dims; d++ {
+			for i := 0; i < n; i++ {
+				codesT[d*n+i] = uint8(rng.Intn(rowLens[d]))
+			}
+		}
+		out := make([]float64, n)
+		CodeBoundBatch(table, offs, codesT, out)
+		for i := 0; i < n; i++ {
+			var want float64
+			for d := 0; d < dims; d++ {
+				want += table[offs[d]+int(codesT[d*n+i])]
+			}
+			if !bitEq(out[i], want) {
+				t.Fatalf("n=%d out[%d] = %v, scalar %v", n, i, out[i], want)
+			}
+		}
+
+		// Strided form over uniform 16-wide rows.
+		stable := make([]float64, dims*16)
+		for i := range stable {
+			stable[i] = rng.NormFloat64()
+		}
+		scodes := make([]uint8, dims*n)
+		for i := range scodes {
+			scodes[i] = uint8(rng.Intn(16))
+		}
+		CodeBoundBatchStride(stable, 16, scodes, out)
+		for i := 0; i < n; i++ {
+			var want float64
+			for d := 0; d < dims; d++ {
+				want += stable[d*16+int(scodes[d*n+i])]
+			}
+			if !bitEq(out[i], want) {
+				t.Fatalf("stride n=%d out[%d] = %v, scalar %v", n, i, out[i], want)
+			}
+		}
+	}
+}
+
+func TestTranspose8(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range []int{0, 1, 2, 7, 33} {
+		dims := 3
+		src := make([]uint8, n*dims)
+		for i := range src {
+			src[i] = uint8(rng.Intn(256))
+		}
+		dst := make([]uint8, len(src))
+		Transpose8(src, dims, dst)
+		for i := 0; i < n; i++ {
+			for d := 0; d < dims; d++ {
+				if dst[d*n+i] != src[i*dims+d] {
+					t.Fatalf("n=%d dst[%d*%d+%d] = %d, want %d", n, d, n, i, dst[d*n+i], src[i*dims+d])
+				}
+			}
+		}
+	}
+}
+
+// FuzzSquaredDistEABlocked fuzzes the abandon-bound space of the blocked
+// kernel: both backends must agree bitwise for arbitrary data and bounds.
+func FuzzSquaredDistEABlocked(f *testing.F) {
+	f.Add(int64(1), 17, 0.5)
+	f.Add(int64(2), 33, math.Inf(1))
+	f.Add(int64(3), 0, 0.0)
+	f.Add(int64(4), 129, 1e300)
+	f.Fuzz(func(t *testing.T, seed int64, n int, bound float64) {
+		if n < 0 || n > 1<<12 || math.IsNaN(bound) || bound < 0 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		q := misalignF32(rng, n, int(seed&3))
+		c := misalignF32(rng, n, int(seed>>2&3))
+		thr := eaThreshold(bound)
+		ref := squaredDistEABlockedGo(q, c, thr)
+		if got := SquaredDistEABlocked(q, c, bound); !bitEq(got, ref) {
+			t.Fatalf("dispatched %v, go %v", got, ref)
+		}
+		ord := rng.Perm(n)
+		refOrd := squaredDistEAOrderedBlockedGo(q, c, ord, thr)
+		if got := SquaredDistEAOrderedBlocked(q, c, ord, bound); !bitEq(got, refOrd) {
+			t.Fatalf("ordered dispatched %v, go %v", got, refOrd)
+		}
+	})
+}
+
+// FuzzIntervalKernels fuzzes the interval kernels over arbitrary boxes.
+func FuzzIntervalKernels(f *testing.F) {
+	f.Add(int64(1), 5)
+	f.Add(int64(2), 16)
+	f.Fuzz(func(t *testing.T, seed int64, n int) {
+		if n < 0 || n > 1<<10 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		v, lo, hi := intervalCase(rng, n, int(seed&3))
+		w := misalignF64(rng, n, 1)
+		for i := range w {
+			w[i] = math.Abs(w[i])
+		}
+		if got, ref := IntervalDistSq(v, lo, hi), intervalDistSqGo(v, lo, hi); !bitEq(got, ref) {
+			t.Fatalf("interval dispatched %v, go %v", got, ref)
+		}
+		got := WeightedIntervalDistSq(v, lo, hi, w)
+		if ref := weightedIntervalDistSqGo(v, lo, hi, w); !bitEq(got, ref) {
+			t.Fatalf("weighted dispatched %v, go %v", got, ref)
+		}
+	})
+}

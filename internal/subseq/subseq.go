@@ -79,7 +79,7 @@ func MASS(long, query series.Series, k int) ([]Match, error) {
 		k = 1
 	}
 
-	q := query.Clone().ZNormalize()
+	q := query.ZNormalizedInto(make(series.Series, m))
 	qf := make([]float64, m)
 	for i, v := range q {
 		qf[i] = float64(v)
@@ -139,9 +139,12 @@ func MASS(long, query series.Series, k int) ([]Match, error) {
 
 	matches := set.Results()
 	out := make([]Match, len(matches))
+	wbuf := make(series.Series, m)
 	for i, mt := range matches {
-		// Refine with a direct computation for exact reporting.
-		w := long[mt.ID : mt.ID+m].Clone().ZNormalize()
+		// Refine with a direct computation for exact reporting: normalize
+		// the window view into a reused buffer (the view itself is
+		// read-only shared memory — see the series aliasing contract).
+		w := long[mt.ID : mt.ID+m].ZNormalizedInto(wbuf)
 		out[i] = Match{Offset: mt.ID, Dist: series.Dist(q, w)}
 	}
 	return out, nil
@@ -154,7 +157,7 @@ func BruteForce(long, query series.Series, k int) ([]Match, error) {
 	if err != nil {
 		return nil, err
 	}
-	q := query.Clone().ZNormalize()
+	q := query.ZNormalizedInto(make(series.Series, len(query)))
 	set := core.NewKNNSet(k)
 	for i, w := range ds.Series {
 		set.Add(i, series.SquaredDist(q, w))
@@ -184,7 +187,7 @@ func ViaWholeMatching(long, query series.Series, k int, methodName string, opts 
 	if err := m.Build(coll); err != nil {
 		return nil, err
 	}
-	q := query.Clone().ZNormalize()
+	q := query.ZNormalizedInto(make(series.Series, len(query)))
 	matches, _, err := m.KNN(q, k)
 	if err != nil {
 		return nil, err

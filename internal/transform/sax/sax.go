@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"hydra/internal/mathx"
+	"hydra/internal/simd"
 )
 
 // MaxBits is the maximum per-segment cardinality in bits (alphabet 256, the
@@ -137,7 +138,7 @@ func (q *Quantizer) MinDist(queryPAA []float64, w Word, widths []float64) float6
 		case v > hi:
 			d = v - hi
 		}
-		sum += widths[i] * d * d
+		sum += widths[i] * (d * d)
 	}
 	return sum
 }
@@ -167,7 +168,7 @@ func (q *Quantizer) MinDistFullCard(queryPAA []float64, symbols []uint8, widths 
 		case v > hi:
 			d = v - hi
 		}
-		sum += widths[i] * d * d
+		sum += widths[i] * (d * d)
 	}
 	return sum
 }
@@ -182,71 +183,44 @@ func TableLen(seg int) int { return seg << MaxBits }
 // per-series bounds then reduce to one table gather per segment, which is
 // how ADS+'s SIMS scores its whole in-memory summary array per query: the
 // table costs seg·2^MaxBits region computations once, instead of seg region
-// computations per series.
+// computations per series. The interior of each row is one vectorized
+// interval kernel over the shifted breakpoint array; only the two unbounded
+// edge symbols are special-cased.
 func (q *Quantizer) MinDistTable(queryPAA []float64, widths []float64, table []float64) {
+	nb := len(q.bps)
 	for i, v := range queryPAA {
 		row := table[i<<MaxBits : (i+1)<<MaxBits]
 		w := widths[i]
-		for sym := range row {
-			var lo, hi float64
-			if sym == 0 {
-				lo = math.Inf(-1)
-			} else {
-				lo = q.bps[sym-1]
-			}
-			if sym >= len(q.bps) {
-				hi = math.Inf(1)
-			} else {
-				hi = q.bps[sym]
-			}
-			var d float64
-			switch {
-			case v < lo:
-				d = lo - v
-			case v > hi:
-				d = v - hi
-			}
-			row[sym] = w * d * d
+		// Symbol 0 is unbounded below, symbol nb unbounded above.
+		var d float64
+		if d = v - q.bps[0]; d < 0 {
+			d = 0
 		}
+		row[0] = w * (d * d)
+		if d = q.bps[nb-1] - v; d < 0 {
+			d = 0
+		}
+		row[nb] = w * (d * d)
+		// Interior symbols s cover [bps[s-1], bps[s]]: the lo and hi arrays
+		// are the breakpoints themselves, shifted by one.
+		simd.StoreWeightedIntervalSq(v, w, q.bps[:nb-1], q.bps[1:], row[1:nb])
 	}
 }
 
 // MinDistFullCardBatch scores many candidates per call against a
-// MinDistTable: words holds the candidates' max-cardinality symbols
-// back-to-back (stride seg), and out[i] receives the squared lower bound of
-// candidate i. Candidates are processed four at a time with independent
-// accumulators (the blocked style of the raw-distance kernels in package
-// series); each candidate's sum accumulates in segment order, so every
-// out[i] is bit-identical to MinDistFullCard on the same inputs.
-func MinDistFullCardBatch(table []float64, words []uint8, seg int, out []float64) {
+// MinDistTable: wordsT holds the candidates' max-cardinality symbols
+// segment-major (transposed — segment j's symbols for all candidates are
+// contiguous at wordsT[j*n : (j+1)*n], see simd.Transpose8), and out[i]
+// receives the squared lower bound of candidate i. The layout lets the
+// kernel layer turn per-candidate table lookups into vector gathers; each
+// candidate still accumulates one add per segment in segment order, so
+// every out[i] is bit-identical to MinDistFullCard on the same inputs.
+func MinDistFullCardBatch(table []float64, wordsT []uint8, seg int, out []float64) {
 	n := len(out)
-	if len(words) != n*seg {
-		panic(fmt.Sprintf("sax: %d flat symbols for %d candidates of %d segments", len(words), n, seg))
+	if len(wordsT) != n*seg {
+		panic(fmt.Sprintf("sax: %d flat symbols for %d candidates of %d segments", len(wordsT), n, seg))
 	}
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		w0 := words[(i+0)*seg : (i+1)*seg]
-		w1 := words[(i+1)*seg : (i+2)*seg]
-		w2 := words[(i+2)*seg : (i+3)*seg]
-		w3 := words[(i+3)*seg : (i+4)*seg]
-		var s0, s1, s2, s3 float64
-		for j := 0; j < seg; j++ {
-			row := table[j<<MaxBits : (j+1)<<MaxBits]
-			s0 += row[w0[j]]
-			s1 += row[w1[j]]
-			s2 += row[w2[j]]
-			s3 += row[w3[j]]
-		}
-		out[i], out[i+1], out[i+2], out[i+3] = s0, s1, s2, s3
-	}
-	for ; i < n; i++ {
-		w := words[i*seg : (i+1)*seg]
-		var sum float64
-		for j := 0; j < seg; j++ {
-			sum += table[j<<MaxBits+int(w[j])]
-		}
-		out[i] = sum
-	}
+	simd.CodeBoundBatchStride(table, 1<<MaxBits, wordsT, out)
 }
 
 // MinDistWords returns the squared lower-bounding distance between two iSAX
@@ -263,7 +237,7 @@ func (q *Quantizer) MinDistWords(a, b Word, widths []float64) float64 {
 		case bhi < alo:
 			d = alo - bhi
 		}
-		sum += widths[i] * d * d
+		sum += widths[i] * (d * d)
 	}
 	return sum
 }

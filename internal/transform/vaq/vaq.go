@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 
+	"hydra/internal/simd"
 	"hydra/internal/transform/kmeans"
 )
 
@@ -259,75 +260,57 @@ func (q *Quantizer) TableLen() int {
 // squared distance from queryFeat[d] to each cell interval, dimensions laid
 // out back-to-back in increasing d. One table amortizes the interval
 // arithmetic over every code scored for the query.
+// The interior of each dimension's row is one vectorized interval kernel
+// over the shifted boundary array; only the unbounded edge cells are
+// special-cased. k-means may collapse centroids, leaving fewer boundaries
+// than the bit budget allows; Encode only ever emits cells 0..len(bounds),
+// so entries past that stay untouched (no code references them).
 func (q *Quantizer) LowerBoundTable(queryFeat []float64, table []float64) {
 	off := 0
 	for d := 0; d < q.dims; d++ {
 		cells := 1 << q.bits[d]
 		row := table[off : off+cells]
 		off += cells
-		if q.bits[d] == 0 {
+		b := q.bounds[d]
+		nb := len(b)
+		if q.bits[d] == 0 || nb == 0 {
 			row[0] = 0
 			continue
 		}
 		v := queryFeat[d]
-		// k-means may collapse centroids, leaving fewer boundaries than the
-		// bit budget allows; Encode only ever emits cells 0..len(bounds), so
-		// entries past that stay untouched (no code references them).
-		for cell := 0; cell <= len(q.bounds[d]) && cell < len(row); cell++ {
-			lo, hi := q.Region(d, uint8(cell))
-			var dd float64
-			switch {
-			case v < lo:
-				dd = lo - v
-			case v > hi:
-				dd = v - hi
-			}
-			row[cell] = dd * dd
+		var dd float64
+		if dd = v - b[0]; dd < 0 {
+			dd = 0
 		}
+		row[0] = dd * dd
+		if dd = b[nb-1] - v; dd < 0 {
+			dd = 0
+		}
+		row[nb] = dd * dd
+		simd.StoreWeightedIntervalSq(v, 1, b[:nb-1], b[1:], row[1:nb])
 	}
 }
 
 // LowerBoundBatch scores many approximation codes per call against a
-// LowerBoundTable: codes holds the candidates' cell indices back-to-back
-// (stride Dims()), and out[i] receives candidate i's squared lower bound.
-// Candidates are processed four at a time with independent accumulators;
-// each candidate accumulates in dimension order (0-bit dimensions add their
-// zero entry, which leaves the non-negative sum bit-unchanged), so out[i]
-// is bit-identical to LowerBound on the same inputs.
-func (q *Quantizer) LowerBoundBatch(table []float64, codes []uint8, out []float64) {
+// LowerBoundTable: codesT holds the candidates' cell indices
+// dimension-major (transposed — dimension d's cells for all candidates are
+// contiguous at codesT[d*n : (d+1)*n], see simd.Transpose8), and out[i]
+// receives candidate i's squared lower bound. The layout lets the kernel
+// layer turn per-candidate table lookups into vector gathers; each
+// candidate still accumulates one add per dimension in dimension order
+// (0-bit dimensions add their zero entry, which leaves the non-negative sum
+// bit-unchanged), so out[i] is bit-identical to LowerBound on the same
+// inputs.
+func (q *Quantizer) LowerBoundBatch(table []float64, codesT []uint8, out []float64) {
 	n := len(out)
 	dims := q.dims
-	if len(codes) != n*dims {
-		panic(fmt.Sprintf("vaq: %d flat cells for %d codes of %d dims", len(codes), n, dims))
+	if len(codesT) != n*dims {
+		panic(fmt.Sprintf("vaq: %d flat cells for %d codes of %d dims", len(codesT), n, dims))
 	}
 	if q.offs == nil {
 		panic("vaq: quantizer missing cell offsets (not built via Train/Restore)")
 	}
-	offs := q.offs
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		c0 := codes[(i+0)*dims : (i+1)*dims]
-		c1 := codes[(i+1)*dims : (i+2)*dims]
-		c2 := codes[(i+2)*dims : (i+3)*dims]
-		c3 := codes[(i+3)*dims : (i+4)*dims]
-		var s0, s1, s2, s3 float64
-		for d := 0; d < dims; d++ {
-			row := table[offs[d]:]
-			s0 += row[c0[d]]
-			s1 += row[c1[d]]
-			s2 += row[c2[d]]
-			s3 += row[c3[d]]
-		}
-		out[i], out[i+1], out[i+2], out[i+3] = s0, s1, s2, s3
-	}
-	for ; i < n; i++ {
-		code := codes[i*dims : (i+1)*dims]
-		var sum float64
-		for d := 0; d < dims; d++ {
-			sum += table[offs[d]+int(code[d])]
-		}
-		out[i] = sum
-	}
+	simd.CodeBoundBatch(table, q.offs, codesT, out)
 }
 
 // UpperBound returns a squared upper bound from the query features to any

@@ -1,0 +1,141 @@
+// Command benchdiff compares two BENCH_*.json artifacts written by
+// hydra-bench -out and fails (exit status 1) when the newer run regresses
+// the per-query cost beyond a threshold — the CI-able guard that keeps the
+// performance trajectory recorded in BENCH_baseline.json honest.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.10] old.json new.json
+//
+// Compared metrics are ns/query and bytes/query from the artifacts' mem
+// profile. A metric missing from the old artifact (pre-ns_per_query files)
+// is reported but never fails the run. When the two artifacts were produced
+// on different hosts or SIMD backends, benchdiff still prints the
+// comparison but flags it, since cross-backend numbers are not like for
+// like.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// hostInfo mirrors the host block of a BENCH_*.json artifact.
+type hostInfo struct {
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	MaxProcs    int      `json:"maxprocs"`
+	CPUFeatures []string `json:"cpu_features"`
+	SIMDBackend string   `json:"simd_backend"`
+}
+
+// benchFile is the subset of the hydra-bench artifact schema benchdiff
+// reads.
+type benchFile struct {
+	ID    string   `json:"id"`
+	Scale float64  `json:"scale_divisor"`
+	Host  hostInfo `json:"host"`
+	Mem   struct {
+		Queries        int64   `json:"queries"`
+		BytesPerQuery  float64 `json:"bytes_per_query"`
+		AllocsPerQuery float64 `json:"allocs_per_query"`
+		NsPerQuery     float64 `json:"ns_per_query"`
+	} `json:"mem"`
+}
+
+// metric is one compared quantity of the mem profile. optional marks
+// metrics absent from artifacts written before the field existed (encoded
+// as zero by JSON); a zero baseline of a non-optional metric is a real
+// measurement — all-pooled workloads legitimately record 0 bytes/query —
+// and regressing away from it still fails.
+type metric struct {
+	name     string
+	old, new float64
+	optional bool
+}
+
+// diff compares the two artifacts metric by metric and returns the report
+// lines plus the regressions exceeding threshold (a fraction: 0.10 allows
+// +10%). Metrics absent from the old artifact (zero) are informational.
+func diff(old, new benchFile, threshold float64) (lines, regressions []string) {
+	if old.ID != new.ID || old.Scale != new.Scale {
+		lines = append(lines, fmt.Sprintf("warning: comparing %s@1/%g against %s@1/%g",
+			new.ID, new.Scale, old.ID, old.Scale))
+	}
+	if old.Host.SIMDBackend != new.Host.SIMDBackend {
+		lines = append(lines, fmt.Sprintf("warning: SIMD backend changed %q -> %q; numbers are not like for like",
+			old.Host.SIMDBackend, new.Host.SIMDBackend))
+	}
+	for _, m := range []metric{
+		{name: "ns/query", old: old.Mem.NsPerQuery, new: new.Mem.NsPerQuery, optional: true},
+		{name: "bytes/query", old: old.Mem.BytesPerQuery, new: new.Mem.BytesPerQuery},
+	} {
+		if m.old == 0 {
+			if m.optional {
+				lines = append(lines, fmt.Sprintf("%-12s baseline missing (old artifact predates this metric); new = %.0f", m.name, m.new))
+				continue
+			}
+			line := fmt.Sprintf("%-12s %14.0f -> %14.0f", m.name, m.old, m.new)
+			if m.new > 0 {
+				line += "  REGRESSION"
+				regressions = append(regressions, fmt.Sprintf("%s regressed from a zero baseline to %.0f", m.name, m.new))
+			}
+			lines = append(lines, line)
+			continue
+		}
+		change := (m.new - m.old) / m.old
+		line := fmt.Sprintf("%-12s %14.0f -> %14.0f  (%+.1f%%)", m.name, m.old, m.new, 100*change)
+		if change > threshold {
+			line += "  REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("%s regressed %.1f%% (threshold %.0f%%)",
+				m.name, 100*change, 100*threshold))
+		}
+		lines = append(lines, line)
+	}
+	return lines, regressions
+}
+
+func readBench(path string) (benchFile, error) {
+	var b benchFile
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(blob, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "maximum allowed relative increase per metric (0.10 = +10%)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] old.json new.json")
+		os.Exit(2)
+	}
+	old, err := readBench(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := readBench(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	lines, regressions := diff(old, cur, *threshold)
+	fmt.Printf("benchdiff %s (%d queries) vs %s (%d queries)\n",
+		flag.Arg(0), old.Mem.Queries, flag.Arg(1), cur.Mem.Queries)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s\n", r)
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bench(id string, ns, bytes float64, backend string) benchFile {
+	var b benchFile
+	b.ID = id
+	b.Scale = 1024
+	b.Host.SIMDBackend = backend
+	b.Mem.NsPerQuery = ns
+	b.Mem.BytesPerQuery = bytes
+	return b
+}
+
+func TestDiffPassesWithinThreshold(t *testing.T) {
+	old := bench("fig3", 1000, 64, "avx2+fma")
+	cur := bench("fig3", 1050, 64, "avx2+fma")
+	_, regs := diff(old, cur, 0.10)
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestDiffFlagsRegression(t *testing.T) {
+	old := bench("fig3", 1000, 64, "avx2+fma")
+	cur := bench("fig3", 1201, 64, "avx2+fma")
+	_, regs := diff(old, cur, 0.10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "ns/query") {
+		t.Fatalf("want one ns/query regression, got %v", regs)
+	}
+	cur = bench("fig3", 900, 80, "avx2+fma")
+	_, regs = diff(old, cur, 0.10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "bytes/query") {
+		t.Fatalf("want one bytes/query regression, got %v", regs)
+	}
+}
+
+func TestDiffImprovementNeverFails(t *testing.T) {
+	old := bench("fig3", 1000, 64, "avx2+fma")
+	cur := bench("fig3", 400, 8, "avx2+fma")
+	_, regs := diff(old, cur, 0.10)
+	if len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+}
+
+func TestDiffMissingBaselineMetricIsInformational(t *testing.T) {
+	old := bench("fig3", 0, 64, "avx2+fma") // pre-ns_per_query artifact
+	cur := bench("fig3", 5000, 64, "avx2+fma")
+	lines, regs := diff(old, cur, 0.10)
+	if len(regs) != 0 {
+		t.Fatalf("missing baseline treated as regression: %v", regs)
+	}
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "baseline missing") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing-baseline note absent from %v", lines)
+	}
+}
+
+func TestDiffWarnsOnBackendChange(t *testing.T) {
+	old := bench("fig3", 1000, 64, "avx2+fma")
+	cur := bench("fig3", 1000, 64, "go")
+	lines, _ := diff(old, cur, 0.10)
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "not like for like") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("backend-change warning absent from %v", lines)
+	}
+}
+
+func TestDiffZeroBytesBaselineStillGates(t *testing.T) {
+	// A genuinely zero bytes/query baseline (fully pooled workload) is a
+	// real measurement: allocating again must fail, staying at zero must
+	// pass. Only ns/query gets the missing-baseline grace (the field
+	// postdates the first artifacts).
+	old := bench("fig3", 1000, 0, "avx2+fma")
+	cur := bench("fig3", 1000, 32, "avx2+fma")
+	_, regs := diff(old, cur, 0.10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "zero baseline") {
+		t.Fatalf("want zero-baseline regression, got %v", regs)
+	}
+	cur = bench("fig3", 1000, 0, "avx2+fma")
+	if _, regs = diff(old, cur, 0.10); len(regs) != 0 {
+		t.Fatalf("zero -> zero flagged: %v", regs)
+	}
+}
