@@ -1,6 +1,7 @@
 package hydra
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -42,7 +43,7 @@ func TestQueryAllocBudget(t *testing.T) {
 			// Warm up: grow scratch buffers, materialize adaptive leaves
 			// (ADS+), populate the pool.
 			for _, q := range queries {
-				if _, _, err := m.KNN(q, 1); err != nil {
+				if _, _, err := m.KNN(context.Background(), q, 1); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -50,12 +51,50 @@ func TestQueryAllocBudget(t *testing.T) {
 			avg := testing.AllocsPerRun(100, func() {
 				q := queries[i%len(queries)]
 				i++
-				if _, _, err := m.KNN(q, 1); err != nil {
+				if _, _, err := m.KNN(context.Background(), q, 1); err != nil {
 					t.Fatal(err)
 				}
 			})
 			if avg > queryAllocBudget {
 				t.Errorf("%s: %.2f allocs per steady-state query, budget %.0f", name, avg, queryAllocBudget)
+			}
+		})
+	}
+}
+
+// TestQueryAllocBudgetFacade extends the allocation gate to the public API
+// path: Engine.Query must add nothing on top of the method's pooled query —
+// the scratch pooling survives the facade (context poll, instrumentation
+// and the []float32 → series.Series conversion are all allocation-free).
+func TestQueryAllocBudgetFacade(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budget is measured without the race detector")
+	}
+	ds := dataset.RandomWalk(2000, 256, 42)
+	pub := &Dataset{d: ds}
+	queries := dataset.SynthRand(8, 256, 7).Queries
+	ctx := context.Background()
+	for _, name := range []string{"UCR-Suite", "ADS+", "iSAX2+", "DSTree"} {
+		t.Run(name, func(t *testing.T) {
+			e, err := BuildIndex(ctx, name, WithData(pub), WithLeafSize(64))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range queries {
+				if _, err := e.Query(ctx, q, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			i := 0
+			avg := testing.AllocsPerRun(100, func() {
+				q := queries[i%len(queries)]
+				i++
+				if _, err := e.Query(ctx, q, 1); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg > queryAllocBudget {
+				t.Errorf("%s via Engine.Query: %.2f allocs per steady-state query, budget %.0f", name, avg, queryAllocBudget)
 			}
 		})
 	}
@@ -73,12 +112,12 @@ func TestParallelScanStillExact(t *testing.T) {
 		// abandoning accumulates in query order, so brute force (natural
 		// order) differs in the last ulp — the bit-identity contract is
 		// serial-scan vs parallel-scan.
-		want, _, err := core.ParallelScanKNN(coll, q, 3, 1)
+		want, _, err := core.ParallelScanKNN(context.Background(), coll, q, 3, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{2, 4, 7} {
-			got, _, err := core.ParallelScanKNN(coll, q, 3, workers)
+			got, _, err := core.ParallelScanKNN(context.Background(), coll, q, 3, workers)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -10,6 +10,7 @@
 package hydra
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -225,7 +226,7 @@ func BenchmarkMethods_Query(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				before := coll.Counters.Snapshot()
-				_, _, err := m.KNN(queries[i%len(queries)], 1)
+				_, _, err := m.KNN(context.Background(), queries[i%len(queries)], 1)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -265,7 +266,7 @@ func BenchmarkUCRDTW(b *testing.B) {
 			var pruned int64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				_, qs, err := s.KNN(queries[i%len(queries)], 1)
+				_, qs, err := s.KNN(context.Background(), queries[i%len(queries)], 1)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -362,7 +363,7 @@ func BenchmarkParallelScan(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := s.KNN(queries[i%len(queries)], 1); err != nil {
+				if _, _, err := s.KNN(context.Background(), queries[i%len(queries)], 1); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -388,7 +389,7 @@ func BenchmarkWorkloadConcurrent(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.RunWorkloadConcurrent(reps, wl, 1); err != nil {
+				if _, err := core.RunWorkloadConcurrent(context.Background(), reps, wl, 1); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -457,14 +458,14 @@ func BenchmarkQueryAllocs(b *testing.B) {
 				b.Fatal(err)
 			}
 			for _, q := range queries { // warm scratch pools
-				if _, _, err := m.KNN(q, 1); err != nil {
+				if _, _, err := m.KNN(context.Background(), q, 1); err != nil {
 					b.Fatal(err)
 				}
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := m.KNN(queries[i%len(queries)], 1); err != nil {
+				if _, _, err := m.KNN(context.Background(), queries[i%len(queries)], 1); err != nil {
 					b.Fatal(err)
 				}
 			}

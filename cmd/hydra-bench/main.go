@@ -35,7 +35,13 @@ import (
 
 	"hydra/internal/dataset"
 	"hydra/internal/experiments"
-	_ "hydra/internal/methods"
+
+	// The public package registers every method and pins the engine
+	// semantics (cancellation, pooling, kernels) the harness measures.
+	// hydra-bench is the one CLI that additionally reaches into
+	// internal/experiments: the paper's figures are a research harness
+	// beside the serving surface, not part of it.
+	_ "hydra"
 )
 
 // memProfile is the per-experiment allocation report derived from

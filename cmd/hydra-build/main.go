@@ -1,8 +1,9 @@
-// Command hydra-build constructs similarity search indexes and persists
-// them as versioned snapshots (docs/FORMAT.md), decoupling the paper's two
-// cost phases: pay the build once here, then answer arbitrarily many query
-// workloads with hydra-query -index (or hydra-bench -index), which load the
-// snapshot instead of rebuilding.
+// Command hydra-build constructs similarity search indexes through the
+// public hydra package and persists them as versioned snapshots
+// (docs/FORMAT.md), decoupling the paper's two cost phases: pay the build
+// once here, then answer arbitrarily many query workloads with hydra-query
+// -index, hydra-serve -index or hydra.LoadIndex, which load the snapshot
+// instead of rebuilding.
 //
 // Usage:
 //
@@ -16,18 +17,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"text/tabwriter"
 
-	"hydra/internal/core"
-	"hydra/internal/dataset"
-	"hydra/internal/methods"
-	"hydra/internal/persist"
-	"hydra/internal/storage"
+	"hydra"
 )
 
 func main() {
@@ -47,17 +46,17 @@ func main() {
 	if *dataPath == "" || *method == "" || *out == "" {
 		fail("-data, -method and -out are required")
 	}
-	dev := storage.HDD
-	if strings.EqualFold(*device, "ssd") {
-		dev = storage.SSD
+	dev, err := hydra.DeviceByName(*device)
+	if err != nil {
+		fail("%v", err)
 	}
 
-	ds, err := dataset.LoadFile(*dataPath)
+	ds, err := hydra.OpenDataset(*dataPath)
 	if err != nil {
 		fail("loading data: %v", err)
 	}
 
-	names := methods.ParseList(*method, core.Persistables())
+	names := hydra.ParseMethods(*method, hydra.PersistableMethods())
 	if len(names) == 0 {
 		fail("-method names no methods")
 	}
@@ -68,42 +67,30 @@ func main() {
 		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Method\tBuild(s)\tSeqOps\tRandOps\tSnapshot(B)\tPath")
 	for _, name := range names {
-		m, err := core.New(name, core.Options{LeafSize: *leafSize})
-		if err != nil {
-			fail("%v", err)
-		}
-		p, ok := m.(core.Persistable)
-		if !ok {
-			fail("method %q does not support snapshots (snapshot-capable: %s)",
-				name, strings.Join(core.Persistables(), ", "))
-		}
-		coll := core.NewCollection(ds)
-		bs, err := core.BuildInstrumented(p, coll)
+		e, err := hydra.BuildIndex(ctx, name,
+			hydra.WithData(ds), hydra.WithLeafSize(*leafSize), hydra.WithDevice(dev))
 		if err != nil {
 			fail("building %s: %v", name, err)
 		}
 		path := *out
 		if multi {
-			path = filepath.Join(*out, persist.FileStem(name)+persist.SnapshotExt)
+			path = filepath.Join(*out, hydra.SnapshotName(name))
 		}
-		f, err := os.Create(path)
-		if err != nil {
-			fail("creating %s: %v", path, err)
-		}
-		if err := core.SaveIndex(p, coll, f); err != nil {
-			f.Close()
-			fail("saving %s: %v", name, err)
-		}
-		if err := f.Close(); err != nil {
-			fail("closing %s: %v", path, err)
+		if err := e.SaveIndex(path); err != nil {
+			fail("saving %s (snapshot-capable: %s): %v",
+				name, strings.Join(hydra.PersistableMethods(), ", "), err)
 		}
 		fi, err := os.Stat(path)
 		if err != nil {
 			fail("stat %s: %v", path, err)
 		}
+		bs := e.BuildStats()
 		fmt.Fprintf(tw, "%s\t%.3f\t%d\t%d\t%d\t%s\n",
 			name, bs.TotalTime(dev).Seconds(), bs.IO.SeqOps, bs.IO.RandOps, fi.Size(), path)
 	}

@@ -1,5 +1,5 @@
 // Command hydra-gen generates data series collections and query workloads in
-// the suite's binary format.
+// the suite's binary format, through the public hydra package.
 //
 // Usage:
 //
@@ -14,7 +14,7 @@ import (
 	"fmt"
 	"os"
 
-	"hydra/internal/dataset"
+	"hydra"
 )
 
 func main() {
@@ -48,40 +48,40 @@ func main() {
 			if *gb <= 0 {
 				fail("provide -n or -gb")
 			}
-			count = dataset.NumSeriesForGB(*gb, *length, 1 / *scaleDiv)
+			count = hydra.SeriesCountForGB(*gb, *length, *scaleDiv)
 		}
-		ds, err := dataset.ByName(*dsName, count, *length, *seed)
+		ds, err := hydra.Generate(*dsName, count, *length, *seed)
 		if err != nil {
 			fail("%v", err)
 		}
-		if err := ds.SaveFile(*out); err != nil {
+		if err := ds.Save(*out); err != nil {
 			fail("saving: %v", err)
 		}
 		fmt.Printf("wrote %s: %d series of length %d (%d bytes raw)\n", *out, ds.Len(), ds.SeriesLen(), ds.SizeBytes())
 
 	case *workload != "":
-		var w *dataset.Workload
+		var w *hydra.Workload
 		switch *workload {
 		case "rand":
-			w = dataset.SynthRand(*queries, *length, *seed)
+			w = hydra.RandomWorkload(*queries, *length, *seed)
 		case "deeporig":
-			w = dataset.DeepOrig(*queries, *length, *seed)
+			w = hydra.DeepOrigWorkload(*queries, *length, *seed)
 		case "ctrl":
 			if *from == "" {
 				fail("ctrl workloads need -from <dataset file>")
 			}
-			ds, err := dataset.LoadFile(*from)
+			ds, err := hydra.OpenDataset(*from)
 			if err != nil {
 				fail("loading %s: %v", *from, err)
 			}
-			w = dataset.Ctrl(ds, *queries, *noise, *seed)
+			w = hydra.ControlledWorkload(ds, *queries, *noise, *seed)
 		default:
 			fail("unknown workload %q", *workload)
 		}
-		if err := w.SaveFile(*out); err != nil {
+		if err := w.Save(*out); err != nil {
 			fail("saving: %v", err)
 		}
-		fmt.Printf("wrote %s: workload %s with %d queries\n", *out, w.Name, len(w.Queries))
+		fmt.Printf("wrote %s: workload %s with %d queries\n", *out, w.Name(), w.Len())
 
 	default:
 		fail("provide -dataset or -workload (see -help)")

@@ -1,6 +1,7 @@
-// Command hydra-query builds one similarity search index over a collection
-// and answers exact k-NN queries, printing per-query costs (the paper's
-// measures: time, disk accesses, pruning ratio).
+// Command hydra-query builds (or loads) one similarity search engine per
+// requested method through the public hydra package and answers exact k-NN
+// queries, printing per-query costs (the paper's measures: time, disk
+// accesses, pruning ratio).
 //
 // Usage:
 //
@@ -8,24 +9,24 @@
 //	hydra-query -data synth.hyd -queries q.hyd -method all -device ssd
 //	hydra-query -data synth.hyd -queries q.hyd -method UCR-Suite -workers -1
 //	hydra-query -data synth.hyd -queries q.hyd -index dstree.hydx
+//	hydra-query -data synth.hyd -queries q.hyd -method DSTree -timeout 100ms
 //
 // With -index, the named snapshot (from hydra-build) is loaded instead of
 // rebuilding: the Idx(s) column then reports load time, the pay-per-run cost
-// of the build-once/query-many workflow.
+// of the build-once/query-many workflow. With -timeout, every query runs
+// under that deadline and an overrun aborts the run — the CLI face of the
+// engine's cooperative cancellation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"os/signal"
 	"text/tabwriter"
 
-	"hydra/internal/core"
-	"hydra/internal/dataset"
-	"hydra/internal/methods"
-	"hydra/internal/stats"
-	"hydra/internal/storage"
+	"hydra"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 		leafSize  = flag.Int("leaf", 0, "leaf size (0 = paper default scaled to collection)")
 		device    = flag.String("device", "hdd", "device profile: hdd|ssd")
 		workers   = flag.Int("workers", 0, "intra-query scan parallelism (0 = serial, -1 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
 		verbose   = flag.Bool("v", false, "print every match")
 	)
 	flag.Parse()
@@ -49,16 +51,16 @@ func main() {
 	if *dataPath == "" || *queryPath == "" {
 		fail("-data and -queries are required")
 	}
-	dev := storage.HDD
-	if strings.EqualFold(*device, "ssd") {
-		dev = storage.SSD
+	dev, err := hydra.DeviceByName(*device)
+	if err != nil {
+		fail("%v", err)
 	}
 
-	ds, err := dataset.LoadFile(*dataPath)
+	ds, err := hydra.OpenDataset(*dataPath)
 	if err != nil {
 		fail("loading data: %v", err)
 	}
-	wl, err := dataset.LoadWorkloadFile(*queryPath)
+	wl, err := hydra.OpenWorkload(*queryPath)
 	if err != nil {
 		fail("loading queries: %v", err)
 	}
@@ -66,28 +68,28 @@ func main() {
 		fail("%v", err)
 	}
 
-	names := methods.ParseList(*method, methods.All())
+	names := hydra.ParseMethods(*method, hydra.Methods())
+	if len(names) == 0 {
+		fail("-method names no methods")
+	}
 	if *indexPath != "" {
 		// Snapshot mode: one run, method named by the snapshot itself.
 		names = names[:1]
 	}
-	if len(names) == 0 {
-		fail("-method names no methods")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opts := []hydra.Option{
+		hydra.WithData(ds), hydra.WithDevice(dev),
+		hydra.WithLeafSize(*leafSize), hydra.WithWorkers(*workers),
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Method\tIdx(s)\tQueries(s)\tSeqOps\tRandOps\tPruning\tMeanDist")
 	for _, name := range names {
-		var m core.Method
-		var bs stats.BuildStats
-		coll := core.NewCollection(ds)
+		var e *hydra.Engine
 		if *indexPath != "" {
-			f, err := os.Open(*indexPath)
-			if err != nil {
-				fail("opening index: %v", err)
-			}
-			loaded, lbs, err := core.LoadIndexInstrumented(f, coll)
-			f.Close()
+			e, err = hydra.LoadIndex(ctx, *indexPath, opts...)
 			if err != nil {
 				fail("loading index %s: %v", *indexPath, err)
 			}
@@ -97,17 +99,12 @@ func main() {
 					methodSet = true
 				}
 			})
-			if methodSet && name != loaded.Name() {
-				fail("-method %s conflicts with snapshot method %s", name, loaded.Name())
+			if methodSet && name != e.Method() {
+				fail("-method %s conflicts with snapshot method %s", name, e.Method())
 			}
-			m, bs, name = loaded, lbs, loaded.Name()
+			name = e.Method()
 		} else {
-			var err error
-			m, err = core.New(name, core.Options{LeafSize: *leafSize, Workers: *workers})
-			if err != nil {
-				fail("%v", err)
-			}
-			bs, err = core.BuildInstrumented(m, coll)
+			e, err = hydra.BuildIndex(ctx, name, opts...)
 			if err != nil {
 				fail("building %s: %v", name, err)
 			}
@@ -119,8 +116,13 @@ func main() {
 			prune    float64
 			secs     float64
 		}{}
-		for qi, q := range wl.Queries {
-			matches, qs, err := core.RunQuery(m, coll, q, *k)
+		for qi := 0; qi < wl.Len(); qi++ {
+			qctx, cancel := ctx, context.CancelFunc(func() {})
+			if *timeout > 0 {
+				qctx, cancel = context.WithTimeout(ctx, *timeout)
+			}
+			matches, qs, err := e.QueryWithStats(qctx, wl.Query(qi), *k)
+			cancel()
 			if err != nil {
 				fail("%s query %d: %v", name, qi, err)
 			}
@@ -136,7 +138,8 @@ func main() {
 				}
 			}
 		}
-		nq := float64(len(wl.Queries))
+		nq := float64(wl.Len())
+		bs := e.BuildStats()
 		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%d\t%d\t%.4f\t%.4f\n",
 			name, bs.TotalTime(dev).Seconds(), ws.secs,
 			ws.seq, ws.rnd, ws.prune/nq, totalDist/float64(nMatches))

@@ -1,0 +1,242 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"hydra"
+)
+
+// server is the HTTP front end over one hydra.Engine. It is built entirely
+// on the public package — the proof that the library surface carries real
+// traffic — and holds no state beyond the engine and the per-request
+// deadline, so one instance serves any number of concurrent requests.
+type server struct {
+	engine  *hydra.Engine
+	timeout time.Duration
+	started time.Time
+}
+
+// newServer wires the endpoints: POST /query (one k-NN query), POST /batch
+// (many queries, isolated failures), GET /healthz (liveness + engine
+// facts).
+func newServer(e *hydra.Engine, timeout time.Duration) *server {
+	return &server{engine: e, timeout: timeout, started: time.Now()}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// matchJSON is the wire form of one k-NN answer.
+type matchJSON struct {
+	ID   int     `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+// statsJSON is the wire form of the paper's per-query cost counters.
+type statsJSON struct {
+	DistCalcs   int64   `json:"dist_calcs"`
+	LBCalcs     int64   `json:"lb_calcs"`
+	Examined    int64   `json:"examined"`
+	Pruning     float64 `json:"pruning_ratio"`
+	SeqOps      int64   `json:"seq_ops"`
+	RandOps     int64   `json:"rand_ops"`
+	CPUMicros   int64   `json:"cpu_us"`
+	SimMicros   int64   `json:"simulated_us"`
+	DeviceModel string  `json:"device"`
+}
+
+type queryRequest struct {
+	Query []float32 `json:"query"`
+	K     int       `json:"k"`
+}
+
+type queryResponse struct {
+	Matches []matchJSON `json:"matches"`
+	Stats   statsJSON   `json:"stats"`
+}
+
+type batchRequest struct {
+	Queries [][]float32 `json:"queries"`
+	K       int         `json:"k"`
+}
+
+// batchResult is one query's outcome inside a batch: Matches on success,
+// Error otherwise. Queries are isolated — a failed query never voids its
+// siblings' answers (the engine's pinned QueryBatch semantics).
+type batchResult struct {
+	Matches []matchJSON `json:"matches,omitempty"`
+	Error   string      `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Results []batchResult `json:"results"`
+}
+
+type healthzResponse struct {
+	Status    string `json:"status"`
+	Method    string `json:"method"`
+	Series    int    `json:"series"`
+	SeriesLen int    `json:"series_len"`
+	SIMD      string `json:"simd"`
+	UptimeSec int64  `json:"uptime_sec"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:    "ok",
+		Method:    s.engine.Method(),
+		Series:    s.engine.Len(),
+		SeriesLen: s.engine.SeriesLen(),
+		SIMD:      hydra.SIMDBackend(),
+		UptimeSec: int64(time.Since(s.started).Seconds()),
+	})
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	k := req.K
+	if k <= 0 {
+		k = 1
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	matches, qs, err := s.engine.QueryWithStats(ctx, req.Query, k)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Matches: toMatchJSON(matches),
+		Stats: statsJSON{
+			DistCalcs:   qs.DistCalcs,
+			LBCalcs:     qs.LBCalcs,
+			Examined:    qs.RawSeriesExamined,
+			Pruning:     qs.PruningRatio(),
+			SeqOps:      qs.IO.SeqOps,
+			RandOps:     qs.IO.RandOps,
+			CPUMicros:   qs.CPUTime.Microseconds(),
+			SimMicros:   qs.TotalTime(s.engine.Device()).Microseconds(),
+			DeviceModel: s.engine.Device().Name,
+		},
+	})
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	k := req.K
+	if k <= 0 {
+		k = 1
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	results, errs := s.engine.QueryBatchErrors(ctx, req.Queries, k)
+	// An error that voided the whole batch (e.g. the request deadline) is
+	// reported at the HTTP level; a batch with any answers returns the
+	// per-query split, each failure carrying its own cause.
+	if first := firstError(errs); first != nil && allNil(results) {
+		writeQueryError(w, first)
+		return
+	}
+	resp := batchResponse{Results: make([]batchResult, len(results))}
+	for i, m := range results {
+		if errs[i] != nil {
+			resp.Results[i] = batchResult{Error: errs[i].Error()}
+			continue
+		}
+		resp.Results[i] = batchResult{Matches: toMatchJSON(m)}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// requestContext derives the per-request deadline from the configured
+// timeout on top of the client-disconnect cancellation http.Request
+// already carries.
+func (s *server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.timeout)
+}
+
+func toMatchJSON(matches []hydra.Match) []matchJSON {
+	out := make([]matchJSON, len(matches))
+	for i, m := range matches {
+		out[i] = matchJSON{ID: m.ID, Dist: m.Dist}
+	}
+	return out
+}
+
+func allNil(results [][]hydra.Match) bool {
+	for _, r := range results {
+		if r != nil {
+			return false
+		}
+	}
+	return true
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, into any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err := dec.Decode(into); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// maxRequestBytes bounds request bodies (a batch of thousands of length-256
+// queries fits comfortably; unbounded bodies do not reach the decoder).
+const maxRequestBytes = 64 << 20
+
+func writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "query deadline exceeded", http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is moot but 499-style close-out
+		// keeps logs honest.
+		http.Error(w, "request cancelled", 499)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+
+	"hydra"
+)
+
+// TestServeSmokeEndToEnd is the CI apicheck smoke: it builds the real
+// hydra-serve and hydra-query binaries, starts the server over a generated
+// collection, issues an HTTP query, and checks the answer matches
+// hydra-query's on the same data — the two front ends must agree because
+// they share the one public engine. It finishes with a SIGTERM to exercise
+// graceful shutdown.
+func TestServeSmokeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end smoke builds binaries; skipped in -short")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	dir := t.TempDir()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Data and queries through the public API (what hydra-gen wraps).
+	dataPath := filepath.Join(dir, "data.hyd")
+	queryPath := filepath.Join(dir, "q.hyd")
+	d, err := hydra.Generate("synthetic", 800, 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Save(dataPath); err != nil {
+		t.Fatal(err)
+	}
+	wl := hydra.RandomWorkload(1, 64, 9)
+	if err := wl.Save(queryPath); err != nil {
+		t.Fatal(err)
+	}
+
+	build := func(name string) string {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command(goBin, "build", "-o", out, "./cmd/"+name)
+		cmd.Dir = root
+		if blob, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, blob)
+		}
+		return out
+	}
+	serveBin := build("hydra-serve")
+	queryBin := build("hydra-query")
+
+	// The oracle: hydra-query -v prints every match.
+	oracle := exec.Command(queryBin, "-data", dataPath, "-queries", queryPath,
+		"-method", "UCR-Suite", "-k", "1", "-v")
+	oracleOut, err := oracle.CombinedOutput()
+	if err != nil {
+		t.Fatalf("hydra-query: %v\n%s", err, oracleOut)
+	}
+	m := regexp.MustCompile(`q0 -> series (\d+) dist ([0-9.]+)`).FindSubmatch(oracleOut)
+	if m == nil {
+		t.Fatalf("no match line in hydra-query output:\n%s", oracleOut)
+	}
+	wantID, _ := strconv.Atoi(string(m[1]))
+	wantDist, _ := strconv.ParseFloat(string(m[2]), 64)
+
+	addr := freeAddr(t)
+	srv := exec.Command(serveBin, "-data", dataPath, "-addr", addr, "-timeout", "10s")
+	var srvLog bytes.Buffer
+	srv.Stdout, srv.Stderr = &srvLog, &srvLog
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	if err := waitHealthy(addr, 10*time.Second); err != nil {
+		t.Fatalf("server never became healthy: %v\n%s", err, srvLog.String())
+	}
+
+	blob, _ := json.Marshal(queryRequest{Query: wl.Query(0), K: 1})
+	resp, err := http.Post("http://"+addr+"/query", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatalf("query: %v\n%s", err, srvLog.String())
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var qr queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Matches) != 1 {
+		t.Fatalf("got %d matches, want 1", len(qr.Matches))
+	}
+	if qr.Matches[0].ID != wantID {
+		t.Fatalf("HTTP answered series %d, hydra-query answered %d", qr.Matches[0].ID, wantID)
+	}
+	// hydra-query prints 6 decimals; compare at that precision.
+	if math.Abs(qr.Matches[0].Dist-wantDist) > 5e-7 {
+		t.Fatalf("HTTP dist %v, hydra-query dist %v", qr.Matches[0].Dist, wantDist)
+	}
+
+	// Graceful shutdown: SIGTERM must exit cleanly (status 0).
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server exit after SIGTERM: %v\n%s", err, srvLog.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server did not shut down within 10s\n%s", srvLog.String())
+	}
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitHealthy(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("timeout after %s", timeout)
+}

@@ -1,14 +1,44 @@
-// Package hydra is a complete Go reproduction of "The Lernaean Hydra of
-// Data Series Similarity Search: An Experimental Evaluation of the State of
-// the Art" (Echihabi, Zoumpatianos, Palpanas, Benbrahim; PVLDB 12(2), 2018):
-// the ten exact whole-matching similarity search methods the paper
-// evaluates, every summarization technique they build on, the measurement
-// framework, and an experiment harness that regenerates every figure and
-// table of the paper's evaluation section.
+// Package hydra is an exact data series similarity search library — and a
+// complete Go reproduction of "The Lernaean Hydra of Data Series
+// Similarity Search: An Experimental Evaluation of the State of the Art"
+// (Echihabi, Zoumpatianos, Palpanas, Benbrahim; PVLDB 12(2), 2018): the
+// ten exact whole-matching similarity search methods the paper evaluates,
+// every summarization technique they build on, the measurement framework,
+// and an experiment harness that regenerates every figure and table of the
+// paper's evaluation section.
 //
-// Start with README.md, the examples/ directory, and internal/core for the
-// public API; ARCHITECTURE.md maps the layers and interfaces. The root
-// package hosts the per-artifact benchmarks (bench_test.go).
+// This package is the public API; everything under internal/ is engine
+// room. An Engine binds one method (a scan or a built index) to one
+// collection:
+//
+//	ds, err := hydra.Generate("synthetic", 100_000, 256, 42)
+//	engine, err := hydra.BuildIndex(ctx, "DSTree", hydra.WithData(ds))
+//	matches, err := engine.Query(ctx, q, 10)
+//
+// Open returns the zero-setup scan engine, BuildIndex constructs any
+// registered method (Methods lists them; WithIndexDir adds a transparent
+// snapshot cache), LoadIndex restores a snapshot written by
+// Engine.SaveIndex. QueryBatch fans a batch out across workers with
+// isolated per-query failures; QueryStream delivers best-so-far progress
+// before the exact answer. One functional-options set (WithWorkers,
+// WithDevice, WithLeafSize, ...) configures both the library and every
+// CLI; cmd/hydra-serve is an HTTP front end built only on this surface.
+// Start with README.md and examples/quickstart; ARCHITECTURE.md maps the
+// layers and interfaces.
+//
+// # Cancellation contract
+//
+// Every query path takes a context.Context and honors it cooperatively at
+// block granularity: scan loops poll once per core.CancelBlock (1024)
+// candidates, best-first tree traversals poll once per visited node, MASS
+// polls per convolution chunk, Stepwise per filter level. A cancelled (or
+// deadline-expired) query returns ctx.Err() within one block of work. The
+// polls read the context and nothing else, so a query that runs to
+// completion is bit-identical to the same query under
+// context.Background(); and since queries only read built state, a
+// cancelled engine is immediately reusable — the next query answers
+// exactly. Index construction is not cooperatively cancellable; BuildIndex
+// checks its context only between construction phases.
 //
 // # Persistence
 //

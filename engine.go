@@ -1,0 +1,315 @@
+package hydra
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"hydra/internal/core"
+	"hydra/internal/persist"
+	"hydra/internal/series"
+	"hydra/internal/stats"
+
+	// Importing the methods umbrella registers all ten similarity search
+	// approaches, so every engine constructor can resolve them by name.
+	_ "hydra/internal/methods"
+)
+
+// Match is one answer of a k-NN query: the matching series' position in the
+// collection and its true Euclidean distance to the query.
+type Match = core.Match
+
+// QueryStats carries one query's cost counters: distance and lower-bound
+// computations, series examined, simulated I/O, and CPU time. Its
+// TotalTime(Device) converts the counters into simulated wall time under a
+// device profile.
+type QueryStats = stats.QueryStats
+
+// BuildStats carries one index construction's (or snapshot load's) cost
+// counters; FromSnapshot distinguishes pay-once builds from per-run loads.
+type BuildStats = stats.BuildStats
+
+// Engine is a queryable similarity search engine: one method (a scan or a
+// built index) bound to one collection. Engines are safe for concurrent
+// use — queries only read the built state — and every query path accepts a
+// context honored at block granularity (see Query).
+//
+// Engines come from the three constructors: Open (scan over a dataset
+// file), BuildIndex (construct an index method), LoadIndex (restore a
+// snapshot). There is no Close: engines hold memory only, reclaimed by the
+// garbage collector when the last reference drops.
+type Engine struct {
+	m      core.Method
+	coll   *core.Collection
+	data   *Dataset
+	device Device
+	build  BuildStats
+
+	batchWorkers int
+}
+
+// Open opens a collection file and returns a scan engine over it: the
+// UCR-Suite optimized sequential scan, ready without any build phase. Index
+// methods come from BuildIndex; Open is the zero-setup entry point.
+func Open(dataset string, opts ...Option) (*Engine, error) {
+	cfg := defaultConfig()
+	cfg.apply(opts)
+	if dataset != "" && (cfg.data != nil || cfg.dataPath != "") {
+		return nil, fmt.Errorf("hydra: Open got both a dataset path and a WithData/WithDatasetFile option")
+	}
+	if cfg.dataPath == "" {
+		cfg.dataPath = dataset
+	}
+	d, err := cfg.dataset()
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.New("UCR-Suite", cfg.opts)
+	if err != nil {
+		return nil, err
+	}
+	coll := core.NewCollection(d.d)
+	if err := m.Build(coll); err != nil {
+		return nil, err
+	}
+	return cfg.engine(m, coll, d, BuildStats{Finished: true}), nil
+}
+
+// BuildIndex constructs the named method over the configured dataset
+// (WithData or WithDatasetFile) and returns an engine over the built index.
+// The context is checked between construction phases; cooperative
+// cancellation inside a build is not supported — cancel promptness is a
+// query-path guarantee.
+//
+// With WithIndexDir, BuildIndex first tries the snapshot cache: a matching
+// snapshot is loaded instead of building (BuildStats.FromSnapshot reports
+// which happened), and a fresh build is saved back to the cache.
+func BuildIndex(ctx context.Context, method string, opts ...Option) (*Engine, error) {
+	cfg := defaultConfig()
+	cfg.apply(opts)
+	d, err := cfg.dataset()
+	if err != nil {
+		return nil, err
+	}
+	if err := core.Canceled(ctx); err != nil {
+		return nil, err
+	}
+	m, err := core.New(method, cfg.opts)
+	if err != nil {
+		return nil, err
+	}
+	coll := core.NewCollection(d.d)
+
+	if _, ok := m.(core.Persistable); ok && cfg.indexDir != "" {
+		if cached, bs, ok := loadCached(cfg.cachePath(method, coll), coll); ok {
+			return cfg.engine(cached, coll, d, bs), nil
+		}
+	}
+	bs, err := core.BuildInstrumented(m, coll)
+	if err != nil {
+		return nil, fmt.Errorf("hydra: building %s: %w", method, err)
+	}
+	if err := core.Canceled(ctx); err != nil {
+		return nil, err
+	}
+	if p, ok := m.(core.Persistable); ok && cfg.indexDir != "" {
+		if err := core.SaveSnapshotFile(p, coll, cfg.cachePath(method, coll)); err != nil {
+			return nil, fmt.Errorf("hydra: caching %s snapshot: %w", method, err)
+		}
+	}
+	return cfg.engine(m, coll, d, bs), nil
+}
+
+// LoadIndex restores an index snapshot (written by Engine.SaveIndex or the
+// hydra-build CLI) over the configured dataset (WithData or
+// WithDatasetFile) and returns an engine over it. The snapshot names its
+// own method and build options; loading verifies the collection
+// fingerprint, so a snapshot never silently answers for the wrong data.
+// The loaded engine answers queries bit-identically to the engine that was
+// saved.
+func LoadIndex(ctx context.Context, path string, opts ...Option) (*Engine, error) {
+	cfg := defaultConfig()
+	cfg.apply(opts)
+	d, err := cfg.dataset()
+	if err != nil {
+		return nil, err
+	}
+	if err := core.Canceled(ctx); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	coll := core.NewCollection(d.d)
+	m, bs, err := core.LoadIndexInstrumented(f, coll)
+	if err != nil {
+		return nil, fmt.Errorf("hydra: loading %s: %w", path, err)
+	}
+	return cfg.engine(m, coll, d, bs), nil
+}
+
+func (c *config) engine(m core.Method, coll *core.Collection, d *Dataset, bs BuildStats) *Engine {
+	// Workers was already handed to the method factory through core.Options.
+	return &Engine{
+		m: m, coll: coll, data: d,
+		device:       c.device,
+		build:        bs,
+		batchWorkers: c.resolvedBatchWorkers(),
+	}
+}
+
+// cachePath derives the snapshot-cache entry for (method, collection,
+// options) through the shared core helper — the same key format
+// hydra-bench uses, so the two cache directories are interchangeable.
+func (c *config) cachePath(method string, coll *core.Collection) string {
+	return core.SnapshotCachePath(c.indexDir, method, coll, c.opts)
+}
+
+// loadCached loads a cache entry if present and intact; a stale or damaged
+// entry reports !ok and the caller rebuilds.
+func loadCached(path string, coll *core.Collection) (core.Method, BuildStats, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, BuildStats{}, false
+	}
+	defer f.Close()
+	m, bs, err := core.LoadIndexInstrumented(f, coll)
+	if err != nil {
+		return nil, BuildStats{}, false
+	}
+	return m, bs, true
+}
+
+// SnapshotName maps a method name to its conventional snapshot file name
+// ("VA+file" → "va-file.hydx") — hydra-build's multi-method output layout
+// and the WithIndexDir cache share the same stems.
+func SnapshotName(method string) string {
+	return persist.FileStem(method) + persist.SnapshotExt
+}
+
+// SaveIndex writes the engine's built index as a versioned snapshot that
+// LoadIndex (or hydra-query -index) can restore, with write-then-rename so
+// a crash cannot leave a truncated file. It fails for methods without
+// build state (see PersistableMethods).
+func (e *Engine) SaveIndex(path string) error {
+	p, ok := e.m.(core.Persistable)
+	if !ok {
+		return fmt.Errorf("hydra: method %s does not support snapshots", e.m.Name())
+	}
+	return core.SaveSnapshotFile(p, e.coll, path)
+}
+
+// Method returns the engine's method name (as used in the paper).
+func (e *Engine) Method() string { return e.m.Name() }
+
+// Len returns the number of series in the engine's collection.
+func (e *Engine) Len() int { return e.coll.File.Len() }
+
+// SeriesLen returns the collection's series length — the length every
+// query must have.
+func (e *Engine) SeriesLen() int { return e.coll.File.SeriesLen() }
+
+// Device returns the engine's simulated disk profile.
+func (e *Engine) Device() Device { return e.device }
+
+// BuildStats returns the cost of constructing (or loading) the engine's
+// index; zero-valued for scan engines, which have no build phase.
+func (e *Engine) BuildStats() BuildStats { return e.build }
+
+// Query answers an exact k-nearest-neighbors query: the k collection
+// series closest to q in Euclidean distance, sorted by ascending distance
+// (ties by ascending ID).
+//
+// Cancellation: the query polls ctx at block granularity and returns
+// ctx.Err() within one block of work after a cancel or deadline — the
+// engine stays consistent and immediately reusable. Queries that complete
+// are bit-identical to the same query under context.Background().
+//
+// The steady-state query path does not allocate beyond the returned
+// matches (per-query scratch is pooled), so a serving loop can run it at
+// full rate without GC pressure.
+func (e *Engine) Query(ctx context.Context, q []float32, k int) ([]Match, error) {
+	matches, _, err := e.QueryWithStats(ctx, q, k)
+	return matches, err
+}
+
+// QueryWithStats is Query plus the paper's per-query cost counters
+// (distance calculations, pruning, simulated I/O, CPU time).
+func (e *Engine) QueryWithStats(ctx context.Context, q []float32, k int) ([]Match, QueryStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return core.RunQuery(ctx, e.m, e.coll, series.Series(q), k)
+}
+
+// QueryBatch answers a batch of queries concurrently on up to
+// WithBatchWorkers workers, amortizing per-query scratch through the
+// engine's pools. The returned slice is aligned with qs.
+//
+// Partial-failure semantics (pinned by the public test suite): queries are
+// isolated — one query's failure does not abandon its siblings — and
+// results[i] is non-nil exactly for the queries that succeeded. The
+// returned error is the first failure by query index (nil when everything
+// succeeded); QueryBatchErrors reports every query's own error. Cancelling
+// ctx stops the batch promptly: in-flight queries return ctx.Err() within
+// one block, queued queries never start, and the batch reports the context
+// error.
+func (e *Engine) QueryBatch(ctx context.Context, qs [][]float32, k int) ([][]Match, error) {
+	results, errs := e.QueryBatchErrors(ctx, qs, k)
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// QueryBatchErrors is QueryBatch with per-query error attribution: both
+// returned slices are aligned with qs, and exactly one of results[i],
+// errs[i] is non-nil for each query — so a serving layer can tell a
+// malformed query (fix the input) from a deadline overrun (retry) within
+// one batch.
+func (e *Engine) QueryBatchErrors(ctx context.Context, qs [][]float32, k int) ([][]Match, []error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([][]Match, len(qs))
+	errs := make([]error, len(qs))
+	if len(qs) == 0 {
+		return results, errs
+	}
+	workers := e.batchWorkers
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				qi := int(next.Add(1)) - 1
+				if qi >= len(qs) {
+					return
+				}
+				if err := core.Canceled(ctx); err != nil {
+					errs[qi] = err
+					continue // mark every remaining claimed query cancelled
+				}
+				matches, err := e.Query(ctx, qs[qi], k)
+				if err != nil {
+					errs[qi] = err
+					continue
+				}
+				results[qi] = matches
+			}
+		}()
+	}
+	wg.Wait()
+	return results, errs
+}

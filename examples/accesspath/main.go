@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -41,7 +42,7 @@ func main() {
 			if _, err := core.BuildInstrumented(m, coll); err != nil {
 				log.Fatal(err)
 			}
-			ws, err := core.RunWorkload(m, coll, wl, 1)
+			ws, err := core.RunWorkload(context.Background(), m, coll, wl, 1)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -79,7 +80,7 @@ func main() {
 		log.Fatal(err)
 	}
 	q := pattern.ZNormalizedInto(make(series.Series, len(pattern)))
-	dtwMatches, _, err := scan.KNN(q, 2)
+	dtwMatches, _, err := scan.KNN(context.Background(), q, 2)
 	if err != nil {
 		log.Fatal(err)
 	}

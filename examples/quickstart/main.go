@@ -1,53 +1,83 @@
-// Quickstart: generate a collection, build two indexes, answer an exact
-// 1-NN query with each, and compare their costs — a 60-second tour of the
-// suite's public API.
+// Quickstart: generate a collection, open a scan engine and build an index
+// through the public hydra package, answer an exact 1-NN query with each
+// (plus a batch and a cancellable streaming query), and compare their costs
+// — a 60-second tour of the public API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
-	"hydra/internal/core"
-	"hydra/internal/dataset"
-	_ "hydra/internal/methods" // register all ten methods
-	"hydra/internal/storage"
+	"hydra"
 )
 
 func main() {
 	// 1. A collection of 20,000 random-walk series of length 256
 	//    (Z-normalized, as in the paper).
-	ds := dataset.RandomWalk(20000, 256, 42)
+	ds, err := hydra.Generate("synthetic", 20000, 256, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("collection: %d series × %d points (%.1f MB raw)\n",
 		ds.Len(), ds.SeriesLen(), float64(ds.SizeBytes())/1e6)
 
 	// 2. A query the collection has never seen.
-	query := dataset.SynthRand(1, 256, 7).Queries[0]
+	query := hydra.RandomWorkload(1, 256, 7).Query(0)
 
-	// 3. Exact 1-NN with two very different methods.
-	for _, name := range []string{"UCR-Suite", "DSTree"} {
-		m, err := core.New(name, core.Options{})
+	// 3. Two engines over the same data: the zero-setup scan and a built
+	//    index. Engines over one Dataset share its memory.
+	ctx := context.Background()
+	scan, err := hydra.Open("", hydra.WithData(ds))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := hydra.BuildIndex(ctx, "DSTree", hydra.WithData(ds))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, e := range []*hydra.Engine{scan, tree} {
+		matches, qs, err := e.QueryWithStats(ctx, query, 1)
 		if err != nil {
 			log.Fatal(err)
 		}
-		coll := core.NewCollection(ds)
-		build, err := core.BuildInstrumented(m, coll)
-		if err != nil {
-			log.Fatal(err)
-		}
-		matches, qs, err := core.RunQuery(m, coll, query, 1)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("\n%s:\n", name)
+		build := e.BuildStats()
+		fmt.Printf("\n%s:\n", e.Method())
 		fmt.Printf("  1-NN: series %d at distance %.4f\n", matches[0].ID, matches[0].Dist)
 		fmt.Printf("  build:  cpu=%v  io(simulated, HDD)=%v\n",
-			build.CPUTime.Round(1e6), build.IO.IOTime(storage.HDD).Round(1e6))
+			build.CPUTime.Round(1e6), build.IO.IOTime(e.Device()).Round(1e6))
 		fmt.Printf("  query:  cpu=%v  io(simulated, HDD)=%v\n",
-			qs.CPUTime.Round(1e6), qs.IO.IOTime(storage.HDD).Round(1e6))
+			qs.CPUTime.Round(1e6), qs.IO.IOTime(e.Device()).Round(1e6))
 		fmt.Printf("  query disk ops: %d sequential, %d random\n", qs.IO.SeqOps, qs.IO.RandOps)
 		fmt.Printf("  pruning ratio: %.4f (examined %d of %d series)\n",
 			qs.PruningRatio(), qs.RawSeriesExamined, qs.DatasetSize)
 	}
 
-	fmt.Println("\nBoth answers are exact — the index just prunes most of the work.")
+	// 4. Batches amortize scratch and fan out across workers.
+	batch := hydra.RandomWorkload(8, 256, 11).Queries()
+	answers, err := tree.QueryBatch(ctx, batch, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbatch of %d queries: first answer series %d\n", len(answers), answers[0][0].ID)
+
+	// 5. Streaming queries surface best-so-far progress and honor
+	//    deadlines; a cancelled query returns within one scan block.
+	sctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	updates := 0
+	for u := range scan.QueryStream(sctx, query, 1) {
+		if u.Final {
+			if u.Err != nil {
+				log.Fatal(u.Err)
+			}
+			fmt.Printf("stream: %d progress updates, final answer series %d\n", updates, u.Matches[0].ID)
+		} else {
+			updates++
+		}
+	}
+
+	fmt.Println("\nAll answers are exact — the index just prunes most of the work.")
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,7 +41,7 @@ func main() {
 		if _, err := core.BuildInstrumented(m, coll); err != nil {
 			log.Fatal(err)
 		}
-		matches, qs, err := core.RunQuery(m, coll, event, 5)
+		matches, qs, err := core.RunQuery(context.Background(), m, coll, event, 5)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,102 @@
+// Serve-client: the other side of cmd/hydra-serve — generate a workload,
+// send it as one HTTP batch, and print the answers. Run the server first:
+//
+//	hydra-gen -dataset synthetic -n 20000 -length 256 -out synth.hyd
+//	hydra-serve -data synth.hyd -addr :8080
+//	go run ./examples/serve-client -addr localhost:8080
+//
+// The client speaks plain JSON over net/http — no hydra import is needed to
+// consume the service; this example only uses the library to fabricate
+// queries of the right length.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"hydra"
+)
+
+type batchRequest struct {
+	Queries [][]float32 `json:"queries"`
+	K       int         `json:"k"`
+}
+
+type batchResponse struct {
+	Results []struct {
+		Matches []struct {
+			ID   int     `json:"id"`
+			Dist float64 `json:"dist"`
+		} `json:"matches"`
+		Error string `json:"error"`
+	} `json:"results"`
+}
+
+type healthz struct {
+	Method    string `json:"method"`
+	Series    int    `json:"series"`
+	SeriesLen int    `json:"series_len"`
+	SIMD      string `json:"simd"`
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "hydra-serve address")
+	n := flag.Int("n", 10, "queries per batch")
+	k := flag.Int("k", 1, "neighbors per query")
+	flag.Parse()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Ask the server what it serves, then fabricate matching queries.
+	resp, err := client.Get("http://" + *addr + "/healthz")
+	if err != nil {
+		log.Fatalf("is hydra-serve running? %v", err)
+	}
+	var h healthz
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("server: %s over %d×%d series (simd=%s)\n", h.Method, h.Series, h.SeriesLen, h.SIMD)
+
+	queries := hydra.RandomWorkload(*n, h.SeriesLen, time.Now().UnixNano()).Queries()
+	blob, err := json.Marshal(batchRequest{Queries: queries, K: *k})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	resp, err = client.Post("http://"+*addr+"/batch", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("server answered %s", resp.Status)
+	}
+	var br batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	for i, r := range br.Results {
+		if r.Error != "" {
+			fmt.Printf("q%d: error: %s\n", i, r.Error)
+			continue
+		}
+		fmt.Printf("q%d:", i)
+		for _, m := range r.Matches {
+			fmt.Printf(" series %d (dist %.4f)", m.ID, m.Dist)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%d queries answered in %v (%.1f queries/s)\n",
+		len(br.Results), elapsed.Round(time.Millisecond),
+		float64(len(br.Results))/elapsed.Seconds())
+}

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -60,7 +61,15 @@ type Method interface {
 	// KNN answers an exact k-nearest-neighbors query, returning matches
 	// sorted by ascending distance (ties by ascending ID) and the per-query
 	// cost counters (I/O and CPU time are filled in by the Run helper).
-	KNN(q series.Series, k int) ([]Match, stats.QueryStats, error)
+	//
+	// Cancellation contract: the query polls ctx at block granularity
+	// (CancelBlock candidates per poll in scan loops, one poll per node in
+	// tree traversals) and returns ctx.Err() within one block of a cancel,
+	// leaving the method unchanged and immediately reusable for the next
+	// query. Queries that run to completion are bit-identical to the same
+	// query under context.Background() — the polls read the context and
+	// nothing else.
+	KNN(ctx context.Context, q series.Series, k int) ([]Match, stats.QueryStats, error)
 }
 
 // TreeIndex is implemented by index methods that expose their tree structure

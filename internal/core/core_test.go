@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -170,7 +171,7 @@ type fakeMethod struct{ built bool }
 
 func (f *fakeMethod) Name() string              { return "fake" }
 func (f *fakeMethod) Build(c *Collection) error { f.built = true; c.File.ChargeFullScan(); return nil }
-func (f *fakeMethod) KNN(q series.Series, k int) ([]Match, stats.QueryStats, error) {
+func (f *fakeMethod) KNN(ctx context.Context, q series.Series, k int) ([]Match, stats.QueryStats, error) {
 	return []Match{{ID: 0, Dist: 1}}, stats.QueryStats{RawSeriesExamined: 1}, nil
 }
 
@@ -219,7 +220,7 @@ func TestRunHelpers(t *testing.T) {
 		t.Errorf("build IO %d want %d", bs.IO.SeqBytes, c.File.SizeBytes())
 	}
 	q := ds.Series[0]
-	_, qs, err := RunQuery(m, c, q, 1)
+	_, qs, err := RunQuery(context.Background(), m, c, q, 1)
 	if err != nil {
 		t.Fatalf("RunQuery: %v", err)
 	}
@@ -227,7 +228,7 @@ func TestRunHelpers(t *testing.T) {
 		t.Errorf("DatasetSize=%d", qs.DatasetSize)
 	}
 	w := dataset.SynthRand(5, 8, 3)
-	ws, err := RunWorkload(m, c, w, 1)
+	ws, err := RunWorkload(context.Background(), m, c, w, 1)
 	if err != nil || len(ws.Queries) != 5 {
 		t.Fatalf("RunWorkload: %v (%d)", err, len(ws.Queries))
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -17,25 +18,28 @@ import (
 type ApproxMethod interface {
 	Method
 	// ApproxKNN answers an ng-approximate k-NN query. The result may hold
-	// fewer than k matches if the visited leaf is small.
-	ApproxKNN(q series.Series, k int) ([]Match, stats.QueryStats, error)
+	// fewer than k matches if the visited leaf is small. The context is
+	// honored under the same block-granular contract as Method.KNN.
+	ApproxKNN(ctx context.Context, q series.Series, k int) ([]Match, stats.QueryStats, error)
 }
 
 // RangeMethod is implemented by methods that support exact r-range queries
 // (Definition 2): all series within Euclidean distance r of the query,
-// sorted by ascending distance.
+// sorted by ascending distance. The context is honored under the same
+// block-granular contract as Method.KNN.
 type RangeMethod interface {
 	Method
-	RangeSearch(q series.Series, r float64) ([]Match, stats.QueryStats, error)
+	RangeSearch(ctx context.Context, q series.Series, r float64) ([]Match, stats.QueryStats, error)
 }
 
 // EpsApproxMethod is implemented by methods that support ε-approximate
 // queries (Definition 5): every result is within (1+ε) of the true k-th
 // nearest neighbor distance. In the paper's Table 1 only the M-tree offers
-// this (Ciaccia & Patella's PAC queries).
+// this (Ciaccia & Patella's PAC queries). The context is honored under the
+// same block-granular contract as Method.KNN.
 type EpsApproxMethod interface {
 	Method
-	EpsKNN(q series.Series, k int, eps float64) ([]Match, stats.QueryStats, error)
+	EpsKNN(ctx context.Context, q series.Series, k int, eps float64) ([]Match, stats.QueryStats, error)
 }
 
 // RangeSet accumulates r-range query results.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -37,14 +38,16 @@ func (b *BestSoFar) Load() float64 {
 
 // Tighten lowers the shared bound to v if v is smaller, retrying the CAS
 // until this update is reflected or a concurrent update made it obsolete.
-func (b *BestSoFar) Tighten(v float64) {
+// It reports whether this call lowered the bound — the signal the streaming
+// query paths publish as a best-so-far improvement.
+func (b *BestSoFar) Tighten(v float64) bool {
 	for {
 		old := b.bits.Load()
 		if math.Float64frombits(old) <= v {
-			return
+			return false
 		}
 		if b.bits.CompareAndSwap(old, math.Float64bits(v)) {
-			return
+			return true
 		}
 	}
 }
@@ -81,7 +84,27 @@ func (s *KNNSet) Merge(o *KNNSet) {
 // the same buffers instead of re-allocating them. Worker sets are merged
 // into one shared set under a mutex as workers finish; the (distance, then
 // ascending ID) selection makes the merged top-k independent of merge order.
-func ParallelScanKNN(c *Collection, q series.Series, k, workers int) ([]Match, stats.QueryStats, error) {
+//
+// Cancellation: every worker polls ctx once per CancelBlock candidates and
+// stops scanning within one block of a cancel; the call then returns
+// ctx.Err(). Queries that run to completion are unaffected by the polls.
+func ParallelScanKNN(ctx context.Context, c *Collection, q series.Series, k, workers int) ([]Match, stats.QueryStats, error) {
+	return scanKNN(ctx, c, q, k, workers, nil)
+}
+
+// ScanKNNStream is ParallelScanKNN with progress reporting: whenever a
+// candidate tightens the cross-worker shared best-so-far bound, emit is
+// called with that candidate (true, square-rooted distance). Emissions are a
+// best-effort progress signal — their number and order depend on worker
+// scheduling — but the final return value is the exact answer,
+// bit-identical to ParallelScanKNN. emit is called from worker goroutines
+// and must be safe for concurrent use; it must not block on the caller, or
+// it stalls the scan.
+func ScanKNNStream(ctx context.Context, c *Collection, q series.Series, k, workers int, emit func(Match)) ([]Match, stats.QueryStats, error) {
+	return scanKNN(ctx, c, q, k, workers, emit)
+}
+
+func scanKNN(ctx context.Context, c *Collection, q series.Series, k, workers int, emit func(Match)) ([]Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	qs.DatasetSize = int64(c.File.Len())
 	if len(q) != c.File.SeriesLen() {
@@ -110,6 +133,9 @@ func ParallelScanKNN(c *Collection, q series.Series, k, workers int) ([]Match, s
 			set := wsc.KNN(k)
 			var ws stats.QueryStats
 			for i := sh.Lo(); i < sh.Hi(); i++ {
+				if (i-sh.Lo())%CancelBlock == 0 && Canceled(ctx) != nil {
+					return // partial set discarded; the caller reports ctx.Err()
+				}
 				cand := sh.Read(i)
 				bound := set.Bound()
 				if g := shared.Load(); g < bound {
@@ -119,7 +145,9 @@ func ParallelScanKNN(c *Collection, q series.Series, k, workers int) ([]Match, s
 				ws.DistCalcs++
 				ws.RawSeriesExamined++
 				if set.Add(i, d) {
-					shared.Tighten(set.Bound())
+					if shared.Tighten(set.Bound()) && emit != nil {
+						emit(Match{ID: i, Dist: math.Sqrt(d)})
+					}
 				}
 			}
 			mu.Lock()
@@ -130,6 +158,9 @@ func ParallelScanKNN(c *Collection, q series.Series, k, workers int) ([]Match, s
 		}(&shards[w])
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, qs, err
+	}
 	return merged.Results(), qs, nil
 }
 
@@ -174,8 +205,9 @@ func NewReplicas(name string, opts Options, d *dataset.Dataset, n int) ([]Replic
 // QueryStats carries exactly its own query's I/O and CPU — the concurrent
 // analogue of RunWorkload's snapshot-delta attribution. Per-query stats are
 // stored at the query's workload position, so aggregate results are
-// independent of scheduling. The first error (by query index) is returned.
-func RunWorkloadConcurrent(reps []Replica, w *dataset.Workload, k int) (stats.WorkloadStats, error) {
+// independent of scheduling. The first error (by query index) is returned;
+// a context cancel stops every replica within one block of work.
+func RunWorkloadConcurrent(ctx context.Context, reps []Replica, w *dataset.Workload, k int) (stats.WorkloadStats, error) {
 	var ws stats.WorkloadStats
 	if len(reps) == 0 {
 		return ws, fmt.Errorf("core: RunWorkloadConcurrent needs at least one replica")
@@ -193,7 +225,7 @@ func RunWorkloadConcurrent(reps []Replica, w *dataset.Workload, k int) (stats.Wo
 				if qi >= len(w.Queries) {
 					return
 				}
-				_, qs, err := RunQuery(rep.M, rep.C, w.Queries[qi], k)
+				_, qs, err := RunQuery(ctx, rep.M, rep.C, w.Queries[qi], k)
 				if err != nil {
 					errs[qi] = fmt.Errorf("core: query %d: %w", qi, err)
 					return

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -39,7 +40,7 @@ func TestParallelScanBitIdentical(t *testing.T) {
 			for qi, q := range queries {
 				want := serialScanKNN(serial, q, k)
 				coll := NewCollection(ds)
-				got, qs, err := ParallelScanKNN(coll, q, k, workers)
+				got, qs, err := ParallelScanKNN(context.Background(), coll, q, k, workers)
 				if err != nil {
 					t.Fatalf("k=%d w=%d q=%d: %v", k, workers, qi, err)
 				}
@@ -76,7 +77,7 @@ func TestParallelScanTieBreaks(t *testing.T) {
 	serial := NewCollection(ds)
 	for _, k := range []int{1, 10, 100} {
 		want := serialScanKNN(serial, q, k)
-		got, _, err := ParallelScanKNN(NewCollection(ds), q, k, 4)
+		got, _, err := ParallelScanKNN(context.Background(), NewCollection(ds), q, k, 4)
 		if err != nil {
 			t.Fatalf("k=%d: %v", k, err)
 		}
@@ -96,7 +97,7 @@ func TestParallelScanAccounting(t *testing.T) {
 	q := dataset.SynthRand(1, 32, 32).Queries[0]
 	for _, workers := range []int{1, 2, 4, 8} {
 		coll := NewCollection(ds)
-		if _, _, err := ParallelScanKNN(coll, q, 5, workers); err != nil {
+		if _, _, err := ParallelScanKNN(context.Background(), coll, q, 5, workers); err != nil {
 			t.Fatal(err)
 		}
 		snap := coll.Counters.Snapshot()
@@ -113,17 +114,17 @@ func TestParallelScanAccounting(t *testing.T) {
 func TestParallelScanErrors(t *testing.T) {
 	ds := dataset.RandomWalk(10, 32, 41)
 	coll := NewCollection(ds)
-	if _, _, err := ParallelScanKNN(coll, make(series.Series, 16), 1, 2); err == nil {
+	if _, _, err := ParallelScanKNN(context.Background(), coll, make(series.Series, 16), 1, 2); err == nil {
 		t.Error("expected error for mismatched query length")
 	}
 	empty := NewCollection(&dataset.Dataset{Name: "empty"})
-	got, _, err := ParallelScanKNN(empty, series.Series{}, 1, 4)
+	got, _, err := ParallelScanKNN(context.Background(), empty, series.Series{}, 1, 4)
 	if err != nil || len(got) != 0 {
 		t.Errorf("empty collection: got %v, %v", got, err)
 	}
 	// More workers than series: every series still scanned exactly once.
 	q := dataset.SynthRand(1, 32, 42).Queries[0]
-	res, qs, err := ParallelScanKNN(coll, q, 25, 64)
+	res, qs, err := ParallelScanKNN(context.Background(), coll, q, 25, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func (s *stubScan) Build(c *Collection) error {
 	s.c = c
 	return nil
 }
-func (s *stubScan) KNN(q series.Series, k int) ([]Match, stats.QueryStats, error) {
+func (s *stubScan) KNN(ctx context.Context, q series.Series, k int) ([]Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	set := NewKNNSet(k)
 	s.c.File.Rewind()
@@ -222,7 +223,7 @@ func TestRunWorkloadConcurrent(t *testing.T) {
 	if err := serialM.Build(serialC); err != nil {
 		t.Fatal(err)
 	}
-	want, err := RunWorkload(serialM, serialC, wl, 3)
+	want, err := RunWorkload(context.Background(), serialM, serialC, wl, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestRunWorkloadConcurrent(t *testing.T) {
 			}
 			reps[i] = Replica{M: m, C: c}
 		}
-		got, err := RunWorkloadConcurrent(reps, wl, 3)
+		got, err := RunWorkloadConcurrent(context.Background(), reps, wl, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -256,7 +257,7 @@ func TestRunWorkloadConcurrent(t *testing.T) {
 		}
 	}
 
-	if _, err := RunWorkloadConcurrent(nil, wl, 1); err == nil {
+	if _, err := RunWorkloadConcurrent(context.Background(), nil, wl, 1); err == nil {
 		t.Error("expected error for zero replicas")
 	}
 }

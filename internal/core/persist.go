@@ -6,6 +6,8 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"time"
 
 	"hydra/internal/persist"
@@ -190,6 +192,44 @@ func readOptions(r *persist.Reader) Options {
 		Seed:              r.Varint(),
 		Workers:           r.Int(),
 	}
+}
+
+// SnapshotCachePath derives the snapshot-cache file for (method,
+// collection, options): the key hashes the collection fingerprint and
+// every build-relevant option (Workers normalized away — intra-query
+// parallelism does not affect the build), so a changed dataset or
+// parametrization misses the cache instead of loading a wrong index.
+// The experiments harness (hydra-bench -index) and the public package's
+// WithIndexDir cache share this one key format, which is what keeps their
+// cache directories interchangeable.
+func SnapshotCachePath(dir, name string, c *Collection, opts Options) string {
+	opts.Workers = 0
+	key := crc32.ChecksumIEEE([]byte(fmt.Sprintf("%08x|%+v", Fingerprint(c), opts)))
+	return filepath.Join(dir, fmt.Sprintf("%s-%08x%s", persist.FileStem(name), key, persist.SnapshotExt))
+}
+
+// SaveSnapshotFile writes a snapshot to path with write-then-rename (and
+// creates the parent directory), so a crashed process cannot leave a
+// truncated file that every later run would try — and fail — to load.
+func SaveSnapshotFile(p Persistable, c *Collection, path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := SaveIndex(p, c, f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // Persistables lists the registered (visible) methods that support

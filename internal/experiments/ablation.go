@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -223,7 +224,7 @@ func ablationDSTree(r *Report, ds *dataset.Dataset, wl *dataset.Workload) error 
 		if err := ix.Build(coll); err != nil {
 			return err
 		}
-		ws, err := core.RunWorkload(ix, coll, wl, 1)
+		ws, err := core.RunWorkload(context.Background(), ix, coll, wl, 1)
 		if err != nil {
 			return err
 		}

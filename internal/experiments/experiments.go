@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -241,7 +242,7 @@ func runMethod(name string, ds *dataset.Dataset, wl *dataset.Workload, opts core
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	start := time.Now()
-	ws, err := core.RunWorkload(m, coll, wl, k)
+	ws, err := core.RunWorkload(context.Background(), m, coll, wl, k)
 	queryMem.nanos.Add(time.Since(start).Nanoseconds())
 	runtime.ReadMemStats(&m1)
 	queryMem.queries.Add(int64(len(ws.Queries)))

@@ -2,12 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"hash/crc32"
 	"os"
-	"path/filepath"
 
 	"hydra/internal/core"
-	"hydra/internal/persist"
 	"hydra/internal/stats"
 )
 
@@ -43,35 +40,14 @@ func buildOrLoad(m core.Method, coll *core.Collection, name string, opts core.Op
 	return m, bs, nil
 }
 
-// snapshotPath derives the cache file for (method, collection, options).
-// The key hashes the collection fingerprint and every build-relevant option,
-// so a changed dataset or parametrization misses the cache instead of
-// loading a wrong index (core.LoadIndex would reject it anyway).
+// snapshotPath and saveSnapshot are the shared cache primitives in core
+// (core.SnapshotCachePath, core.SaveSnapshotFile) — one key format and one
+// write-then-rename discipline for this harness and the public package's
+// WithIndexDir cache, so their cache directories stay interchangeable.
 func snapshotPath(dir, name string, coll *core.Collection, opts core.Options) string {
-	opts.Workers = 0 // intra-query parallelism does not affect the build
-	key := crc32.ChecksumIEEE([]byte(fmt.Sprintf("%08x|%+v", core.Fingerprint(coll), opts)))
-	return filepath.Join(dir, fmt.Sprintf("%s-%08x%s", persist.FileStem(name), key, persist.SnapshotExt))
+	return core.SnapshotCachePath(dir, name, coll, opts)
 }
 
 func saveSnapshot(p core.Persistable, coll *core.Collection, path string) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
-	// Write-then-rename keeps a crashed run from leaving a truncated cache
-	// entry that every later run would try (and fail) to load.
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := core.SaveIndex(p, coll, f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return core.SaveSnapshotFile(p, coll, path)
 }

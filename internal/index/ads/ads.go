@@ -17,6 +17,7 @@
 package ads
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -108,8 +109,10 @@ func (ix *Index) Build(c *core.Collection) error {
 // KNN implements core.Method (the SIMS algorithm). All per-query state
 // comes from the index's scratch pool, and the summary-array bounds of step
 // 2 go through the batched table kernel — the values, visit decisions and
-// answers are bit-identical to the per-series formulation.
-func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+// answers are bit-identical to the per-series formulation. The context is
+// polled before each SIMS step and once per core.CancelBlock candidates
+// during the step-3 skip-sequential pass.
+func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("ads: method not built")
@@ -132,6 +135,9 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 	// Step 2 first (it depends only on the query): lower bounds against the
 	// whole in-memory summary array, scored by the batched kernel against a
 	// per-query (segment, symbol) contribution table.
+	if err := core.Canceled(ctx); err != nil {
+		return nil, qs, err
+	}
 	widths := ix.tree.PAA.Widths()
 	table := sc.Table(sax.TableLen(seg))
 	ix.tree.Quant.MinDistTable(qpaa, widths, table)
@@ -159,6 +165,11 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 	// the paper's "one random disk access corresponds to one skip".
 	f.Rewind()
 	for i := 0; i < f.Len(); i++ {
+		if i%core.CancelBlock == 0 {
+			if err := core.Canceled(ctx); err != nil {
+				return nil, qs, err
+			}
+		}
 		if lbs[i] >= set.Bound() {
 			continue
 		}

@@ -1,6 +1,7 @@
 package ads
 
 import (
+	"context"
 	"testing"
 
 	"hydra/internal/core"
@@ -62,7 +63,7 @@ func TestSkipSequentialSignature(t *testing.T) {
 	ds := dataset.RandomWalk(4000, 128, 2)
 	ix, coll := build(t, ds, 64)
 	q := dataset.SynthRand(1, 128, 3).Queries[0]
-	_, qs, err := core.RunQuery(ix, coll, q, 1)
+	_, qs, err := core.RunQuery(context.Background(), ix, coll, q, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,11 +82,11 @@ func TestAdaptiveMaterialization(t *testing.T) {
 	ix, coll := build(t, ds, 64)
 	q := dataset.Ctrl(ds, 1, 0.3, 5).Queries[0]
 
-	_, qs1, err := core.RunQuery(ix, coll, q, 1)
+	_, qs1, err := core.RunQuery(context.Background(), ix, coll, q, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, qs2, err := core.RunQuery(ix, coll, q, 1)
+	_, qs2, err := core.RunQuery(context.Background(), ix, coll, q, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package ads
 
 import (
+	"context"
 	"fmt"
 
 	"hydra/internal/core"
@@ -11,7 +12,7 @@ import (
 // ApproxKNN implements core.ApproxMethod: ADS+'s ng-approximate search is
 // step 1 of SIMS — descend to the query's leaf (materializing it on first
 // touch) and answer from its members.
-func (ix *Index) ApproxKNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+func (ix *Index) ApproxKNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("ads: method not built")
@@ -24,6 +25,9 @@ func (ix *Index) ApproxKNN(q series.Series, k int) ([]core.Match, stats.QuerySta
 	qword := make([]uint8, len(qpaa))
 	for i, v := range qpaa {
 		qword[i] = ix.tree.Quant.Symbol(v)
+	}
+	if err := core.Canceled(ctx); err != nil {
+		return nil, qs, err
 	}
 	set := core.NewKNNSet(k)
 	ord := series.NewOrder(q)
@@ -42,7 +46,7 @@ func (ix *Index) ApproxKNN(q series.Series, k int) ([]core.Match, stats.QuerySta
 // RangeSearch implements core.RangeMethod with the SIMS pattern under a
 // fixed bound: lower bounds against the in-memory summary array, then a
 // skip-sequential pass collecting every qualifying series.
-func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.QueryStats, error) {
+func (ix *Index) RangeSearch(ctx context.Context, q series.Series, r float64) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("ads: method not built")
@@ -56,6 +60,11 @@ func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.Qu
 	set := core.NewRangeSet(r)
 	f.Rewind()
 	for i := 0; i < f.Len(); i++ {
+		if i%core.CancelBlock == 0 {
+			if err := core.Canceled(ctx); err != nil {
+				return nil, qs, err
+			}
+		}
 		lb := ix.tree.Quant.MinDistFullCard(qpaa, ix.tree.Word(i), widths)
 		qs.LBCalcs++
 		if lb > set.Bound() {

@@ -1,6 +1,7 @@
 package ads
 
 import (
+	"context"
 	"fmt"
 
 	"hydra/internal/core"
@@ -54,7 +55,7 @@ func (ix *FullIndex) Build(c *core.Collection) error {
 
 // KNN implements core.Method: approximate descent then best-first exact over
 // materialized leaves (the iSAX2+ query pattern on the ADS tree shape).
-func (ix *FullIndex) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+func (ix *FullIndex) KNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("ads-full: method not built")
@@ -95,6 +96,9 @@ func (ix *FullIndex) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats
 		h.Push(lb, n)
 	}
 	for h.Len() > 0 {
+		if err := core.Canceled(ctx); err != nil {
+			return nil, qs, err
+		}
 		lb, it := h.PopMin()
 		if lb >= set.Bound() {
 			break

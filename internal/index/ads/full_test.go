@@ -1,6 +1,7 @@
 package ads
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestADSFullExact(t *testing.T) {
 	}
 	for _, q := range dataset.Ctrl(ds, 5, 0.8, 82).Queries {
 		want := core.BruteForceKNN(coll, q, 3)
-		got, _, err := ix.KNN(q, 3)
+		got, _, err := ix.KNN(context.Background(), q, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func TestADSFullQueriesAvoidSkips(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := dataset.Ctrl(ds, 1, 0.2, 85).Queries[0]
-	_, qs, err := core.RunQuery(ix, coll, q, 1)
+	_, qs, err := core.RunQuery(context.Background(), ix, coll, q, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

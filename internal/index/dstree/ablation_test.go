@@ -1,6 +1,7 @@
 package dstree
 
 import (
+	"context"
 	"testing"
 
 	"hydra/internal/core"
@@ -18,7 +19,7 @@ func TestHorizontalOnlyStillExact(t *testing.T) {
 	}
 	for _, q := range dataset.SynthRand(4, 64, 42).Queries {
 		want := core.BruteForceKNN(coll, q, 2)
-		got, _, err := ix.KNN(q, 2)
+		got, _, err := ix.KNN(context.Background(), q, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -42,7 +43,7 @@ func TestVerticalSplitsDrivePruning(t *testing.T) {
 		if err := ix.Build(coll); err != nil {
 			t.Fatal(err)
 		}
-		ws, err := core.RunWorkload(ix, coll, wl, 1)
+		ws, err := core.RunWorkload(context.Background(), ix, coll, wl, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -19,6 +19,7 @@
 package dstree
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -469,7 +470,7 @@ func sameEnds(a, b []int) bool {
 // result set, traversal heap) comes from the index's scratch pool, and
 // sibling bounds are scored pairwise by lbPair over the nodes' contiguous
 // synopsis blocks.
-func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("dstree: method not built")
@@ -494,6 +495,9 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 	h := sc.Heap()
 	h.Push(0, ix.root)
 	for h.Len() > 0 {
+		if err := core.Canceled(ctx); err != nil {
+			return nil, qs, err
+		}
 		l, it := h.PopMin()
 		if l >= set.Bound() {
 			break

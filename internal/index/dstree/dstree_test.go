@@ -1,6 +1,7 @@
 package dstree
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -42,7 +43,7 @@ func TestPruningEffective(t *testing.T) {
 	ds := dataset.RandomWalk(4000, 128, 2)
 	ix, coll := build(t, ds, 64)
 	wl := dataset.SynthRand(5, 128, 3)
-	ws, err := core.RunWorkload(ix, coll, wl, 1)
+	ws, err := core.RunWorkload(context.Background(), ix, coll, wl, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

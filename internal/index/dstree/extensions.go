@@ -1,6 +1,7 @@
 package dstree
 
 import (
+	"context"
 	"fmt"
 
 	"hydra/internal/core"
@@ -12,13 +13,16 @@ import (
 // ApproxKNN implements core.ApproxMethod: the ng-approximate search of the
 // DSTree descends the split predicates to a single leaf and answers from its
 // members only.
-func (ix *Index) ApproxKNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+func (ix *Index) ApproxKNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("dstree: method not built")
 	}
 	if len(q) != ix.c.File.SeriesLen() {
 		return nil, qs, fmt.Errorf("dstree: query length %d, collection length %d", len(q), ix.c.File.SeriesLen())
+	}
+	if err := core.Canceled(ctx); err != nil {
+		return nil, qs, err
 	}
 	qp := eapca.NewPrefix(q)
 	ord := series.NewOrder(q)
@@ -33,7 +37,7 @@ func (ix *Index) ApproxKNN(q series.Series, k int) ([]core.Match, stats.QuerySta
 
 // RangeSearch implements core.RangeMethod: depth-first traversal pruned with
 // the node lower bound against the fixed radius.
-func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.QueryStats, error) {
+func (ix *Index) RangeSearch(ctx context.Context, q series.Series, r float64) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("dstree: method not built")
@@ -44,8 +48,15 @@ func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.Qu
 	qp := eapca.NewPrefix(q)
 	set := core.NewRangeSet(r)
 	var buf []float64
+	var ctxErr error
 	var walk func(n *node)
 	walk = func(n *node) {
+		if ctxErr != nil {
+			return
+		}
+		if ctxErr = core.Canceled(ctx); ctxErr != nil {
+			return
+		}
 		if need := 3 * len(n.ends); cap(buf) < need {
 			buf = make([]float64, need)
 		}
@@ -71,5 +82,8 @@ func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.Qu
 		walk(n.children[1])
 	}
 	walk(ix.root)
+	if ctxErr != nil {
+		return nil, qs, ctxErr
+	}
 	return set.Results(), qs, nil
 }

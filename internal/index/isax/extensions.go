@@ -1,6 +1,7 @@
 package isax
 
 import (
+	"context"
 	"fmt"
 
 	"hydra/internal/core"
@@ -13,13 +14,16 @@ import (
 // search follows the query's own iSAX path to one leaf ("traversing one path
 // of an index structure, visiting at most one leaf, to get a baseline
 // best-so-far match").
-func (ix *Index) ApproxKNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+func (ix *Index) ApproxKNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("isax: method not built")
 	}
 	if len(q) != ix.c.File.SeriesLen() {
 		return nil, qs, fmt.Errorf("isax: query length %d, collection length %d", len(q), ix.c.File.SeriesLen())
+	}
+	if err := core.Canceled(ctx); err != nil {
+		return nil, qs, err
 	}
 	qpaa := ix.tree.PAA.Apply(q)
 	qword := make([]uint8, len(qpaa))
@@ -34,7 +38,7 @@ func (ix *Index) ApproxKNN(q series.Series, k int) ([]core.Match, stats.QuerySta
 }
 
 // RangeSearch implements core.RangeMethod.
-func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.QueryStats, error) {
+func (ix *Index) RangeSearch(ctx context.Context, q series.Series, r float64) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("isax: method not built")
@@ -44,8 +48,15 @@ func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.Qu
 	}
 	qpaa := ix.tree.PAA.Apply(q)
 	set := core.NewRangeSet(r)
+	var ctxErr error
 	var walk func(n *isaxtree.Node)
 	walk = func(n *isaxtree.Node) {
+		if ctxErr != nil {
+			return
+		}
+		if ctxErr = core.Canceled(ctx); ctxErr != nil {
+			return
+		}
 		qs.LBCalcs++
 		if ix.tree.MinDist(qpaa, n) > set.Bound() {
 			return
@@ -68,6 +79,9 @@ func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.Qu
 	}
 	for _, n := range ix.tree.Root {
 		walk(n)
+	}
+	if ctxErr != nil {
+		return nil, qs, ctxErr
 	}
 	return set.Results(), qs, nil
 }

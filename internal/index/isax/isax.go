@@ -12,6 +12,7 @@
 package isax
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -65,7 +66,7 @@ func (ix *Index) Build(c *core.Collection) error {
 
 // KNN implements core.Method. Per-query state (query summary, order, result
 // set, traversal heap) comes from the index's scratch pool.
-func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("isax: method not built")
@@ -97,6 +98,9 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 		h.Push(lb, n)
 	}
 	for h.Len() > 0 {
+		if err := core.Canceled(ctx); err != nil {
+			return nil, qs, err
+		}
 		lb, it := h.PopMin()
 		if lb >= set.Bound() {
 			break

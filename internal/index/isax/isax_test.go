@@ -1,6 +1,7 @@
 package isax
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestApproximateThenExact(t *testing.T) {
 	ix, coll := build(t, ds, 32)
 	for _, q := range dataset.Ctrl(ds, 5, 0.8, 3).Queries {
 		want := core.BruteForceKNN(coll, q, 1)
-		got, qs, err := ix.KNN(q, 1)
+		got, qs, err := ix.KNN(context.Background(), q, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -52,7 +53,7 @@ func TestLeafVisitsBounded(t *testing.T) {
 	ds := dataset.RandomWalk(4000, 256, 3)
 	ix, coll := build(t, ds, 64)
 	q := dataset.SynthRand(1, 256, 4).Queries[0]
-	_, qs, err := core.RunQuery(ix, coll, q, 1)
+	_, qs, err := core.RunQuery(context.Background(), ix, coll, q, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestHardQueriesStillExact(t *testing.T) {
 	ix, coll := build(t, ds, 32)
 	for _, q := range dataset.DeepOrig(5, 96, 7).Queries {
 		want := core.BruteForceKNN(coll, q, 3)
-		got, _, err := ix.KNN(q, 3)
+		got, _, err := ix.KNN(context.Background(), q, 3)
 		if err != nil {
 			t.Fatal(err)
 		}

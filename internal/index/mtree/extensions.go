@@ -2,6 +2,7 @@ package mtree
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 
@@ -15,7 +16,7 @@ import (
 // returned distances are at most (1+ε) times the true ones). Subtrees are
 // pruned whenever their lower bound exceeds bound/(1+ε), which preserves the
 // relative-error guarantee while visiting (often far) fewer nodes.
-func (ix *Index) EpsKNN(q series.Series, k int, eps float64) ([]core.Match, stats.QueryStats, error) {
+func (ix *Index) EpsKNN(ctx context.Context, q series.Series, k int, eps float64) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("mtree: method not built")
@@ -36,6 +37,9 @@ func (ix *Index) EpsKNN(q series.Series, k int, eps float64) ([]core.Match, stat
 	h := &pq{}
 	heap.Push(h, pqItem{n: ix.root, lb: 0})
 	for h.Len() > 0 {
+		if err := core.Canceled(ctx); err != nil {
+			return nil, qs, err
+		}
 		it := heap.Pop(h).(pqItem)
 		bound := math.Sqrt(set.Bound()) * shrink
 		if it.lb >= bound {
@@ -73,7 +77,7 @@ func (ix *Index) EpsKNN(q series.Series, k int, eps float64) ([]core.Match, stat
 // RangeSearch implements core.RangeMethod on the metric tree: subtrees whose
 // routing sphere lies entirely beyond r are pruned by the triangle
 // inequality.
-func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.QueryStats, error) {
+func (ix *Index) RangeSearch(ctx context.Context, q series.Series, r float64) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("mtree: method not built")
@@ -86,8 +90,15 @@ func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.Qu
 		qs.DistCalcs++
 		return series.Dist(q, ix.c.File.Peek(id))
 	}
+	var ctxErr error
 	var walk func(n *node, distQP float64, haveQP bool)
 	walk = func(n *node, distQP float64, haveQP bool) {
+		if ctxErr != nil {
+			return
+		}
+		if ctxErr = core.Canceled(ctx); ctxErr != nil {
+			return
+		}
 		for _, e := range n.entries {
 			if haveQP {
 				est := math.Abs(distQP - e.distToParent)
@@ -110,5 +121,8 @@ func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.Qu
 		}
 	}
 	walk(ix.root, 0, false)
+	if ctxErr != nil {
+		return nil, qs, ctxErr
+	}
 	return set.Results(), qs, nil
 }

@@ -14,6 +14,7 @@ package mtree
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 
@@ -257,7 +258,7 @@ func (p *pq) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p =
 
 // KNN implements core.Method: best-first k-NN with triangle-inequality
 // pruning (Hjaltason & Samet style on the M-tree).
-func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("mtree: method not built")
@@ -274,6 +275,9 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 	h := &pq{}
 	heap.Push(h, pqItem{n: ix.root, lb: 0})
 	for h.Len() > 0 {
+		if err := core.Canceled(ctx); err != nil {
+			return nil, qs, err
+		}
 		it := heap.Pop(h).(pqItem)
 		bound := math.Sqrt(set.Bound())
 		if it.lb >= bound {

@@ -1,6 +1,7 @@
 package mtree
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -107,7 +108,7 @@ func TestExactnessOnClusteredData(t *testing.T) {
 	ix, coll := build(t, ds, 8)
 	for _, q := range dataset.Ctrl(ds, 5, 0.8, 5).Queries {
 		want := core.BruteForceKNN(coll, q, 4)
-		got, _, err := ix.KNN(q, 4)
+		got, _, err := ix.KNN(context.Background(), q, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,7 +126,7 @@ func TestPruningSkipsDistances(t *testing.T) {
 	ds := dataset.SALD(2000, 64, 5) // clustered data prunes well
 	ix, _ := build(t, ds, 16)
 	q := dataset.Ctrl(ds, 1, 0.1, 6).Queries[0]
-	_, qs, err := ix.KNN(q, 1)
+	_, qs, err := ix.KNN(context.Background(), q, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestMinimumCapacity(t *testing.T) {
 	}
 	q := dataset.SynthRand(1, 32, 7).Queries[0]
 	want := core.BruteForceKNN(coll, q, 1)
-	got, _, err := ix.KNN(q, 1)
+	got, _, err := ix.KNN(context.Background(), q, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

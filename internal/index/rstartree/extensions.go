@@ -1,6 +1,7 @@
 package rstartree
 
 import (
+	"context"
 	"fmt"
 
 	"hydra/internal/core"
@@ -10,7 +11,7 @@ import (
 
 // RangeSearch implements core.RangeMethod: the classic R-tree range query —
 // visit every subtree whose MINDIST is within the radius.
-func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.QueryStats, error) {
+func (ix *Index) RangeSearch(ctx context.Context, q series.Series, r float64) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("rstartree: method not built")
@@ -20,8 +21,15 @@ func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.Qu
 	}
 	qpaa := ix.xform.Apply(q)
 	set := core.NewRangeSet(r)
+	var ctxErr error
 	var walk func(n *node)
 	walk = func(n *node) {
+		if ctxErr != nil {
+			return
+		}
+		if ctxErr = core.Canceled(ctx); ctxErr != nil {
+			return
+		}
 		if n.level == 0 {
 			var cands []int
 			for _, e := range n.entries {
@@ -50,5 +58,8 @@ func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.Qu
 		}
 	}
 	walk(ix.root)
+	if ctxErr != nil {
+		return nil, qs, ctxErr
+	}
 	return set.Results(), qs, nil
 }

@@ -11,6 +11,7 @@ package rstartree
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -373,7 +374,7 @@ func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
 func (p *pq) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
 
 // KNN implements core.Method.
-func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("rstartree: method not built")
@@ -388,6 +389,9 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 	h := &pq{}
 	heap.Push(h, pqItem{n: ix.root, lb: 0})
 	for h.Len() > 0 {
+		if err := core.Canceled(ctx); err != nil {
+			return nil, qs, err
+		}
 		it := heap.Pop(h).(pqItem)
 		if it.lb >= set.Bound() {
 			break

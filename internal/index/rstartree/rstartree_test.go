@@ -1,6 +1,7 @@
 package rstartree
 
 import (
+	"context"
 	"testing"
 
 	"hydra/internal/core"
@@ -112,7 +113,7 @@ func TestExactnessSmall(t *testing.T) {
 	ix, coll := build(t, ds, 16)
 	for _, q := range dataset.Ctrl(ds, 5, 1.0, 6).Queries {
 		want := core.BruteForceKNN(coll, q, 3)
-		got, _, err := ix.KNN(q, 3)
+		got, _, err := ix.KNN(context.Background(), q, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -151,7 +152,7 @@ func TestQueryAfterForcedReinsertions(t *testing.T) {
 	ix, coll := build(t, ds, 8)
 	q := dataset.Ctrl(ds, 1, 0.2, 8).Queries[0]
 	want := core.BruteForceKNN(coll, q, 1)
-	got, _, err := ix.KNN(q, 1)
+	got, _, err := ix.KNN(context.Background(), q, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sfatrie
 
 import (
+	"context"
 	"fmt"
 
 	"hydra/internal/core"
@@ -10,13 +11,16 @@ import (
 
 // ApproxKNN implements core.ApproxMethod: the SFA trie's ng-approximate
 // search descends the query word's own path to one leaf.
-func (ix *Index) ApproxKNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+func (ix *Index) ApproxKNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("sfatrie: method not built")
 	}
 	if len(q) != ix.c.File.SeriesLen() {
 		return nil, qs, fmt.Errorf("sfatrie: query length %d, collection length %d", len(q), ix.c.File.SeriesLen())
+	}
+	if err := core.Canceled(ctx); err != nil {
+		return nil, qs, err
 	}
 	qf := ix.xform.Features(q)
 	qw := ix.xform.Word(qf)
@@ -29,7 +33,7 @@ func (ix *Index) ApproxKNN(q series.Series, k int) ([]core.Match, stats.QuerySta
 
 // RangeSearch implements core.RangeMethod: depth-first traversal pruned with
 // the SFA prefix/MBR bounds against the fixed radius.
-func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.QueryStats, error) {
+func (ix *Index) RangeSearch(ctx context.Context, q series.Series, r float64) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("sfatrie: method not built")
@@ -39,8 +43,15 @@ func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.Qu
 	}
 	qf := ix.xform.Features(q)
 	set := core.NewRangeSet(r)
+	var ctxErr error
 	var walk func(n *node)
 	walk = func(n *node) {
+		if ctxErr != nil {
+			return
+		}
+		if ctxErr = core.Canceled(ctx); ctxErr != nil {
+			return
+		}
 		qs.LBCalcs++
 		if ix.lb(qf, n) > set.Bound() {
 			return
@@ -63,5 +74,8 @@ func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.Qu
 		}
 	}
 	walk(ix.root)
+	if ctxErr != nil {
+		return nil, qs, ctxErr
+	}
 	return set.Results(), qs, nil
 }

@@ -11,6 +11,7 @@
 package sfatrie
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -222,7 +223,7 @@ func (ix *Index) lb(qf []float64, n *node) float64 {
 
 // KNN implements core.Method. Per-query state (order, result set, traversal
 // heap) comes from the index's scratch pool.
-func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("sfatrie: method not built")
@@ -246,6 +247,9 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 	h := sc.Heap()
 	h.Push(0, ix.root)
 	for h.Len() > 0 {
+		if err := core.Canceled(ctx); err != nil {
+			return nil, qs, err
+		}
 		l, it := h.PopMin()
 		if l >= set.Bound() {
 			break

@@ -1,6 +1,7 @@
 package sfatrie
 
 import (
+	"context"
 	"testing"
 
 	"hydra/internal/core"
@@ -106,7 +107,7 @@ func TestAlphabetOption(t *testing.T) {
 	}
 	q := dataset.SynthRand(1, 64, 6).Queries[0]
 	want := core.BruteForceKNN(coll, q, 1)
-	got, _, err := ix.KNN(q, 1)
+	got, _, err := ix.KNN(context.Background(), q, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

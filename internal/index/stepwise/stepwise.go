@@ -19,6 +19,7 @@
 package stepwise
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -136,7 +137,7 @@ type cand struct {
 }
 
 // KNN implements core.Method.
-func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("stepwise: method not built")
@@ -156,6 +157,9 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 
 	// Filter phase: one level at a time.
 	for lvl := 0; lvl < ix.filterLevels; lvl++ {
+		if err := core.Canceled(ctx); err != nil {
+			return nil, qs, err
+		}
 		lo, hi := dhwt.LevelRange(lvl)
 		levelBytes := int64(hi-lo) * storage.BytesPerValue
 
@@ -205,7 +209,12 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 	})
 	ord := series.NewOrder(q)
 	set := core.NewKNNSet(k)
-	for _, c := range active {
+	for ci, c := range active {
+		if ci%core.CancelBlock == 0 {
+			if err := core.Canceled(ctx); err != nil {
+				return nil, qs, err
+			}
+		}
 		if c.lb >= set.Bound() {
 			break
 		}

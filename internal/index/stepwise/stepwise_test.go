@@ -1,6 +1,7 @@
 package stepwise
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -87,7 +88,7 @@ func TestExactOnNonPow2(t *testing.T) {
 	ix, coll := build(t, ds)
 	for _, q := range dataset.Ctrl(ds, 5, 1.0, 6).Queries {
 		want := core.BruteForceKNN(coll, q, 2)
-		got, _, err := ix.KNN(q, 2)
+		got, _, err := ix.KNN(context.Background(), q, 2)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package vafile
 
 import (
+	"context"
 	"fmt"
 
 	"hydra/internal/core"
@@ -12,7 +13,7 @@ import (
 // approximation file filters candidates by lower bound against the fixed
 // radius; qualifying raw series are verified in file order (the skips cost
 // one seek each, as everywhere in the suite).
-func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.QueryStats, error) {
+func (ix *Index) RangeSearch(ctx context.Context, q series.Series, r float64) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("vafile: method not built")
@@ -26,6 +27,11 @@ func (ix *Index) RangeSearch(q series.Series, r float64) ([]core.Match, stats.Qu
 	set := core.NewRangeSet(r)
 	f.Rewind()
 	for i := 0; i < ix.numCodes(); i++ {
+		if i%core.CancelBlock == 0 {
+			if err := core.Canceled(ctx); err != nil {
+				return nil, qs, err
+			}
+		}
 		lb := ix.quant.LowerBound(qf, ix.code(i))
 		qs.LBCalcs++
 		if lb > set.Bound() {

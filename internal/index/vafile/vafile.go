@@ -11,6 +11,7 @@
 package vafile
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -120,13 +121,16 @@ func (ix *Index) ApproxFileBytes() int64 {
 // with the batched table kernel over the flat code array; all per-query
 // state comes from the index's scratch pool. Bounds, visit order and
 // answers are bit-identical to the per-code formulation.
-func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("vafile: method not built")
 	}
 	if len(q) != ix.c.File.SeriesLen() {
 		return nil, qs, fmt.Errorf("vafile: query length %d, collection length %d", len(q), ix.c.File.SeriesLen())
+	}
+	if err := core.Canceled(ctx); err != nil {
+		return nil, qs, err
 	}
 	sc := ix.pool.Get()
 	defer ix.pool.Put(sc)
@@ -147,7 +151,12 @@ func (ix *Index) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, er
 	// Phase 2: visit raw series in ascending lower-bound order.
 	set := sc.KNN(k)
 	f := ix.c.File
-	for _, id := range order {
+	for oi, id := range order {
+		if oi%core.CancelBlock == 0 {
+			if err := core.Canceled(ctx); err != nil {
+				return nil, qs, err
+			}
+		}
 		if lbs[id] >= set.Bound() {
 			break
 		}

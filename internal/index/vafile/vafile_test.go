@@ -1,6 +1,7 @@
 package vafile
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestAccessPattern(t *testing.T) {
 	ds := dataset.RandomWalk(5000, 256, 2)
 	ix, coll := build(t, ds, core.Options{})
 	q := dataset.SynthRand(1, 256, 3).Queries[0]
-	_, qs, err := core.RunQuery(ix, coll, q, 1)
+	_, qs, err := core.RunQuery(context.Background(), ix, coll, q, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestVisitsStopAtBound(t *testing.T) {
 	ds := dataset.RandomWalk(1000, 128, 4)
 	ix, coll := build(t, ds, core.Options{})
 	q := dataset.SynthRand(1, 128, 5).Queries[0]
-	matches, qs, err := ix.KNN(q, 1)
+	matches, qs, err := ix.KNN(context.Background(), q, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestSampledTrainingStaysExact(t *testing.T) {
 	ix, coll := build(t, ds, core.Options{SampleSize: 100})
 	for _, q := range dataset.Ctrl(ds, 4, 1.0, 7).Queries {
 		want := core.BruteForceKNN(coll, q, 2)
-		got, _, err := ix.KNN(q, 2)
+		got, _, err := ix.KNN(context.Background(), q, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -106,8 +107,8 @@ func TestBitBudgetOption(t *testing.T) {
 	}
 	// Bigger budget → tighter bounds → fewer raw visits.
 	q := dataset.SynthRand(1, 128, 8).Queries[0]
-	_, qsSmall, _ := ixSmall.KNN(q, 1)
-	_, qsBig, _ := ixBig.KNN(q, 1)
+	_, qsSmall, _ := ixSmall.KNN(context.Background(), q, 1)
+	_, qsBig, _ := ixBig.KNN(context.Background(), q, 1)
 	if qsBig.RawSeriesExamined > qsSmall.RawSeriesExamined {
 		t.Errorf("8-bit quantizer examined more (%d) than 2-bit (%d)",
 			qsBig.RawSeriesExamined, qsSmall.RawSeriesExamined)

@@ -1,6 +1,7 @@
 package methods
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -75,7 +76,7 @@ func TestExactnessAgainstBruteForce(t *testing.T) {
 				for qi, q := range queries {
 					for _, k := range []int{1, 5} {
 						want := core.BruteForceKNN(bm.c, q, k)
-						got, _, err := bm.m.KNN(q, k)
+						got, _, err := bm.m.KNN(context.Background(), q, k)
 						if err != nil {
 							t.Fatalf("%s query %d k=%d: %v", name, qi, k, err)
 						}
@@ -110,7 +111,7 @@ func TestKLargerThanCollection(t *testing.T) {
 	built := buildAll(t, ds, core.Options{LeafSize: 4})
 	q := dataset.SynthRand(1, 32, 2).Queries[0]
 	for name, bm := range built {
-		got, _, err := bm.m.KNN(q, 25)
+		got, _, err := bm.m.KNN(context.Background(), q, 25)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -127,7 +128,7 @@ func TestQueryLengthMismatch(t *testing.T) {
 	built := buildAll(t, ds, core.Options{LeafSize: 8})
 	q := dataset.SynthRand(1, 64, 2).Queries[0]
 	for name, bm := range built {
-		if _, _, err := bm.m.KNN(q, 1); err == nil {
+		if _, _, err := bm.m.KNN(context.Background(), q, 1); err == nil {
 			t.Errorf("%s: expected error for mismatched query length", name)
 		}
 	}
@@ -140,7 +141,7 @@ func TestPruningRatioBounds(t *testing.T) {
 	built := buildAll(t, ds, core.Options{LeafSize: 32})
 	q := dataset.SynthRand(1, 64, 4).Queries[0]
 	for name, bm := range built {
-		_, qs, err := core.RunQuery(bm.m, bm.c, q, 1)
+		_, qs, err := core.RunQuery(context.Background(), bm.m, bm.c, q, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

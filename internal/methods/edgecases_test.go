@@ -1,6 +1,7 @@
 package methods
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -20,7 +21,7 @@ func TestDuplicateSeries(t *testing.T) {
 	built := buildAll(t, ds, core.Options{LeafSize: 8})
 	q := base.Series[10].Clone()
 	for name, bm := range built {
-		got, _, err := bm.m.KNN(q, 4)
+		got, _, err := bm.m.KNN(context.Background(), q, 4)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -43,7 +44,7 @@ func TestConstantSeriesInCollection(t *testing.T) {
 	ds.Series[25] = flat
 	built := buildAll(t, ds, core.Options{LeafSize: 8})
 	for name, bm := range built {
-		got, _, err := bm.m.KNN(flat.Clone(), 1)
+		got, _, err := bm.m.KNN(context.Background(), flat.Clone(), 1)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -60,7 +61,7 @@ func TestSingleSeriesCollection(t *testing.T) {
 	q := dataset.SynthRand(1, 64, 54).Queries[0]
 	want := series.Dist(q, ds.Series[0])
 	for name, bm := range built {
-		got, _, err := bm.m.KNN(q, 1)
+		got, _, err := bm.m.KNN(context.Background(), q, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -78,11 +79,11 @@ func TestRepeatedQueriesConsistent(t *testing.T) {
 	built := buildAll(t, ds, core.Options{LeafSize: 16})
 	q := dataset.Ctrl(ds, 1, 0.7, 56).Queries[0]
 	for name, bm := range built {
-		first, _, err := bm.m.KNN(q, 3)
+		first, _, err := bm.m.KNN(context.Background(), q, 3)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		second, _, err := bm.m.KNN(q, 3)
+		second, _, err := bm.m.KNN(context.Background(), q, 3)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -108,7 +109,7 @@ func TestInterleavedWorkload(t *testing.T) {
 	for name, bm := range built {
 		for qi, q := range queries {
 			want := core.BruteForceKNN(bm.c, q, 2)
-			got, _, err := bm.m.KNN(q, 2)
+			got, _, err := bm.m.KNN(context.Background(), q, 2)
 			if err != nil {
 				t.Fatalf("%s q%d: %v", name, qi, err)
 			}
@@ -128,7 +129,7 @@ func TestLargerK(t *testing.T) {
 	q := dataset.SynthRand(1, 48, 62).Queries[0]
 	for name, bm := range built {
 		want := core.BruteForceKNN(bm.c, q, 100)
-		got, _, err := bm.m.KNN(q, 100)
+		got, _, err := bm.m.KNN(context.Background(), q, 100)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

@@ -1,6 +1,7 @@
 package methods
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -36,7 +37,7 @@ func TestRangeSearchExactness(t *testing.T) {
 		for _, q := range queries {
 			for _, r := range []float64{0.0, 2.0, 6.0, 100.0} {
 				want := core.BruteForceRange(coll, q, r)
-				got, _, err := rm.RangeSearch(q, r)
+				got, _, err := rm.RangeSearch(context.Background(), q, r)
 				if err != nil {
 					t.Fatalf("%s r=%g: %v", name, r, err)
 				}
@@ -76,7 +77,7 @@ func TestApproxKNNIsUpperBound(t *testing.T) {
 		}
 		for _, q := range queries {
 			exact := core.BruteForceKNN(coll, q, 1)
-			approx, _, err := am.ApproxKNN(q, 1)
+			approx, _, err := am.ApproxKNN(context.Background(), q, 1)
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
@@ -89,7 +90,7 @@ func TestApproxKNNIsUpperBound(t *testing.T) {
 					t.Fatalf("%s: bogus ID %d", name, approx[0].ID)
 				}
 			}
-			got, _, err := am.KNN(q, 1)
+			got, _, err := am.KNN(context.Background(), q, 1)
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
@@ -116,7 +117,7 @@ func TestApproxSelfQueries(t *testing.T) {
 		const trials = 30
 		for i := 0; i < trials; i++ {
 			id := (i * 97) % ds.Len()
-			res, _, err := am.ApproxKNN(ds.Series[id].Clone(), 1)
+			res, _, err := am.ApproxKNN(context.Background(), ds.Series[id].Clone(), 1)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -146,7 +147,7 @@ func TestEpsKNNGuarantee(t *testing.T) {
 	for _, q := range dataset.Ctrl(ds, 10, 1.0, 17).Queries {
 		exact := core.BruteForceKNN(coll, q, 1)
 		for _, eps := range []float64{0, 0.2, 1.0} {
-			got, _, err := em.EpsKNN(q, 1, eps)
+			got, _, err := em.EpsKNN(context.Background(), q, 1, eps)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -156,12 +157,12 @@ func TestEpsKNNGuarantee(t *testing.T) {
 			}
 		}
 		// eps=0 must be exact.
-		got, _, _ := em.EpsKNN(q, 1, 0)
+		got, _, _ := em.EpsKNN(context.Background(), q, 1, 0)
 		if math.Abs(got[0].Dist-exact[0].Dist) > 1e-9*(1+exact[0].Dist) {
 			t.Fatalf("eps=0 not exact: %g vs %g", got[0].Dist, exact[0].Dist)
 		}
 	}
-	if _, _, err := em.EpsKNN(dataset.SynthRand(1, 64, 1).Queries[0], 1, -0.5); err == nil {
+	if _, _, err := em.EpsKNN(context.Background(), dataset.SynthRand(1, 64, 1).Queries[0], 1, -0.5); err == nil {
 		t.Errorf("negative epsilon should error")
 	}
 }
@@ -176,8 +177,8 @@ func TestEpsSavesWork(t *testing.T) {
 	}
 	em := m.(core.EpsApproxMethod)
 	q := dataset.Ctrl(ds, 1, 0.3, 19).Queries[0]
-	_, qsExact, _ := em.EpsKNN(q, 1, 0)
-	_, qsLoose, _ := em.EpsKNN(q, 1, 2.0)
+	_, qsExact, _ := em.EpsKNN(context.Background(), q, 1, 0)
+	_, qsLoose, _ := em.EpsKNN(context.Background(), q, 1, 2.0)
 	if qsLoose.DistCalcs > qsExact.DistCalcs {
 		t.Errorf("eps=2 computed more distances (%d) than exact (%d)",
 			qsLoose.DistCalcs, qsExact.DistCalcs)

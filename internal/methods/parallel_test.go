@@ -1,6 +1,7 @@
 package methods
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -32,7 +33,7 @@ func TestParallelBuilds(t *testing.T) {
 					errs <- err
 					return
 				}
-				if _, _, err := m.KNN(q, 1); err != nil {
+				if _, _, err := m.KNN(context.Background(), q, 1); err != nil {
 					errs <- err
 				}
 			}(name)
@@ -71,7 +72,7 @@ func TestConcurrentQueriesOneCollection(t *testing.T) {
 			preSerial := coll.Counters.Snapshot().TotalBytes()
 			want := make([][]core.Match, len(queries))
 			for qi, q := range queries {
-				res, _, err := m.KNN(q, k)
+				res, _, err := m.KNN(context.Background(), q, k)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -87,7 +88,7 @@ func TestConcurrentQueriesOneCollection(t *testing.T) {
 				go func() {
 					defer wg.Done()
 					for qi, q := range queries {
-						got, _, err := m.KNN(q, k)
+						got, _, err := m.KNN(context.Background(), q, k)
 						if err != nil {
 							errCh <- err
 							return
@@ -128,12 +129,12 @@ func TestParallelScanMatchesAllOracles(t *testing.T) {
 	built := buildAll(t, ds, core.Options{LeafSize: 16})
 	for _, k := range []int{1, 10, 100} {
 		for qi, q := range queries {
-			par, _, err := core.ParallelScanKNN(core.NewCollection(ds), q, k, 4)
+			par, _, err := core.ParallelScanKNN(context.Background(), core.NewCollection(ds), q, k, 4)
 			if err != nil {
 				t.Fatal(err)
 			}
 			for name, bm := range built {
-				want, _, err := bm.m.KNN(q, k)
+				want, _, err := bm.m.KNN(context.Background(), q, k)
 				if err != nil {
 					t.Fatalf("%s: %v", name, err)
 				}
@@ -178,11 +179,11 @@ func TestUCRParallelModeBitIdentical(t *testing.T) {
 		}
 		for qi, q := range queries {
 			for _, k := range []int{1, 10} {
-				want, _, err := serial.KNN(q, k)
+				want, _, err := serial.KNN(context.Background(), q, k)
 				if err != nil {
 					t.Fatal(err)
 				}
-				got, qs, err := par.KNN(q, k)
+				got, qs, err := par.KNN(context.Background(), q, k)
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -2,6 +2,7 @@ package methods
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math"
 	"os"
@@ -34,7 +35,7 @@ func knnAll(t *testing.T, m core.Method, queries []series.Series) [][]core.Match
 	var out [][]core.Match
 	for qi, q := range queries {
 		for _, k := range []int{1, 5} {
-			got, _, err := m.KNN(q, k)
+			got, _, err := m.KNN(context.Background(), q, k)
 			if err != nil {
 				t.Fatalf("%s query %d k=%d: %v", m.Name(), qi, k, err)
 			}
@@ -136,7 +137,7 @@ func TestPersistRoundTripBitIdentical(t *testing.T) {
 				wg.Add(1)
 				go func(qi int) {
 					defer wg.Done()
-					res, _, err := loaded.KNN(queries[qi], 5)
+					res, _, err := loaded.KNN(context.Background(), queries[qi], 5)
 					results[qi], errs[qi] = res, err
 				}(qi)
 			}
@@ -252,7 +253,7 @@ func TestPersistADSAdaptiveState(t *testing.T) {
 	}
 	// Touch leaves so some materialize adaptively.
 	for _, q := range queries {
-		if _, _, err := built.KNN(q, 1); err != nil {
+		if _, _, err := built.KNN(context.Background(), q, 1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -269,11 +270,11 @@ func TestPersistADSAdaptiveState(t *testing.T) {
 	// Identical queries must now produce identical I/O profiles: the
 	// materialized-leaf set carried over, so neither instance re-fetches.
 	for qi, q := range queries {
-		_, wantQS, err := core.RunQuery(built, coll, q, 1)
+		_, wantQS, err := core.RunQuery(context.Background(), built, coll, q, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, gotQS, err := core.RunQuery(loaded, collLoaded, q, 1)
+		_, gotQS, err := core.RunQuery(context.Background(), loaded, collLoaded, q, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 package mass
 
 import (
+	"context"
 	"fmt"
 
 	"hydra/internal/core"
@@ -40,8 +41,10 @@ func (s *Scan) Build(c *core.Collection) error {
 	return nil
 }
 
-// KNN implements core.Method.
-func (s *Scan) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+// KNN implements core.Method. The context is polled between convolution
+// chunks — MASS's natural block: each chunk is one FFT pass over at most 64
+// candidates, so a cancel is honored within one transform.
+func (s *Scan) KNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if s.c == nil {
 		return nil, qs, fmt.Errorf("mass: method not built")
@@ -71,6 +74,9 @@ func (s *Scan) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, erro
 	set := core.NewKNNSet(k)
 	f.Rewind()
 	for lo := 0; lo < f.Len(); lo += chunk {
+		if err := core.Canceled(ctx); err != nil {
+			return nil, qs, err
+		}
 		hi := lo + chunk
 		if hi > f.Len() {
 			hi = f.Len()

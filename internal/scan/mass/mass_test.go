@@ -1,6 +1,7 @@
 package mass
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestExactDistancesViaFFT(t *testing.T) {
 		}
 		for _, q := range dataset.SynthRand(3, length, 2).Queries {
 			want := core.BruteForceKNN(coll, q, 3)
-			got, _, err := m.KNN(q, 3)
+			got, _, err := m.KNN(context.Background(), q, 3)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -40,7 +41,7 @@ func TestSequentialOnly(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := dataset.SynthRand(1, 128, 4).Queries[0]
-	_, qs, err := core.RunQuery(m, coll, q, 1)
+	_, qs, err := core.RunQuery(context.Background(), m, coll, q, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestChunkBoundaries(t *testing.T) {
 		}
 		q := dataset.SynthRand(1, 128, 6).Queries[0]
 		want := core.BruteForceKNN(coll, q, 1)
-		got, _, err := m.KNN(q, 1)
+		got, _, err := m.KNN(context.Background(), q, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,7 +76,7 @@ func TestChunkBoundaries(t *testing.T) {
 
 func TestUnbuiltErrors(t *testing.T) {
 	m := New(core.Options{})
-	if _, _, err := m.KNN(dataset.SynthRand(1, 8, 1).Queries[0], 1); err == nil {
+	if _, _, err := m.KNN(context.Background(), dataset.SynthRand(1, 8, 1).Queries[0], 1); err == nil {
 		t.Errorf("unbuilt scan should error")
 	}
 }

@@ -1,6 +1,7 @@
 package ucr
 
 import (
+	"context"
 	"fmt"
 
 	"hydra/internal/core"
@@ -10,7 +11,7 @@ import (
 
 // RangeSearch implements core.RangeMethod: the sequential scan with early
 // abandoning at the fixed radius.
-func (s *Scan) RangeSearch(q series.Series, r float64) ([]core.Match, stats.QueryStats, error) {
+func (s *Scan) RangeSearch(ctx context.Context, q series.Series, r float64) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if s.c == nil {
 		return nil, qs, fmt.Errorf("ucr: method not built")
@@ -23,6 +24,11 @@ func (s *Scan) RangeSearch(q series.Series, r float64) ([]core.Match, stats.Quer
 	set := core.NewRangeSet(r)
 	f.Rewind()
 	for i := 0; i < f.Len(); i++ {
+		if i%core.CancelBlock == 0 {
+			if err := core.Canceled(ctx); err != nil {
+				return nil, qs, err
+			}
+		}
 		d := series.SquaredDistEAOrderedBlocked(q, f.Read(i), ord, set.Bound())
 		qs.DistCalcs++
 		qs.RawSeriesExamined++

@@ -8,6 +8,7 @@
 package ucr
 
 import (
+	"context"
 	"fmt"
 
 	"hydra/internal/core"
@@ -50,8 +51,9 @@ func (s *Scan) Build(c *core.Collection) error {
 // KNN implements core.Method: one full sequential pass with reordered early
 // abandoning against the running k-th best distance. With Workers set, the
 // pass is fanned out over scan shards sharing a best-so-far bound; the
-// answer stays bit-identical to the serial scan.
-func (s *Scan) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+// answer stays bit-identical to the serial scan. The context is polled once
+// per core.CancelBlock candidates.
+func (s *Scan) KNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if s.c == nil {
 		return nil, qs, fmt.Errorf("ucr: method not built")
@@ -60,7 +62,7 @@ func (s *Scan) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, erro
 		return nil, qs, fmt.Errorf("ucr: query length %d, collection length %d", len(q), s.c.File.SeriesLen())
 	}
 	if s.workers > 1 || s.workers < 0 {
-		return core.ParallelScanKNN(s.c, q, k, s.workers)
+		return core.ParallelScanKNN(ctx, s.c, q, k, s.workers)
 	}
 	sc := s.pool.Get()
 	defer s.pool.Put(sc)
@@ -69,6 +71,11 @@ func (s *Scan) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, erro
 	f := s.c.File
 	f.Rewind()
 	for i := 0; i < f.Len(); i++ {
+		if i%core.CancelBlock == 0 {
+			if err := core.Canceled(ctx); err != nil {
+				return nil, qs, err
+			}
+		}
 		cand := f.Read(i)
 		d := series.SquaredDistEAOrderedBlocked(q, cand, ord, set.Bound())
 		qs.DistCalcs++
@@ -76,4 +83,22 @@ func (s *Scan) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, erro
 		set.Add(i, d)
 	}
 	return set.Results(), qs, nil
+}
+
+// KNNStream implements the anytime scan consumed by the public package's
+// QueryStream: it answers exactly like KNN while reporting every candidate
+// that tightens the scan's best-so-far bound through emit. The stream always
+// runs on the sharded engine (one shard when Workers is unset) because the
+// shared-bound machinery is what generates the progress signal; final
+// answers are bit-identical to KNN either way.
+func (s *Scan) KNNStream(ctx context.Context, q series.Series, k int, emit func(core.Match)) ([]core.Match, stats.QueryStats, error) {
+	var qs stats.QueryStats
+	if s.c == nil {
+		return nil, qs, fmt.Errorf("ucr: method not built")
+	}
+	workers := s.workers
+	if workers == 0 {
+		workers = 1
+	}
+	return core.ScanKNNStream(ctx, s.c, q, k, workers, emit)
 }

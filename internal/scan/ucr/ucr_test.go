@@ -1,6 +1,7 @@
 package ucr
 
 import (
+	"context"
 	"testing"
 
 	"hydra/internal/core"
@@ -15,7 +16,7 @@ func TestPureSequentialAccess(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := dataset.SynthRand(1, 128, 2).Queries[0]
-	_, qs, err := core.RunQuery(m, coll, q, 1)
+	_, qs, err := core.RunQuery(context.Background(), m, coll, q, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestStableCostAcrossQueries(t *testing.T) {
 	}
 	var first int64 = -1
 	for _, q := range dataset.SynthRand(5, 64, 4).Queries {
-		_, qs, err := core.RunQuery(m, coll, q, 1)
+		_, qs, err := core.RunQuery(context.Background(), m, coll, q, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -56,7 +57,7 @@ func TestStableCostAcrossQueries(t *testing.T) {
 
 func TestUnbuiltErrors(t *testing.T) {
 	m := New(core.Options{})
-	if _, _, err := m.KNN(dataset.SynthRand(1, 8, 1).Queries[0], 1); err == nil {
+	if _, _, err := m.KNN(context.Background(), dataset.SynthRand(1, 8, 1).Queries[0], 1); err == nil {
 		t.Errorf("unbuilt scan should error")
 	}
 }

@@ -11,6 +11,7 @@
 package ucrdtw
 
 import (
+	"context"
 	"fmt"
 
 	"hydra/internal/core"
@@ -41,7 +42,8 @@ func (s *Scan) Build(c *core.Collection) error {
 // KNN answers an exact k-NN query under DTW with band W: candidates are
 // first screened with reordered early-abandoning LB_Keogh against the
 // current k-th best DTW distance; survivors pay the early-abandoning DP.
-func (s *Scan) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+// The context is polled once per core.CancelBlock candidates.
+func (s *Scan) KNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if s.c == nil {
 		return nil, qs, fmt.Errorf("ucrdtw: method not built")
@@ -55,6 +57,11 @@ func (s *Scan) KNN(q series.Series, k int) ([]core.Match, stats.QueryStats, erro
 	set := core.NewKNNSet(k)
 	f.Rewind()
 	for i := 0; i < f.Len(); i++ {
+		if i%core.CancelBlock == 0 {
+			if err := core.Canceled(ctx); err != nil {
+				return nil, qs, err
+			}
+		}
 		cand := f.Read(i)
 		lb := dtw.LBKeoghEA(env, cand, ord, set.Bound())
 		qs.LBCalcs++

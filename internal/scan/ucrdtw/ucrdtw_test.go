@@ -1,6 +1,7 @@
 package ucrdtw
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestExactAgainstBruteForce(t *testing.T) {
 		}
 		for _, q := range dataset.SynthRand(4, 64, 2).Queries {
 			want := BruteForceKNN(coll, q, 3, w)
-			got, _, err := s.KNN(q, 3)
+			got, _, err := s.KNN(context.Background(), q, 3)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -41,7 +42,7 @@ func TestLBKeoghPrunes(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := dataset.Ctrl(ds, 1, 0.1, 4).Queries[0]
-	_, qs, err := s.KNN(q, 1)
+	_, qs, err := s.KNN(context.Background(), q, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestDTWFindsWarpedMatchEuclideanMisses(t *testing.T) {
 	if err := s.Build(coll); err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := s.KNN(query, 1)
+	got, _, err := s.KNN(context.Background(), query, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestDTWFindsWarpedMatchEuclideanMisses(t *testing.T) {
 	if err := s0.Build(coll0); err != nil {
 		t.Fatal(err)
 	}
-	got0, _, err := s0.KNN(query, 1)
+	got0, _, err := s0.KNN(context.Background(), query, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestDTWFindsWarpedMatchEuclideanMisses(t *testing.T) {
 
 func TestErrors(t *testing.T) {
 	s := New(2)
-	if _, _, err := s.KNN(dataset.SynthRand(1, 8, 1).Queries[0], 1); err == nil {
+	if _, _, err := s.KNN(context.Background(), dataset.SynthRand(1, 8, 1).Queries[0], 1); err == nil {
 		t.Errorf("unbuilt scan should error")
 	}
 	ds := dataset.RandomWalk(10, 16, 6)
@@ -100,7 +101,7 @@ func TestErrors(t *testing.T) {
 	if err := s.Build(coll); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.KNN(dataset.SynthRand(1, 8, 1).Queries[0], 1); err == nil {
+	if _, _, err := s.KNN(context.Background(), dataset.SynthRand(1, 8, 1).Queries[0], 1); err == nil {
 		t.Errorf("mismatched query length should error")
 	}
 }

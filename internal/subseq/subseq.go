@@ -15,6 +15,7 @@
 package subseq
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -188,7 +189,7 @@ func ViaWholeMatching(long, query series.Series, k int, methodName string, opts 
 		return nil, err
 	}
 	q := query.ZNormalizedInto(make(series.Series, len(query)))
-	matches, _, err := m.KNN(q, k)
+	matches, _, err := m.KNN(context.Background(), q, k)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,166 @@
+package hydra
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"hydra/internal/core"
+	"hydra/internal/methods"
+	"hydra/internal/simd"
+	"hydra/internal/storage"
+)
+
+// Device is a simulated disk profile: counted I/O operations are converted
+// into deterministic time using its seek latency and throughput (the
+// paper's §4.2 cost model).
+type Device = storage.DeviceProfile
+
+// The two device profiles of the paper's evaluation machines.
+var (
+	// HDD models the paper's spinning-disk server (RAID0: fast sequential
+	// transfers, expensive seeks).
+	HDD = storage.HDD
+	// SSD models the paper's flash server (slower sequential transfers,
+	// near-free seeks).
+	SSD = storage.SSD
+)
+
+// DeviceByName resolves "hdd" or "ssd" (case-insensitive) to its profile —
+// the flag-to-option bridge shared by the CLIs.
+func DeviceByName(name string) (Device, error) {
+	switch strings.ToLower(name) {
+	case "", "hdd":
+		return HDD, nil
+	case "ssd":
+		return SSD, nil
+	}
+	return Device{}, fmt.Errorf("hydra: unknown device profile %q (hdd|ssd)", name)
+}
+
+// config is the resolved functional-option set. One config drives every
+// constructor (Open, BuildIndex, LoadIndex), so the library and all CLIs
+// configure engines the same way.
+type config struct {
+	data         *Dataset
+	dataPath     string
+	device       Device
+	batchWorkers int
+	indexDir     string
+	opts         core.Options
+}
+
+// Option configures an Engine under construction. Options are the one
+// configuration surface of the public API: the CLIs parse their flags into
+// the same []Option a library caller would pass.
+type Option func(*config)
+
+func defaultConfig() config {
+	return config{device: HDD}
+}
+
+func (c *config) apply(opts []Option) {
+	for _, o := range opts {
+		o(c)
+	}
+}
+
+// dataset resolves the configured dataset: an in-memory handle if one was
+// attached with WithData, otherwise the file named by WithDatasetFile.
+func (c *config) dataset() (*Dataset, error) {
+	if c.data != nil {
+		return c.data, nil
+	}
+	if c.dataPath != "" {
+		return OpenDataset(c.dataPath)
+	}
+	return nil, fmt.Errorf("hydra: no dataset configured (use WithData or WithDatasetFile)")
+}
+
+func (c *config) resolvedBatchWorkers() int {
+	if c.batchWorkers > 0 {
+		return c.batchWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// WithData attaches an in-memory dataset to BuildIndex or LoadIndex.
+func WithData(d *Dataset) Option { return func(c *config) { c.data = d } }
+
+// WithDatasetFile names the collection file (hydra-gen format) BuildIndex
+// or LoadIndex should open.
+func WithDatasetFile(path string) Option { return func(c *config) { c.dataPath = path } }
+
+// WithWorkers sets intra-query scan parallelism for methods that support it
+// (the UCR-Suite scan): 0 or 1 is the paper's serial execution, larger
+// values fan each query out over that many shards, negative selects
+// GOMAXPROCS. Answers are bit-identical for every setting.
+func WithWorkers(n int) Option { return func(c *config) { c.opts.Workers = n } }
+
+// WithBatchWorkers caps how many queries of one QueryBatch run
+// concurrently. 0 (the default) selects GOMAXPROCS.
+func WithBatchWorkers(n int) Option { return func(c *config) { c.batchWorkers = n } }
+
+// WithDevice selects the simulated disk profile used when reporting
+// simulated query and build times (HDD by default).
+func WithDevice(d Device) Option { return func(c *config) { c.device = d } }
+
+// WithIndexDir enables the snapshot cache: BuildIndex loads a matching
+// snapshot from dir when one exists and otherwise builds and saves one
+// (write-then-rename; a damaged entry is rebuilt, not trusted). The cache
+// key covers the collection fingerprint and every build-relevant option, so
+// changed data or parameters miss instead of loading a wrong index.
+func WithIndexDir(dir string) Option { return func(c *config) { c.indexDir = dir } }
+
+// WithLeafSize sets the maximum series per index leaf (0 = the paper's
+// default scaled to the collection).
+func WithLeafSize(n int) Option { return func(c *config) { c.opts.LeafSize = n } }
+
+// WithSegments sets the number of segments/coefficients for fixed
+// summarizations (0 = the paper's 16).
+func WithSegments(n int) Option { return func(c *config) { c.opts.Segments = n } }
+
+// WithSAXBits sets the per-segment cardinality in bits for iSAX-based
+// methods (0 = the paper's 8).
+func WithSAXBits(n int) Option { return func(c *config) { c.opts.SAXBits = n } }
+
+// WithSFAAlphabet sets the SFA alphabet size (0 = the paper's tuned 8).
+func WithSFAAlphabet(n int) Option { return func(c *config) { c.opts.SFAAlphabet = n } }
+
+// WithVAQBitsPerDim sets the VA+file's average per-dimension bit budget
+// (0 = the default 8).
+func WithVAQBitsPerDim(n int) Option { return func(c *config) { c.opts.VAQBitsPerDim = n } }
+
+// WithSampleSize bounds the training sample for trained summarizations
+// (SFA bins, VA+ k-means; 0 = train on everything).
+func WithSampleSize(n int) Option { return func(c *config) { c.opts.SampleSize = n } }
+
+// WithMemoryBudget caps the construction buffer of leaf-materializing
+// indexes in bytes (0 = unlimited); see the paper's §4.3.1 buffer knob.
+func WithMemoryBudget(bytes int64) Option {
+	return func(c *config) { c.opts.MemoryBudgetBytes = bytes }
+}
+
+// WithSeed drives randomized tie-breaking during index construction.
+func WithSeed(seed int64) Option { return func(c *config) { c.opts.Seed = seed } }
+
+// SIMDBackend reports the kernel backend the process selected at startup:
+// "avx2+fma" when the assembly kernels are active, "go" otherwise. The
+// choice is process-wide and fixed at init — set HYDRA_SIMD=off in the
+// environment (or build with -tags=purego) before starting to force the
+// portable backend; both produce bit-identical answers.
+func SIMDBackend() string { return simd.Backend() }
+
+// Methods lists every registered similarity search method in registration
+// order — the names BuildIndex accepts.
+func Methods() []string { return core.Names() }
+
+// PersistableMethods lists the methods whose built state can be saved with
+// Engine.SaveIndex and reloaded with LoadIndex: every tree-backed method;
+// the plain scans have no build state.
+func PersistableMethods() []string { return core.Persistables() }
+
+// ParseMethods expands a method-list argument the way every CLI does:
+// "all" becomes the given set, a comma list becomes its trimmed non-empty
+// entries, anything else is a single name.
+func ParseMethods(v string, all []string) []string { return methods.ParseList(v, all) }

@@ -1,0 +1,112 @@
+package hydra
+
+import (
+	"context"
+
+	"hydra/internal/core"
+	"hydra/internal/series"
+)
+
+// StreamUpdate is one event of a QueryStream. A stream delivers zero or
+// more progressive updates (Final unset, Best holding the candidate that
+// improved the query's best-so-far) followed by exactly one terminal event
+// (Final set): either the exact answer in Matches/Stats, or Err.
+type StreamUpdate struct {
+	// Best is the candidate that improved the best-so-far (progressive
+	// events only).
+	Best Match
+	// Matches is the exact final answer, bit-identical to Query (terminal
+	// event only, nil on error).
+	Matches []Match
+	// Stats carries the final query's cost counters (terminal event only).
+	Stats QueryStats
+	// Final marks the terminal event; the channel closes after it.
+	Final bool
+	// Err reports a failed or cancelled query (terminal event only).
+	Err error
+}
+
+// streamBuffer is the channel capacity of a QueryStream. Progressive
+// updates are best-effort: when the consumer lags behind the buffer they
+// are dropped, never the terminal event.
+const streamBuffer = 16
+
+// QueryStream answers an exact k-NN query while streaming best-so-far
+// improvements — the anytime/early-result form of Query. How much progress
+// is visible depends on the method:
+//
+//   - Scan engines (UCR-Suite) report every candidate that tightens the
+//     scan's shared best-so-far bound as it happens.
+//   - Index engines with ng-approximate support (ADS+, DSTree, iSAX2+,
+//     SFA) first run the approximate descent (one root-to-leaf path) and
+//     report its best match, then run the exact query. The extra
+//     approximate pass charges its own simulated I/O.
+//   - Other methods deliver only the terminal event.
+//
+// The returned channel delivers progressive updates best-effort (a slow
+// consumer misses intermediate updates, never the result), then exactly
+// one terminal event — always, even against a full buffer — then closes.
+// The terminal Matches are bit-identical to Query's answer. Cancelling
+// ctx ends the stream promptly with a terminal Err event. The background
+// query never outlives its own completion: an abandoned, never-drained
+// stream costs the remainder of the (cancellable) query and a buffered
+// channel, not a leaked goroutine.
+func (e *Engine) QueryStream(ctx context.Context, q []float32, k int) <-chan StreamUpdate {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ch := make(chan StreamUpdate, streamBuffer)
+	go func() {
+		defer close(ch)
+		progress := func(m Match) {
+			select {
+			case ch <- StreamUpdate{Best: m}:
+			default: // consumer lagging: drop the update, keep scanning
+			}
+		}
+
+		var (
+			matches []Match
+			qs      QueryStats
+			err     error
+		)
+		switch m := e.m.(type) {
+		case core.KNNStreamer:
+			matches, qs, err = core.RunQueryStream(ctx, m, e.coll, series.Series(q), k, progress)
+		case core.ApproxMethod:
+			var approx []Match
+			approx, _, err = m.ApproxKNN(ctx, series.Series(q), k)
+			if err == nil {
+				if len(approx) > 0 {
+					progress(approx[0])
+				}
+				matches, qs, err = e.QueryWithStats(ctx, q, k)
+			}
+		default:
+			matches, qs, err = e.QueryWithStats(ctx, q, k)
+		}
+
+		final := StreamUpdate{Matches: matches, Stats: qs, Final: true}
+		if err != nil {
+			final = StreamUpdate{Err: err, Final: true}
+		}
+		// The terminal event is delivered unconditionally: the query has
+		// finished, so this goroutine is the only sender — when the buffer
+		// is full it evicts the oldest progressive update to make room
+		// (progressive updates are droppable by contract, the terminal
+		// event is not) and never blocks, so an abandoned stream cannot
+		// leak the goroutine.
+		for {
+			select {
+			case ch <- final:
+				return
+			default:
+				select {
+				case <-ch:
+				default:
+				}
+			}
+		}
+	}()
+	return ch
+}
