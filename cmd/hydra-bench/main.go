@@ -35,6 +35,7 @@ import (
 
 	"hydra/internal/dataset"
 	"hydra/internal/experiments"
+	"hydra/internal/persist"
 
 	// The public package registers every method and pins the engine
 	// semantics (cancellation, pooling, kernels) the harness measures.
@@ -160,7 +161,10 @@ func main() {
 				os.Exit(1)
 			}
 			path := filepath.Join(*outDir, "BENCH_"+rep.ID+".json")
-			if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			// Write-then-rename (the snapshot store's atomic helper): an
+			// interrupted run leaves the previous BENCH artifact intact
+			// instead of a truncated JSON that poisons trend tooling.
+			if err := persist.WriteFileAtomic(path, append(blob, '\n'), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "hydra-bench: %v\n", err)
 				os.Exit(1)
 			}

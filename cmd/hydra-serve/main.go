@@ -14,11 +14,18 @@
 //	POST /query   {"query":[...],"k":1}      one exact k-NN query
 //	POST /batch   {"queries":[[...]],"k":1}  a batch; failed queries are isolated
 //	GET  /healthz                            liveness + engine facts
+//	GET  /readyz                             admission state (503 while draining)
 //
 // Every request runs under the -timeout per-request deadline (and the
-// client-disconnect context): an overrunning query is cancelled
-// cooperatively within one scan block and answers 504. SIGINT/SIGTERM
-// drain in-flight requests before exit (graceful shutdown).
+// client-disconnect context). With -partial (the default) a query that
+// overruns its deadline answers 200 with the best-so-far matches and
+// "partial":true instead of 504; -partial=false restores the hard 504.
+// -max-inflight bounds concurrently admitted query requests — excess
+// requests are refused immediately with 503 + Retry-After rather than
+// queued into the latency tail. SIGINT/SIGTERM flip /readyz to 503 and
+// drain in-flight requests before exit (graceful shutdown). Handler panics
+// are recovered, logged, and answered as 500 — one request's failure never
+// takes the process down.
 package main
 
 import (
@@ -46,6 +53,8 @@ func main() {
 		device    = flag.String("device", "hdd", "device profile for reported simulated times: hdd|ssd")
 		workers   = flag.Int("workers", 0, "intra-query scan parallelism (0 = serial, -1 = GOMAXPROCS)")
 		batchW    = flag.Int("batch-workers", 0, "concurrent queries per /batch request (0 = GOMAXPROCS)")
+		inflight  = flag.Int("max-inflight", 0, "max concurrently admitted query requests; excess answers 503 (0 = unlimited)")
+		partial   = flag.Bool("partial", true, "answer deadline-expired queries with best-so-far results (partial:true) instead of 504")
 	)
 	flag.Parse()
 
@@ -67,6 +76,9 @@ func main() {
 		hydra.WithBatchWorkers(*batchW),
 		hydra.WithLeafSize(*leafSize),
 	}
+	if *partial {
+		opts = append(opts, hydra.WithPartialOnDeadline())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -85,9 +97,10 @@ func main() {
 		fail("%v", err)
 	}
 
+	app := newServer(engine, *timeout, *inflight)
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newServer(engine, *timeout).handler(),
+		Handler: app.handler(),
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
@@ -100,8 +113,10 @@ func main() {
 			fail("%v", err)
 		}
 	case <-ctx.Done():
-		// Graceful shutdown: stop accepting, drain in-flight requests.
+		// Graceful shutdown: go not-ready first (/readyz flips to 503, new
+		// queries are refused), then drain in-flight requests.
 		fmt.Fprintln(os.Stderr, "hydra-serve: shutting down")
+		app.startDrain()
 		drain, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(drain); err != nil {

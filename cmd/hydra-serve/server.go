@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"hydra"
@@ -13,27 +15,99 @@ import (
 
 // server is the HTTP front end over one hydra.Engine. It is built entirely
 // on the public package — the proof that the library surface carries real
-// traffic — and holds no state beyond the engine and the per-request
-// deadline, so one instance serves any number of concurrent requests.
+// traffic — and holds no state beyond the engine, the per-request deadline,
+// and the admission state, so one instance serves any number of concurrent
+// requests.
 type server struct {
 	engine  *hydra.Engine
 	timeout time.Duration
 	started time.Time
+	// sem bounds concurrently admitted query requests (nil = unlimited): a
+	// request that cannot take a slot immediately is refused with 503 +
+	// Retry-After instead of queueing, so overload degrades into fast,
+	// honest rejections rather than a growing latency tail.
+	sem chan struct{}
+	// draining flips when shutdown starts: query endpoints and /readyz
+	// refuse new work (load balancers stop routing here) while in-flight
+	// requests finish under http.Server.Shutdown.
+	draining atomic.Bool
 }
 
 // newServer wires the endpoints: POST /query (one k-NN query), POST /batch
 // (many queries, isolated failures), GET /healthz (liveness + engine
-// facts).
-func newServer(e *hydra.Engine, timeout time.Duration) *server {
-	return &server{engine: e, timeout: timeout, started: time.Now()}
+// facts), GET /readyz (admission state). maxInFlight bounds concurrently
+// admitted query requests; 0 means unlimited.
+func newServer(e *hydra.Engine, timeout time.Duration, maxInFlight int) *server {
+	s := &server{engine: e, timeout: timeout, started: time.Now()}
+	if maxInFlight > 0 {
+		s.sem = make(chan struct{}, maxInFlight)
+	}
+	return s
 }
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/query", s.admitted(s.handleQuery))
+	mux.HandleFunc("/batch", s.admitted(s.handleBatch))
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	return mux
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	return s.recovered(mux)
+}
+
+// startDrain marks the server as draining: query endpoints and /readyz
+// answer 503 from here on while already-admitted requests run to
+// completion. Called before http.Server.Shutdown so load balancers see the
+// instance go not-ready the moment the drain begins.
+func (s *server) startDrain() { s.draining.Store(true) }
+
+// errorResponse is the JSON body of every refused or failed request that
+// does not reach a handler's own response shape.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// admitted gates a query endpoint on the admission state: draining refuses
+// outright, and when a max-in-flight bound is configured, a request that
+// cannot take a slot without waiting is refused with 503 + Retry-After —
+// shedding load immediately beats queueing it into a timeout.
+func (s *server) admitted(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+			return
+		}
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusServiceUnavailable,
+					errorResponse{Error: fmt.Sprintf("overloaded: %d requests in flight", cap(s.sem))})
+				return
+			}
+		}
+		next(w, r)
+	}
+}
+
+// recovered is the outermost middleware: a panic escaping any handler (a
+// bug, or an armed query/panic faultpoint reaching the single-query path)
+// is logged and answered as a 500 JSON error — one request's crash, not the
+// process's. The engine holds no per-query mutable state, so serving
+// continues unharmed.
+func (s *server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				log.Printf("hydra-serve: panic serving %s: %v", r.URL.Path, p)
+				writeJSON(w, http.StatusInternalServerError,
+					errorResponse{Error: fmt.Sprintf("internal error: %v", p)})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // matchJSON is the wire form of one k-NN answer.
@@ -63,6 +137,11 @@ type queryRequest struct {
 type queryResponse struct {
 	Matches []matchJSON `json:"matches"`
 	Stats   statsJSON   `json:"stats"`
+	// Partial marks a degraded answer: the query's deadline expired and
+	// Matches holds the best-so-far candidates, not the proven exact top-k.
+	// Only ever set when the engine was built with WithPartialOnDeadline
+	// (the -partial flag); exact answers omit the field.
+	Partial bool `json:"partial,omitempty"`
 }
 
 type batchRequest struct {
@@ -106,6 +185,30 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// readyzResponse reports the admission state: whether this instance should
+// receive traffic, and how loaded it is (Capacity 0 = unlimited).
+type readyzResponse struct {
+	Status   string `json:"status"`
+	InFlight int    `json:"in_flight"`
+	Capacity int    `json:"capacity"`
+}
+
+// handleReadyz is the routing signal (distinct from /healthz liveness): 200
+// while accepting work, 503 once draining — the first endpoint to go dark
+// during shutdown, so balancers stop sending requests that would only be
+// refused.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, readyzResponse{Status: "draining", InFlight: len(s.sem), Capacity: cap(s.sem)})
+		return
+	}
+	writeJSON(w, http.StatusOK, readyzResponse{Status: "ready", InFlight: len(s.sem), Capacity: cap(s.sem)})
+}
+
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if !readJSON(w, r, &req) {
@@ -124,6 +227,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, queryResponse{
 		Matches: toMatchJSON(matches),
+		Partial: qs.Partial,
 		Stats: statsJSON{
 			DistCalcs:   qs.DistCalcs,
 			LBCalcs:     qs.LBCalcs,
@@ -229,6 +333,9 @@ func writeQueryError(w http.ResponseWriter, err error) {
 		// The client went away; the status is moot but 499-style close-out
 		// keeps logs honest.
 		http.Error(w, "request cancelled", 499)
+	case errors.Is(err, hydra.ErrQueryPanic), errors.Is(err, hydra.ErrWorkerPanic):
+		// A recovered query panic is the server's fault, not the client's.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	default:
 		http.Error(w, err.Error(), http.StatusBadRequest)
 	}

@@ -43,7 +43,7 @@ func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.Res
 // real processes: the HTTP answer is the engine's answer, bit for bit.
 func TestServeQueryMatchesEngine(t *testing.T) {
 	e, d := testEngine(t)
-	h := newServer(e, time.Second).handler()
+	h := newServer(e, time.Second, 0).handler()
 	q := d.Series(11)
 
 	want, err := e.Query(context.Background(), q, 3)
@@ -75,7 +75,7 @@ func TestServeQueryMatchesEngine(t *testing.T) {
 // query inside a batch yields a per-entry error while its siblings answer.
 func TestServeBatchIsolatesFailures(t *testing.T) {
 	e, d := testEngine(t)
-	h := newServer(e, time.Second).handler()
+	h := newServer(e, time.Second, 0).handler()
 	good := d.Series(5)
 	bad := []float32{1, 2, 3} // wrong length
 
@@ -111,7 +111,7 @@ func TestServeBatchIsolatesFailures(t *testing.T) {
 // deadline answers 504, and the engine keeps serving afterwards.
 func TestServeDeadline(t *testing.T) {
 	e, d := testEngine(t)
-	h := newServer(e, time.Nanosecond).handler()
+	h := newServer(e, time.Nanosecond, 0).handler()
 	q := d.Series(0)
 
 	rec := postJSON(t, h, "/query", queryRequest{Query: q, K: 1})
@@ -120,7 +120,7 @@ func TestServeDeadline(t *testing.T) {
 	}
 
 	// The engine must stay reusable: a fresh server without deadline works.
-	rec = postJSON(t, newServer(e, 0).handler(), "/query", queryRequest{Query: q, K: 1})
+	rec = postJSON(t, newServer(e, 0, 0).handler(), "/query", queryRequest{Query: q, K: 1})
 	if rec.Code != http.StatusOK {
 		t.Fatalf("engine not reusable after deadline: status %d", rec.Code)
 	}
@@ -129,7 +129,7 @@ func TestServeDeadline(t *testing.T) {
 // TestServeHealthz pins the health endpoint's shape.
 func TestServeHealthz(t *testing.T) {
 	e, _ := testEngine(t)
-	h := newServer(e, time.Second).handler()
+	h := newServer(e, time.Second, 0).handler()
 	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
@@ -148,7 +148,7 @@ func TestServeHealthz(t *testing.T) {
 // TestServeRejectsBadRequests covers the 4xx paths.
 func TestServeRejectsBadRequests(t *testing.T) {
 	e, _ := testEngine(t)
-	h := newServer(e, time.Second).handler()
+	h := newServer(e, time.Second, 0).handler()
 
 	req := httptest.NewRequest(http.MethodGet, "/query", nil)
 	rec := httptest.NewRecorder()
@@ -174,7 +174,7 @@ func TestServeRejectsBadRequests(t *testing.T) {
 // the shared-engine concurrency contract under the race detector.
 func TestServeConcurrentQueries(t *testing.T) {
 	e, d := testEngine(t)
-	h := newServer(e, time.Second).handler()
+	h := newServer(e, time.Second, 0).handler()
 	done := make(chan error, 8)
 	for g := 0; g < 8; g++ {
 		go func(g int) {

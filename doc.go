@@ -40,6 +40,46 @@
 // exactly. Index construction is not cooperatively cancellable; BuildIndex
 // checks its context only between construction phases.
 //
+// # Partial answers and failure semantics
+//
+// The failure surface is typed and small. Every error an engine returns is
+// a context error passed through, one of the sentinels in errors.go
+// (matched with errors.Is: the ErrSnapshot* family, ErrSnapshotMismatch,
+// ErrUnknownMethod, ErrWorkerPanic, ErrQueryPanic), or an input-validation
+// error naming the bad argument.
+//
+// WithPartialOnDeadline opts a query path into graceful degradation: when
+// a context deadline expires mid-query, Query and QueryWithStats return
+// the best-so-far k-NN candidates with QueryStats.Partial set and a nil
+// error, instead of context.DeadlineExceeded and nothing. For scan methods
+// the partial answer is bit-exactly the best-so-far heap the streaming
+// path reported up to the expiry; ng-approximate index methods fall back
+// to their approximate descent's answer; other methods degrade to an empty
+// partial result. The contract's edges: a query that completes is never
+// marked partial and answers bit-identically to the same query without the
+// option; explicit cancellation (context.Canceled) still fails, because
+// the caller walked away; and the stats of a partial answer cover exactly
+// the work performed. cmd/hydra-serve surfaces the same contract as a
+// "partial":true field on 200 responses (the -partial flag).
+//
+// Failures are contained at every boundary where one query could harm
+// another. A panic in a parallel-scan worker is recovered at the worker
+// and fails only that query, typed ErrWorkerPanic; a panicking query
+// inside QueryBatch fails its own slot (ErrQueryPanic) while sibling
+// queries answer; QueryStream converts a panic into a terminal Err event.
+// Engines hold no per-query mutable state, so after any recovered failure
+// — including every fault the internal faultpoint framework can inject —
+// the engine keeps answering bit-identically (the conformance suite in
+// faults_test.go pins this under the race detector).
+//
+// LoadIndex classifies snapshot failures rather than giving up: transient
+// read errors are retried with backoff (WithSnapshotRetries), corrupt
+// files are quarantined aside as *.quarantined with the original path
+// freed, and WithRebuildFallback replaces any unloadable snapshot with a
+// fresh build that reseeds the file. IsCorruptSnapshot distinguishes
+// damage (quarantine + rebuild) from version skew and dataset mismatch
+// (the file is fine, the context is wrong).
+//
 // # Persistence
 //
 // Tree-backed methods implement core.Persistable: their built state saves

@@ -2,10 +2,12 @@ package hydra
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hydra/internal/core"
 	"hydra/internal/persist"
@@ -47,7 +49,8 @@ type Engine struct {
 	device Device
 	build  BuildStats
 
-	batchWorkers int
+	batchWorkers      int
+	partialOnDeadline bool
 }
 
 // Open opens a collection file and returns a scan engine over it: the
@@ -129,6 +132,14 @@ func BuildIndex(ctx context.Context, method string, opts ...Option) (*Engine, er
 // fingerprint, so a snapshot never silently answers for the wrong data.
 // The loaded engine answers queries bit-identically to the engine that was
 // saved.
+//
+// Load failures are classified, not just reported: transient errors are
+// retried with backoff (WithSnapshotRetries), a corrupt file is quarantined
+// aside (path + ".quarantined") so no later start trips over it again, and
+// with WithRebuildFallback any unloadable snapshot is replaced by a fresh
+// build instead of failing the start. Without the fallback the error wraps
+// one of the ErrSnapshot* sentinels (see errors.go) for the caller to route
+// on.
 func LoadIndex(ctx context.Context, path string, opts ...Option) (*Engine, error) {
 	cfg := defaultConfig()
 	cfg.apply(opts)
@@ -139,26 +150,108 @@ func LoadIndex(ctx context.Context, path string, opts ...Option) (*Engine, error
 	if err := core.Canceled(ctx); err != nil {
 		return nil, err
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
 	coll := core.NewCollection(d.d)
-	m, bs, err := core.LoadIndexInstrumented(f, coll)
+	m, bs, err := cfg.loadSnapshot(ctx, path, coll)
 	if err != nil {
+		if cfg.rebuildMethod != "" {
+			return cfg.rebuildFallback(ctx, path, d, err)
+		}
 		return nil, fmt.Errorf("hydra: loading %s: %w", path, err)
 	}
 	return cfg.engine(m, coll, d, bs), nil
+}
+
+// defaultSnapshotRetries is the total attempt count of a snapshot load when
+// WithSnapshotRetries is not given.
+const defaultSnapshotRetries = 3
+
+// snapshotBackoff is the wait before the first retry; it doubles per
+// attempt, so the default schedule is 5ms then 10ms.
+const snapshotBackoff = 5 * time.Millisecond
+
+// loadSnapshot opens and decodes a snapshot with the config's resilience
+// policy: transient failures (anything not known-permanent — e.g. a flaky
+// filesystem read) are retried up to the attempt budget with doubling
+// backoff honoring ctx; corruption, version skew, dataset mismatch, unknown
+// method, and a missing file fail immediately. A final corrupt error
+// quarantines the file aside before returning.
+func (c *config) loadSnapshot(ctx context.Context, path string, coll *core.Collection) (core.Persistable, BuildStats, error) {
+	attempts := c.snapshotRetries
+	if attempts <= 0 {
+		attempts = defaultSnapshotRetries
+	}
+	backoff := snapshotBackoff
+	var err error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, BuildStats{}, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		var m core.Persistable
+		var bs BuildStats
+		m, bs, err = openSnapshot(path, coll)
+		if err == nil {
+			return m, bs, nil
+		}
+		if permanentLoadError(err) {
+			break
+		}
+	}
+	if IsCorruptSnapshot(err) {
+		if qpath, qerr := persist.Quarantine(path); qerr == nil {
+			err = fmt.Errorf("%w (quarantined to %s)", err, qpath)
+		}
+	}
+	return nil, BuildStats{}, err
+}
+
+// openSnapshot is one load attempt: open, decode, attach, close.
+func openSnapshot(path string, coll *core.Collection) (core.Persistable, BuildStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, BuildStats{}, err
+	}
+	defer f.Close()
+	return core.LoadIndexInstrumented(f, coll)
+}
+
+// rebuildFallback replaces an unloadable snapshot with a fresh build of the
+// configured fallback method over a clean collection (failed decode
+// attempts may have charged counters on the first one), then best-effort
+// re-saves the snapshot so the next start loads instead of building.
+func (c *config) rebuildFallback(ctx context.Context, path string, d *Dataset, loadErr error) (*Engine, error) {
+	if err := core.Canceled(ctx); err != nil {
+		return nil, err
+	}
+	m, err := core.New(c.rebuildMethod, c.opts)
+	if err != nil {
+		return nil, fmt.Errorf("hydra: rebuild fallback after snapshot failure (%v): %w", loadErr, err)
+	}
+	coll := core.NewCollection(d.d)
+	bs, err := core.BuildInstrumented(m, coll)
+	if err != nil {
+		return nil, fmt.Errorf("hydra: rebuilding %s after snapshot failure (%v): %w", c.rebuildMethod, loadErr, err)
+	}
+	if p, ok := m.(core.Persistable); ok {
+		// Reseeding the snapshot is best effort: a read-only index dir must
+		// not fail a start the rebuild just saved.
+		_ = core.SaveSnapshotFile(p, coll, path)
+	}
+	return c.engine(m, coll, d, bs), nil
 }
 
 func (c *config) engine(m core.Method, coll *core.Collection, d *Dataset, bs BuildStats) *Engine {
 	// Workers was already handed to the method factory through core.Options.
 	return &Engine{
 		m: m, coll: coll, data: d,
-		device:       c.device,
-		build:        bs,
-		batchWorkers: c.resolvedBatchWorkers(),
+		device:            c.device,
+		build:             bs,
+		batchWorkers:      c.resolvedBatchWorkers(),
+		partialOnDeadline: c.partialOnDeadline,
 	}
 }
 
@@ -170,15 +263,20 @@ func (c *config) cachePath(method string, coll *core.Collection) string {
 }
 
 // loadCached loads a cache entry if present and intact; a stale or damaged
-// entry reports !ok and the caller rebuilds.
+// entry reports !ok and the caller rebuilds. A corrupt entry is additionally
+// quarantined aside (rename to path + ".quarantined") so the rebuild's
+// write-then-rename reseeds a clean path and the damage stays inspectable.
 func loadCached(path string, coll *core.Collection) (core.Method, BuildStats, bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, BuildStats{}, false
 	}
-	defer f.Close()
 	m, bs, err := core.LoadIndexInstrumented(f, coll)
+	f.Close()
 	if err != nil {
+		if IsCorruptSnapshot(err) {
+			_, _ = persist.Quarantine(path)
+		}
 		return nil, BuildStats{}, false
 	}
 	return m, bs, true
@@ -239,11 +337,103 @@ func (e *Engine) Query(ctx context.Context, q []float32, k int) ([]Match, error)
 
 // QueryWithStats is Query plus the paper's per-query cost counters
 // (distance calculations, pruning, simulated I/O, CPU time).
+//
+// Under WithPartialOnDeadline, a query whose context deadline expires
+// mid-run returns the best-so-far candidates with Stats.Partial set and a
+// nil error instead of context.DeadlineExceeded (see the option's doc for
+// the exact contract).
 func (e *Engine) QueryWithStats(ctx context.Context, q []float32, k int) ([]Match, QueryStats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if e.partialOnDeadline {
+		if _, ok := ctx.Deadline(); ok {
+			return e.queryPartial(ctx, q, k)
+		}
+	}
 	return core.RunQuery(ctx, e.m, e.coll, series.Series(q), k)
+}
+
+// queryPartial is the degraded-mode query path: it runs the query through
+// whatever best-so-far machinery the method offers, and on deadline expiry
+// folds that progress into a partial answer instead of an error.
+//
+//   - Streaming methods (the scans): the stream emissions are folded into a
+//     k-NN heap as they arrive; on expiry the fold holds exactly the
+//     best-so-far heap the stream path would have reported, bit-identically.
+//   - ng-approximate index methods: the approximate descent (one
+//     root-to-leaf path, cheap) runs first as a floor, then the exact
+//     query; on expiry the descent's answer is returned. The head-start
+//     charges its own simulated I/O — the cost of an answer floor.
+//   - Everything else degrades to an empty partial answer on expiry.
+//
+// Queries that complete return the exact answer, bit-identical to Query
+// without the option. Explicit cancellation still fails with ctx.Err().
+func (e *Engine) queryPartial(ctx context.Context, q []float32, k int) ([]Match, QueryStats, error) {
+	sq := series.Series(q)
+	switch m := e.m.(type) {
+	case core.KNNStreamer:
+		fold := newBestFold(k)
+		matches, qs, err := core.RunQueryStream(ctx, m, e.coll, sq, k, fold.add)
+		if errors.Is(err, context.DeadlineExceeded) {
+			qs.Partial = true
+			return fold.results(), qs, nil
+		}
+		return matches, qs, err
+	case core.ApproxMethod:
+		approx, aqs, aerr := m.ApproxKNN(ctx, sq, k)
+		if aerr != nil {
+			if errors.Is(aerr, context.DeadlineExceeded) {
+				aqs.Partial = true
+				return nil, aqs, nil
+			}
+			return nil, aqs, aerr
+		}
+		matches, qs, err := core.RunQuery(ctx, e.m, e.coll, sq, k)
+		if errors.Is(err, context.DeadlineExceeded) {
+			aqs.Partial = true
+			return approx, aqs, nil
+		}
+		return matches, qs, err
+	default:
+		matches, qs, err := core.RunQuery(ctx, e.m, e.coll, sq, k)
+		if errors.Is(err, context.DeadlineExceeded) {
+			qs.Partial = true
+			return nil, qs, nil
+		}
+		return matches, qs, err
+	}
+}
+
+// bestFold accumulates stream emissions into a k-NN heap so an expired
+// query can answer with its progress. Emissions arrive concurrently from
+// scan workers; the mutex makes the fold safe, and the deterministic
+// (distance, then ascending ID) heap makes the folded top-k independent of
+// arrival order.
+type bestFold struct {
+	mu  sync.Mutex
+	set *core.KNNSet
+}
+
+func newBestFold(k int) *bestFold {
+	return &bestFold{set: core.NewKNNSet(k)}
+}
+
+// add folds one emitted candidate. The heap stores squared distances, the
+// stream reports true ones; squaring here and square-rooting in results is
+// exact round-tripping under IEEE-754 (sqrt(x·x) == |x| in round-to-nearest
+// absent overflow), so folded distances are bit-identical to the stream's.
+func (f *bestFold) add(m Match) {
+	f.mu.Lock()
+	f.set.Add(m.ID, m.Dist*m.Dist)
+	f.mu.Unlock()
+}
+
+// results returns the folded best-so-far, sorted like every exact answer.
+func (f *bestFold) results() []Match {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.set.Results()
 }
 
 // QueryBatch answers a batch of queries concurrently on up to
@@ -301,7 +491,7 @@ func (e *Engine) QueryBatchErrors(ctx context.Context, qs [][]float32, k int) ([
 					errs[qi] = err
 					continue // mark every remaining claimed query cancelled
 				}
-				matches, err := e.Query(ctx, qs[qi], k)
+				matches, err := e.queryIsolated(ctx, qs[qi], k)
 				if err != nil {
 					errs[qi] = err
 					continue
@@ -312,4 +502,18 @@ func (e *Engine) QueryBatchErrors(ctx context.Context, qs [][]float32, k int) ([
 	}
 	wg.Wait()
 	return results, errs
+}
+
+// queryIsolated is Query with a panic boundary: a panicking query (a method
+// bug, or an armed query/panic faultpoint) becomes that query's own
+// ErrQueryPanic instead of unwinding the batch worker and taking its
+// sibling queries — or the process — down with it. Queries only read the
+// built index, so a recovered panic cannot have corrupted engine state.
+func (e *Engine) queryIsolated(ctx context.Context, q []float32, k int) (m []Match, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%w: %v", ErrQueryPanic, p)
+		}
+	}()
+	return e.Query(ctx, q, k)
 }

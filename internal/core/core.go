@@ -10,6 +10,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -328,11 +329,16 @@ func RegisterHidden(name string, f Factory) {
 	registry[name] = f
 }
 
+// ErrUnknownMethod is the sentinel wrapped by New's failure for a name no
+// factory registered — also the typed face of loading a snapshot whose
+// method this build does not know (version skew, not corruption).
+var ErrUnknownMethod = errors.New("core: unknown method")
+
 // New instantiates a registered method by name.
 func New(name string, opts Options) (Method, error) {
 	f, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("core: unknown method %q (known: %v)", name, Names())
+		return nil, fmt.Errorf("%w %q (known: %v)", ErrUnknownMethod, name, Names())
 	}
 	return f(opts), nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -9,10 +10,19 @@ import (
 	"sync/atomic"
 
 	"hydra/internal/dataset"
+	"hydra/internal/faultpoint"
 	"hydra/internal/series"
 	"hydra/internal/stats"
 	"hydra/internal/storage"
 )
+
+// ErrWorkerPanic is the sentinel wrapped by the error a parallel scan
+// returns when one of its worker goroutines panicked (including faultpoint
+// drills): the panic is recovered at the worker boundary, the remaining
+// workers finish, and the query reports a typed error instead of crashing
+// the process. The scan holds no cross-query state, so the collection and
+// method stay fully usable afterwards.
+var ErrWorkerPanic = errors.New("core: scan worker panicked")
 
 // BestSoFar is a lock-free pruning bound shared by concurrent scan workers,
 // the coordination device of MESSI-style parallel query answering: every
@@ -124,17 +134,38 @@ func scanKNN(ctx context.Context, c *Collection, q series.Series, k, workers int
 	shared := NewBestSoFar()
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+	var workerPanic error
 	for w := range shards {
 		wg.Add(1)
 		go func(sh *storage.Shard) {
 			defer wg.Done()
+			// Worker panics (a bug in a kernel, or an armed faultpoint
+			// drill) are recovered here, at the goroutine boundary where
+			// they would otherwise kill the process, and surfaced as one
+			// typed ErrWorkerPanic for the whole query. The worker's
+			// partial set is discarded; its siblings finish normally.
+			defer func() {
+				if p := recover(); p != nil {
+					mu.Lock()
+					if workerPanic == nil {
+						workerPanic = fmt.Errorf("%w: %v", ErrWorkerPanic, p)
+					}
+					mu.Unlock()
+				}
+			}()
+			faultpoint.MaybePanic(faultpoint.ScanWorkerPanic)
+			faultpoint.ChurnAllocs(faultpoint.ScanAllocPressure)
 			wsc := scanScratch.Get()
 			defer scanScratch.Put(wsc)
 			set := wsc.KNN(k)
 			var ws stats.QueryStats
 			for i := sh.Lo(); i < sh.Hi(); i++ {
 				if (i-sh.Lo())%CancelBlock == 0 && Canceled(ctx) != nil {
-					return // partial set discarded; the caller reports ctx.Err()
+					// Stop scanning but still merge the counters below: the
+					// caller reports ctx.Err() (results are discarded on the
+					// exact path), and a degraded partial answer must carry
+					// the work actually done, not zeros.
+					break
 				}
 				cand := sh.Read(i)
 				bound := set.Bound()
@@ -145,7 +176,12 @@ func scanKNN(ctx context.Context, c *Collection, q series.Series, k, workers int
 				ws.DistCalcs++
 				ws.RawSeriesExamined++
 				if set.Add(i, d) {
-					if shared.Tighten(set.Bound()) && emit != nil {
+					// A candidate is progress when it tightens the shared
+					// cross-worker bound — or enters a still-filling heap
+					// (bound +Inf), so a deadline-degraded consumer sees
+					// the first k candidates too, not only the evictions.
+					improved := shared.Tighten(set.Bound())
+					if emit != nil && (improved || math.IsInf(set.Bound(), 1)) {
 						emit(Match{ID: i, Dist: math.Sqrt(d)})
 					}
 				}
@@ -158,6 +194,9 @@ func scanKNN(ctx context.Context, c *Collection, q series.Series, k, workers int
 		}(&shards[w])
 	}
 	wg.Wait()
+	if workerPanic != nil {
+		return nil, qs, workerPanic
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, qs, err
 	}

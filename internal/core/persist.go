@@ -2,17 +2,23 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"math"
-	"os"
 	"path/filepath"
 	"time"
 
 	"hydra/internal/persist"
 	"hydra/internal/stats"
 )
+
+// ErrSnapshotMismatch is the sentinel wrapped by LoadIndex failures where
+// the snapshot is intact but belongs to different data (shape or
+// fingerprint disagreement with the collection). The file is not corrupt —
+// resilient loaders rebuild instead of quarantining it.
+var ErrSnapshotMismatch = errors.New("core: snapshot does not match collection")
 
 // Persistable is implemented by methods whose built state can be saved to a
 // versioned snapshot (package persist) and reattached to a collection later.
@@ -79,12 +85,12 @@ func LoadIndex(r io.Reader, c *Collection) (Persistable, error) {
 		return nil, fmt.Errorf("core: common section: %w", err)
 	}
 	if count != c.File.Len() || length != c.File.SeriesLen() {
-		return nil, fmt.Errorf("core: snapshot of %d×%d series does not match collection of %d×%d",
-			count, length, c.File.Len(), c.File.SeriesLen())
+		return nil, fmt.Errorf("%w: snapshot of %d×%d series, collection of %d×%d",
+			ErrSnapshotMismatch, count, length, c.File.Len(), c.File.SeriesLen())
 	}
 	if got := Fingerprint(c); fp != got {
-		return nil, fmt.Errorf("core: snapshot fingerprint %08x does not match collection %08x (different data?)",
-			fp, got)
+		return nil, fmt.Errorf("%w: snapshot fingerprint %08x, collection %08x (different data?)",
+			ErrSnapshotMismatch, fp, got)
 	}
 	m, err := New(dec.Method(), opts)
 	if err != nil {
@@ -212,24 +218,9 @@ func SnapshotCachePath(dir, name string, c *Collection, opts Options) string {
 // creates the parent directory), so a crashed process cannot leave a
 // truncated file that every later run would try — and fail — to load.
 func SaveSnapshotFile(p Persistable, c *Collection, path string) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := SaveIndex(p, c, f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return persist.AtomicWrite(path, 0o644, func(w io.Writer) error {
+		return SaveIndex(p, c, w)
+	})
 }
 
 // Persistables lists the registered (visible) methods that support

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hydra/internal/dataset"
+	"hydra/internal/faultpoint"
 	"hydra/internal/series"
 	"hydra/internal/stats"
 	"hydra/internal/storage"
@@ -29,6 +30,10 @@ func BuildInstrumented(m Method, c *Collection) (stats.BuildStats, error) {
 // passed through to the method's KNN and honored under its block-granular
 // cancellation contract.
 func RunQuery(ctx context.Context, m Method, c *Collection, q series.Series, k int) ([]Match, stats.QueryStats, error) {
+	// The query/panic failpoint fires above every per-worker recovery, so
+	// it drills exactly the per-query isolation layers: QueryBatch's
+	// recover and the serve handlers' recovery middleware.
+	faultpoint.MaybePanic(faultpoint.QueryPanic)
 	before := c.Counters.Snapshot()
 	start := time.Now()
 	matches, qs, err := m.KNN(ctx, q, k)

@@ -1,0 +1,187 @@
+package faultpoint
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedPointsNeverFire(t *testing.T) {
+	Reset()
+	if Fire("persist/read-error") {
+		t.Fatal("disarmed point fired")
+	}
+	if err := Err(PersistReadError); err != nil {
+		t.Fatalf("disarmed Err: %v", err)
+	}
+	if Hits(PersistReadError) != 0 {
+		t.Fatal("disarmed point counted hits")
+	}
+}
+
+func TestArmFiresUntilDisarm(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(QueryPanic)
+	for i := 0; i < 5; i++ {
+		if !Fire(QueryPanic) {
+			t.Fatalf("armed point did not fire at hit %d", i)
+		}
+	}
+	Disarm(QueryPanic)
+	if Fire(QueryPanic) {
+		t.Fatal("fired after Disarm")
+	}
+	if got := Hits(QueryPanic); got != 5 {
+		t.Fatalf("hits = %d, want 5", got)
+	}
+}
+
+func TestArmNSelfDisarms(t *testing.T) {
+	Reset()
+	defer Reset()
+	ArmN(PersistReadError, 2)
+	fired := 0
+	for i := 0; i < 5; i++ {
+		if Fire(PersistReadError) {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2", fired)
+	}
+	if Armed(PersistReadError) {
+		t.Fatal("ArmN point still armed after its budget")
+	}
+}
+
+func TestErrIsTyped(t *testing.T) {
+	Reset()
+	defer Reset()
+	ArmN(PersistReadError, 1)
+	err := Err(PersistReadError)
+	if err == nil {
+		t.Fatal("armed Err returned nil")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected error %v does not wrap ErrInjected", err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Point != PersistReadError {
+		t.Fatalf("injected error %v does not carry its point", err)
+	}
+}
+
+func TestDelayIsBounded(t *testing.T) {
+	Reset()
+	defer Reset()
+	ArmDelay(PersistSlowIO, 20*time.Millisecond)
+	start := time.Now()
+	Delay(PersistSlowIO)
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("armed delay slept only %v", d)
+	}
+	Disarm(PersistSlowIO)
+	start = time.Now()
+	Delay(PersistSlowIO)
+	if d := time.Since(start); d > 5*time.Millisecond {
+		t.Fatalf("disarmed delay slept %v", d)
+	}
+}
+
+func TestMaybePanicCarriesTypedValue(t *testing.T) {
+	Reset()
+	defer Reset()
+	ArmN(ScanWorkerPanic, 1)
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("armed MaybePanic did not panic")
+		}
+		fe, ok := p.(*Error)
+		if !ok || fe.Point != ScanWorkerPanic {
+			t.Fatalf("panic value %v is not a typed *Error", p)
+		}
+	}()
+	MaybePanic(ScanWorkerPanic)
+}
+
+func TestShortReadTruncates(t *testing.T) {
+	Reset()
+	defer Reset()
+	long := strings.Repeat("x", 1024)
+	if got, _ := io.ReadAll(ShortRead(PersistShortRead, strings.NewReader(long))); len(got) != 1024 {
+		t.Fatalf("disarmed ShortRead truncated to %d bytes", len(got))
+	}
+	ArmN(PersistShortRead, 1)
+	if got, _ := io.ReadAll(ShortRead(PersistShortRead, strings.NewReader(long))); len(got) != 64 {
+		t.Fatalf("armed ShortRead delivered %d bytes, want 64", len(got))
+	}
+}
+
+func TestChurnAllocsSurvives(t *testing.T) {
+	Reset()
+	defer Reset()
+	ArmN(ScanAllocPressure, 3)
+	for i := 0; i < 3; i++ {
+		ChurnAllocs(ScanAllocPressure)
+	}
+	if Hits(ScanAllocPressure) != 3 {
+		t.Fatalf("hits = %d, want 3", Hits(ScanAllocPressure))
+	}
+}
+
+func TestEnvArming(t *testing.T) {
+	Reset()
+	defer Reset()
+	armFromEnv("persist/read-error=2, storage/slow-read=5ms ,query/panic,,bogus=notaduration")
+	if !Armed(PersistReadError) || !Armed(StorageSlowRead) || !Armed(QueryPanic) {
+		t.Fatal("env entries not armed")
+	}
+	if Armed("bogus") {
+		t.Fatal("malformed entry armed")
+	}
+	if Fire(PersistReadError); !Fire(PersistReadError) {
+		t.Fatal("count spec lost")
+	}
+	if Fire(PersistReadError) {
+		t.Fatal("count spec did not cap firings")
+	}
+	start := time.Now()
+	Delay(StorageSlowRead)
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("duration spec not applied")
+	}
+}
+
+// TestConcurrentFire exercises the arming and firing paths from many
+// goroutines at once; run under -race this pins the framework itself as
+// data-race free, a precondition for injecting faults into -race suites.
+func TestConcurrentFire(t *testing.T) {
+	Reset()
+	defer Reset()
+	ArmN(ScanWorkerPanic, 100)
+	var fired sync.WaitGroup
+	var count int64
+	var mu sync.Mutex
+	for g := 0; g < 8; g++ {
+		fired.Add(1)
+		go func() {
+			defer fired.Done()
+			for i := 0; i < 50; i++ {
+				if Fire(ScanWorkerPanic) {
+					mu.Lock()
+					count++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	fired.Wait()
+	if count != 100 {
+		t.Fatalf("fired %d times across goroutines, want exactly 100", count)
+	}
+}

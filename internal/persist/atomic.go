@@ -1,0 +1,71 @@
+// Atomic file helpers shared by every durable artifact the suite writes:
+// index snapshots (core.SaveSnapshotFile) and hydra-bench's BENCH json both
+// go through write-then-rename, so a crash mid-write can never leave a
+// truncated file under the final name — later runs see either the previous
+// complete artifact or the new one, nothing in between. Quarantine is the
+// counterpart for files that turned out corrupt on read: rename-aside
+// preserves the evidence while clearing the path for a rebuilt replacement.
+
+package persist
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWrite writes a file at path by streaming fill into a temporary
+// sibling and renaming it into place only after a successful close: readers
+// never observe a partial file, and a crash leaves at most a *.tmp to sweep.
+// Parent directories are created as needed. On any error the temporary file
+// is removed and path is untouched.
+func AtomicWrite(path string, perm os.FileMode, fill func(io.Writer) error) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// WriteFileAtomic is AtomicWrite for a prepared byte slice — the
+// os.WriteFile shape with the write-then-rename guarantee.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return AtomicWrite(path, perm, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// QuarantineExt is the suffix appended to a snapshot file set aside by
+// Quarantine. A quarantined snapshot is never loaded again (no loader looks
+// for the extension); it stays on disk for diagnosis until swept.
+const QuarantineExt = ".quarantined"
+
+// Quarantine renames a corrupt snapshot aside to path+QuarantineExt,
+// replacing any earlier quarantined copy, and returns the new name. The
+// original path is free afterwards, so a rebuild can reseed it.
+func Quarantine(path string) (string, error) {
+	qpath := path + QuarantineExt
+	if err := os.Rename(path, qpath); err != nil {
+		return "", fmt.Errorf("persist: quarantining %s: %w", path, err)
+	}
+	return qpath, nil
+}

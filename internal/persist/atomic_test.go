@@ -1,0 +1,105 @@
+package persist
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAtomicWriteCreatesDirsAndFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a", "b", "out.json")
+	if err := WriteFileAtomic(path, []byte("hello\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello\n" {
+		t.Fatalf("got %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("temporary file left behind after success")
+	}
+}
+
+func TestAtomicWriteReplacesWholeFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out")
+	if err := WriteFileAtomic(path, []byte("a long first version"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "v2" {
+		t.Fatalf("stale bytes survived the rewrite: %q", got)
+	}
+}
+
+// TestAtomicWriteFailedFillLeavesTargetUntouched pins the crash-safety
+// contract: a fill that errors mid-stream removes the temporary and leaves
+// the previous file bit-identical.
+func TestAtomicWriteFailedFillLeavesTargetUntouched(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out")
+	if err := WriteFileAtomic(path, []byte("good"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := AtomicWrite(path, 0o644, func(w io.Writer) error {
+		w.Write([]byte("partial garbage"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "good" {
+		t.Fatalf("failed write damaged the target: %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("temporary file left behind after failure")
+	}
+}
+
+func TestQuarantineRenamesAside(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idx.hydx")
+	if err := os.WriteFile(path, []byte("corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	qpath, err := Quarantine(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qpath != path+QuarantineExt {
+		t.Fatalf("qpath = %q", qpath)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("original path should be free after quarantine")
+	}
+	got, err := os.ReadFile(qpath)
+	if err != nil || string(got) != "corrupt" {
+		t.Fatalf("quarantined bytes not preserved: %q (%v)", got, err)
+	}
+
+	// A second quarantine of a newer corrupt file replaces the old evidence.
+	if err := os.WriteFile(path, []byte("corrupt2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Quarantine(path); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(qpath)
+	if string(got) != "corrupt2" {
+		t.Fatalf("quarantine should replace earlier copy: %q", got)
+	}
+}
+
+func TestQuarantineMissingFileErrors(t *testing.T) {
+	if _, err := Quarantine(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("quarantining a missing file should error")
+	}
+}

@@ -18,8 +18,9 @@
 // is endian-stable by construction, never relying on host memory layout.
 //
 // The package is deliberately free of dependencies on the rest of the suite:
-// it knows about bytes, not about trees. Method payload layouts are owned by
-// the index packages (each encodes into sections via Writer/Reader
+// it knows about bytes, not about trees (its only suite import is the leaf
+// fault-injection framework, package faultpoint). Method payload layouts are
+// owned by the index packages (each encodes into sections via Writer/Reader
 // primitives); the common envelope and collection fingerprint are owned by
 // package core (core.SaveIndex / core.LoadIndex).
 package persist
@@ -33,6 +34,8 @@ import (
 	"io"
 	"math"
 	"strings"
+
+	"hydra/internal/faultpoint"
 )
 
 // Magic identifies a snapshot file. It is distinct from the dataset magic
@@ -168,8 +171,15 @@ type Decoder struct {
 // NewDecoder reads a complete snapshot from r, verifying magic, format
 // version and every section checksum up front. Errors wrap the package's
 // sentinel errors (ErrMagic, ErrVersion, ErrChecksum, ErrTruncated,
-// ErrCorrupt).
+// ErrCorrupt) — except injected transient I/O faults (faultpoint
+// PersistReadError), which surface untyped-by-persist exactly like a real
+// device error would, so load-retry layers can tell them from corruption.
 func NewDecoder(r io.Reader) (*Decoder, error) {
+	if err := faultpoint.Err(faultpoint.PersistReadError); err != nil {
+		return nil, fmt.Errorf("persist: reading snapshot: %w", err)
+	}
+	faultpoint.Delay(faultpoint.PersistSlowIO)
+	r = faultpoint.ShortRead(faultpoint.PersistShortRead, r)
 	br := newByteReader(r)
 	head := make([]byte, len(Magic))
 	if _, err := io.ReadFull(br, head); err != nil {

@@ -32,6 +32,11 @@ type QueryStats struct {
 	// simulated substrate all measured time is compute, since I/O is counted,
 	// not performed.
 	CPUTime time.Duration
+	// Partial marks a degraded answer: the query's deadline expired and the
+	// matches are the best-so-far at that moment, not the proven exact top-k
+	// (see hydra.WithPartialOnDeadline). The counters then cover only the
+	// work actually done. Never set on exact answers.
+	Partial bool
 }
 
 // PruningRatio returns P = 1 - examined/collection size (§4.2, measure 3).

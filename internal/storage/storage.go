@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hydra/internal/faultpoint"
 	"hydra/internal/series"
 )
 
@@ -264,6 +265,7 @@ func (f *SeriesFile) ReadRange(lo, hi int) []series.Series {
 	if lo < 0 || hi > f.count || lo > hi {
 		panic(fmt.Sprintf("storage: ReadRange[%d,%d) out of bounds 0..%d", lo, hi, f.count))
 	}
+	faultpoint.Delay(faultpoint.StorageSlowRead)
 	n := int64(hi-lo) * f.SeriesBytes()
 	if !f.nextSeq.CompareAndSwap(int64(lo), int64(hi)) {
 		f.c.ChargeRand(0) // the seek repositioning the head
@@ -286,6 +288,7 @@ func (f *SeriesFile) FlatRange(lo, hi int) []float32 {
 	if lo < 0 || hi > f.count || lo > hi {
 		panic(fmt.Sprintf("storage: FlatRange[%d,%d) out of bounds 0..%d", lo, hi, f.count))
 	}
+	faultpoint.Delay(faultpoint.StorageSlowRead)
 	n := int64(hi-lo) * f.SeriesBytes()
 	if !f.nextSeq.CompareAndSwap(int64(lo), int64(hi)) {
 		f.c.ChargeRand(0) // the seek repositioning the head

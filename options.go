@@ -48,6 +48,10 @@ type config struct {
 	batchWorkers int
 	indexDir     string
 	opts         core.Options
+
+	partialOnDeadline bool
+	snapshotRetries   int
+	rebuildMethod     string
 }
 
 // Option configures an Engine under construction. Options are the one
@@ -143,6 +147,37 @@ func WithMemoryBudget(bytes int64) Option {
 
 // WithSeed drives randomized tie-breaking during index construction.
 func WithSeed(seed int64) Option { return func(c *config) { c.opts.Seed = seed } }
+
+// WithPartialOnDeadline turns deadline overruns into degraded answers
+// instead of failures: when a query's context deadline expires mid-query,
+// Query and QueryWithStats return the best-so-far k-NN candidates found up
+// to that moment with QueryStats.Partial set and a nil error, rather than
+// context.DeadlineExceeded and nothing. Exact-completing queries are
+// unaffected and never marked partial; explicit cancellation (Canceled, not
+// DeadlineExceeded) still fails, since the caller walked away. See doc.go
+// "Partial answers and failure semantics" for the contract.
+func WithPartialOnDeadline() Option {
+	return func(c *config) { c.partialOnDeadline = true }
+}
+
+// WithSnapshotRetries sets how many times LoadIndex attempts a snapshot
+// read that fails with a transient error (an I/O error from the filesystem
+// — not corruption, version skew, or mismatch, which retrying cannot cure)
+// before giving up, with a short doubling backoff between attempts.
+// 0 selects the default of 3 attempts; 1 disables retrying.
+func WithSnapshotRetries(n int) Option {
+	return func(c *config) { c.snapshotRetries = n }
+}
+
+// WithRebuildFallback arms LoadIndex's last line of defense: when the
+// snapshot cannot be loaded at all — corrupt (after quarantine), missing,
+// version-skewed, or mismatched — the named method is built fresh from the
+// configured dataset instead of failing, and the rebuilt index is saved
+// back over the snapshot path (best effort) so the next start loads again.
+// The BuildStats of the returned engine then report a build, not a load.
+func WithRebuildFallback(method string) Option {
+	return func(c *config) { c.rebuildMethod = method }
+}
 
 // SIMDBackend reports the kernel backend the process selected at startup:
 // "avx2+fma" when the assembly kernels are active, "go" otherwise. The

@@ -2,6 +2,7 @@ package hydra
 
 import (
 	"context"
+	"fmt"
 
 	"hydra/internal/core"
 	"hydra/internal/series"
@@ -70,21 +71,32 @@ func (e *Engine) QueryStream(ctx context.Context, q []float32, k int) <-chan Str
 			qs      QueryStats
 			err     error
 		)
-		switch m := e.m.(type) {
-		case core.KNNStreamer:
-			matches, qs, err = core.RunQueryStream(ctx, m, e.coll, series.Series(q), k, progress)
-		case core.ApproxMethod:
-			var approx []Match
-			approx, _, err = m.ApproxKNN(ctx, series.Series(q), k)
-			if err == nil {
-				if len(approx) > 0 {
-					progress(approx[0])
+		// The query runs inside a panic boundary: a panicking method (or an
+		// armed query/panic faultpoint) must surface as a terminal Err event
+		// on this stream, never as a process crash from an unattended
+		// goroutine.
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					matches, err = nil, fmt.Errorf("%w: %v", ErrQueryPanic, p)
 				}
+			}()
+			switch m := e.m.(type) {
+			case core.KNNStreamer:
+				matches, qs, err = core.RunQueryStream(ctx, m, e.coll, series.Series(q), k, progress)
+			case core.ApproxMethod:
+				var approx []Match
+				approx, _, err = m.ApproxKNN(ctx, series.Series(q), k)
+				if err == nil {
+					if len(approx) > 0 {
+						progress(approx[0])
+					}
+					matches, qs, err = e.QueryWithStats(ctx, q, k)
+				}
+			default:
 				matches, qs, err = e.QueryWithStats(ctx, q, k)
 			}
-		default:
-			matches, qs, err = e.QueryWithStats(ctx, q, k)
-		}
+		}()
 
 		final := StreamUpdate{Matches: matches, Stats: qs, Final: true}
 		if err != nil {
