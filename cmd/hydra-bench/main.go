@@ -7,7 +7,13 @@
 //	hydra-bench -experiment fig6 -scale 1024 # one artifact at 1/1024 scale
 //	hydra-bench -experiment fig5 -index idx/ # cache indexes across runs
 //	hydra-bench -experiment fig3 -out bench/ # also write bench/BENCH_fig3.json
+//	hydra-bench -experiment approx -mode delta-eps -gate-recall 0.95
 //	hydra-bench -list
+//
+// The approx experiment (the sequel paper's accuracy-vs-latency comparison)
+// honors -mode/-epsilon/-delta and records recall/MAP/node-ratio metrics in
+// its BENCH json; -gate-recall turns the run into a CI gate that fails when
+// any reported approximate mode's minimum recall drops below the bound.
 //
 // With -index, tree indexes are snapshotted into the named directory on
 // first build and loaded on later runs (build-once/query-many): only the
@@ -70,6 +76,12 @@ type benchJSON struct {
 	Rows      [][]string           `json:"rows"`
 	Notes     []string             `json:"notes,omitempty"`
 	Mem       memProfile           `json:"mem"`
+	// Quality carries answer-quality metrics (recall/MAP/node ratios keyed
+	// "metric/method/mode" plus "<mode>/recall/min" aggregates) for
+	// experiments with an accuracy dimension; tools/benchdiff fails a run
+	// whose recall drops below the baseline like it fails a ns/query
+	// regression.
+	Quality map[string]float64 `json:"quality,omitempty"`
 }
 
 // measureMem converts query-tally deltas into the per-query profile. The
@@ -97,6 +109,11 @@ func main() {
 		indexDir   = flag.String("index", "", "snapshot cache directory: persist indexes on first build, load on later runs")
 		outDir     = flag.String("out", "", "directory for BENCH_<id>.json artifacts (report + allocation profile)")
 		list       = flag.Bool("list", false, "list experiments and exit")
+
+		mode       = flag.String("mode", "", "approx experiment: comma list of modes to report (exact,ng,delta-eps; empty = all)")
+		epsilon    = flag.Float64("epsilon", 0, "approx experiment: delta-eps relative error bound ε (0 = default 1.0)")
+		delta      = flag.Float64("delta", 0, "approx experiment: delta-eps confidence δ (0 = default 0.95)")
+		gateRecall = flag.Float64("gate-recall", 0, "fail (exit 1) when any approximate mode's min recall falls below this (0 = no gate)")
 	)
 	flag.Parse()
 
@@ -119,6 +136,15 @@ func main() {
 	cfg.K = *k
 	cfg.Workers = *workers
 	cfg.IndexDir = *indexDir
+	cfg.Epsilon = *epsilon
+	cfg.Delta = *delta
+	if *mode != "" {
+		for _, m := range strings.Split(*mode, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				cfg.Modes = append(cfg.Modes, m)
+			}
+		}
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -153,7 +179,7 @@ func main() {
 			art := benchJSON{
 				ID: rep.ID, Title: rep.Title, Scale: *scaleDiv, Workers: *workers,
 				WallClock: elapsed.String(), Host: host, Header: rep.Header,
-				Rows: rep.Rows, Notes: rep.Notes, Mem: mem,
+				Rows: rep.Rows, Notes: rep.Notes, Mem: mem, Quality: rep.Quality,
 			}
 			blob, err := json.MarshalIndent(art, "", "  ")
 			if err != nil {
@@ -167,6 +193,21 @@ func main() {
 			if err := persist.WriteFileAtomic(path, append(blob, '\n'), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "hydra-bench: %v\n", err)
 				os.Exit(1)
+			}
+		}
+		// The recall gate runs after the artifact write on purpose: a failing
+		// run still records its evidence for benchdiff and postmortems.
+		if *gateRecall > 0 {
+			for key, v := range rep.Quality {
+				mode, ok := strings.CutSuffix(key, "/recall/min")
+				if !ok || mode == "exact" {
+					continue
+				}
+				if v < *gateRecall {
+					fmt.Fprintf(os.Stderr, "hydra-bench: %s mode %s min recall %.4f below gate %.4f\n",
+						rep.ID, mode, v, *gateRecall)
+					os.Exit(1)
+				}
 			}
 		}
 	}

@@ -10,6 +10,11 @@
 //	hydra-query -data synth.hyd -queries q.hyd -method UCR-Suite -workers -1
 //	hydra-query -data synth.hyd -queries q.hyd -index dstree.hydx
 //	hydra-query -data synth.hyd -queries q.hyd -method DSTree -timeout 100ms
+//	hydra-query -data synth.hyd -queries q.hyd -method DSTree -mode delta-eps -epsilon 1 -delta 0.95
+//
+// With -mode, queries are answered approximately (ng, delta-eps, or budget
+// — see hydra.WithApproxMode); the Nodes column then shows the traversal
+// work each mode saved against an exact run.
 //
 // With -index, the named snapshot (from hydra-build) is loaded instead of
 // rebuilding: the Idx(s) column then reports load time, the pay-per-run cost
@@ -41,6 +46,12 @@ func main() {
 		workers   = flag.Int("workers", 0, "intra-query scan parallelism (0 = serial, -1 = GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
 		verbose   = flag.Bool("v", false, "print every match")
+
+		mode       = flag.String("mode", "", "answering mode: exact|ng|delta-eps|budget (default exact)")
+		epsilon    = flag.Float64("epsilon", 0, "delta-eps mode: relative distance-error bound ε")
+		delta      = flag.Float64("delta", 0, "delta-eps mode: confidence δ in (0,1]; 0/1 = deterministic ε guarantee")
+		nodeBudget = flag.Int("node-budget", 0, "budget/delta-eps modes: max index nodes visited (0 = unlimited)")
+		timeBudget = flag.Duration("time-budget", 0, "budget/delta-eps modes: max wall time per query (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -82,10 +93,13 @@ func main() {
 	opts := []hydra.Option{
 		hydra.WithData(ds), hydra.WithDevice(dev),
 		hydra.WithLeafSize(*leafSize), hydra.WithWorkers(*workers),
+		hydra.WithApproxMode(*mode), hydra.WithEpsilon(*epsilon),
+		hydra.WithDelta(*delta), hydra.WithNodeBudget(*nodeBudget),
+		hydra.WithTimeBudget(*timeBudget),
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Method\tIdx(s)\tQueries(s)\tSeqOps\tRandOps\tPruning\tMeanDist")
+	fmt.Fprintln(tw, "Method\tIdx(s)\tQueries(s)\tSeqOps\tRandOps\tPruning\tNodes\tMeanDist")
 	for _, name := range names {
 		var e *hydra.Engine
 		if *indexPath != "" {
@@ -113,6 +127,7 @@ func main() {
 		var nMatches int
 		ws := struct {
 			seq, rnd int64
+			nodes    int64
 			prune    float64
 			secs     float64
 		}{}
@@ -128,6 +143,7 @@ func main() {
 			}
 			ws.seq += qs.IO.SeqOps
 			ws.rnd += qs.IO.RandOps
+			ws.nodes += qs.NodesVisited
 			ws.prune += qs.PruningRatio()
 			ws.secs += qs.TotalTime(dev).Seconds()
 			for _, mt := range matches {
@@ -140,9 +156,9 @@ func main() {
 		}
 		nq := float64(wl.Len())
 		bs := e.BuildStats()
-		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%d\t%d\t%.4f\t%.4f\n",
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%d\t%d\t%.4f\t%d\t%.4f\n",
 			name, bs.TotalTime(dev).Seconds(), ws.secs,
-			ws.seq, ws.rnd, ws.prune/nq, totalDist/float64(nMatches))
+			ws.seq, ws.rnd, ws.prune/nq, ws.nodes, totalDist/float64(nMatches))
 	}
 	tw.Flush()
 }

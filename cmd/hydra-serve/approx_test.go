@@ -1,0 +1,167 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"hydra"
+)
+
+// indexEngine builds an approx-capable index engine (the default testEngine
+// is a scan, which has no approximate mode lattice).
+func indexEngine(t *testing.T) (*hydra.Engine, *hydra.Dataset) {
+	t.Helper()
+	d, err := hydra.Generate("synthetic", 400, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := hydra.BuildIndex(context.Background(), "DSTree",
+		hydra.WithData(d), hydra.WithLeafSize(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, d
+}
+
+// TestServeApproxModes pins the per-request mode surface: mode fields in a
+// /query body derive the answering engine, the reported stats carry the
+// mode and the visit count, and an exact request against the same server
+// still answers the exact engine's answer bit for bit.
+func TestServeApproxModes(t *testing.T) {
+	e, d := testEngine(t) // scan engine: exact still works, approx must 400
+	h := newServer(e, time.Second, 0).handler()
+	q := d.Series(11)
+
+	ie, _ := indexEngine(t)
+	ih := newServer(ie, time.Second, 0).handler()
+
+	t.Run("exact is the default and round-trips", func(t *testing.T) {
+		want, err := ie.Query(context.Background(), q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, req := range []queryRequest{
+			{Query: q, K: 3},
+			{Query: q, K: 3, approxRequest: approxRequest{Mode: "exact"}},
+		} {
+			rec := postJSON(t, ih, "/query", req)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("status %d: %s", rec.Code, rec.Body)
+			}
+			var resp queryResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatal(err)
+			}
+			for i, m := range resp.Matches {
+				if m.ID != want[i].ID || m.Dist != want[i].Dist {
+					t.Fatalf("match %d: got %+v want %+v", i, m, want[i])
+				}
+			}
+			if resp.Stats.Mode == "ng" || resp.Stats.EarlyStop != "" {
+				t.Fatalf("exact request reported approximate stats: %+v", resp.Stats)
+			}
+		}
+	})
+
+	t.Run("ng round-trips mode and visits", func(t *testing.T) {
+		rec := postJSON(t, ih, "/query", queryRequest{
+			Query: q, K: 3, approxRequest: approxRequest{Mode: "ng"},
+		})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+		var resp queryResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Stats.Mode != "ng" {
+			t.Fatalf("stats mode %q, want ng", resp.Stats.Mode)
+		}
+		if len(resp.Matches) > 0 && resp.Stats.NodesVisited == 0 {
+			t.Fatalf("non-empty ng answer reported no node visits: %+v", resp.Stats)
+		}
+	})
+
+	t.Run("delta-eps echoes its parameters", func(t *testing.T) {
+		rec := postJSON(t, ih, "/query", queryRequest{
+			Query: q, K: 3,
+			approxRequest: approxRequest{Mode: "delta-eps", Epsilon: 1, Delta: 0.95},
+		})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+		var resp queryResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Stats.Mode != "delta-eps" || resp.Stats.Epsilon != 1 || resp.Stats.Delta != 0.95 {
+			t.Fatalf("delta-eps stats not echoed: %+v", resp.Stats)
+		}
+	})
+
+	t.Run("batch carries the mode", func(t *testing.T) {
+		queries := [][]float32{q, d.Series(7)}
+		rec := postJSON(t, ih, "/batch", batchRequest{
+			Queries:       queries,
+			K:             2,
+			approxRequest: approxRequest{Mode: "ng"},
+		})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+		var resp batchResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		// The batch answers must be the ng engine's answers — proof the mode
+		// reached every entry, since ng and exact disagree on these queries
+		// or at least never report more work than the full traversal.
+		ng, err := ie.WithQueryOptions(hydra.WithApproxMode("ng"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, res := range resp.Results {
+			if res.Error != "" {
+				t.Fatalf("batch entry %d failed: %s", i, res.Error)
+			}
+			want, err := ng.Query(context.Background(), queries[i], 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Matches) != len(want) {
+				t.Fatalf("entry %d: %d matches, want %d", i, len(res.Matches), len(want))
+			}
+			for j, m := range res.Matches {
+				if m.ID != want[j].ID || m.Dist != want[j].Dist {
+					t.Fatalf("entry %d match %d: got %+v want %+v", i, j, m, want[j])
+				}
+			}
+		}
+	})
+
+	t.Run("bad mode is a 400", func(t *testing.T) {
+		rec := postJSON(t, ih, "/query", queryRequest{
+			Query: q, K: 1, approxRequest: approxRequest{Mode: "fuzzy"},
+		})
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400: %s", rec.Code, rec.Body)
+		}
+	})
+
+	t.Run("approx on a scan method is a 400", func(t *testing.T) {
+		rec := postJSON(t, h, "/query", queryRequest{
+			Query: q, K: 1, approxRequest: approxRequest{Mode: "ng"},
+		})
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400: %s", rec.Code, rec.Body)
+		}
+		// And the server keeps serving exact queries afterwards.
+		rec = postJSON(t, h, "/query", queryRequest{Query: q, K: 1})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("scan server broken after approx rejection: %d", rec.Code)
+		}
+	})
+}

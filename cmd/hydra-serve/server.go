@@ -116,7 +116,8 @@ type matchJSON struct {
 	Dist float64 `json:"dist"`
 }
 
-// statsJSON is the wire form of the paper's per-query cost counters.
+// statsJSON is the wire form of the paper's per-query cost counters, plus
+// the answering mode and its guarantee parameters for approximate requests.
 type statsJSON struct {
 	DistCalcs   int64   `json:"dist_calcs"`
 	LBCalcs     int64   `json:"lb_calcs"`
@@ -127,11 +128,56 @@ type statsJSON struct {
 	CPUMicros   int64   `json:"cpu_us"`
 	SimMicros   int64   `json:"simulated_us"`
 	DeviceModel string  `json:"device"`
+
+	NodesVisited int64   `json:"nodes_visited"`
+	Mode         string  `json:"mode,omitempty"`
+	Epsilon      float64 `json:"epsilon,omitempty"`
+	Delta        float64 `json:"delta,omitempty"`
+	EarlyStop    string  `json:"early_stop,omitempty"`
+}
+
+// approxRequest is the approximate-mode selection shared by /query and
+// /batch requests. Empty/zero fields mean the server engine's own mode;
+// any set field makes the request fully specify its mode (nothing is
+// inherited, so "mode":"exact" forces exactness on any server).
+type approxRequest struct {
+	// Mode selects the answering mode: "exact", "ng", "delta-eps", "budget"
+	// ("" = the server's default).
+	Mode string `json:"mode,omitempty"`
+	// Epsilon is the "delta-eps" mode's relative distance-error bound ε.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Delta is the "delta-eps" mode's confidence δ ∈ (0, 1]; 0/1 keeps the
+	// ε guarantee deterministic.
+	Delta float64 `json:"delta,omitempty"`
+	// NodeBudget bounds nodes visited ("budget" or "delta-eps" modes).
+	NodeBudget int `json:"node_budget,omitempty"`
+}
+
+// isZero reports whether the request left every mode field unset.
+func (a approxRequest) isZero() bool {
+	return a.Mode == "" && a.Epsilon == 0 && a.Delta == 0 && a.NodeBudget == 0
+}
+
+// engineFor resolves the engine answering this request: the server's own
+// engine when no mode field is set, otherwise one derived for exactly the
+// requested mode. Derivation shares the built index — per-request modes
+// cost an option parse, not a build.
+func (a approxRequest) engineFor(s *server) (*hydra.Engine, error) {
+	if a.isZero() {
+		return s.engine, nil
+	}
+	return s.engine.WithQueryOptions(
+		hydra.WithApproxMode(a.Mode),
+		hydra.WithEpsilon(a.Epsilon),
+		hydra.WithDelta(a.Delta),
+		hydra.WithNodeBudget(a.NodeBudget),
+	)
 }
 
 type queryRequest struct {
 	Query []float32 `json:"query"`
 	K     int       `json:"k"`
+	approxRequest
 }
 
 type queryResponse struct {
@@ -147,6 +193,7 @@ type queryResponse struct {
 type batchRequest struct {
 	Queries [][]float32 `json:"queries"`
 	K       int         `json:"k"`
+	approxRequest
 }
 
 // batchResult is one query's outcome inside a batch: Matches on success,
@@ -218,9 +265,14 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if k <= 0 {
 		k = 1
 	}
+	engine, err := req.engineFor(s)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	matches, qs, err := s.engine.QueryWithStats(ctx, req.Query, k)
+	matches, qs, err := engine.QueryWithStats(ctx, req.Query, k)
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -236,8 +288,14 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			SeqOps:      qs.IO.SeqOps,
 			RandOps:     qs.IO.RandOps,
 			CPUMicros:   qs.CPUTime.Microseconds(),
-			SimMicros:   qs.TotalTime(s.engine.Device()).Microseconds(),
-			DeviceModel: s.engine.Device().Name,
+			SimMicros:   qs.TotalTime(engine.Device()).Microseconds(),
+			DeviceModel: engine.Device().Name,
+
+			NodesVisited: qs.NodesVisited,
+			Mode:         qs.Mode,
+			Epsilon:      qs.Epsilon,
+			Delta:        qs.Delta,
+			EarlyStop:    qs.EarlyStop,
 		},
 	})
 }
@@ -251,9 +309,14 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if k <= 0 {
 		k = 1
 	}
+	engine, err := req.engineFor(s)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	results, errs := s.engine.QueryBatchErrors(ctx, req.Queries, k)
+	results, errs := engine.QueryBatchErrors(ctx, req.Queries, k)
 	// An error that voided the whole batch (e.g. the request deadline) is
 	// reported at the HTTP level; a batch with any answers returns the
 	// per-query split, each failure carrying its own cause.

@@ -80,6 +80,46 @@
 // damage (quarantine + rebuild) from version skew and dataset mismatch
 // (the file is fine, the context is wrong).
 //
+// # Approximate queries
+//
+// Five methods — ADS+, DSTree, iSAX2+, SFA and VA+file — answer a lattice
+// of approximate query modes beside their exact search, selected per
+// engine with WithApproxMode and reported per query in QueryStats:
+//
+//   - "exact" (the default): the unchanged exact search. Engines without
+//     an approximate mode behave exactly as before this option existed.
+//   - "ng": the ng-approximate answer (the paper's "no-guarantees"
+//     descent) — one root-to-leaf visit of the query's own path, the same
+//     answer ApproxKNN and the QueryStream head start deliver. Fastest,
+//     no quality bound.
+//   - "delta-eps": δ-ε-approximate search. The traversal prunes against
+//     bound/(1+ε) — never discarding any candidate within (1+ε) of the
+//     best-so-far — and, for δ < 1, additionally stops early once the
+//     current answer is within (1+ε) of a stopping radius estimated so
+//     that the returned k-th distance is within (1+ε) of the true k-th
+//     distance with probability at least δ (WithEpsilon, WithDelta;
+//     ε=0 and δ=1 degenerate to exact search, bit-identically).
+//   - "budget": exact best-first search stopped early at a resource
+//     budget (WithNodeBudget, WithTimeBudget); with no budgets set it IS
+//     exact search.
+//
+// QueryStats carries the audit trail: Mode is the mode that answered,
+// NodesVisited counts index nodes/leaves visited (in every mode, so
+// exact-vs-approximate work ratios are computable), Epsilon/Delta echo
+// the δ-ε parameters, and EarlyStop records which stop fired ("delta",
+// "nodes", "time", or empty). Exact answers are bit-identical across all
+// modes' machinery: an engine in mode "exact" answers exactly what the
+// pre-option engine answered.
+//
+// Engine.WithQueryOptions derives a cheap per-request engine view over the
+// same built index with different query-time options — the mechanism
+// cmd/hydra-serve uses to honor a per-request "mode" field. Methods
+// without approximate support fail non-exact queries with
+// ErrApproxUnsupported (hydra-serve maps it to 400). The conformance
+// suite in approx_test.go pins the lattice: degenerate-spec equivalence,
+// ng ≡ ApproxKNN, measured recall ≥ δ on controlled workloads, and
+// monotone pruning in ε.
+//
 // # Persistence
 //
 // Tree-backed methods implement core.Persistable: their built state saves

@@ -51,6 +51,10 @@ type Engine struct {
 
 	batchWorkers      int
 	partialOnDeadline bool
+	// spec is the engine's answering mode (WithApproxMode and friends); the
+	// zero value is exact search. Per-request modes derive engines with
+	// WithQueryOptions instead of mutating this.
+	spec core.ApproxSpec
 }
 
 // Open opens a collection file and returns a scan engine over it: the
@@ -59,6 +63,9 @@ type Engine struct {
 func Open(dataset string, opts ...Option) (*Engine, error) {
 	cfg := defaultConfig()
 	cfg.apply(opts)
+	if err := cfg.resolveQuerySpec(); err != nil {
+		return nil, err
+	}
 	if dataset != "" && (cfg.data != nil || cfg.dataPath != "") {
 		return nil, fmt.Errorf("hydra: Open got both a dataset path and a WithData/WithDatasetFile option")
 	}
@@ -92,6 +99,9 @@ func Open(dataset string, opts ...Option) (*Engine, error) {
 func BuildIndex(ctx context.Context, method string, opts ...Option) (*Engine, error) {
 	cfg := defaultConfig()
 	cfg.apply(opts)
+	if err := cfg.resolveQuerySpec(); err != nil {
+		return nil, err
+	}
 	d, err := cfg.dataset()
 	if err != nil {
 		return nil, err
@@ -143,6 +153,9 @@ func BuildIndex(ctx context.Context, method string, opts ...Option) (*Engine, er
 func LoadIndex(ctx context.Context, path string, opts ...Option) (*Engine, error) {
 	cfg := defaultConfig()
 	cfg.apply(opts)
+	if err := cfg.resolveQuerySpec(); err != nil {
+		return nil, err
+	}
 	d, err := cfg.dataset()
 	if err != nil {
 		return nil, err
@@ -252,6 +265,7 @@ func (c *config) engine(m core.Method, coll *core.Collection, d *Dataset, bs Bui
 		build:             bs,
 		batchWorkers:      c.resolvedBatchWorkers(),
 		partialOnDeadline: c.partialOnDeadline,
+		spec:              c.spec,
 	}
 }
 
@@ -318,9 +332,11 @@ func (e *Engine) Device() Device { return e.device }
 // index; zero-valued for scan engines, which have no build phase.
 func (e *Engine) BuildStats() BuildStats { return e.build }
 
-// Query answers an exact k-nearest-neighbors query: the k collection
-// series closest to q in Euclidean distance, sorted by ascending distance
-// (ties by ascending ID).
+// Query answers a k-nearest-neighbors query: the k collection series
+// closest to q in Euclidean distance, sorted by ascending distance (ties by
+// ascending ID). By default the answer is exact; an engine configured with
+// WithApproxMode answers in that mode instead, trading answer quality for
+// traversal work under the mode's guarantee (see the option's doc).
 //
 // Cancellation: the query polls ctx at block granularity and returns
 // ctx.Err() within one block of work after a cancel or deadline — the
@@ -342,9 +358,19 @@ func (e *Engine) Query(ctx context.Context, q []float32, k int) ([]Match, error)
 // mid-run returns the best-so-far candidates with Stats.Partial set and a
 // nil error instead of context.DeadlineExceeded (see the option's doc for
 // the exact contract).
+//
+// On a non-exact engine (WithApproxMode), Stats reports the answering mode,
+// its guarantee parameters, the nodes visited, and which early stop (if
+// any) ended the traversal. Approximate modes take precedence over
+// WithPartialOnDeadline's degraded path — a budgeted query is already its
+// own degraded mode; use WithTimeBudget rather than a context deadline to
+// bound an approximate query's latency.
 func (e *Engine) QueryWithStats(ctx context.Context, q []float32, k int) ([]Match, QueryStats, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if e.spec.Mode != core.ModeExact {
+		return core.RunQueryApprox(ctx, e.m, e.coll, series.Series(q), k, e.spec)
 	}
 	if e.partialOnDeadline {
 		if _, ok := ctx.Deadline(); ok {
@@ -352,6 +378,37 @@ func (e *Engine) QueryWithStats(ctx context.Context, q []float32, k int) ([]Matc
 		}
 	}
 	return core.RunQuery(ctx, e.m, e.coll, series.Series(q), k)
+}
+
+// WithQueryOptions derives an engine that shares this engine's built index
+// and collection but answers queries under different query-time options —
+// the per-request mode mechanism behind hydra-serve's request fields.
+// Deriving is cheap (no data is copied) and the derived engine is as safe
+// for concurrent use as its parent; both stay independently usable.
+//
+// Only query-time options take effect: the approximate-mode set
+// (WithApproxMode, WithEpsilon, WithDelta, WithNodeBudget, WithTimeBudget),
+// WithBatchWorkers, WithDevice, and WithPartialOnDeadline. The
+// approximation mode is specified entirely by the given options — it does
+// not inherit the parent's mode, so an empty option list derives an exact
+// engine. Build-time options (dataset, method parameters, snapshot policy)
+// are ignored: the index is already built.
+func (e *Engine) WithQueryOptions(opts ...Option) (*Engine, error) {
+	cfg := defaultConfig()
+	cfg.device = e.device
+	cfg.batchWorkers = e.batchWorkers
+	cfg.partialOnDeadline = e.partialOnDeadline
+	cfg.opts.Seed = e.spec.Seed
+	cfg.apply(opts)
+	if err := cfg.resolveQuerySpec(); err != nil {
+		return nil, err
+	}
+	d := *e
+	d.device = cfg.device
+	d.batchWorkers = cfg.resolvedBatchWorkers()
+	d.partialOnDeadline = cfg.partialOnDeadline
+	d.spec = cfg.spec
+	return &d, nil
 }
 
 // queryPartial is the degraded-mode query path: it runs the query through

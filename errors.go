@@ -45,6 +45,11 @@ var (
 	// query-isolation boundary (QueryBatch workers, QueryStream's goroutine,
 	// the serving handlers). Sibling queries and the engine are unaffected.
 	ErrQueryPanic = errors.New("hydra: query panicked")
+	// ErrApproxUnsupported: a non-exact query mode (WithApproxMode) against a
+	// method that only answers exact queries. The five methods with
+	// lower-bounding index structures — ADS+, DSTree, iSAX2+, SFA, VA+file —
+	// answer every mode; the scans and exact-only trees do not.
+	ErrApproxUnsupported = core.ErrApproxUnsupported
 )
 
 // IsCorruptSnapshot reports whether err means the snapshot file itself is

@@ -54,6 +54,17 @@ type Config struct {
 	// the build column of a cached run reports snapshot load cost
 	// (stats.BuildStats.FromSnapshot).
 	IndexDir string
+	// Epsilon is the δ-ε-approximate relative error bound used by the approx
+	// experiment; 0 selects the experiment's default (1.0).
+	Epsilon float64
+	// Delta is the δ-ε-approximate confidence used by the approx experiment;
+	// 0 selects the experiment's default (0.95).
+	Delta float64
+	// Modes restricts which answering modes the approx experiment reports
+	// ("exact", "ng", "delta-eps"); nil/empty reports all three. The exact
+	// oracle is always computed — it is the baseline the others score
+	// against — but only requested modes appear as rows.
+	Modes []string
 	// Workers is the intra-query parallelism degree passed to the methods
 	// (core.Options.Workers): 0 keeps the paper's serial execution. Only the
 	// scan methods honor it. Answers and pruning ratios are bit-identical
@@ -132,6 +143,12 @@ type Report struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Quality carries machine-readable answer-quality metrics (recall, MAP,
+	// node ratios) keyed "metric/method/mode" plus "<mode>/recall/min"
+	// aggregates — consumed by hydra-bench's -gate-recall and recorded in
+	// BENCH json for tools/benchdiff. Nil for experiments without an
+	// accuracy dimension.
+	Quality map[string]float64
 }
 
 // Fprint renders the report as an aligned text table.

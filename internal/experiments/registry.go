@@ -22,6 +22,7 @@ var runners = map[string]Runner{
 	"table2":   Table2Controlled,
 	"ablation": Ablation,
 	"buffer":   BufferTuning,
+	"approx":   ApproxQuality,
 }
 
 // IDs lists the available experiments in order.

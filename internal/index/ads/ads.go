@@ -113,6 +113,27 @@ func (ix *Index) Build(c *core.Collection) error {
 // polled before each SIMS step and once per core.CancelBlock candidates
 // during the step-3 skip-sequential pass.
 func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+	return ix.search(ctx, q, k, core.ApproxSpec{})
+}
+
+// KNNApprox implements core.ApproxSearcher: the full approximate mode
+// lattice over the one SIMS pass KNN uses, so an exact spec answers
+// bit-identically to KNN.
+func (ix *Index) KNNApprox(ctx context.Context, q series.Series, k int, spec core.ApproxSpec) ([]core.Match, stats.QueryStats, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, stats.QueryStats{}, err
+	}
+	return ix.search(ctx, q, k, spec)
+}
+
+// search is the one SIMS pass behind every query mode. The spec's pruner
+// owns all skip/stop decisions: an exact spec keeps the unrelaxed lb >=
+// bound skip predicate (bit-identical answers), a δ-ε spec relaxes it by
+// (1+ε)² and may stop the skip-sequential pass at the PAC radius or a
+// budget, and ng mode is step 1 alone (the batch bounds of step 2 are never
+// computed — first-leaf cost only). NodesVisited counts the descent leaf
+// plus every step-3 candidate actually verified.
+func (ix *Index) search(ctx context.Context, q series.Series, k int, spec core.ApproxSpec) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("ads: method not built")
@@ -131,6 +152,8 @@ func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match,
 	}
 	ord := sc.Order(q)
 	set := sc.KNN(k)
+	pr := core.NewQueryPruner(ix.c, q, spec, &qs)
+	ng := spec.Mode == core.ModeNG
 
 	// Step 2 first (it depends only on the query): lower bounds against the
 	// whole in-memory summary array, scored by the batched kernel against a
@@ -138,12 +161,15 @@ func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match,
 	if err := core.Canceled(ctx); err != nil {
 		return nil, qs, err
 	}
-	widths := ix.tree.PAA.Widths()
-	table := sc.Table(sax.TableLen(seg))
-	ix.tree.Quant.MinDistTable(qpaa, widths, table)
-	lbs := sc.LB(f.Len())
-	sax.MinDistFullCardBatch(table, ix.wordsT, seg, lbs)
-	qs.LBCalcs += int64(f.Len())
+	var lbs []float64
+	if !ng {
+		widths := ix.tree.PAA.Widths()
+		table := sc.Table(sax.TableLen(seg))
+		ix.tree.Quant.MinDistTable(qpaa, widths, table)
+		lbs = sc.LB(f.Len())
+		sax.MinDistFullCardBatch(table, ix.wordsT, seg, lbs)
+		qs.LBCalcs += int64(f.Len())
+	}
 
 	// Step 1: approximate answer from the query's own leaf; materialize it
 	// adaptively (random fetches from the raw file on first touch only).
@@ -156,8 +182,18 @@ func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match,
 			qs.DistCalcs++
 			qs.RawSeriesExamined++
 			set.Add(id, d)
-			lbs[id] = math.Inf(1)
+			if lbs != nil {
+				lbs[id] = math.Inf(1)
+			}
 		}
+		if pr.Visit() || pr.StopSatisfied(set.Bound()) {
+			pr.Finish(&qs)
+			return set.Results(), qs, nil
+		}
+	}
+	if ng {
+		pr.Finish(&qs)
+		return set.Results(), qs, nil
 	}
 
 	// Step 3: skip-sequential scan over the raw file. The SeriesFile charges
@@ -170,7 +206,7 @@ func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match,
 				return nil, qs, err
 			}
 		}
-		if lbs[i] >= set.Bound() {
+		if pr.Prune(lbs[i], set.Bound()) {
 			continue
 		}
 		raw := f.Read(i)
@@ -178,7 +214,11 @@ func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match,
 		qs.DistCalcs++
 		qs.RawSeriesExamined++
 		set.Add(i, d)
+		if pr.Visit() || pr.StopSatisfied(set.Bound()) {
+			break
+		}
 	}
+	pr.Finish(&qs)
 	return set.Results(), qs, nil
 }
 

@@ -11,36 +11,13 @@ import (
 
 // ApproxKNN implements core.ApproxMethod: ADS+'s ng-approximate search is
 // step 1 of SIMS — descend to the query's leaf (materializing it on first
-// touch) and answer from its members.
+// touch) and answer from its members. It is the ModeNG point of the shared
+// SIMS pass, so KNNApprox in ng mode returns exactly this answer.
 func (ix *Index) ApproxKNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
-	var qs stats.QueryStats
-	if ix.c == nil {
-		return nil, qs, fmt.Errorf("ads: method not built")
-	}
-	f := ix.c.File
-	if len(q) != f.SeriesLen() {
-		return nil, qs, fmt.Errorf("ads: query length %d, collection length %d", len(q), f.SeriesLen())
-	}
-	qpaa := ix.tree.PAA.Apply(q)
-	qword := make([]uint8, len(qpaa))
-	for i, v := range qpaa {
-		qword[i] = ix.tree.Quant.Symbol(v)
-	}
 	if err := core.Canceled(ctx); err != nil {
-		return nil, qs, err
+		return nil, stats.QueryStats{}, err
 	}
-	set := core.NewKNNSet(k)
-	ord := series.NewOrder(q)
-	if leaf := ix.tree.ApproxLeaf(qword); leaf != nil {
-		ix.chargeAdaptiveLeaf(leaf)
-		for _, id := range leaf.Members {
-			d := series.SquaredDistEAOrderedBlocked(q, f.Peek(id), ord, set.Bound())
-			qs.DistCalcs++
-			qs.RawSeriesExamined++
-			set.Add(id, d)
-		}
-	}
-	return set.Results(), qs, nil
+	return ix.search(ctx, q, k, core.ApproxSpec{Mode: core.ModeNG})
 }
 
 // RangeSearch implements core.RangeMethod with the SIMS pattern under a

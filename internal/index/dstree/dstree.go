@@ -471,6 +471,25 @@ func sameEnds(a, b []int) bool {
 // sibling bounds are scored pairwise by lbPair over the nodes' contiguous
 // synopsis blocks.
 func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+	return ix.search(ctx, q, k, core.ApproxSpec{})
+}
+
+// KNNApprox implements core.ApproxSearcher: the full approximate mode
+// lattice over the one traversal KNN uses, so an exact spec answers
+// bit-identically to KNN.
+func (ix *Index) KNNApprox(ctx context.Context, q series.Series, k int, spec core.ApproxSpec) ([]core.Match, stats.QueryStats, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, stats.QueryStats{}, err
+	}
+	return ix.search(ctx, q, k, spec)
+}
+
+// search is the one traversal behind every query mode. The spec's pruner
+// owns all skip/stop decisions: an exact spec keeps the unrelaxed lb >=
+// bound predicate (bit-identical answers), a δ-ε spec relaxes it by (1+ε)²
+// and may stop at the PAC radius or a budget, and ng mode ends after the
+// descent leaf.
+func (ix *Index) search(ctx context.Context, q series.Series, k int, spec core.ApproxSpec) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("dstree: method not built")
@@ -483,6 +502,7 @@ func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match,
 	qp := eapca.NewPrefixInto(q, sc.Summary(2*(len(q)+1)))
 	ord := sc.Order(q)
 	set := sc.KNN(k)
+	pr := core.NewQueryPruner(ix.c, q, spec, &qs)
 
 	// ng-approximate descent.
 	approx := ix.root
@@ -490,6 +510,10 @@ func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match,
 		approx = approx.children[approx.route(qp)]
 	}
 	ix.visitLeaf(approx, q, ord, set, &qs)
+	if pr.Visit() || pr.StopSatisfied(set.Bound()) || spec.Mode == core.ModeNG {
+		pr.Finish(&qs)
+		return set.Results(), qs, nil
+	}
 
 	// Exact best-first traversal.
 	h := sc.Heap()
@@ -499,7 +523,7 @@ func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match,
 			return nil, qs, err
 		}
 		l, it := h.PopMin()
-		if l >= set.Bound() {
+		if pr.Prune(l, set.Bound()) {
 			break
 		}
 		n := it.(*node)
@@ -507,17 +531,24 @@ func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match,
 			if n != approx {
 				ix.visitLeaf(n, q, ord, set, &qs)
 			}
+			if pr.Visit() || pr.StopSatisfied(set.Bound()) {
+				break
+			}
 			continue
 		}
 		l0, l1 := lbPair(qp, n.children[0], n.children[1], sc.Aux(3*len(n.children[0].ends)))
 		qs.LBCalcs += 2
-		if l0 < set.Bound() {
+		if !pr.Prune(l0, set.Bound()) {
 			h.Push(l0, n.children[0])
 		}
-		if l1 < set.Bound() {
+		if !pr.Prune(l1, set.Bound()) {
 			h.Push(l1, n.children[1])
 		}
+		if pr.Visit() {
+			break
+		}
 	}
+	pr.Finish(&qs)
 	return set.Results(), qs, nil
 }
 

@@ -12,27 +12,13 @@ import (
 
 // ApproxKNN implements core.ApproxMethod: the ng-approximate search of the
 // DSTree descends the split predicates to a single leaf and answers from its
-// members only.
+// members only. It is the ModeNG point of the shared traversal, so KNNApprox
+// in ng mode returns exactly this answer.
 func (ix *Index) ApproxKNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
-	var qs stats.QueryStats
-	if ix.c == nil {
-		return nil, qs, fmt.Errorf("dstree: method not built")
-	}
-	if len(q) != ix.c.File.SeriesLen() {
-		return nil, qs, fmt.Errorf("dstree: query length %d, collection length %d", len(q), ix.c.File.SeriesLen())
-	}
 	if err := core.Canceled(ctx); err != nil {
-		return nil, qs, err
+		return nil, stats.QueryStats{}, err
 	}
-	qp := eapca.NewPrefix(q)
-	ord := series.NewOrder(q)
-	set := core.NewKNNSet(k)
-	n := ix.root
-	for !n.isLeaf {
-		n = n.children[n.route(qp)]
-	}
-	ix.visitLeaf(n, q, ord, set, &qs)
-	return set.Results(), qs, nil
+	return ix.search(ctx, q, k, core.ApproxSpec{Mode: core.ModeNG})
 }
 
 // RangeSearch implements core.RangeMethod: depth-first traversal pruned with

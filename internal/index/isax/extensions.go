@@ -13,28 +13,13 @@ import (
 // ApproxKNN implements core.ApproxMethod: iSAX's classic ng-approximate
 // search follows the query's own iSAX path to one leaf ("traversing one path
 // of an index structure, visiting at most one leaf, to get a baseline
-// best-so-far match").
+// best-so-far match"). It is the ModeNG point of the shared traversal, so
+// KNNApprox in ng mode returns exactly this answer.
 func (ix *Index) ApproxKNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
-	var qs stats.QueryStats
-	if ix.c == nil {
-		return nil, qs, fmt.Errorf("isax: method not built")
-	}
-	if len(q) != ix.c.File.SeriesLen() {
-		return nil, qs, fmt.Errorf("isax: query length %d, collection length %d", len(q), ix.c.File.SeriesLen())
-	}
 	if err := core.Canceled(ctx); err != nil {
-		return nil, qs, err
+		return nil, stats.QueryStats{}, err
 	}
-	qpaa := ix.tree.PAA.Apply(q)
-	qword := make([]uint8, len(qpaa))
-	for i, v := range qpaa {
-		qword[i] = ix.tree.Quant.Symbol(v)
-	}
-	set := core.NewKNNSet(k)
-	if leaf := ix.tree.ApproxLeaf(qword); leaf != nil {
-		ix.visitLeaf(leaf, q, series.NewOrder(q), set, &qs)
-	}
-	return set.Results(), qs, nil
+	return ix.search(ctx, q, k, core.ApproxSpec{Mode: core.ModeNG})
 }
 
 // RangeSearch implements core.RangeMethod.

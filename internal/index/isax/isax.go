@@ -67,6 +67,25 @@ func (ix *Index) Build(c *core.Collection) error {
 // KNN implements core.Method. Per-query state (query summary, order, result
 // set, traversal heap) comes from the index's scratch pool.
 func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+	return ix.search(ctx, q, k, core.ApproxSpec{})
+}
+
+// KNNApprox implements core.ApproxSearcher: the full approximate mode
+// lattice over the one traversal KNN uses, so an exact spec answers
+// bit-identically to KNN.
+func (ix *Index) KNNApprox(ctx context.Context, q series.Series, k int, spec core.ApproxSpec) ([]core.Match, stats.QueryStats, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, stats.QueryStats{}, err
+	}
+	return ix.search(ctx, q, k, spec)
+}
+
+// search is the one traversal behind every query mode. The spec's pruner
+// owns all skip/stop decisions: with an exact spec its predicate is the
+// unrelaxed lb >= bound comparison and no stop ever fires, so the exact
+// path is bit-identical to the pre-approximation implementation; a δ-ε spec
+// relaxes pruning by (1+ε)² and may stop at the PAC radius or a budget.
+func (ix *Index) search(ctx context.Context, q series.Series, k int, spec core.ApproxSpec) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("isax: method not built")
@@ -83,11 +102,20 @@ func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match,
 	}
 	ord := sc.Order(q)
 	set := sc.KNN(k)
+	pr := core.NewQueryPruner(ix.c, q, spec, &qs)
 
 	// ng-approximate step.
 	approx := ix.tree.ApproxLeaf(qword)
 	if approx != nil {
 		ix.visitLeaf(approx, q, ord, set, &qs)
+		if pr.Visit() || pr.StopSatisfied(set.Bound()) {
+			pr.Finish(&qs)
+			return set.Results(), qs, nil
+		}
+	}
+	if spec.Mode == core.ModeNG {
+		pr.Finish(&qs)
+		return set.Results(), qs, nil
 	}
 
 	// Exact step: best-first over the root children and their subtrees.
@@ -102,7 +130,7 @@ func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match,
 			return nil, qs, err
 		}
 		lb, it := h.PopMin()
-		if lb >= set.Bound() {
+		if pr.Prune(lb, set.Bound()) {
 			break
 		}
 		n := it.(*isaxtree.Node)
@@ -110,16 +138,23 @@ func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match,
 			if n != approx {
 				ix.visitLeaf(n, q, ord, set, &qs)
 			}
+			if pr.Visit() || pr.StopSatisfied(set.Bound()) {
+				break
+			}
 			continue
 		}
 		for _, child := range n.Children {
 			lb := ix.tree.MinDist(qpaa, child)
 			qs.LBCalcs++
-			if lb < set.Bound() {
+			if !pr.Prune(lb, set.Bound()) {
 				h.Push(lb, child)
 			}
 		}
+		if pr.Visit() {
+			break
+		}
 	}
+	pr.Finish(&qs)
 	return set.Results(), qs, nil
 }
 

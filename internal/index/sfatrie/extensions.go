@@ -10,25 +10,14 @@ import (
 )
 
 // ApproxKNN implements core.ApproxMethod: the SFA trie's ng-approximate
-// search descends the query word's own path to one leaf.
+// search descends the query word's own path to one leaf. It is the ModeNG
+// point of the shared traversal, so KNNApprox in ng mode returns exactly
+// this answer.
 func (ix *Index) ApproxKNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
-	var qs stats.QueryStats
-	if ix.c == nil {
-		return nil, qs, fmt.Errorf("sfatrie: method not built")
-	}
-	if len(q) != ix.c.File.SeriesLen() {
-		return nil, qs, fmt.Errorf("sfatrie: query length %d, collection length %d", len(q), ix.c.File.SeriesLen())
-	}
 	if err := core.Canceled(ctx); err != nil {
-		return nil, qs, err
+		return nil, stats.QueryStats{}, err
 	}
-	qf := ix.xform.Features(q)
-	qw := ix.xform.Word(qf)
-	set := core.NewKNNSet(k)
-	if leaf := ix.descend(qw); leaf != nil {
-		ix.visitLeaf(leaf, q, series.NewOrder(q), set, &qs)
-	}
-	return set.Results(), qs, nil
+	return ix.search(ctx, q, k, core.ApproxSpec{Mode: core.ModeNG})
 }
 
 // RangeSearch implements core.RangeMethod: depth-first traversal pruned with

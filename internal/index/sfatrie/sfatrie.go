@@ -224,6 +224,25 @@ func (ix *Index) lb(qf []float64, n *node) float64 {
 // KNN implements core.Method. Per-query state (order, result set, traversal
 // heap) comes from the index's scratch pool.
 func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+	return ix.search(ctx, q, k, core.ApproxSpec{})
+}
+
+// KNNApprox implements core.ApproxSearcher: the full approximate mode
+// lattice over the one traversal KNN uses, so an exact spec answers
+// bit-identically to KNN.
+func (ix *Index) KNNApprox(ctx context.Context, q series.Series, k int, spec core.ApproxSpec) ([]core.Match, stats.QueryStats, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, stats.QueryStats{}, err
+	}
+	return ix.search(ctx, q, k, spec)
+}
+
+// search is the one traversal behind every query mode. The spec's pruner
+// owns all skip/stop decisions: an exact spec keeps the unrelaxed lb >=
+// bound predicate (bit-identical answers), a δ-ε spec relaxes it by (1+ε)²
+// and may stop at the PAC radius or a budget, and ng mode ends after the
+// descent leaf.
+func (ix *Index) search(ctx context.Context, q series.Series, k int, spec core.ApproxSpec) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("sfatrie: method not built")
@@ -237,10 +256,19 @@ func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match,
 	qw := ix.xform.Word(qf)
 	ord := sc.Order(q)
 	set := sc.KNN(k)
+	pr := core.NewQueryPruner(ix.c, q, spec, &qs)
 
 	// ng-approximate step: descend the query's own path to one leaf.
 	if leaf := ix.descend(qw); leaf != nil {
 		ix.visitLeaf(leaf, q, ord, set, &qs)
+		if pr.Visit() || pr.StopSatisfied(set.Bound()) {
+			pr.Finish(&qs)
+			return set.Results(), qs, nil
+		}
+	}
+	if spec.Mode == core.ModeNG {
+		pr.Finish(&qs)
+		return set.Results(), qs, nil
 	}
 
 	// Exact step: best-first traversal with lower-bound pruning.
@@ -251,7 +279,7 @@ func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match,
 			return nil, qs, err
 		}
 		l, it := h.PopMin()
-		if l >= set.Bound() {
+		if pr.Prune(l, set.Bound()) {
 			break
 		}
 		n := it.(*node)
@@ -259,16 +287,23 @@ func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match,
 			if !n.visited(qw) { // approximate leaf already processed
 				ix.visitLeaf(n, q, ord, set, &qs)
 			}
+			if pr.Visit() || pr.StopSatisfied(set.Bound()) {
+				break
+			}
 			continue
 		}
 		for _, child := range n.children {
 			lb := ix.lb(qf, child)
 			qs.LBCalcs++
-			if lb < set.Bound() {
+			if !pr.Prune(lb, set.Bound()) {
 				h.Push(lb, child)
 			}
 		}
+		if pr.Visit() {
+			break
+		}
 	}
+	pr.Finish(&qs)
 	return set.Results(), qs, nil
 }
 

@@ -9,6 +9,20 @@ import (
 	"hydra/internal/stats"
 )
 
+// ApproxKNN implements core.ApproxMethod. The VA+file has no tree to
+// descend, so its ng-approximate search is the filter-file analog of a
+// first-leaf visit (the sequel paper's extension beyond Table 1): the
+// approximation file is scanned in full for lower bounds — the VA-file's
+// always-paid "descent" — and only the k best-bounded candidates are
+// verified against the raw data. It is the ModeNG point of the shared
+// two-phase pass, so KNNApprox in ng mode returns exactly this answer.
+func (ix *Index) ApproxKNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+	if err := core.Canceled(ctx); err != nil {
+		return nil, stats.QueryStats{}, err
+	}
+	return ix.search(ctx, q, k, core.ApproxSpec{Mode: core.ModeNG})
+}
+
 // RangeSearch implements core.RangeMethod: one sequential pass over the
 // approximation file filters candidates by lower bound against the fixed
 // radius; qualifying raw series are verified in file order (the skips cost

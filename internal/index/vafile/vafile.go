@@ -122,6 +122,27 @@ func (ix *Index) ApproxFileBytes() int64 {
 // state comes from the index's scratch pool. Bounds, visit order and
 // answers are bit-identical to the per-code formulation.
 func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {
+	return ix.search(ctx, q, k, core.ApproxSpec{})
+}
+
+// KNNApprox implements core.ApproxSearcher: the full approximate mode
+// lattice over the one two-phase pass KNN uses, so an exact spec answers
+// bit-identically to KNN.
+func (ix *Index) KNNApprox(ctx context.Context, q series.Series, k int, spec core.ApproxSpec) ([]core.Match, stats.QueryStats, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, stats.QueryStats{}, err
+	}
+	return ix.search(ctx, q, k, spec)
+}
+
+// search is the one two-phase pass behind every query mode. The spec's
+// pruner owns all skip/stop decisions: an exact spec keeps the unrelaxed
+// lb >= bound break (bit-identical answers), a δ-ε spec relaxes it by
+// (1+ε)² and may stop phase 2 at the PAC radius or a budget. The VA+file
+// has no tree, so its ng mode is the filter-file analog of a first-leaf
+// visit: phase 1 runs in full, then only the k best-bounded candidates are
+// verified. NodesVisited counts every phase-2 candidate actually verified.
+func (ix *Index) search(ctx context.Context, q series.Series, k int, spec core.ApproxSpec) ([]core.Match, stats.QueryStats, error) {
 	var qs stats.QueryStats
 	if ix.c == nil {
 		return nil, qs, fmt.Errorf("vafile: method not built")
@@ -136,6 +157,7 @@ func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match,
 	defer ix.pool.Put(sc)
 	qf := ix.xform.Apply(q)
 	ord := sc.Order(q)
+	pr := core.NewQueryPruner(ix.c, q, spec, &qs)
 
 	// Phase 1: sequential scan of the approximation file, one table gather
 	// per (candidate, dimension).
@@ -147,6 +169,10 @@ func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match,
 	ix.quant.LowerBoundBatch(table, ix.codesT, lbs)
 	qs.LBCalcs += int64(n)
 	order := sc.SortedByBound(lbs)
+	ngBudget := len(order)
+	if spec.Mode == core.ModeNG && k < ngBudget {
+		ngBudget = k
+	}
 
 	// Phase 2: visit raw series in ascending lower-bound order.
 	set := sc.KNN(k)
@@ -157,7 +183,7 @@ func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match,
 				return nil, qs, err
 			}
 		}
-		if lbs[id] >= set.Bound() {
+		if oi >= ngBudget || pr.Prune(lbs[id], set.Bound()) {
 			break
 		}
 		raw := f.Read(id) // charged as a seek (ascending-LB order is scattered)
@@ -165,7 +191,11 @@ func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match,
 		qs.DistCalcs++
 		qs.RawSeriesExamined++
 		set.Add(id, d)
+		if pr.Visit() || pr.StopSatisfied(set.Bound()) {
+			break
+		}
 	}
+	pr.Finish(&qs)
 	return set.Results(), qs, nil
 }
 

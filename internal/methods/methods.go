@@ -57,6 +57,16 @@ func BestSix() []string {
 	return []string{"ADS+", "DSTree", "iSAX2+", "SFA", "UCR-Suite", "VA+file"}
 }
 
+// ApproxCapable returns the methods that answer the full approximate mode
+// lattice (core.ApproxSearcher: ng, delta-eps, budget) — the five with
+// lower-bounding index structures. The paper's Table 1 credits ng-approximate
+// support to four of them; this suite additionally extends the VA+file (its
+// filter file is a lower-bounding structure too), following the sequel
+// paper's direction of retrofitting guarantees onto all index methods.
+func ApproxCapable() []string {
+	return []string{"ADS+", "DSTree", "iSAX2+", "SFA", "VA+file"}
+}
+
 // Properties describes Table 1 of the paper for one method.
 type Properties struct {
 	Name           string

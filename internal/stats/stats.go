@@ -37,6 +37,31 @@ type QueryStats struct {
 	// (see hydra.WithPartialOnDeadline). The counters then cover only the
 	// work actually done. Never set on exact answers.
 	Partial bool
+	// NodesVisited counts the index structures the query touched: popped
+	// tree nodes plus visited leaves for best-first methods, or verified
+	// raw candidates (plus the descent leaf) for the filter-file methods
+	// (ADS+, VA+file). It is the denominator of the approximate modes'
+	// work-saved claim — a δ-ε query's NodesVisited divided by the exact
+	// query's is the traversal saving. Zero for methods that do not count
+	// (the plain scans).
+	NodesVisited int64
+	// Mode names the guarantee class that produced the answer: "" or
+	// "exact" for exact search, "ng" for ng-approximate (first-leaf) search,
+	// "delta-eps" for δ-ε-approximate search, "budget" for budget-bounded
+	// search (see hydra.WithApproxMode).
+	Mode string
+	// Epsilon is the relative distance-error bound of a δ-ε answer: the
+	// reported k-th distance is within (1+ε) of the true one (with
+	// probability Delta). Only meaningful when Mode is "delta-eps".
+	Epsilon float64
+	// Delta is the confidence of a δ-ε answer's ε guarantee; 1 means the
+	// guarantee is deterministic. Only meaningful when Mode is "delta-eps".
+	Delta float64
+	// EarlyStop names the condition that ended an approximate traversal
+	// before exhausting it: "" (ran to its pruning-complete end), "delta"
+	// (the probabilistic r_δ stop fired), "nodes" (node budget), or "time"
+	// (wall-clock budget).
+	EarlyStop string
 }
 
 // PruningRatio returns P = 1 - examined/collection size (§4.2, measure 3).
@@ -53,15 +78,21 @@ func (q QueryStats) TotalTime(d storage.DeviceProfile) time.Duration {
 	return q.CPUTime + q.IO.IOTime(d)
 }
 
-// Add accumulates o into q (for workload totals).
+// Add accumulates o into q (for workload totals). Counters sum; the mode
+// and guarantee fields stick to the first non-empty value, so a uniform
+// workload's total keeps its mode.
 func (q *QueryStats) Add(o QueryStats) {
 	q.RawSeriesExamined += o.RawSeriesExamined
 	q.DistCalcs += o.DistCalcs
 	q.LBCalcs += o.LBCalcs
+	q.NodesVisited += o.NodesVisited
 	q.IO = q.IO.Add(o.IO)
 	q.CPUTime += o.CPUTime
 	if o.DatasetSize > q.DatasetSize {
 		q.DatasetSize = o.DatasetSize
+	}
+	if q.Mode == "" {
+		q.Mode, q.Epsilon, q.Delta = o.Mode, o.Epsilon, o.Delta
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"time"
 
 	"hydra/internal/core"
 	"hydra/internal/methods"
@@ -52,6 +53,18 @@ type config struct {
 	partialOnDeadline bool
 	snapshotRetries   int
 	rebuildMethod     string
+
+	// Approximate-query defaults (WithApproxMode and friends). The mode is
+	// kept as its wire name until approxSpec resolves it, so constructors
+	// can report a bad name as their own error.
+	approxMode string
+	epsilon    float64
+	delta      float64
+	nodeBudget int
+	timeBudget time.Duration
+	// spec is the resolved form of the five fields above; set by
+	// resolveQuerySpec before any engine is constructed.
+	spec core.ApproxSpec
 }
 
 // Option configures an Engine under construction. Options are the one
@@ -147,6 +160,87 @@ func WithMemoryBudget(bytes int64) Option {
 
 // WithSeed drives randomized tie-breaking during index construction.
 func WithSeed(seed int64) Option { return func(c *config) { c.opts.Seed = seed } }
+
+// approxSpec resolves the configured approximate-query defaults into the
+// core spec every query threads, validating mode name and parameters. The
+// spec's δ-stop RNG seed rides on WithSeed, so repeated queries are
+// deterministic per engine.
+func (c *config) approxSpec() (core.ApproxSpec, error) {
+	mode, err := core.ParseApproxMode(c.approxMode)
+	if err != nil {
+		return core.ApproxSpec{}, fmt.Errorf("hydra: %w", err)
+	}
+	spec := core.ApproxSpec{
+		Mode:       mode,
+		Epsilon:    c.epsilon,
+		Delta:      c.delta,
+		NodeBudget: int64(c.nodeBudget),
+		TimeBudget: c.timeBudget,
+		Seed:       c.opts.Seed,
+	}
+	if spec.Mode == core.ModeDeltaEps && spec.Delta == 0 {
+		spec.Delta = 1 // unset confidence means the deterministic ε guarantee
+	}
+	if err := spec.Validate(); err != nil {
+		return core.ApproxSpec{}, fmt.Errorf("hydra: %w", err)
+	}
+	return spec, nil
+}
+
+// resolveQuerySpec finalizes the query-time half of the config, so a bad
+// mode name or parameter fails the constructor instead of every later query.
+func (c *config) resolveQuerySpec() error {
+	spec, err := c.approxSpec()
+	if err != nil {
+		return err
+	}
+	c.spec = spec
+	return nil
+}
+
+// WithApproxMode selects the engine's query answering mode — the mode
+// lattice of the sequel paper, weakest guarantee first:
+//
+//   - "exact" (the default): the true k nearest neighbors.
+//   - "ng": ng-approximate search — one root-to-leaf descent, the first
+//     leaf's best matches, no error bound. The fastest mode.
+//   - "delta-eps": δ-ε-approximate search — lower-bound pruning relaxed by
+//     (1+ε) (WithEpsilon), so the answer's k-th distance is within (1+ε) of
+//     the true one, with confidence δ (WithDelta; 1 = deterministic).
+//     ε=0, δ=1 degenerates to exact search with bit-identical answers.
+//   - "budget": exact search early-stopped by WithNodeBudget and/or
+//     WithTimeBudget, returning the best-so-far when a budget runs out.
+//
+// Non-exact modes are answered by the five methods with lower-bounding
+// index structures (ADS+, DSTree, iSAX2+, SFA, VA+file); querying any other
+// engine in a non-exact mode fails with ErrApproxUnsupported. QueryStats
+// reports the answering mode, guarantee parameters, and nodes visited.
+// Engine.WithQueryOptions derives per-request modes from one built engine.
+func WithApproxMode(mode string) Option { return func(c *config) { c.approxMode = mode } }
+
+// WithEpsilon sets the relative distance-error bound ε of the "delta-eps"
+// mode: lower bounds are relaxed by (1+ε), so subtrees that cannot improve
+// the answer by more than that factor are pruned. 0 keeps pruning exact.
+func WithEpsilon(eps float64) Option { return func(c *config) { c.epsilon = eps } }
+
+// WithDelta sets the confidence δ ∈ (0, 1] of the "delta-eps" mode's ε
+// guarantee: with δ < 1 the traversal may stop once the best-so-far is
+// within (1+ε) of the true answer with probability at least δ (a PAC-NN
+// stopping radius estimated from a seeded sample of the collection). 1 (or
+// unset) keeps the ε guarantee deterministic.
+func WithDelta(delta float64) Option { return func(c *config) { c.delta = delta } }
+
+// WithNodeBudget bounds how many index nodes (tree pops and leaf visits, or
+// verified candidates for the filter-file methods) a "budget" or
+// "delta-eps" query may visit before returning its best-so-far; 0 means
+// unlimited. Deterministic, unlike WithTimeBudget.
+func WithNodeBudget(n int) Option { return func(c *config) { c.nodeBudget = n } }
+
+// WithTimeBudget bounds a "budget" or "delta-eps" query's wall-clock time:
+// the traversal stops and returns its best-so-far once d has elapsed; 0
+// means unlimited. Answers under a time budget depend on machine speed —
+// prefer WithNodeBudget when determinism matters.
+func WithTimeBudget(d time.Duration) Option { return func(c *config) { c.timeBudget = d } }
 
 // WithPartialOnDeadline turns deadline overruns into degraded answers
 // instead of failures: when a query's context deadline expires mid-query,

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 )
 
 // hostInfo mirrors the host block of a BENCH_*.json artifact.
@@ -43,6 +44,10 @@ type benchFile struct {
 		AllocsPerQuery float64 `json:"allocs_per_query"`
 		NsPerQuery     float64 `json:"ns_per_query"`
 	} `json:"mem"`
+	// Quality holds answer-quality metrics (recall/MAP per method and mode)
+	// where higher is better — compared with the regression direction
+	// inverted relative to the cost metrics.
+	Quality map[string]float64 `json:"quality"`
 }
 
 // metric is one compared quantity of the mem profile. optional marks
@@ -91,6 +96,40 @@ func diff(old, new benchFile, threshold float64) (lines, regressions []string) {
 			line += "  REGRESSION"
 			regressions = append(regressions, fmt.Sprintf("%s regressed %.1f%% (threshold %.0f%%)",
 				m.name, 100*change, 100*threshold))
+		}
+		lines = append(lines, line)
+	}
+	qLines, qRegressions := diffQuality(old.Quality, new.Quality, threshold)
+	return append(lines, qLines...), append(regressions, qRegressions...)
+}
+
+// diffQuality compares the answer-quality metrics of two artifacts. Quality
+// is a higher-is-better dimension (recall, MAP, node-savings ratios), so
+// the regression direction is inverted: a metric falling more than
+// threshold below its baseline fails the run exactly like a ns/query
+// increase does. Metrics only one side carries are informational — a newly
+// added mode or method must not fail a diff against an older baseline.
+func diffQuality(old, new map[string]float64, threshold float64) (lines, regressions []string) {
+	keys := make([]string, 0, len(old))
+	for k := range old {
+		if _, ok := new[k]; ok {
+			keys = append(keys, k)
+		} else {
+			lines = append(lines, fmt.Sprintf("quality %-32s dropped from the new artifact (old = %.4f)", k, old[k]))
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		o, n := old[k], new[k]
+		line := fmt.Sprintf("quality %-32s %8.4f -> %8.4f", k, o, n)
+		if o > 0 {
+			drop := (o - n) / o
+			line += fmt.Sprintf("  (%+.1f%%)", -100*drop)
+			if drop > threshold {
+				line += "  REGRESSION"
+				regressions = append(regressions, fmt.Sprintf("quality %s fell %.1f%% below baseline (threshold %.0f%%)",
+					k, 100*drop, 100*threshold))
+			}
 		}
 		lines = append(lines, line)
 	}

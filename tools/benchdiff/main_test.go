@@ -80,6 +80,50 @@ func TestDiffWarnsOnBackendChange(t *testing.T) {
 	}
 }
 
+func TestDiffQualityRegressionDirectionInverted(t *testing.T) {
+	// Quality metrics are higher-is-better: a recall drop beyond threshold
+	// fails, a recall gain never does.
+	old := bench("approx", 1000, 64, "avx2+fma")
+	old.Quality = map[string]float64{"recall/ADS+/delta-eps": 1.0}
+	cur := bench("approx", 1000, 64, "avx2+fma")
+	cur.Quality = map[string]float64{"recall/ADS+/delta-eps": 0.85}
+	_, regs := diff(old, cur, 0.10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "recall/ADS+/delta-eps") {
+		t.Fatalf("want one recall regression, got %v", regs)
+	}
+	cur.Quality["recall/ADS+/delta-eps"] = 0.95 // within threshold
+	if _, regs = diff(old, cur, 0.10); len(regs) != 0 {
+		t.Fatalf("within-threshold recall drop flagged: %v", regs)
+	}
+	cur.Quality["recall/ADS+/delta-eps"] = 1.0
+	cur.Mem.NsPerQuery = 400 // faster AND as accurate: no regression
+	if _, regs = diff(old, cur, 0.10); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+}
+
+func TestDiffQualityMissingSidesInformational(t *testing.T) {
+	// A mode/method present on only one side (new experiment or trimmed
+	// baseline) must not fail the diff — only report it.
+	old := bench("approx", 1000, 64, "avx2+fma")
+	old.Quality = map[string]float64{"recall/SFA/ng": 0.9}
+	cur := bench("approx", 1000, 64, "avx2+fma")
+	cur.Quality = map[string]float64{"recall/SFA/delta-eps": 0.99}
+	lines, regs := diff(old, cur, 0.10)
+	if len(regs) != 0 {
+		t.Fatalf("one-sided quality metrics flagged: %v", regs)
+	}
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "dropped from the new artifact") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dropped-metric note absent from %v", lines)
+	}
+}
+
 func TestDiffZeroBytesBaselineStillGates(t *testing.T) {
 	// A genuinely zero bytes/query baseline (fully pooled workload) is a
 	// real measurement: allocating again must fail, staying at zero must
