@@ -1,0 +1,138 @@
+package main
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// breaker is the per-shard circuit breaker of the coordinator: after
+// `threshold` consecutive failures the shard is declared unhealthy and
+// requests to it are skipped outright (open state) instead of burning the
+// fan-out's latency budget on a dead endpoint. After a jittered cooldown,
+// exactly one request (or background probe) is let through as a half-open
+// trial: success closes the breaker, failure re-opens it for another
+// cooldown. The background /readyz prober feeds the same breaker, so a
+// shard that recovers while unqueried still gets its breaker closed — the
+// "recover to exact answers" half of the robustness contract.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	rng       *rand.Rand
+
+	state       breakerState
+	consecutive int       // consecutive failures while closed
+	until       time.Time // earliest half-open trial while open
+	opens       int64     // cumulative closed/half-open -> open transitions
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+func newBreaker(threshold int, cooldown time.Duration, seed int64) *breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, rng: rand.New(rand.NewSource(seed))}
+}
+
+// allow reports whether a request to the shard may be sent now. While open
+// it returns false until the cooldown elapses; then exactly one caller is
+// granted the half-open trial (concurrent callers keep getting false until
+// the trial resolves).
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Before(b.until) {
+			return false
+		}
+		b.state = breakerHalfOpen
+		return true
+	default: // half-open: one trial at a time
+		return false
+	}
+}
+
+// success reports a successful exchange with the shard: the breaker closes
+// and the failure streak resets, whatever state it was in.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.consecutive = 0
+}
+
+// failure reports a failed exchange. A half-open trial failure re-opens
+// immediately; in closed state the breaker opens once the consecutive
+// streak reaches the threshold. The open deadline carries up to 25% jitter
+// so many coordinators do not re-probe a recovering shard in lockstep.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return
+	case breakerHalfOpen:
+		b.open(now)
+	default:
+		b.consecutive++
+		if b.consecutive >= b.threshold {
+			b.open(now)
+		}
+	}
+}
+
+// open transitions to the open state (callers hold mu).
+func (b *breaker) open(now time.Time) {
+	b.state = breakerOpen
+	b.consecutive = 0
+	b.opens++
+	jitter := time.Duration(0)
+	if b.cooldown > 0 {
+		jitter = time.Duration(b.rng.Int63n(int64(b.cooldown)/4 + 1))
+	}
+	b.until = now.Add(b.cooldown + jitter)
+}
+
+// snapshot returns the state name and the cumulative open-transition count
+// for status reporting.
+func (b *breaker) snapshot() (state string, opens int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String(), b.opens
+}
+
+// ready reports whether the breaker would currently admit traffic (closed,
+// or open with an elapsed cooldown) without mutating state — the /readyz
+// aggregation view.
+func (b *breaker) ready(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed, breakerHalfOpen:
+		return b.state == breakerClosed
+	default:
+		return !now.Before(b.until)
+	}
+}

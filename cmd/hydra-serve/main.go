@@ -8,24 +8,46 @@
 //	hydra-serve -data synth.hyd -addr :8080                 # UCR-Suite scan
 //	hydra-serve -data synth.hyd -method DSTree -leaf 1000   # build an index, then serve
 //	hydra-serve -data synth.hyd -index dstree.hydx          # serve a prebuilt snapshot
+//	hydra-serve -data synth.hyd -shard 0/3 -addr :8081      # serve shard 0 of 3
+//	hydra-serve -shards :8081,:8082,:8083 -addr :8080       # scatter-gather coordinator
 //
 // Endpoints:
 //
 //	POST /query   {"query":[...],"k":1}      one exact k-NN query
 //	POST /batch   {"queries":[[...]],"k":1}  a batch; failed queries are isolated
-//	GET  /healthz                            liveness + engine facts
-//	GET  /readyz                             admission state (503 while draining)
+//	GET  /healthz                            liveness + engine/topology facts
+//	GET  /readyz                             admission state (503 while draining/degraded)
+//	GET  /statusz                            coordinator only: per-shard fan-out counters
 //
-// Every request runs under the -timeout per-request deadline (and the
-// client-disconnect context). With -partial (the default) a query that
-// overruns its deadline answers 200 with the best-so-far matches and
-// "partial":true instead of 504; -partial=false restores the hard 504.
-// -max-inflight bounds concurrently admitted query requests — excess
-// requests are refused immediately with 503 + Retry-After rather than
-// queued into the latency tail. SIGINT/SIGTERM flip /readyz to 503 and
-// drain in-flight requests before exit (graceful shutdown). Handler panics
-// are recovered, logged, and answered as 500 — one request's failure never
-// takes the process down.
+// Every request carries an X-Request-Id (the client's, or a generated one),
+// echoed in the response header, JSON error bodies and the access log
+// (-access-log=false silences the per-request line).
+//
+// Single-engine mode: every request runs under the -timeout per-request
+// deadline (and the client-disconnect context). With -partial (the default)
+// a query that overruns its deadline answers 200 with the best-so-far
+// matches and "partial":true instead of 504; -partial=false restores the
+// hard 504. -max-inflight bounds concurrently admitted query requests —
+// excess requests are refused immediately with 503 + jittered Retry-After
+// rather than queued into the latency tail. -shard i/n serves only the i-th
+// of n equal slices of the collection, with match IDs remapped to
+// full-collection positions — the building block of the sharded topology.
+//
+// Coordinator mode (-shards): the same /query and /batch contract served by
+// fanning each request out to N shard servers and merging their top-k
+// answers — bit-identical to a single whole-collection engine while every
+// shard answers, degrading to merged best-so-far answers marked
+// "partial":true (with a per-shard status block) when shards fail, and to
+// 503 below the -min-shards quorum. Per-shard calls run under
+// -shard-timeout with -shard-retries retries (exponential backoff +
+// jitter), hedged duplicates after the shard's observed p99 (-hedge-after),
+// and a circuit breaker (-breaker-failures, -breaker-cooldown) fed by a
+// background /readyz prober (-probe-interval) that re-admits recovered
+// shards.
+//
+// SIGINT/SIGTERM flip /readyz to 503 and drain in-flight requests before
+// exit (graceful shutdown). Handler panics are recovered, logged, and
+// answered as 500 — one request's failure never takes the process down.
 package main
 
 import (
@@ -36,6 +58,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,7 +68,7 @@ import (
 
 func main() {
 	var (
-		dataPath  = flag.String("data", "", "collection file (required)")
+		dataPath  = flag.String("data", "", "collection file (required except in -shards mode)")
 		method    = flag.String("method", "UCR-Suite", "method to build and serve")
 		indexPath = flag.String("index", "", "index snapshot to load instead of building")
 		addr      = flag.String("addr", ":8080", "listen address")
@@ -55,6 +79,18 @@ func main() {
 		batchW    = flag.Int("batch-workers", 0, "concurrent queries per /batch request (0 = GOMAXPROCS)")
 		inflight  = flag.Int("max-inflight", 0, "max concurrently admitted query requests; excess answers 503 (0 = unlimited)")
 		partial   = flag.Bool("partial", true, "answer deadline-expired queries with best-so-far results (partial:true) instead of 504")
+		accessLog = flag.Bool("access-log", true, "log one access line per request (method, path, status, duration, request ID)")
+		shardSpec = flag.String("shard", "", "serve only shard i of n of the collection, as \"i/n\" (match IDs stay global)")
+
+		shards       = flag.String("shards", "", "comma-separated shard server addresses; serve as a scatter-gather coordinator instead of one engine")
+		minShards    = flag.Int("min-shards", 1, "coordinator: minimum shards that must answer a query; fewer answers 503 instead of a partial merge")
+		shardTimeout = flag.Duration("shard-timeout", 500*time.Millisecond, "coordinator: per-attempt deadline for one shard call")
+		shardRetries = flag.Int("shard-retries", 2, "coordinator: extra attempts per shard call after the first")
+		retryBackoff = flag.Duration("retry-backoff", 20*time.Millisecond, "coordinator: base retry backoff (doubles per retry, plus jitter)")
+		hedgeAfter   = flag.Duration("hedge-after", 0, "coordinator: duplicate a slow shard call after this delay (0 = adaptive p99, negative = off)")
+		breakerFails = flag.Int("breaker-failures", 3, "coordinator: consecutive failures that open a shard's circuit breaker")
+		breakerCool  = flag.Duration("breaker-cooldown", 2*time.Second, "coordinator: open-breaker cooldown before a half-open trial (jittered)")
+		probeEvery   = flag.Duration("probe-interval", 250*time.Millisecond, "coordinator: background /readyz probe period feeding the breakers")
 	)
 	flag.Parse()
 
@@ -62,6 +98,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hydra-serve: "+format+"\n", args...)
 		os.Exit(1)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *shards != "" {
+		coord := newCoordinator(strings.Split(*shards, ","), coordConfig{
+			timeout:       *timeout,
+			shardTimeout:  *shardTimeout,
+			retries:       *shardRetries,
+			retryBackoff:  *retryBackoff,
+			hedgeAfter:    *hedgeAfter,
+			minShards:     *minShards,
+			breakerFails:  *breakerFails,
+			breakerCool:   *breakerCool,
+			probeInterval: *probeEvery,
+			accessLog:     *accessLog,
+		})
+		go coord.probeLoop(ctx)
+		srv := &http.Server{Addr: *addr, Handler: coord.handler()}
+		errCh := make(chan error, 1)
+		go func() { errCh <- srv.ListenAndServe() }()
+		fmt.Printf("hydra-serve: coordinator over %d shards on %s (quorum=%d, shard-timeout=%s)\n",
+			len(coord.shards), *addr, *minShards, *shardTimeout)
+		serveUntilDone(ctx, errCh, srv, coord.startDrain, fail)
+		return
+	}
+
 	if *dataPath == "" {
 		fail("-data is required")
 	}
@@ -79,9 +142,13 @@ func main() {
 	if *partial {
 		opts = append(opts, hydra.WithPartialOnDeadline())
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	if *shardSpec != "" {
+		index, count, err := parseShardSpec(*shardSpec)
+		if err != nil {
+			fail("%v", err)
+		}
+		opts = append(opts, hydra.WithShard(index, count))
+	}
 
 	var engine *hydra.Engine
 	switch {
@@ -98,29 +165,53 @@ func main() {
 	}
 
 	app := newServer(engine, *timeout, *inflight)
+	app.accessLog = *accessLog
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: app.handler(),
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("hydra-serve: %s over %d×%d series on %s (simd=%s, timeout=%s)\n",
-		engine.Method(), engine.Len(), engine.SeriesLen(), *addr, hydra.SIMDBackend(), *timeout)
+	placement := ""
+	if idx, count, _, sharded := engine.ShardInfo(); sharded {
+		placement = fmt.Sprintf(", shard %d/%d", idx, count)
+	}
+	fmt.Printf("hydra-serve: %s over %d×%d series on %s (simd=%s, timeout=%s%s)\n",
+		engine.Method(), engine.Len(), engine.SeriesLen(), *addr, hydra.SIMDBackend(), *timeout, placement)
+	serveUntilDone(ctx, errCh, srv, app.startDrain, fail)
+}
 
+// serveUntilDone blocks until the listener fails or the signal context
+// fires, then runs the graceful drain: not-ready first (/readyz flips to
+// 503, new queries are refused), then http.Server.Shutdown over the
+// in-flight requests.
+func serveUntilDone(ctx context.Context, errCh <-chan error, srv *http.Server, startDrain func(), fail func(string, ...any)) {
 	select {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fail("%v", err)
 		}
 	case <-ctx.Done():
-		// Graceful shutdown: go not-ready first (/readyz flips to 503, new
-		// queries are refused), then drain in-flight requests.
 		fmt.Fprintln(os.Stderr, "hydra-serve: shutting down")
-		app.startDrain()
+		startDrain()
 		drain, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(drain); err != nil {
 			fail("shutdown: %v", err)
 		}
 	}
+}
+
+// parseShardSpec parses the -shard "i/n" placement.
+func parseShardSpec(spec string) (index, count int, err error) {
+	is, ns, ok := strings.Cut(spec, "/")
+	if ok {
+		var ierr, nerr error
+		index, ierr = strconv.Atoi(strings.TrimSpace(is))
+		count, nerr = strconv.Atoi(strings.TrimSpace(ns))
+		if ierr == nil && nerr == nil && count > 0 && index >= 0 && index < count {
+			return index, count, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("bad -shard %q: want \"i/n\" with 0 <= i < n", spec)
 }

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log"
+	"math/big"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Request identity and access logging, shared by the single-engine server
+// and the coordinator. Every request gets an ID: the client's X-Request-Id
+// if it sent one (so a caller's trace survives the hop — the coordinator
+// forwards its ID to every shard), a fresh random one otherwise. The ID is
+// echoed in the X-Request-Id response header, carried in every JSON error
+// body, and printed on the access log line, so one identifier follows a
+// query from client to coordinator to shard to log.
+
+// requestIDHeader is the wire header carrying the request ID in both
+// directions.
+const requestIDHeader = "X-Request-Id"
+
+// ctxKeyRequestID keys the request ID in the request context.
+type ctxKeyRequestID struct{}
+
+// newRequestID returns a fresh 16-hex-digit random ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; serve with a zero ID
+		// rather than refuse traffic.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// requestID extracts the request's ID from its context ("" outside the
+// identified middleware).
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(ctxKeyRequestID{}).(string)
+	return id
+}
+
+// statusRecorder captures the status code a handler wrote so the access log
+// can report it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	s.status = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(b []byte) (int, error) {
+	if s.status == 0 {
+		s.status = http.StatusOK
+	}
+	return s.ResponseWriter.Write(b)
+}
+
+// identified is the outermost middleware: it attaches the request ID
+// (accepted from the client or freshly generated), echoes it in the
+// response header, and writes one access log line per request — method,
+// path, status, duration, request ID.
+func identified(next http.Handler) http.Handler { return identify(next, true) }
+
+// identifiedQuiet is identified without the access log line (load-test
+// topologies, where per-request logging would dominate the tail).
+func identifiedQuiet(next http.Handler) http.Handler { return identify(next, false) }
+
+func identify(next http.Handler, logAccess bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(requestIDHeader)
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set(requestIDHeader, id)
+		r = r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID{}, id))
+		if !logAccess {
+			next.ServeHTTP(w, r)
+			return
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		log.Printf("hydra-serve: %s %s %d %s rid=%s", r.Method, r.URL.Path, rec.status,
+			time.Since(start).Round(time.Microsecond), id)
+	})
+}
+
+// retryAfterJitter returns a randomized Retry-After value in [1, spread]
+// seconds. A fixed value would tell every refused client to come back at
+// the same instant — synchronized retries that re-create the very overload
+// that refused them; the jitter spreads the retry wave out.
+func retryAfterJitter(spread int64) string {
+	n, err := rand.Int(rand.Reader, big.NewInt(spread))
+	if err != nil {
+		return "1"
+	}
+	return strconv.FormatInt(1+n.Int64(), 10)
+}

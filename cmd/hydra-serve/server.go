@@ -22,6 +22,12 @@ type server struct {
 	engine  *hydra.Engine
 	timeout time.Duration
 	started time.Time
+	// idOffset maps the engine's shard-local match IDs back to positions in
+	// the full collection (-shard mode); 0 for a whole-collection engine.
+	idOffset int
+	// accessLog enables the per-request access log line (on by default;
+	// load-test topologies turn it off).
+	accessLog bool
 	// sem bounds concurrently admitted query requests (nil = unlimited): a
 	// request that cannot take a slot immediately is refused with 503 +
 	// Retry-After instead of queueing, so overload degrades into fast,
@@ -36,11 +42,15 @@ type server struct {
 // newServer wires the endpoints: POST /query (one k-NN query), POST /batch
 // (many queries, isolated failures), GET /healthz (liveness + engine
 // facts), GET /readyz (admission state). maxInFlight bounds concurrently
-// admitted query requests; 0 means unlimited.
+// admitted query requests; 0 means unlimited. A shard engine (WithShard)
+// is served with its match IDs remapped to full-collection positions.
 func newServer(e *hydra.Engine, timeout time.Duration, maxInFlight int) *server {
 	s := &server{engine: e, timeout: timeout, started: time.Now()}
 	if maxInFlight > 0 {
 		s.sem = make(chan struct{}, maxInFlight)
+	}
+	if _, _, offset, sharded := e.ShardInfo(); sharded {
+		s.idOffset = offset
 	}
 	return s
 }
@@ -51,7 +61,11 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/batch", s.admitted(s.handleBatch))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
-	return s.recovered(mux)
+	h := recovered(mux)
+	if s.accessLog {
+		return identified(h)
+	}
+	return identifiedQuiet(h)
 }
 
 // startDrain marks the server as draining: query endpoints and /readyz
@@ -61,10 +75,28 @@ func (s *server) handler() http.Handler {
 func (s *server) startDrain() { s.draining.Store(true) }
 
 // errorResponse is the JSON body of every refused or failed request that
-// does not reach a handler's own response shape.
+// does not reach a handler's own response shape. RequestID carries the
+// request's identity so a refused client can quote the exact request in a
+// bug report or log search.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
+	// Shards carries the coordinator's per-shard outcome block on fan-out
+	// failures (quorum refusals), so a refused client sees which shards were
+	// down; single-engine servers never set it.
+	Shards []shardStatusJSON `json:"shards,omitempty"`
 }
+
+// writeError answers a request with a JSON error body carrying the
+// request's ID — the one refusal shape of every non-2xx path.
+func writeError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg, RequestID: requestID(r)})
+}
+
+// retryAfterSpread bounds the jittered Retry-After of refused requests:
+// clients are told to come back after 1-3 seconds, each drawing its own
+// value, so a refused thundering herd does not re-arrive in lockstep.
+const retryAfterSpread = 3
 
 // admitted gates a query endpoint on the admission state: draining refuses
 // outright, and when a max-in-flight bound is configured, a request that
@@ -73,8 +105,8 @@ type errorResponse struct {
 func (s *server) admitted(next http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+			w.Header().Set("Retry-After", retryAfterJitter(retryAfterSpread))
+			writeError(w, r, http.StatusServiceUnavailable, "draining")
 			return
 		}
 		if s.sem != nil {
@@ -82,9 +114,9 @@ func (s *server) admitted(next http.HandlerFunc) http.HandlerFunc {
 			case s.sem <- struct{}{}:
 				defer func() { <-s.sem }()
 			default:
-				w.Header().Set("Retry-After", "1")
-				writeJSON(w, http.StatusServiceUnavailable,
-					errorResponse{Error: fmt.Sprintf("overloaded: %d requests in flight", cap(s.sem))})
+				w.Header().Set("Retry-After", retryAfterJitter(retryAfterSpread))
+				writeError(w, r, http.StatusServiceUnavailable,
+					fmt.Sprintf("overloaded: %d requests in flight", cap(s.sem)))
 				return
 			}
 		}
@@ -92,18 +124,18 @@ func (s *server) admitted(next http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// recovered is the outermost middleware: a panic escaping any handler (a
-// bug, or an armed query/panic faultpoint reaching the single-query path)
-// is logged and answered as a 500 JSON error — one request's crash, not the
-// process's. The engine holds no per-query mutable state, so serving
-// continues unharmed.
-func (s *server) recovered(next http.Handler) http.Handler {
+// recovered is the panic boundary shared by the single-engine server and
+// the coordinator: a panic escaping any handler (a bug, or an armed
+// query/panic faultpoint reaching the single-query path) is logged and
+// answered as a 500 JSON error — one request's crash, not the process's.
+// The engine holds no per-query mutable state, so serving continues
+// unharmed.
+func recovered(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if p := recover(); p != nil {
-				log.Printf("hydra-serve: panic serving %s: %v", r.URL.Path, p)
-				writeJSON(w, http.StatusInternalServerError,
-					errorResponse{Error: fmt.Sprintf("internal error: %v", p)})
+				log.Printf("hydra-serve: panic serving %s rid=%s: %v", r.URL.Path, requestID(r), p)
+				writeError(w, r, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", p))
 			}
 		}()
 		next.ServeHTTP(w, r)
@@ -186,8 +218,14 @@ type queryResponse struct {
 	// Partial marks a degraded answer: the query's deadline expired and
 	// Matches holds the best-so-far candidates, not the proven exact top-k.
 	// Only ever set when the engine was built with WithPartialOnDeadline
-	// (the -partial flag); exact answers omit the field.
+	// (the -partial flag); exact answers omit the field. The coordinator
+	// additionally sets it when not every shard answered — the merge is the
+	// best-so-far over the shards that did.
 	Partial bool `json:"partial,omitempty"`
+	// Shards is the coordinator's per-shard outcome block (fan-out state,
+	// retries, hedging, breaker state per shard); single-engine servers
+	// never set it.
+	Shards []shardStatusJSON `json:"shards,omitempty"`
 }
 
 type batchRequest struct {
@@ -206,6 +244,10 @@ type batchResult struct {
 
 type batchResponse struct {
 	Results []batchResult `json:"results"`
+	// Partial and Shards mirror queryResponse: coordinator-only degraded-
+	// merge marker and per-shard outcome block.
+	Partial bool              `json:"partial,omitempty"`
+	Shards  []shardStatusJSON `json:"shards,omitempty"`
 }
 
 type healthzResponse struct {
@@ -215,21 +257,35 @@ type healthzResponse struct {
 	SeriesLen int    `json:"series_len"`
 	SIMD      string `json:"simd"`
 	UptimeSec int64  `json:"uptime_sec"`
+	// Shard reports this instance's slice of a sharded collection; nil for
+	// whole-collection servers.
+	Shard *shardInfoJSON `json:"shard,omitempty"`
+}
+
+// shardInfoJSON is the placement block a -shard server reports in /healthz.
+type shardInfoJSON struct {
+	Index  int `json:"index"`
+	Count  int `json:"count"`
+	Offset int `json:"offset"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		writeError(w, r, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, healthzResponse{
+	resp := healthzResponse{
 		Status:    "ok",
 		Method:    s.engine.Method(),
 		Series:    s.engine.Len(),
 		SeriesLen: s.engine.SeriesLen(),
 		SIMD:      hydra.SIMDBackend(),
 		UptimeSec: int64(time.Since(s.started).Seconds()),
-	})
+	}
+	if idx, count, offset, sharded := s.engine.ShardInfo(); sharded {
+		resp.Shard = &shardInfoJSON{Index: idx, Count: count, Offset: offset}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // readyzResponse reports the admission state: whether this instance should
@@ -246,7 +302,7 @@ type readyzResponse struct {
 // refused.
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		writeError(w, r, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
 	if s.draining.Load() {
@@ -267,18 +323,18 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	engine, err := req.engineFor(s)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		writeError(w, r, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
 		return
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	matches, qs, err := engine.QueryWithStats(ctx, req.Query, k)
 	if err != nil {
-		writeQueryError(w, err)
+		writeQueryError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, queryResponse{
-		Matches: toMatchJSON(matches),
+		Matches: toMatchJSON(matches, s.idOffset),
 		Partial: qs.Partial,
 		Stats: statsJSON{
 			DistCalcs:   qs.DistCalcs,
@@ -311,7 +367,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	engine, err := req.engineFor(s)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		writeError(w, r, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
 		return
 	}
 	ctx, cancel := s.requestContext(r)
@@ -321,7 +377,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// reported at the HTTP level; a batch with any answers returns the
 	// per-query split, each failure carrying its own cause.
 	if first := firstError(errs); first != nil && allNil(results) {
-		writeQueryError(w, first)
+		writeQueryError(w, r, first)
 		return
 	}
 	resp := batchResponse{Results: make([]batchResult, len(results))}
@@ -330,7 +386,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Results[i] = batchResult{Error: errs[i].Error()}
 			continue
 		}
-		resp.Results[i] = batchResult{Matches: toMatchJSON(m)}
+		resp.Results[i] = batchResult{Matches: toMatchJSON(m, s.idOffset)}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -354,10 +410,12 @@ func (s *server) requestContext(r *http.Request) (context.Context, context.Cance
 	return context.WithTimeout(r.Context(), s.timeout)
 }
 
-func toMatchJSON(matches []hydra.Match) []matchJSON {
+// toMatchJSON serializes matches, remapping shard-local IDs to
+// full-collection positions by idOffset (0 for whole-collection engines).
+func toMatchJSON(matches []hydra.Match, idOffset int) []matchJSON {
 	out := make([]matchJSON, len(matches))
 	for i, m := range matches {
-		out[i] = matchJSON{ID: m.ID, Dist: m.Dist}
+		out[i] = matchJSON{ID: m.ID + idOffset, Dist: m.Dist}
 	}
 	return out
 }
@@ -373,12 +431,12 @@ func allNil(results [][]hydra.Match) bool {
 
 func readJSON(w http.ResponseWriter, r *http.Request, into any) bool {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		writeError(w, r, http.StatusMethodNotAllowed, "POST only")
 		return false
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	if err := dec.Decode(into); err != nil {
-		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		writeError(w, r, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
 		return false
 	}
 	return true
@@ -388,19 +446,19 @@ func readJSON(w http.ResponseWriter, r *http.Request, into any) bool {
 // queries fits comfortably; unbounded bodies do not reach the decoder).
 const maxRequestBytes = 64 << 20
 
-func writeQueryError(w http.ResponseWriter, err error) {
+func writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		http.Error(w, "query deadline exceeded", http.StatusGatewayTimeout)
+		writeError(w, r, http.StatusGatewayTimeout, "query deadline exceeded")
 	case errors.Is(err, context.Canceled):
 		// The client went away; the status is moot but 499-style close-out
 		// keeps logs honest.
-		http.Error(w, "request cancelled", 499)
+		writeError(w, r, 499, "request cancelled")
 	case errors.Is(err, hydra.ErrQueryPanic), errors.Is(err, hydra.ErrWorkerPanic):
 		// A recovered query panic is the server's fault, not the client's.
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, r, http.StatusInternalServerError, err.Error())
 	default:
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, r, http.StatusBadRequest, err.Error())
 	}
 }
 

@@ -23,6 +23,9 @@
 // before the exact answer. One functional-options set (WithWorkers,
 // WithDevice, WithLeafSize, ...) configures both the library and every
 // CLI; cmd/hydra-serve is an HTTP front end built only on this surface.
+// WithShard restricts an engine to one contiguous slice of the collection
+// and Gather merges per-shard answers back into the exact global top-k,
+// which is what hydra-serve's coordinator mode scatter-gathers over HTTP.
 // Start with README.md and examples/quickstart; ARCHITECTURE.md maps the
 // layers and interfaces.
 //

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +52,10 @@ type Engine struct {
 
 	batchWorkers      int
 	partialOnDeadline bool
+	// Shard placement (WithShard): index/count of the slice this engine
+	// serves and the collection offset of its first series; count == 0 for
+	// engines over a whole collection.
+	shardIndex, shardCount, shardOffset int
 	// spec is the engine's answering mode (WithApproxMode and friends); the
 	// zero value is exact search. Per-request modes derive engines with
 	// WithQueryOptions instead of mutating this.
@@ -164,6 +169,10 @@ func LoadIndex(ctx context.Context, path string, opts ...Option) (*Engine, error
 		return nil, err
 	}
 	coll := core.NewCollection(d.d)
+	// Startup hygiene: cap the *.quarantined files earlier corrupt loads
+	// left beside this snapshot, so repeated corruption cannot accumulate
+	// into a full disk (age- and count-bounded; see persist.SweepQuarantined).
+	persist.SweepQuarantined(filepath.Dir(path), 0, 0)
 	m, bs, err := cfg.loadSnapshot(ctx, path, coll)
 	if err != nil {
 		if cfg.rebuildMethod != "" {
@@ -217,6 +226,7 @@ func (c *config) loadSnapshot(ctx context.Context, path string, coll *core.Colle
 	if IsCorruptSnapshot(err) {
 		if qpath, qerr := persist.Quarantine(path); qerr == nil {
 			err = fmt.Errorf("%w (quarantined to %s)", err, qpath)
+			persist.SweepQuarantined(filepath.Dir(path), 0, 0)
 		}
 	}
 	return nil, BuildStats{}, err
@@ -266,6 +276,9 @@ func (c *config) engine(m core.Method, coll *core.Collection, d *Dataset, bs Bui
 		batchWorkers:      c.resolvedBatchWorkers(),
 		partialOnDeadline: c.partialOnDeadline,
 		spec:              c.spec,
+		shardIndex:        c.shardIndex,
+		shardCount:        c.shardCount,
+		shardOffset:       c.shardOffset,
 	}
 }
 
@@ -289,7 +302,9 @@ func loadCached(path string, coll *core.Collection) (core.Method, BuildStats, bo
 	f.Close()
 	if err != nil {
 		if IsCorruptSnapshot(err) {
-			_, _ = persist.Quarantine(path)
+			if _, qerr := persist.Quarantine(path); qerr == nil {
+				persist.SweepQuarantined(filepath.Dir(path), 0, 0)
+			}
 		}
 		return nil, BuildStats{}, false
 	}
@@ -327,6 +342,15 @@ func (e *Engine) SeriesLen() int { return e.coll.File.SeriesLen() }
 
 // Device returns the engine's simulated disk profile.
 func (e *Engine) Device() Device { return e.device }
+
+// ShardInfo reports the engine's placement in a sharded collection
+// (WithShard): its shard index, the shard count, and the collection offset
+// of its first series — the value that maps shard-local match IDs back to
+// full-collection positions. sharded is false for engines over a whole
+// collection (all other returns are then zero).
+func (e *Engine) ShardInfo() (index, count, offset int, sharded bool) {
+	return e.shardIndex, e.shardCount, e.shardOffset, e.shardCount > 0
+}
 
 // BuildStats returns the cost of constructing (or loading) the engine's
 // index; zero-valued for scan engines, which have no build phase.

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestGatherSetFoldOncePerSource pins the hedge-dedup contract: a source
+// folds exactly once, and a second fold under the same name — the losing
+// copy of a hedged request — is ignored entirely.
+func TestGatherSetFoldOncePerSource(t *testing.T) {
+	g := NewGatherSet(2)
+	if !g.Fold("shard-0", []Match{{ID: 1, Dist: 3}, {ID: 2, Dist: 5}}) {
+		t.Fatal("first fold rejected")
+	}
+	if g.Fold("shard-0", []Match{{ID: 3, Dist: 0.1}}) {
+		t.Fatal("second fold of one source applied")
+	}
+	if !g.Folded("shard-0") || g.Folded("shard-1") {
+		t.Fatal("provenance wrong")
+	}
+	got := g.Results()
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("duplicate fold leaked into results: %+v", got)
+	}
+	if srcs := g.Sources(); len(srcs) != 1 || srcs[0] != "shard-0" {
+		t.Fatalf("sources = %v", srcs)
+	}
+}
+
+// TestGatherSetMergePropertyShardOverlap is the shard-overlap property test:
+// for random universes of candidates scattered over shards that overlap
+// arbitrarily (every series on at least one shard, many on several, tie
+// distances common), merging the per-shard top-k answers in random arrival
+// order must equal the single-set top-k over the deduplicated universe —
+// same IDs, same order, bitwise-equal distances — and must never contain a
+// series twice.
+func TestGatherSetMergePropertyShardOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 300; iter++ {
+		n := 1 + rng.Intn(60)
+		k := 1 + rng.Intn(8)
+		shards := 1 + rng.Intn(5)
+		// One deterministic distance per ID: duplicates across shards carry
+		// identical distances, like one series answered by two replicas.
+		// Coarse quantization forces frequent exact ties.
+		dist := make([]float64, n)
+		for id := range dist {
+			dist[id] = float64(rng.Intn(8)) / 2
+		}
+
+		// Scatter: every ID lands on one mandatory shard plus extras.
+		perShard := make([][]Match, shards)
+		for id := 0; id < n; id++ {
+			home := rng.Intn(shards)
+			for s := 0; s < shards; s++ {
+				if s == home || rng.Intn(3) == 0 {
+					perShard[s] = append(perShard[s], Match{ID: id, Dist: dist[id]})
+				}
+			}
+		}
+
+		// Each shard answers its local top-k, exactly like a shard engine.
+		answers := make([][]Match, shards)
+		for s, members := range perShard {
+			set := NewKNNSet(k)
+			for _, m := range members {
+				set.Add(m.ID, m.Dist*m.Dist)
+			}
+			answers[s] = set.Results()
+		}
+
+		// Fold in random arrival order.
+		g := NewGatherSet(k)
+		for _, s := range rng.Perm(shards) {
+			if !g.Fold(string(rune('a'+s)), answers[s]) {
+				t.Fatalf("iter %d: fold of distinct source rejected", iter)
+			}
+		}
+		got := g.Results()
+
+		// Oracle: one set over the deduplicated universe.
+		oracle := NewKNNSet(k)
+		for id := 0; id < n; id++ {
+			oracle.Add(id, dist[id]*dist[id])
+		}
+		want := oracle.Results()
+
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: merged %d results, want %d", iter, len(got), len(want))
+		}
+		seen := map[int]bool{}
+		for i := range got {
+			if seen[got[i].ID] {
+				t.Fatalf("iter %d: series %d appears twice in merged results", iter, got[i].ID)
+			}
+			seen[got[i].ID] = true
+			if got[i].ID != want[i].ID || math.Float64bits(got[i].Dist) != math.Float64bits(want[i].Dist) {
+				t.Fatalf("iter %d: rank %d: merged %+v, want %+v", iter, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGatherSetRoundTripsWireDistances pins the IEEE round-trip: folding
+// true distances (as they travel on the wire) and reading Results back
+// reproduces the folded distances bit for bit.
+func TestGatherSetRoundTripsWireDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := make([]Match, 16)
+	for i := range in {
+		in[i] = Match{ID: i, Dist: rng.ExpFloat64() * 123.456}
+	}
+	g := NewGatherSet(len(in))
+	g.Fold("s", in)
+	got := g.Results()
+	if len(got) != len(in) {
+		t.Fatalf("got %d results, want %d", len(got), len(in))
+	}
+	byID := map[int]float64{}
+	for _, m := range in {
+		byID[m.ID] = m.Dist
+	}
+	for _, m := range got {
+		if math.Float64bits(m.Dist) != math.Float64bits(byID[m.ID]) {
+			t.Fatalf("series %d: distance %v did not round-trip (want %v)", m.ID, m.Dist, byID[m.ID])
+		}
+	}
+}

@@ -16,7 +16,9 @@
 // helper: Err returns a typed *Error (transient I/O failure), ShortRead
 // truncates a reader (torn snapshot), Delay sleeps (slow device),
 // MaybePanic panics (crashed worker), ChurnAllocs allocates garbage
-// (allocation pressure). Every injected fault is typed — errors wrap
+// (allocation pressure), Drop blocks until the attempt's deadline (network
+// blackhole), Flap fails every other hit (flapping dependency). Every
+// injected fault is typed — errors wrap
 // ErrInjected, panics carry *Error — so the conformance suite can prove
 // that faults surface as typed errors, never as hangs or silent wrong
 // answers.
@@ -33,6 +35,7 @@
 package faultpoint
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -73,6 +76,21 @@ const (
 	// above every per-worker recovery — exercising the per-query panic
 	// isolation of Engine.QueryBatch and the serve handlers.
 	QueryPanic = "query/panic"
+	// RPCError fails a coordinator→shard request with a typed injected
+	// error before it leaves the client — the connection-refused/EIO class
+	// of network failure the retry loop absorbs.
+	RPCError = "rpc/error"
+	// RPCSlow delays a coordinator→shard request by the armed duration
+	// before sending (default 10ms) — the slow-shard drill behind hedging.
+	RPCSlow = "rpc/slow"
+	// RPCDrop blackholes a coordinator→shard request: the attempt blocks
+	// until its own deadline expires, like a dropped packet with no RST.
+	// The per-try timeout bounds the hang, so a drill degrades latency
+	// without ever hanging the query.
+	RPCDrop = "rpc/drop"
+	// RPCFlap makes a coordinator→shard request fail on every other hit —
+	// the flapping-shard drill that exercises breaker half-open churn.
+	RPCFlap = "rpc/flap"
 )
 
 // ErrInjected is the sentinel every injected fault error wraps;
@@ -234,6 +252,36 @@ func MaybePanic(name string) {
 	if fire(name) != nil {
 		panic(&Error{Point: name})
 	}
+}
+
+// Drop blackholes the caller until ctx expires when the named failpoint
+// fires, then returns ctx.Err() wrapped around the typed injected error —
+// the dropped-packet drill. A caller without a deadline would hang exactly
+// like a real blackhole, so the instrumented paths only check Drop where a
+// per-attempt timeout is already in force. Returns nil when disarmed.
+func Drop(name string, ctx context.Context) error {
+	if fire(name) == nil {
+		return nil
+	}
+	<-ctx.Done()
+	return fmt.Errorf("%w: %w", &Error{Point: name}, ctx.Err())
+}
+
+// Flap returns the typed injected error on the 1st, 3rd, 5th, ... firing of
+// the named failpoint and nil on the even ones — a deterministically
+// flapping dependency: alternating failure and recovery, the pattern that
+// churns a circuit breaker through open/half-open/closed.
+func Flap(name string) error {
+	if fire(name) == nil {
+		return nil
+	}
+	mu.Lock()
+	odd := hits[name].Load()%2 == 1
+	mu.Unlock()
+	if odd {
+		return &Error{Point: name}
+	}
+	return nil
 }
 
 // churnSink keeps the allocation-pressure garbage alive across one firing

@@ -1,6 +1,7 @@
 package faultpoint
 
 import (
+	"context"
 	"errors"
 	"io"
 	"strings"
@@ -183,5 +184,65 @@ func TestConcurrentFire(t *testing.T) {
 	fired.Wait()
 	if count != 100 {
 		t.Fatalf("fired %d times across goroutines, want exactly 100", count)
+	}
+}
+
+// TestDropBlocksUntilDeadline pins the blackhole helper: an armed rpc/drop
+// holds the caller until its context expires, then surfaces a typed injected
+// error that also carries the context's cause — never a silent nil, never a
+// hang beyond the attempt's own deadline.
+func TestDropBlocksUntilDeadline(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Drop(RPCDrop, context.Background()); err != nil {
+		t.Fatalf("disarmed Drop: %v", err)
+	}
+	ArmN(RPCDrop, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := Drop(RPCDrop, ctx)
+	if err == nil {
+		t.Fatal("armed Drop returned nil")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Drop error not typed: %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drop error should carry the deadline cause: %v", err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("Drop returned before the deadline")
+	}
+	if err := Drop(RPCDrop, ctx); err != nil {
+		t.Fatalf("Drop after budget: %v", err)
+	}
+}
+
+// TestFlapAlternates pins the flapping helper: armed, it fails the 1st,
+// 3rd, 5th hit and passes the even ones — a deterministic fail/recover
+// pattern for breaker drills.
+func TestFlapAlternates(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Flap(RPCFlap); err != nil {
+		t.Fatalf("disarmed Flap: %v", err)
+	}
+	Arm(RPCFlap)
+	for i := 0; i < 6; i++ {
+		err := Flap(RPCFlap)
+		if i%2 == 0 {
+			if err == nil {
+				t.Fatalf("hit %d should fail", i+1)
+			}
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d error not typed: %v", i+1, err)
+			}
+		} else if err != nil {
+			t.Fatalf("hit %d should pass, got %v", i+1, err)
+		}
+	}
+	if got := Hits(RPCFlap); got != 6 {
+		t.Fatalf("hits = %d, want 6", got)
 	}
 }

@@ -13,6 +13,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"time"
 )
 
 // AtomicWrite writes a file at path by streaming fill into a temporary
@@ -68,4 +71,69 @@ func Quarantine(path string) (string, error) {
 		return "", fmt.Errorf("persist: quarantining %s: %w", path, err)
 	}
 	return qpath, nil
+}
+
+// Quarantine hygiene defaults: SweepQuarantined callers that pass zero get
+// these bounds. Evidence older than a week has been diagnosed or never will
+// be, and a handful of recent corpses is all a postmortem needs — beyond
+// that, repeated corruption would turn the quarantine into a disk leak.
+const (
+	// DefaultQuarantineKeep is how many quarantined files a directory
+	// retains (newest first) when SweepQuarantined is called with keep <= 0.
+	DefaultQuarantineKeep = 4
+	// DefaultQuarantineAge is the retention age applied when SweepQuarantined
+	// is called with maxAge <= 0.
+	DefaultQuarantineAge = 7 * 24 * time.Hour
+)
+
+// SweepQuarantined caps the accumulation of *.quarantined files in dir:
+// files older than maxAge are removed, and of the remainder only the keep
+// newest (by modification time) survive. Zero maxAge/keep select the
+// package defaults. It returns how many files were removed. A missing or
+// unreadable directory is not an error — the sweep is hygiene, not a
+// load-bearing step, and must never fail a start on its own.
+func SweepQuarantined(dir string, maxAge time.Duration, keep int) int {
+	if maxAge <= 0 {
+		maxAge = DefaultQuarantineAge
+	}
+	if keep <= 0 {
+		keep = DefaultQuarantineKeep
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	type qfile struct {
+		path string
+		mod  time.Time
+	}
+	var files []qfile
+	cutoff := time.Now().Add(-maxAge)
+	removed := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), QuarantineExt) {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if info.ModTime().Before(cutoff) {
+			if os.Remove(path) == nil {
+				removed++
+			}
+			continue
+		}
+		files = append(files, qfile{path: path, mod: info.ModTime()})
+	}
+	if len(files) > keep {
+		sort.Slice(files, func(i, j int) bool { return files[i].mod.After(files[j].mod) })
+		for _, f := range files[keep:] {
+			if os.Remove(f.path) == nil {
+				removed++
+			}
+		}
+	}
+	return removed
 }

@@ -2,10 +2,12 @@ package persist
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestAtomicWriteCreatesDirsAndFile(t *testing.T) {
@@ -101,5 +103,55 @@ func TestQuarantineRenamesAside(t *testing.T) {
 func TestQuarantineMissingFileErrors(t *testing.T) {
 	if _, err := Quarantine(filepath.Join(t.TempDir(), "absent")); err == nil {
 		t.Fatal("quarantining a missing file should error")
+	}
+}
+
+// TestSweepQuarantinedCapsCountAndAge pins the quarantine hygiene bounds:
+// stale files go by age, the newest `keep` survive the count cap, and
+// non-quarantine files are never touched.
+func TestSweepQuarantinedCapsCountAndAge(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, age time.Duration) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mod := time.Now().Add(-age)
+		if err := os.Chtimes(path, mod, mod); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	stale := write("old.hydx"+QuarantineExt, 40*24*time.Hour)
+	var fresh []string
+	for i := 0; i < 6; i++ {
+		// Newer files get larger i: f5 is the newest.
+		fresh = append(fresh, write(fmt.Sprintf("f%d.hydx%s", i, QuarantineExt), time.Duration(6-i)*time.Hour))
+	}
+	keepMe := write("live.hydx", 99*24*time.Hour) // not quarantined: never swept
+
+	removed := SweepQuarantined(dir, 0, 3)
+	if removed != 4 { // the stale one + 3 beyond the count cap
+		t.Fatalf("removed %d files, want 4", removed)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale quarantined file survived")
+	}
+	for i, path := range fresh {
+		_, err := os.Stat(path)
+		if i < 3 && !os.IsNotExist(err) {
+			t.Fatalf("older file f%d should be swept by the count cap", i)
+		}
+		if i >= 3 && err != nil {
+			t.Fatalf("newest file f%d swept: %v", i, err)
+		}
+	}
+	if _, err := os.Stat(keepMe); err != nil {
+		t.Fatal("sweep touched a non-quarantined file")
+	}
+
+	// A missing directory is a no-op, not an error path.
+	if n := SweepQuarantined(filepath.Join(dir, "nope"), 0, 0); n != 0 {
+		t.Fatalf("sweep of missing dir removed %d", n)
 	}
 }

@@ -54,6 +54,13 @@ type config struct {
 	snapshotRetries   int
 	rebuildMethod     string
 
+	// Shard slicing (WithShard): the engine serves the shardIndex-th of
+	// shardCount contiguous partitions of the configured dataset;
+	// shardOffset records where that slice starts, resolved by dataset().
+	shardIndex  int
+	shardCount  int
+	shardOffset int
+
 	// Approximate-query defaults (WithApproxMode and friends). The mode is
 	// kept as its wire name until approxSpec resolves it, so constructors
 	// can report a bad name as their own error.
@@ -83,15 +90,28 @@ func (c *config) apply(opts []Option) {
 }
 
 // dataset resolves the configured dataset: an in-memory handle if one was
-// attached with WithData, otherwise the file named by WithDatasetFile.
+// attached with WithData, otherwise the file named by WithDatasetFile —
+// sliced down to the configured shard (WithShard) when one is set.
 func (c *config) dataset() (*Dataset, error) {
-	if c.data != nil {
-		return c.data, nil
+	d := c.data
+	if d == nil {
+		if c.dataPath == "" {
+			return nil, fmt.Errorf("hydra: no dataset configured (use WithData or WithDatasetFile)")
+		}
+		var err error
+		if d, err = OpenDataset(c.dataPath); err != nil {
+			return nil, err
+		}
 	}
-	if c.dataPath != "" {
-		return OpenDataset(c.dataPath)
+	if c.shardCount > 0 {
+		shard, offset, err := d.Shard(c.shardIndex, c.shardCount)
+		if err != nil {
+			return nil, err
+		}
+		c.shardOffset = offset
+		return shard, nil
 	}
-	return nil, fmt.Errorf("hydra: no dataset configured (use WithData or WithDatasetFile)")
+	return d, nil
 }
 
 func (c *config) resolvedBatchWorkers() int {
@@ -113,6 +133,22 @@ func WithDatasetFile(path string) Option { return func(c *config) { c.dataPath =
 // values fan each query out over that many shards, negative selects
 // GOMAXPROCS. Answers are bit-identical for every setting.
 func WithWorkers(n int) Option { return func(c *config) { c.opts.Workers = n } }
+
+// WithShard restricts the engine to the index-th of count contiguous
+// partitions of the configured dataset (the ShardRange split, identical to
+// the parallel scan's per-worker sharding) — the building block of
+// scatter-gather serving: N processes each build or scan one shard, and a
+// coordinator merges their answers with Gather. The shard view aliases the
+// dataset's arena, so slicing costs no copies.
+//
+// A shard engine answers with shard-local IDs; Engine.ShardInfo reports the
+// offset that maps them back to full-collection positions (hydra-serve's
+// shard mode adds it on the wire). Snapshots built over a shard carry the
+// shard's own fingerprint, so a shard never silently loads another shard's
+// index.
+func WithShard(index, count int) Option {
+	return func(c *config) { c.shardIndex, c.shardCount = index, count }
+}
 
 // WithBatchWorkers caps how many queries of one QueryBatch run
 // concurrently. 0 (the default) selects GOMAXPROCS.

@@ -44,6 +44,15 @@ type benchFile struct {
 		AllocsPerQuery float64 `json:"allocs_per_query"`
 		NsPerQuery     float64 `json:"ns_per_query"`
 	} `json:"mem"`
+	// Serve holds the hydraload serving-path block: client-observed tail
+	// latencies, compared like the cost metrics (higher is worse) whenever
+	// both artifacts carry a serve run.
+	Serve struct {
+		Requests   int64   `json:"requests"`
+		P50Micros  float64 `json:"p50_us"`
+		P99Micros  float64 `json:"p99_us"`
+		P999Micros float64 `json:"p999_us"`
+	} `json:"serve"`
 	// Quality holds answer-quality metrics (recall/MAP per method and mode)
 	// where higher is better — compared with the regression direction
 	// inverted relative to the cost metrics.
@@ -73,10 +82,21 @@ func diff(old, new benchFile, threshold float64) (lines, regressions []string) {
 		lines = append(lines, fmt.Sprintf("warning: SIMD backend changed %q -> %q; numbers are not like for like",
 			old.Host.SIMDBackend, new.Host.SIMDBackend))
 	}
-	for _, m := range []metric{
+	metrics := []metric{
 		{name: "ns/query", old: old.Mem.NsPerQuery, new: new.Mem.NsPerQuery, optional: true},
 		{name: "bytes/query", old: old.Mem.BytesPerQuery, new: new.Mem.BytesPerQuery},
-	} {
+	}
+	// Serve tail latencies join the comparison only when both runs drove
+	// load: a kernel-bench artifact has no serving block and must not drown
+	// the report in missing-metric lines.
+	if old.Serve.Requests > 0 && new.Serve.Requests > 0 {
+		metrics = append(metrics,
+			metric{name: "serve p50/us", old: old.Serve.P50Micros, new: new.Serve.P50Micros, optional: true},
+			metric{name: "serve p99/us", old: old.Serve.P99Micros, new: new.Serve.P99Micros, optional: true},
+			metric{name: "serve p999/us", old: old.Serve.P999Micros, new: new.Serve.P999Micros, optional: true},
+		)
+	}
+	for _, m := range metrics {
 		if m.old == 0 {
 			if m.optional {
 				lines = append(lines, fmt.Sprintf("%-12s baseline missing (old artifact predates this metric); new = %.0f", m.name, m.new))

@@ -1,0 +1,339 @@
+// Command hydraload is the load generator for hydra-serve: it drives
+// concurrent /query (or /batch) traffic at a server — single-engine or
+// scatter-gather coordinator — and records the client-observed tail
+// latencies (p50/p99/p999), throughput, and error/partial ratios. Against a
+// coordinator it also scrapes /statusz afterwards, so the artifact carries
+// the per-shard retry/hedge/breaker counters the run produced.
+//
+// Usage:
+//
+//	hydraload -addr http://127.0.0.1:8080 -data synth.hyd -duration 5s -concurrency 8 -k 10 \
+//	          -id serve-3shard -out BENCH_serve.json
+//
+// The artifact is a BENCH_*.json in the same family hydra-bench writes:
+// tools/benchdiff compares the serve block (tail latencies, cost direction)
+// and the quality block (success and exact ratios, higher is better)
+// against a committed baseline, which makes serving-path regressions —
+// latency blowups, silent partial answers, lost shards — CI-gateable like
+// any kernel regression.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hydra"
+	"hydra/internal/experiments"
+	"hydra/internal/persist"
+)
+
+// queryRequest / responses mirror the hydra-serve wire contract (the cmd
+// package is not importable; the JSON shape is the stable surface).
+type queryRequest struct {
+	Query []float32 `json:"query"`
+	K     int       `json:"k"`
+}
+
+type batchRequest struct {
+	Queries [][]float32 `json:"queries"`
+	K       int         `json:"k"`
+}
+
+type queryResponse struct {
+	Matches []struct {
+		ID   int     `json:"id"`
+		Dist float64 `json:"dist"`
+	} `json:"matches"`
+	Partial bool `json:"partial"`
+}
+
+// shardStat mirrors one entry of the coordinator's /statusz shard block.
+type shardStat struct {
+	Addr          string `json:"addr"`
+	Breaker       string `json:"breaker"`
+	Requests      int64  `json:"requests"`
+	Failures      int64  `json:"failures"`
+	Retries       int64  `json:"retries"`
+	Hedges        int64  `json:"hedges"`
+	BreakerOpens  int64  `json:"breaker_opens"`
+	ProbeFailures int64  `json:"probe_failures"`
+	P50Micros     int64  `json:"p50_us"`
+	P99Micros     int64  `json:"p99_us"`
+}
+
+type statuszResponse struct {
+	Mode   string      `json:"mode"`
+	Shards []shardStat `json:"shards"`
+}
+
+// serveStats is the serve block of the artifact: the run's shape, the
+// client-observed latency distribution, and (coordinator targets) the
+// per-shard fan-out counters.
+type serveStats struct {
+	Addr        string  `json:"addr"`
+	DurationSec float64 `json:"duration_sec"`
+	Concurrency int     `json:"concurrency"`
+	K           int     `json:"k"`
+	Batch       int     `json:"batch,omitempty"`
+
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	Partials int64   `json:"partials"`
+	QPS      float64 `json:"throughput_qps"`
+
+	P50Micros  float64 `json:"p50_us"`
+	P99Micros  float64 `json:"p99_us"`
+	P999Micros float64 `json:"p999_us"`
+
+	Shards []shardStat `json:"shards,omitempty"`
+}
+
+// memBlock keeps the artifact comparable by benchdiff's existing cost gate:
+// ns/query here is the mean client-observed latency.
+type memBlock struct {
+	Queries    int64   `json:"queries"`
+	NsPerQuery float64 `json:"ns_per_query"`
+}
+
+type artifact struct {
+	ID        string               `json:"id"`
+	Title     string               `json:"title"`
+	WallClock string               `json:"wall_clock"`
+	Host      experiments.HostInfo `json:"host"`
+	Mem       memBlock             `json:"mem"`
+	Serve     serveStats           `json:"serve"`
+	Quality   map[string]float64   `json:"quality"`
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "hydra-serve base URL")
+		dataPath    = flag.String("data", "", "collection file queries are drawn from (required)")
+		duration    = flag.Duration("duration", 5*time.Second, "how long to drive load")
+		concurrency = flag.Int("concurrency", 8, "concurrent request workers")
+		k           = flag.Int("k", 10, "neighbors per query")
+		batch       = flag.Int("batch", 0, "queries per /batch request (0 = one /query per request)")
+		warmup      = flag.Int("warmup", 20, "unrecorded warmup requests")
+		seed        = flag.Int64("seed", 1, "query selection seed")
+		id          = flag.String("id", "serve-load", "artifact id")
+		out         = flag.String("out", "", "write the BENCH json artifact here")
+	)
+	flag.Parse()
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "hydraload: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if *dataPath == "" {
+		fail("-data is required")
+	}
+	d, err := hydra.OpenDataset(*dataPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	base := strings.TrimRight(*addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *concurrency * 2}}
+
+	// One request body per collection series, pre-marshaled so the load loop
+	// measures the server, not the client's JSON encoder.
+	bodies := prebuild(d, *k, *batch)
+	path := "/query"
+	if *batch > 0 {
+		path = "/batch"
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	for i := 0; i < *warmup; i++ {
+		_, _, _ = shoot(hc, base+path, bodies[rng.Intn(len(bodies))])
+	}
+
+	var (
+		requests, errors, partials atomic.Int64
+		mu                         sync.Mutex
+		latencies                  []time.Duration
+	)
+	start := time.Now()
+	deadline := start.Add(*duration)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			local := make([]time.Duration, 0, 1024)
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				ok, partial, err := shoot(hc, base+path, bodies[wrng.Intn(len(bodies))])
+				requests.Add(1)
+				if err != nil || !ok {
+					errors.Add(1)
+					continue
+				}
+				local = append(local, time.Since(t0))
+				if partial {
+					partials.Add(1)
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	total := requests.Load()
+	okCount := int64(len(latencies))
+	stats := serveStats{
+		Addr:        base,
+		DurationSec: elapsed.Seconds(),
+		Concurrency: *concurrency,
+		K:           *k,
+		Batch:       *batch,
+		Requests:    total,
+		Errors:      errors.Load(),
+		Partials:    partials.Load(),
+		QPS:         float64(total) / elapsed.Seconds(),
+		P50Micros:   quantileUs(latencies, 0.50),
+		P99Micros:   quantileUs(latencies, 0.99),
+		P999Micros:  quantileUs(latencies, 0.999),
+		Shards:      scrapeStatusz(hc, base),
+	}
+
+	fmt.Printf("hydraload: %d requests in %s (%.0f qps, %d workers) against %s%s\n",
+		total, elapsed.Round(time.Millisecond), stats.QPS, *concurrency, base, path)
+	fmt.Printf("latency: p50 %.0fus  p99 %.0fus  p999 %.0fus  (errors %d, partial %d)\n",
+		stats.P50Micros, stats.P99Micros, stats.P999Micros, stats.Errors, stats.Partials)
+	for _, s := range stats.Shards {
+		fmt.Printf("shard %s: %d requests, %d failures, %d retries, %d hedges, %d breaker opens (breaker %s)\n",
+			s.Addr, s.Requests, s.Failures, s.Retries, s.Hedges, s.BreakerOpens, s.Breaker)
+	}
+
+	if *out == "" {
+		return
+	}
+	var meanNs float64
+	if okCount > 0 {
+		var sum time.Duration
+		for _, l := range latencies {
+			sum += l
+		}
+		meanNs = float64(sum.Nanoseconds()) / float64(okCount)
+	}
+	quality := map[string]float64{}
+	if total > 0 {
+		quality["serve/success_ratio"] = float64(total-stats.Errors) / float64(total)
+	}
+	if okCount > 0 {
+		quality["serve/exact_ratio"] = float64(okCount-stats.Partials) / float64(okCount)
+	}
+	art := artifact{
+		ID:        *id,
+		Title:     fmt.Sprintf("hydra-serve load: %d workers, k=%d over %s", *concurrency, *k, *duration),
+		WallClock: elapsed.Round(time.Millisecond).String(),
+		Host:      experiments.Host(),
+		Mem:       memBlock{Queries: okCount, NsPerQuery: meanNs},
+		Serve:     stats,
+		Quality:   quality,
+	}
+	blob, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := persist.WriteFileAtomic(*out, append(blob, '\n'), 0o644); err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// prebuild marshals one request body per starting series: single queries,
+// or batches of `batch` consecutive (wrapping) series.
+func prebuild(d *hydra.Dataset, k, batch int) [][]byte {
+	bodies := make([][]byte, d.Len())
+	for i := 0; i < d.Len(); i++ {
+		var body any
+		if batch > 0 {
+			qs := make([][]float32, batch)
+			for j := range qs {
+				qs[j] = d.Series((i + j) % d.Len())
+			}
+			body = batchRequest{Queries: qs, K: k}
+		} else {
+			body = queryRequest{Query: d.Series(i), K: k}
+		}
+		blob, err := json.Marshal(body)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hydraload: %v\n", err)
+			os.Exit(1)
+		}
+		bodies[i] = blob
+	}
+	return bodies
+}
+
+// shoot sends one request and reports (answered 200, partial, transport
+// error). Non-200 answers count as errors via ok=false.
+func shoot(hc *http.Client, url string, body []byte) (ok, partial bool, err error) {
+	resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, false, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return false, false, err
+	}
+	var qr queryResponse
+	if json.Unmarshal(data, &qr) == nil && qr.Partial {
+		return true, true, nil
+	}
+	// Batch responses share the top-level "partial" field; any per-result
+	// parse mismatch still counts the request as answered.
+	return true, false, nil
+}
+
+// scrapeStatusz fetches the coordinator's per-shard counters; nil against a
+// single-engine server (404) or on any error — the load numbers stand on
+// their own.
+func scrapeStatusz(hc *http.Client, base string) []shardStat {
+	resp, err := hc.Get(base + "/statusz")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var st statuszResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil
+	}
+	return st.Shards
+}
+
+// quantileUs returns the q-th quantile of the sorted latency slice in
+// microseconds (0 when empty).
+func quantileUs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx].Nanoseconds()) / 1e3
+}
