@@ -7,7 +7,12 @@
 // every artifact runnable through the standard Go toolchain:
 //
 //	go test -bench=Fig6 -benchmem
-package hydra
+//
+// The harness lives in the external test package: it imports
+// internal/experiments, which itself imports hydra (the ingest
+// experiment drives Engine.Append), so an in-package test file would
+// close an import cycle.
+package hydra_test
 
 import (
 	"context"

@@ -15,9 +15,10 @@
 //
 //	POST /query   {"query":[...],"k":1}      one exact k-NN query
 //	POST /batch   {"queries":[[...]],"k":1}  a batch; failed queries are isolated
+//	POST /ingest  {"series":[[...]]}         durable append (-ingest-dir mode; 200 = acked)
 //	GET  /healthz                            liveness + engine/topology facts
 //	GET  /readyz                             admission state (503 while draining/degraded)
-//	GET  /statusz                            coordinator only: per-shard fan-out counters
+//	GET  /statusz                            engine + ingestion/WAL counters; per-shard fan-out counters on a coordinator
 //
 // Every request carries an X-Request-Id (the client's, or a generated one),
 // echoed in the response header, JSON error bodies and the access log
@@ -45,9 +46,16 @@
 // background /readyz prober (-probe-interval) that re-admits recovered
 // shards.
 //
-// SIGINT/SIGTERM flip /readyz to 503 and drain in-flight requests before
-// exit (graceful shutdown). Handler panics are recovered, logged, and
-// answered as 500 — one request's failure never takes the process down.
+// Durable ingestion (-ingest-dir, single-engine mode with an
+// ingest-capable method): POST /ingest appends series through a write-ahead
+// log (-wal-sync picks the fsync policy) — a 200 means the batch survives
+// kill -9, and the next start replays the log before serving. /statusz
+// reports the WAL lag and checkpoint counters.
+//
+// SIGINT/SIGTERM flip /readyz to 503, drain in-flight requests, then fold
+// the WAL into a checkpoint before exit (graceful shutdown). Handler panics
+// are recovered, logged, and answered as 500 — one request's failure never
+// takes the process down.
 package main
 
 import (
@@ -81,6 +89,8 @@ func main() {
 		partial   = flag.Bool("partial", true, "answer deadline-expired queries with best-so-far results (partial:true) instead of 504")
 		accessLog = flag.Bool("access-log", true, "log one access line per request (method, path, status, duration, request ID)")
 		shardSpec = flag.String("shard", "", "serve only shard i of n of the collection, as \"i/n\" (match IDs stay global)")
+		ingestDir = flag.String("ingest-dir", "", "enable durable ingestion (POST /ingest): WAL + checkpoint directory")
+		walSync   = flag.String("wal-sync", "", "WAL fsync policy: \"always\" (default), \"off\", or an interval like \"50ms\"")
 
 		shards       = flag.String("shards", "", "comma-separated shard server addresses; serve as a scatter-gather coordinator instead of one engine")
 		minShards    = flag.Int("min-shards", 1, "coordinator: minimum shards that must answer a query; fewer answers 503 instead of a partial merge")
@@ -142,6 +152,9 @@ func main() {
 	if *partial {
 		opts = append(opts, hydra.WithPartialOnDeadline())
 	}
+	if *ingestDir != "" {
+		opts = append(opts, hydra.WithIngestDir(*ingestDir), hydra.WithWALSync(*walSync))
+	}
 	if *shardSpec != "" {
 		index, count, err := parseShardSpec(*shardSpec)
 		if err != nil {
@@ -176,9 +189,28 @@ func main() {
 	if idx, count, _, sharded := engine.ShardInfo(); sharded {
 		placement = fmt.Sprintf(", shard %d/%d", idx, count)
 	}
-	fmt.Printf("hydra-serve: %s over %d×%d series on %s (simd=%s, timeout=%s%s)\n",
-		engine.Method(), engine.Len(), engine.SeriesLen(), *addr, hydra.SIMDBackend(), *timeout, placement)
+	ingestInfo := ""
+	if st, ok := engine.IngestStats(); ok {
+		ingestInfo = fmt.Sprintf(", ingest=%s sync=%s recovered=%d", *ingestDir, st.SyncPolicy, st.Recovered)
+	}
+	fmt.Printf("hydra-serve: %s over %d×%d series on %s (simd=%s, timeout=%s%s%s)\n",
+		engine.Method(), engine.Len(), engine.SeriesLen(), *addr, hydra.SIMDBackend(), *timeout, placement, ingestInfo)
 	serveUntilDone(ctx, errCh, srv, app.startDrain, fail)
+
+	// Drain-time checkpoint: with the listener down and in-flight requests
+	// finished, fold the WAL into a checkpoint so the next start replays
+	// nothing. Best effort — a failure leaves the log, which recovery
+	// handles; it must not turn a clean drain into a crash.
+	if _, ok := engine.IngestStats(); ok {
+		if err := engine.Checkpoint(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "hydra-serve: drain checkpoint: %v\n", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "hydra-serve: drain checkpoint written")
+		}
+		if err := engine.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hydra-serve: closing ingest log: %v\n", err)
+		}
+	}
 }
 
 // serveUntilDone blocks until the listener fails or the signal context

@@ -59,8 +59,10 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.admitted(s.handleQuery))
 	mux.HandleFunc("/batch", s.admitted(s.handleBatch))
+	mux.HandleFunc("/ingest", s.admitted(s.handleIngest))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/statusz", s.handleStatusz)
 	h := recovered(mux)
 	if s.accessLog {
 		return identified(h)
@@ -310,6 +312,111 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, readyzResponse{Status: "ready", InFlight: len(s.sem), Capacity: cap(s.sem)})
+}
+
+// ingestRequest is the wire form of POST /ingest: a batch of raw series to
+// append durably. The server z-normalizes them like dataset ingestion.
+type ingestRequest struct {
+	Series [][]float32 `json:"series"`
+}
+
+// ingestResponse acknowledges a durable append: when it comes back 200 the
+// batch survives kill -9 (per the engine's Append contract and the
+// configured -wal-sync policy).
+type ingestResponse struct {
+	Appended int `json:"appended"`
+	Total    int `json:"total"`
+}
+
+// handleIngest appends a batch through Engine.Append. It shares the query
+// endpoints' admission control (drain and max-in-flight refusals), so an
+// overloaded or draining server refuses writes the same honest way it
+// refuses reads. Failures are precise: 501 when the server cannot ingest at
+// all, 400 for bad input, 500 when the WAL write failed (the batch is
+// unacked and recovery will not resurrect it).
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if _, ok := s.engine.IngestStats(); !ok {
+		writeError(w, r, http.StatusNotImplemented, "ingestion not enabled (start with -ingest-dir and an ingest-capable method)")
+		return
+	}
+	if len(req.Series) == 0 {
+		writeError(w, r, http.StatusBadRequest, "no series")
+		return
+	}
+	for i, row := range req.Series {
+		if len(row) != s.engine.SeriesLen() {
+			writeError(w, r, http.StatusBadRequest,
+				fmt.Sprintf("series %d has length %d, collection length %d", i, len(row), s.engine.SeriesLen()))
+			return
+		}
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	if err := s.engine.Append(ctx, req.Series...); err != nil {
+		if errors.Is(err, hydra.ErrIngestUnsupported) {
+			writeError(w, r, http.StatusNotImplemented, err.Error())
+			return
+		}
+		writeError(w, r, http.StatusInternalServerError, fmt.Sprintf("append failed (batch not acked): %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{Appended: len(req.Series), Total: s.engine.Len()})
+}
+
+// engineStatuszResponse is the single-engine /statusz body (the coordinator
+// serves its own fan-out shape on the same path): engine facts plus the
+// durable-ingestion counters when -ingest-dir is active.
+type engineStatuszResponse struct {
+	Method    string           `json:"method"`
+	Series    int              `json:"series"`
+	UptimeSec int64            `json:"uptime_sec"`
+	Ingest    *ingestStatsJSON `json:"ingest,omitempty"`
+}
+
+// ingestStatsJSON is the wire form of hydra.IngestStats. WALLag* measure
+// how far the log has run ahead of the last checkpoint — the number a
+// checkpoint cron watches.
+type ingestStatsJSON struct {
+	Appended      int64  `json:"appended"`
+	Recovered     int64  `json:"recovered"`
+	WALLagRecords int64  `json:"wal_lag_records"`
+	WALLagSeries  int64  `json:"wal_lag_series"`
+	WALBytes      int64  `json:"wal_bytes"`
+	Syncs         int64  `json:"syncs"`
+	Checkpoints   int64  `json:"checkpoints"`
+	SyncPolicy    string `json:"sync_policy"`
+}
+
+// handleStatusz reports engine state and ingestion/WAL counters; unlike
+// /readyz it keeps answering while draining (it is how operators watch the
+// drain-time checkpoint land).
+func (s *server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, r, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	resp := engineStatuszResponse{
+		Method:    s.engine.Method(),
+		Series:    s.engine.Len(),
+		UptimeSec: int64(time.Since(s.started).Seconds()),
+	}
+	if st, ok := s.engine.IngestStats(); ok {
+		resp.Ingest = &ingestStatsJSON{
+			Appended:      st.Appended,
+			Recovered:     st.Recovered,
+			WALLagRecords: st.WALRecords,
+			WALLagSeries:  st.WALSeries,
+			WALBytes:      st.WALBytes,
+			Syncs:         st.Syncs,
+			Checkpoints:   st.Checkpoints,
+			SyncPolicy:    st.SyncPolicy,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {

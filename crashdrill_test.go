@@ -1,0 +1,209 @@
+package hydra_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hydra"
+	"hydra/internal/faultpoint"
+	"hydra/internal/wal"
+)
+
+// The crash-drill conformance suite: a real child process (this test
+// binary, re-executed) ingests series and is SIGKILLed mid-append — at a
+// byte-precise WAL offset (wal.CrashEnvVar) or at an armed WAL faultpoint.
+// The parent then recovers an engine from the ingest directory the child
+// died in and asserts the durability contract:
+//
+//   - every acked append is present,
+//   - at most the one in-flight unacked batch beyond that,
+//   - never a torn batch,
+//   - queries are bit-identical to an engine that never crashed, and
+//   - a checkpoint plus re-recovery changes nothing.
+
+const (
+	drillBase    = 200 // series the child's base collection holds
+	drillLen     = 32  // series length
+	drillBatch   = 5   // series per appended batch
+	drillBatches = 12  // batches the child tries to append
+	drillSeed    = 424242
+)
+
+// drillRows is the deterministic row set both parent and child derive their
+// data from — the child's base is rows[:drillBase], its appends come in
+// order after that.
+func drillRows() [][]float32 {
+	return rawRows(drillBase+drillBatch*drillBatches, drillLen, drillSeed)
+}
+
+// TestCrashDrillChild is the child half of the drill: it is inert under a
+// normal test run and only does work when re-executed by the parent with
+// HYDRA_CRASH_CHILD set. It builds an ingesting engine and appends batches,
+// printing "ACK <batches>" after each durable append; the WAL crash hook
+// (or an armed faultpoint) interrupts it. On an append error it prints
+// "STOP" and exits cleanly — an errored append is unacked by contract.
+func TestCrashDrillChild(t *testing.T) {
+	if os.Getenv("HYDRA_CRASH_CHILD") == "" {
+		t.Skip("crash-drill child: only runs re-executed")
+	}
+	dir := os.Getenv("HYDRA_CRASH_DIR")
+	method := os.Getenv("HYDRA_CRASH_METHOD")
+	switch os.Getenv("HYDRA_CRASH_FAULT") {
+	case "":
+	case faultpoint.WALSlowFsync:
+		faultpoint.ArmDelay(faultpoint.WALSlowFsync, 0)
+	default:
+		faultpoint.ArmN(os.Getenv("HYDRA_CRASH_FAULT"), 1)
+	}
+	rows := drillRows()
+	e, err := hydra.BuildIndex(context.Background(), method,
+		hydra.WithData(datasetFrom(t, rows[:drillBase])),
+		hydra.WithLeafSize(32),
+		hydra.WithIngestDir(dir))
+	if err != nil {
+		t.Fatalf("child build: %v", err)
+	}
+	for b := 0; b < drillBatches; b++ {
+		lo := drillBase + b*drillBatch
+		if err := e.Append(context.Background(), rows[lo:lo+drillBatch]...); err != nil {
+			fmt.Println("STOP")
+			return
+		}
+		fmt.Println("ACK", b+1)
+	}
+	fmt.Println("DONE")
+	e.Close()
+}
+
+// runDrillChild re-executes the test binary as a crash-drill child and
+// returns the number of batches it acked before dying (or finishing).
+func runDrillChild(t *testing.T, dir, method string, extraEnv ...string) (acked int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashDrillChild$")
+	cmd.Env = append(os.Environ(),
+		"HYDRA_CRASH_CHILD=1",
+		"HYDRA_CRASH_DIR="+dir,
+		"HYDRA_CRASH_METHOD="+method,
+	)
+	cmd.Env = append(cmd.Env, extraEnv...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err := cmd.Run()
+	if err != nil && !strings.Contains(err.Error(), "signal: killed") {
+		t.Fatalf("child died unexpectedly (%v):\n%s", err, out.String())
+	}
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		if n, ok := strings.CutPrefix(sc.Text(), "ACK "); ok {
+			v, err := strconv.Atoi(strings.TrimSpace(n))
+			if err != nil {
+				t.Fatalf("bad ack line %q", sc.Text())
+			}
+			acked = v
+		}
+	}
+	return acked
+}
+
+// verifyDrillRecovery opens an engine over the crashed child's ingest
+// directory and asserts the durability contract against the acked count,
+// including the checkpoint-then-re-recover no-op.
+func verifyDrillRecovery(t *testing.T, dir, method string, acked int) {
+	t.Helper()
+	rows := drillRows()
+	queries := hydra.RandomWorkload(3, drillLen, 7)
+	e, err := hydra.BuildIndex(context.Background(), method,
+		hydra.WithData(datasetFrom(t, rows[:drillBase])),
+		hydra.WithLeafSize(32),
+		hydra.WithIngestDir(dir))
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	tail := e.Len() - drillBase
+	if tail%drillBatch != 0 {
+		t.Fatalf("recovered a torn batch: %d extra series", tail)
+	}
+	batches := tail / drillBatch
+	if batches < acked || batches > acked+1 {
+		t.Fatalf("recovered %d batches, child acked %d (want acked or acked+1)", batches, acked)
+	}
+	// Bit-identity against an engine that never crashed: same series, fresh
+	// build, no WAL.
+	assertParity(t, e, oracle(t, method, rows[:drillBase+tail]), queries, 5)
+	// Fold the tail into a checkpoint, recover again: nothing may change.
+	if err := e.Checkpoint(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	r, err := hydra.BuildIndex(context.Background(), method,
+		hydra.WithData(datasetFrom(t, rows[:drillBase])),
+		hydra.WithLeafSize(32),
+		hydra.WithIngestDir(dir))
+	if err != nil {
+		t.Fatalf("re-recovery after checkpoint: %v", err)
+	}
+	defer r.Close()
+	if r.Len() != drillBase+tail {
+		t.Fatalf("re-recovery changed the collection: %d != %d", r.Len(), drillBase+tail)
+	}
+	assertParity(t, r, oracle(t, method, rows[:drillBase+tail]), queries, 5)
+}
+
+// TestCrashDrillRandomOffsets SIGKILLs the child at 20 random WAL byte
+// offsets (rotating through the ingest-capable methods) and asserts
+// recovery for each.
+func TestCrashDrillRandomOffsets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash drills re-exec the test binary")
+	}
+	// Rough upper bound of the child's total WAL traffic: header plus
+	// framed batches; offsets beyond the end exercise the no-crash path.
+	perBatch := 8 + 4 + 3 + drillBatch*drillLen*4
+	maxBytes := 12 + drillBatches*perBatch
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 20; i++ {
+		offset := rng.Intn(maxBytes)
+		method := ingestMethods[i%len(ingestMethods)]
+		t.Run(fmt.Sprintf("%s-at-%d", method, offset), func(t *testing.T) {
+			dir := t.TempDir()
+			acked := runDrillChild(t, dir, method,
+				fmt.Sprintf("%s=%d", wal.CrashEnvVar, offset))
+			verifyDrillRecovery(t, dir, method, acked)
+		})
+	}
+}
+
+// TestCrashDrillFaultpoints runs the child once per armed WAL faultpoint:
+// the injected fault interrupts (or delays) an append, the child stops, and
+// recovery must still honor exactly the acked prefix.
+func TestCrashDrillFaultpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash drills re-exec the test binary")
+	}
+	points := []string{
+		faultpoint.WALShortWrite,
+		faultpoint.WALSyncError,
+		faultpoint.WALTornTail,
+		faultpoint.WALSlowFsync,
+	}
+	for i, point := range points {
+		method := ingestMethods[i%len(ingestMethods)]
+		t.Run(point, func(t *testing.T) {
+			dir := t.TempDir()
+			acked := runDrillChild(t, dir, method, "HYDRA_CRASH_FAULT="+point)
+			if point == faultpoint.WALSlowFsync && acked != drillBatches {
+				t.Fatalf("slow fsync lost appends: acked %d", acked)
+			}
+			verifyDrillRecovery(t, dir, method, acked)
+		})
+	}
+}

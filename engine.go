@@ -41,8 +41,10 @@ type BuildStats = stats.BuildStats
 //
 // Engines come from the three constructors: Open (scan over a dataset
 // file), BuildIndex (construct an index method), LoadIndex (restore a
-// snapshot). There is no Close: engines hold memory only, reclaimed by the
-// garbage collector when the last reference drops.
+// snapshot). A read-only engine holds memory only, reclaimed by the garbage
+// collector when the last reference drops; an ingesting engine
+// (WithIngestDir) additionally holds its write-ahead log open and should be
+// Closed when done — see Append, Checkpoint and Close.
 type Engine struct {
 	m      core.Method
 	coll   *core.Collection
@@ -60,6 +62,10 @@ type Engine struct {
 	// zero value is exact search. Per-request modes derive engines with
 	// WithQueryOptions instead of mutating this.
 	spec core.ApproxSpec
+	// ing is the durable-ingestion state (WithIngestDir), nil on read-only
+	// engines. A pointer, so engines derived with WithQueryOptions share
+	// their parent's ingest pipeline and append/query exclusion.
+	ing *ingestState
 }
 
 // Open opens a collection file and returns a scan engine over it: the
@@ -89,7 +95,7 @@ func Open(dataset string, opts ...Option) (*Engine, error) {
 	if err := m.Build(coll); err != nil {
 		return nil, err
 	}
-	return cfg.engine(m, coll, d, BuildStats{Finished: true}), nil
+	return cfg.engine(m, coll, d, BuildStats{Finished: true})
 }
 
 // BuildIndex constructs the named method over the configured dataset
@@ -122,7 +128,7 @@ func BuildIndex(ctx context.Context, method string, opts ...Option) (*Engine, er
 
 	if _, ok := m.(core.Persistable); ok && cfg.indexDir != "" {
 		if cached, bs, ok := loadCached(cfg.cachePath(method, coll), coll); ok {
-			return cfg.engine(cached, coll, d, bs), nil
+			return cfg.engine(cached, coll, d, bs)
 		}
 	}
 	bs, err := core.BuildInstrumented(m, coll)
@@ -137,7 +143,7 @@ func BuildIndex(ctx context.Context, method string, opts ...Option) (*Engine, er
 			return nil, fmt.Errorf("hydra: caching %s snapshot: %w", method, err)
 		}
 	}
-	return cfg.engine(m, coll, d, bs), nil
+	return cfg.engine(m, coll, d, bs)
 }
 
 // LoadIndex restores an index snapshot (written by Engine.SaveIndex or the
@@ -180,7 +186,7 @@ func LoadIndex(ctx context.Context, path string, opts ...Option) (*Engine, error
 		}
 		return nil, fmt.Errorf("hydra: loading %s: %w", path, err)
 	}
-	return cfg.engine(m, coll, d, bs), nil
+	return cfg.engine(m, coll, d, bs)
 }
 
 // defaultSnapshotRetries is the total attempt count of a snapshot load when
@@ -264,12 +270,12 @@ func (c *config) rebuildFallback(ctx context.Context, path string, d *Dataset, l
 		// not fail a start the rebuild just saved.
 		_ = core.SaveSnapshotFile(p, coll, path)
 	}
-	return c.engine(m, coll, d, bs), nil
+	return c.engine(m, coll, d, bs)
 }
 
-func (c *config) engine(m core.Method, coll *core.Collection, d *Dataset, bs BuildStats) *Engine {
+func (c *config) engine(m core.Method, coll *core.Collection, d *Dataset, bs BuildStats) (*Engine, error) {
 	// Workers was already handed to the method factory through core.Options.
-	return &Engine{
+	e := &Engine{
 		m: m, coll: coll, data: d,
 		device:            c.device,
 		build:             bs,
@@ -280,6 +286,14 @@ func (c *config) engine(m core.Method, coll *core.Collection, d *Dataset, bs Bui
 		shardCount:        c.shardCount,
 		shardOffset:       c.shardOffset,
 	}
+	if c.ingestDir != "" {
+		// WithIngestDir: attach the WAL and replay any crash-interrupted
+		// tail before the engine answers its first query.
+		if err := e.enableIngest(c); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
 }
 
 // cachePath derives the snapshot-cache entry for (method, collection,
@@ -326,6 +340,11 @@ func (e *Engine) SaveIndex(path string) error {
 	p, ok := e.m.(core.Persistable)
 	if !ok {
 		return fmt.Errorf("hydra: method %s does not support snapshots", e.m.Name())
+	}
+	// Exclude concurrent appends: a snapshot captures a batch boundary.
+	if ing := e.ing; ing != nil {
+		ing.mu.RLock()
+		defer ing.mu.RUnlock()
 	}
 	return core.SaveSnapshotFile(p, e.coll, path)
 }
@@ -392,6 +411,12 @@ func (e *Engine) Query(ctx context.Context, q []float32, k int) ([]Match, error)
 func (e *Engine) QueryWithStats(ctx context.Context, q []float32, k int) ([]Match, QueryStats, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	// On an ingesting engine, hold the append/query exclusion for read: a
+	// query sees whole appended batches or none, never a half-applied one.
+	if ing := e.ing; ing != nil {
+		ing.mu.RLock()
+		defer ing.mu.RUnlock()
 	}
 	if e.spec.Mode != core.ModeExact {
 		return core.RunQueryApprox(ctx, e.m, e.coll, series.Series(q), k, e.spec)

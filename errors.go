@@ -50,6 +50,10 @@ var (
 	// lower-bounding index structures — ADS+, DSTree, iSAX2+, SFA, VA+file —
 	// answer every mode; the scans and exact-only trees do not.
 	ErrApproxUnsupported = core.ErrApproxUnsupported
+	// ErrIngestUnsupported: durable ingestion (WithIngestDir, Engine.Append)
+	// against a method without incremental-insert support. UCR-Suite, ADS+,
+	// iSAX2+ and DSTree ingest; the other methods are build-once.
+	ErrIngestUnsupported = core.ErrIngestUnsupported
 )
 
 // IsCorruptSnapshot reports whether err means the snapshot file itself is

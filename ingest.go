@@ -1,0 +1,378 @@
+package hydra
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"hydra/internal/core"
+	"hydra/internal/persist"
+	"hydra/internal/series"
+	"hydra/internal/wal"
+)
+
+// File names inside the WithIngestDir directory.
+const (
+	// walFileName is the write-ahead log.
+	walFileName = "ingest" + wal.Ext
+	// checkpointFileName is the checkpoint Engine.Checkpoint folds the log
+	// into (a persist container; see docs/FORMAT.md).
+	checkpointFileName = "ingest.ckpt"
+	// checkpointMethod is the method name stamped into the checkpoint's
+	// persist envelope, distinguishing it from index snapshots.
+	checkpointMethod = "ingest-checkpoint"
+)
+
+// ingestState is the durable-ingestion machinery attached to an engine by
+// WithIngestDir. It hangs off the Engine by pointer, so derived engines
+// (WithQueryOptions) share one ingest pipeline with their parent. The
+// RWMutex is the append/query exclusion: queries hold it for read (many at
+// once), Append and Checkpoint for write — an applied batch is visible to
+// queries atomically, never half-inserted.
+type ingestState struct {
+	mu       sync.RWMutex
+	log      *wal.Log
+	ingester core.Ingester
+	dir      string
+	// baseCount/baseFP identify the frozen base collection the engine was
+	// constructed over; a checkpoint binds to them so recovery can never
+	// apply a tail onto the wrong data.
+	baseCount int
+	baseFP    uint32
+	logMode   wal.SyncMode
+
+	appended    atomic.Int64 // series appended via Append this process
+	recovered   atomic.Int64 // series restored by startup recovery
+	checkpoints atomic.Int64
+}
+
+// enableIngest wires durable ingestion onto a freshly constructed engine:
+// hygiene sweeps, checkpoint replay, WAL recovery and replay, in that
+// order. Replay goes through exactly the same apply path as live appends,
+// so a recovered engine is bit-identical to one that never crashed.
+func (e *Engine) enableIngest(cfg *config) error {
+	ing, ok := e.m.(core.Ingester)
+	if !ok {
+		return fmt.Errorf("hydra: method %s: %w", e.m.Name(), ErrIngestUnsupported)
+	}
+	if e.shardCount > 0 {
+		return fmt.Errorf("hydra: a sharded engine cannot ingest (append positions are collection-global)")
+	}
+	if e.coll.File.SeriesLen() == 0 {
+		return fmt.Errorf("hydra: cannot ingest into an empty collection")
+	}
+	mode, interval, err := wal.ParseSyncPolicy(cfg.walSync)
+	if err != nil {
+		return err
+	}
+	dir := cfg.ingestDir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("hydra: creating ingest dir: %w", err)
+	}
+	// Startup hygiene: orphaned *.tmp files from a checkpoint that died
+	// between create and rename, and old quarantined snapshots.
+	persist.SweepTemp(dir, 0)
+	persist.SweepQuarantined(dir, 0, 0)
+
+	st := &ingestState{
+		ingester:  ing,
+		dir:       dir,
+		baseCount: e.coll.File.Len(),
+		baseFP:    core.Fingerprint(e.coll),
+	}
+	if err := e.replayCheckpoint(st); err != nil {
+		return err
+	}
+	log, recs, err := wal.Open(filepath.Join(dir, walFileName), e.coll.File.SeriesLen(), mode, interval)
+	if err != nil {
+		return fmt.Errorf("hydra: opening ingest log: %w", err)
+	}
+	for _, r := range recs {
+		if err := e.replayRecord(st, r); err != nil {
+			log.Close()
+			return err
+		}
+	}
+	st.log = log
+	st.logMode = mode
+	e.ing = st
+	return nil
+}
+
+// replayCheckpoint restores the tail a previous Checkpoint folded out of
+// the log: series appended after the base collection, applied through the
+// same insert path as live appends. A missing checkpoint is a fresh start.
+func (e *Engine) replayCheckpoint(st *ingestState) error {
+	path := filepath.Join(st.dir, checkpointFileName)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("hydra: opening ingest checkpoint: %w", err)
+	}
+	defer f.Close()
+	dec, err := persist.NewDecoder(f)
+	if err != nil {
+		return fmt.Errorf("hydra: reading ingest checkpoint %s: %w", path, err)
+	}
+	if dec.Method() != checkpointMethod {
+		return fmt.Errorf("hydra: %s is a %q snapshot, not an ingest checkpoint", path, dec.Method())
+	}
+	r, err := dec.Section("meta")
+	if err != nil {
+		return fmt.Errorf("hydra: ingest checkpoint %s: %w", path, err)
+	}
+	baseCount := r.Int()
+	seriesLen := r.Int()
+	total := r.Int()
+	baseFP := r.U32()
+	if err := r.Close(); err != nil {
+		return fmt.Errorf("hydra: ingest checkpoint %s: %w", path, err)
+	}
+	if seriesLen != e.coll.File.SeriesLen() || baseCount != st.baseCount || baseFP != st.baseFP {
+		return fmt.Errorf("hydra: ingest checkpoint %s was taken over a different base collection (%d×%d fp %08x, have %d×%d fp %08x)",
+			path, baseCount, seriesLen, baseFP, st.baseCount, e.coll.File.SeriesLen(), st.baseFP)
+	}
+	tr, err := dec.Section("tail")
+	if err != nil {
+		return fmt.Errorf("hydra: ingest checkpoint %s: %w", path, err)
+	}
+	tail := tr.F32s()
+	if err := tr.Close(); err != nil {
+		return fmt.Errorf("hydra: ingest checkpoint %s: %w", path, err)
+	}
+	if len(tail) != (total-baseCount)*seriesLen {
+		return fmt.Errorf("hydra: ingest checkpoint %s: tail of %d values cannot hold series %d..%d",
+			path, len(tail), baseCount, total)
+	}
+	if len(tail) == 0 {
+		return nil
+	}
+	if err := e.applyValues(st, tail); err != nil {
+		return fmt.Errorf("hydra: replaying ingest checkpoint: %w", err)
+	}
+	st.recovered.Add(int64(len(tail) / seriesLen))
+	return nil
+}
+
+// replayRecord applies one recovered WAL record idempotently against the
+// current collection extent (the checkpoint watermark): fully covered
+// records are no-ops, a straddling record applies only its uncovered
+// suffix, and a record past the extent is a gap — structural corruption
+// recovery must not paper over.
+func (e *Engine) replayRecord(st *ingestState, r wal.Record) error {
+	sl := e.coll.File.SeriesLen()
+	count := uint64(e.coll.File.Len())
+	n := uint64(len(r.Values) / sl)
+	switch {
+	case r.FirstSeq+n <= count:
+		return nil // already folded into the checkpoint
+	case r.FirstSeq > count:
+		return fmt.Errorf("hydra: ingest log gap: record at position %d, collection has %d", r.FirstSeq, count)
+	default:
+		skip := int(count-r.FirstSeq) * sl
+		if err := e.applyValues(st, r.Values[skip:]); err != nil {
+			return fmt.Errorf("hydra: replaying ingest log: %w", err)
+		}
+		st.recovered.Add(int64(len(r.Values)-skip) / int64(sl))
+		return nil
+	}
+}
+
+// applyValues appends the (already z-normalized) flat batch to the arena
+// and inserts the new positions into the method — the one apply path shared
+// by live appends, checkpoint replay and WAL replay, which is what makes
+// recovery bit-identical to having never crashed.
+func (e *Engine) applyValues(st *ingestState, values []float32) error {
+	first := e.coll.File.Append(values)
+	n := len(values) / e.coll.File.SeriesLen()
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = first + i
+	}
+	return st.ingester.Insert(ids)
+}
+
+// Append durably ingests one or more series into the engine's collection:
+// each series is z-normalized (exactly like dataset ingestion), the whole
+// batch is written to the write-ahead log, fsynced per the WithWALSync
+// policy, and only then applied to the arena and the method's index
+// structures. When Append returns nil the batch is acked: it survives
+// kill -9 at any byte boundary (recovery replays the log on the next
+// start). When it returns an error nothing was applied and recovery will
+// never resurrect the batch. Queries observe a batch atomically — all of it
+// or none — and queries already running finish on the pre-append extent.
+//
+// Append requires WithIngestDir and a method with incremental-insert
+// support (UCR-Suite, ADS+, iSAX2+, DSTree); other methods return
+// ErrIngestUnsupported. Appends are serialized internally; the ctx is
+// checked once before logging (an append is not cancellable mid-flight —
+// it either acks or fails).
+func (e *Engine) Append(ctx context.Context, batch ...[]float32) error {
+	if _, ok := e.m.(core.Ingester); !ok {
+		return fmt.Errorf("hydra: method %s: %w", e.m.Name(), ErrIngestUnsupported)
+	}
+	st := e.ing
+	if st == nil {
+		return fmt.Errorf("hydra: engine has no ingest directory (use WithIngestDir)")
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	if err := core.Canceled(ctx); err != nil {
+		return err
+	}
+	sl := e.coll.File.SeriesLen()
+	values := make([]float32, 0, len(batch)*sl)
+	for i, s := range batch {
+		if len(s) != sl {
+			return fmt.Errorf("hydra: append series %d has length %d, collection length %d", i, len(s), sl)
+		}
+		values = append(values, s...)
+	}
+	// Normalize the copies before logging, so the bytes the log replays are
+	// the bytes the arena holds — replay cannot drift from the live apply.
+	for i := 0; i < len(batch); i++ {
+		series.Series(values[i*sl : (i+1)*sl]).ZNormalize()
+	}
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.log == nil {
+		return fmt.Errorf("hydra: ingest log closed")
+	}
+	firstSeq := uint64(e.coll.File.Len())
+	if err := st.log.Append(firstSeq, values); err != nil {
+		return err
+	}
+	if err := e.applyValues(st, values); err != nil {
+		// The log ran ahead of a failed apply (a method invariant was
+		// violated); surface it — recovery would retry the same apply.
+		return fmt.Errorf("hydra: applying append: %w", err)
+	}
+	st.appended.Add(int64(len(batch)))
+	return nil
+}
+
+// Checkpoint folds everything the write-ahead log holds into a checkpoint
+// file (write-then-rename through persist.WriteFileAtomic) and truncates
+// the log only after the rename has landed — a crash at any point leaves
+// either the old checkpoint plus the full log, or the new checkpoint plus a
+// shorter log, both of which recover to the same engine. Appends are
+// blocked for the duration; queries too (the checkpoint snapshots the tail
+// under the same exclusion as an apply).
+func (e *Engine) Checkpoint(ctx context.Context) error {
+	st := e.ing
+	if st == nil {
+		return fmt.Errorf("hydra: engine has no ingest directory (use WithIngestDir)")
+	}
+	if err := core.Canceled(ctx); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.log == nil {
+		return fmt.Errorf("hydra: ingest log closed")
+	}
+	total := e.coll.File.Len()
+	sl := e.coll.File.SeriesLen()
+
+	enc := persist.NewEncoder(checkpointMethod)
+	w := enc.Section("meta")
+	w.Int(st.baseCount)
+	w.Int(sl)
+	w.Int(total)
+	w.U32(st.baseFP)
+	tail := make([]float32, 0, (total-st.baseCount)*sl)
+	for i := st.baseCount; i < total; i++ {
+		tail = append(tail, e.coll.File.Peek(i)...)
+	}
+	enc.Section("tail").F32s(tail)
+	var buf bytes.Buffer
+	if _, err := enc.WriteTo(&buf); err != nil {
+		return fmt.Errorf("hydra: encoding ingest checkpoint: %w", err)
+	}
+	if err := persist.WriteFileAtomic(filepath.Join(st.dir, checkpointFileName), buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("hydra: writing ingest checkpoint: %w", err)
+	}
+	// Only now — with the rename durable — is the log redundant.
+	if err := st.log.Truncate(); err != nil {
+		return fmt.Errorf("hydra: truncating ingest log after checkpoint: %w", err)
+	}
+	st.checkpoints.Add(1)
+	return nil
+}
+
+// IngestStats is a point-in-time snapshot of an engine's durable-ingestion
+// counters, surfaced on hydra-serve's /statusz.
+type IngestStats struct {
+	// Appended counts series acked by Append since the engine opened.
+	Appended int64
+	// Recovered counts series restored by startup recovery (checkpoint
+	// tail plus log replay).
+	Recovered int64
+	// WALRecords and WALSeries measure the log's current lag: batches and
+	// series a checkpoint has not folded yet.
+	WALRecords int64
+	WALSeries  int64
+	// WALBytes is the log's current file size.
+	WALBytes int64
+	// Syncs counts fsyncs the log has issued.
+	Syncs int64
+	// Checkpoints counts successful Checkpoint calls since the engine
+	// opened.
+	Checkpoints int64
+	// SyncPolicy names the active fsync policy ("always", "interval",
+	// "off").
+	SyncPolicy string
+}
+
+// IngestStats reports the engine's ingestion counters; ok is false when the
+// engine was built without WithIngestDir.
+func (e *Engine) IngestStats() (s IngestStats, ok bool) {
+	st := e.ing
+	if st == nil {
+		return IngestStats{}, false
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s = IngestStats{
+		Appended:    st.appended.Load(),
+		Recovered:   st.recovered.Load(),
+		Checkpoints: st.checkpoints.Load(),
+		SyncPolicy:  st.logMode.String(),
+	}
+	if st.log != nil {
+		s.WALRecords = st.log.Records()
+		s.WALSeries = st.log.Series()
+		s.WALBytes = st.log.Size()
+		s.Syncs = st.log.Syncs()
+	}
+	return s, true
+}
+
+// Close releases the engine's durable-ingestion resources: the write-ahead
+// log is synced (under any policy but SyncOff) and its file handle closed.
+// Engines without WithIngestDir hold memory only and Close is a nil no-op —
+// the historical "engines have no Close" contract still holds for them.
+// After Close, Append and Checkpoint fail; queries keep working. Close is
+// idempotent.
+func (e *Engine) Close() error {
+	st := e.ing
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.log == nil {
+		return nil
+	}
+	err := st.log.Close()
+	st.log = nil
+	return err
+}

@@ -80,6 +80,25 @@ type TreeIndex interface {
 	TreeStats() stats.TreeStats
 }
 
+// ErrIngestUnsupported is returned by Engine.Append for methods that cannot
+// absorb incremental inserts (their summarizations are built once over a
+// frozen collection); callers fall back to a rebuild.
+var ErrIngestUnsupported = errors.New("core: method does not support incremental ingestion")
+
+// Ingester is implemented by methods that can absorb series appended to the
+// collection after Build — the live-ingestion path behind Engine.Append.
+type Ingester interface {
+	Method
+	// Insert incorporates the given collection positions (already present
+	// in the Collection's SeriesFile) into the method's structures. The ids
+	// are contiguous and ascending — a batch appended at the file's tail —
+	// and each batch is passed exactly once, so methods may amortize
+	// per-batch rebuild work (e.g. re-transposing a summary table once per
+	// call). After Insert returns, KNN answers must be bit-identical to a
+	// fresh Build over the grown collection.
+	Insert(ids []int) error
+}
+
 // LeafBounder is implemented by indexes that can report, for each leaf, its
 // member series and a lower-bounding distance from a query — the inputs of
 // the paper's TLB measure (tightness of the lower bound, §4.2 measure 4).

@@ -23,6 +23,7 @@ var runners = map[string]Runner{
 	"ablation": Ablation,
 	"buffer":   BufferTuning,
 	"approx":   ApproxQuality,
+	"ingest":   IngestThroughput,
 }
 
 // IDs lists the available experiments in order.

@@ -91,6 +91,22 @@ const (
 	// RPCFlap makes a coordinator→shard request fail on every other hit —
 	// the flapping-shard drill that exercises breaker half-open churn.
 	RPCFlap = "rpc/flap"
+	// WALShortWrite truncates a WAL record write partway through the frame
+	// and fails the append — the torn-write class of crash the recovery
+	// scan must repair by truncating the tail.
+	WALShortWrite = "wal/short-write"
+	// WALSyncError fails the fsync after a WAL record write with a typed
+	// injected error — the dying-disk class of failure an append must
+	// surface as an error (the record is not acked durable).
+	WALSyncError = "wal/sync-error"
+	// WALTornTail writes a syntactically valid frame header with a
+	// truncated payload and fails the append — the torn-tail drill: the
+	// next open must detect the partial record and truncate it instead of
+	// failing recovery.
+	WALTornTail = "wal/torn-tail"
+	// WALSlowFsync delays the WAL fsync by the armed duration (default
+	// 10ms) — the slow-disk drill behind fsync-policy latency testing.
+	WALSlowFsync = "wal/slow-fsync"
 )
 
 // ErrInjected is the sentinel every injected fault error wraps;

@@ -106,6 +106,28 @@ func (ix *Index) Build(c *core.Collection) error {
 	return nil
 }
 
+// Insert implements core.Ingester: each appended series is summarized and
+// placed in the tree, then the segment-major transposed summary is rebuilt
+// once for the whole batch — the step-2 batched kernel requires wordsT to
+// cover exactly File.Len() series, and rebuilding per batch (not per
+// series) keeps ingestion linear. Callers must exclude concurrent queries
+// (the engine's ingest lock does).
+func (ix *Index) Insert(ids []int) error {
+	if ix.c == nil {
+		return fmt.Errorf("ads: method not built")
+	}
+	for _, id := range ids {
+		ix.tree.AppendSummary(ix.c.File, id)
+		ix.tree.Insert(id)
+	}
+	// The summary write is the only I/O: Segments bytes per series, like
+	// the build's summarization pass.
+	ix.c.Counters.ChargeSeq(int64(len(ids)) * int64(ix.opts.Segments))
+	ix.wordsT = make([]uint8, len(ix.tree.Words))
+	simd.Transpose8(ix.tree.Words, ix.tree.Segments, ix.wordsT)
+	return nil
+}
+
 // KNN implements core.Method (the SIMS algorithm). All per-query state
 // comes from the index's scratch pool, and the summary-array bounds of step
 // 2 go through the batched table kernel — the values, visit decisions and

@@ -111,6 +111,22 @@ func (ix *Index) Build(c *core.Collection) error {
 	return nil
 }
 
+// Insert implements core.Ingester: each appended series descends the tree
+// exactly like a build-time insert (updating node synopses and splitting
+// overflowing leaves), and its raw data is charged as one sequential leaf
+// write. Callers must exclude concurrent queries (the engine's ingest lock
+// does).
+func (ix *Index) Insert(ids []int) error {
+	if ix.c == nil {
+		return fmt.Errorf("dstree: method not built")
+	}
+	for _, id := range ids {
+		ix.insert(id)
+	}
+	ix.c.Counters.ChargeSeq(int64(len(ids)) * ix.c.File.SeriesBytes())
+	return nil
+}
+
 func newNode(ends []int, depth int) *node {
 	nd := &node{ends: ends, isLeaf: true, depth: depth}
 	nd.attachSynopsis(make([]float64, 4*len(ends)))

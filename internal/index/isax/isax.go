@@ -64,6 +64,22 @@ func (ix *Index) Build(c *core.Collection) error {
 	return nil
 }
 
+// Insert implements core.Ingester: each appended series is summarized and
+// placed in the tree, and its raw data is charged as one sequential leaf
+// write (the incremental slice of Build's materialization pass). Callers
+// must exclude concurrent queries (the engine's ingest lock does).
+func (ix *Index) Insert(ids []int) error {
+	if ix.c == nil {
+		return fmt.Errorf("isax: method not built")
+	}
+	for _, id := range ids {
+		ix.tree.AppendSummary(ix.c.File, id)
+		ix.tree.Insert(id)
+	}
+	ix.c.Counters.ChargeSeq(int64(len(ids)) * ix.c.File.SeriesBytes())
+	return nil
+}
+
 // KNN implements core.Method. Per-query state (query summary, order, result
 // set, traversal heap) comes from the index's scratch pool.
 func (ix *Index) KNN(ctx context.Context, q series.Series, k int) ([]core.Match, stats.QueryStats, error) {

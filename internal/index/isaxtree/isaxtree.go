@@ -119,6 +119,25 @@ func (t *Tree) Summarize(f *storage.SeriesFile) {
 	}
 }
 
+// AppendSummary grows the flat summary arrays by one row for series id —
+// which must be the next unsummarized position, NumSeries() — computing its
+// PAA vector and iSAX symbols from the file. This is the incremental
+// counterpart of Summarize for live ingestion; the append may reallocate
+// the flat arrays, so callers must exclude concurrent queries (the engine's
+// ingest lock does).
+func (t *Tree) AppendSummary(f *storage.SeriesFile, id int) {
+	if id != t.NumSeries() {
+		panic(fmt.Sprintf("isaxtree: AppendSummary(%d) out of order, next is %d", id, t.NumSeries()))
+	}
+	t.Words = append(t.Words, make([]uint8, t.Segments)...)
+	t.PAAs = append(t.PAAs, make([]float64, t.Segments)...)
+	p := t.PAA.ApplyInto(f.Peek(id), t.PAARow(id))
+	w := t.Word(id)
+	for j, v := range p {
+		w[j] = t.Quant.Symbol(v)
+	}
+}
+
 // RootKey packs the top bit of each segment's symbol into a map key.
 func (t *Tree) RootKey(word []uint8) uint64 {
 	var key uint64

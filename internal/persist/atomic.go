@@ -27,7 +27,7 @@ func AtomicWrite(path string, perm os.FileMode, fill func(io.Writer) error) erro
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
+	tmp := path + TempExt
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
 	if err != nil {
 		return err
@@ -56,6 +56,11 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 		return err
 	})
 }
+
+// TempExt is the suffix of AtomicWrite's in-flight temporary files. A
+// process dying between create and rename leaves one behind; SweepTemp
+// removes such orphans once they are old enough to be unambiguously dead.
+const TempExt = ".tmp"
 
 // QuarantineExt is the suffix appended to a snapshot file set aside by
 // Quarantine. A quarantined snapshot is never loaded again (no loader looks
@@ -99,19 +104,47 @@ func SweepQuarantined(dir string, maxAge time.Duration, keep int) int {
 	if keep <= 0 {
 		keep = DefaultQuarantineKeep
 	}
+	return sweepSuffix(dir, QuarantineExt, maxAge, keep)
+}
+
+// DefaultTempAge is the retention age applied when SweepTemp is called with
+// maxAge <= 0. One hour comfortably exceeds any legitimate in-flight
+// AtomicWrite — a *.tmp that old belongs to a process that died between
+// create and rename.
+const DefaultTempAge = time.Hour
+
+// SweepTemp removes orphaned *.tmp files in dir older than maxAge — the
+// residue of a process dying inside AtomicWrite, before the rename. Fresh
+// temporaries are left alone (they may belong to a concurrent writer), so
+// the sweep is safe to run next to live checkpoints. Zero maxAge selects
+// DefaultTempAge. It returns how many files were removed; like
+// SweepQuarantined it never fails a start on its own.
+func SweepTemp(dir string, maxAge time.Duration) int {
+	if maxAge <= 0 {
+		maxAge = DefaultTempAge
+	}
+	return sweepSuffix(dir, TempExt, maxAge, -1)
+}
+
+// sweepSuffix is the shared sweep: files in dir ending in suffix are removed
+// once older than maxAge, and when keep >= 0 only the keep newest (by
+// modification time) of the younger ones survive. Returns how many files
+// were removed; all filesystem errors are swallowed — sweeps are hygiene,
+// never load-bearing.
+func sweepSuffix(dir, suffix string, maxAge time.Duration, keep int) int {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return 0
 	}
-	type qfile struct {
+	type aged struct {
 		path string
 		mod  time.Time
 	}
-	var files []qfile
+	var files []aged
 	cutoff := time.Now().Add(-maxAge)
 	removed := 0
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), QuarantineExt) {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), suffix) {
 			continue
 		}
 		path := filepath.Join(dir, e.Name())
@@ -125,9 +158,9 @@ func SweepQuarantined(dir string, maxAge time.Duration, keep int) int {
 			}
 			continue
 		}
-		files = append(files, qfile{path: path, mod: info.ModTime()})
+		files = append(files, aged{path: path, mod: info.ModTime()})
 	}
-	if len(files) > keep {
+	if keep >= 0 && len(files) > keep {
 		sort.Slice(files, func(i, j int) bool { return files[i].mod.After(files[j].mod) })
 		for _, f := range files[keep:] {
 			if os.Remove(f.path) == nil {

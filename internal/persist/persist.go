@@ -377,6 +377,14 @@ func (w *Writer) F64(v float64) {
 	w.buf.Write(b[:])
 }
 
+// F32 appends an IEEE-754 single as fixed little-endian bits, preserving
+// every payload bit — the arena's native element width, used by the WAL.
+func (w *Writer) F32(v float32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+	w.buf.Write(b[:])
+}
+
 // String appends a length-prefixed UTF-8 string.
 func (w *Writer) String(s string) {
 	w.Uvarint(uint64(len(s)))
@@ -402,6 +410,14 @@ func (w *Writer) F64s(v []float64) {
 	w.Uvarint(uint64(len(v)))
 	for _, x := range v {
 		w.F64(x)
+	}
+}
+
+// F32s appends a length-prefixed slice of singles.
+func (w *Writer) F32s(v []float32) {
+	w.Uvarint(uint64(len(v)))
+	for _, x := range v {
+		w.F32(x)
 	}
 }
 
@@ -551,6 +567,15 @@ func (r *Reader) F64() float64 {
 	return math.Float64frombits(binary.LittleEndian.Uint64(b))
 }
 
+// F32 reads an IEEE-754 single.
+func (r *Reader) F32() float32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return math.Float32frombits(binary.LittleEndian.Uint32(b))
+}
+
 // String reads a length-prefixed string.
 func (r *Reader) String() string {
 	n := r.Uvarint()
@@ -609,6 +634,22 @@ func (r *Reader) F64s() []float64 {
 	out := make([]float64, n)
 	for i := range out {
 		out[i] = r.F64()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// F32s reads a length-prefixed slice of singles.
+func (r *Reader) F32s() []float32 {
+	n := r.sliceLen(4)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = r.F32()
 	}
 	if r.err != nil {
 		return nil

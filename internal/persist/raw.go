@@ -1,0 +1,19 @@
+// Standalone Writer/Reader constructors: the section primitives (varints,
+// fixed-width floats, length-prefixed slices) double as the wire vocabulary
+// of artifacts that are not snapshot sections — the WAL frames its record
+// payloads with the same encoders, so both formats share one set of
+// hostile-input-hardened primitives.
+
+package persist
+
+import "bytes"
+
+// NewBufferWriter returns a Writer that appends into buf, for callers that
+// frame their own payloads (the WAL) rather than going through an Encoder
+// section. buf must be non-nil.
+func NewBufferWriter(buf *bytes.Buffer) *Writer { return &Writer{buf: buf} }
+
+// NewBytesReader returns a sticky-error Reader over data, for callers that
+// framed their own payload (the WAL) rather than reading a decoder section.
+// The Reader never mutates or aliases writes into data.
+func NewBytesReader(data []byte) *Reader { return &Reader{data: data} }

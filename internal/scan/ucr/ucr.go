@@ -48,6 +48,11 @@ func (s *Scan) Build(c *core.Collection) error {
 	return nil
 }
 
+// Insert implements core.Ingester as a no-op: the scan reads the file's
+// live length at the start of every query, so appended series join the next
+// pass automatically.
+func (s *Scan) Insert(ids []int) error { return nil }
+
 // KNN implements core.Method: one full sequential pass with reordered early
 // abandoning against the running k-th best distance. With Workers set, the
 // pass is fanned out over scan shards sharing a best-so-far bound; the

@@ -28,3 +28,23 @@ func NewArena(n int) []float32 {
 	}
 	return buf[off : off+n : off+n]
 }
+
+// NewArenaCap is NewArena with growth headroom: the returned slice has
+// length n but capacity at least c, so a growable SeriesFile can extend it
+// in place (append at the tail) without re-copying on every batch. The
+// aligned base and the contiguous layout are the same as NewArena's.
+func NewArenaCap(n, c int) []float32 {
+	if c < n {
+		c = n
+	}
+	if c <= 0 {
+		return nil
+	}
+	const pad = arenaAlign / 4
+	buf := make([]float32, c+pad)
+	off := 0
+	if rem := uintptr(unsafe.Pointer(&buf[0])) % arenaAlign; rem != 0 {
+		off = int((arenaAlign - rem) / 4)
+	}
+	return buf[off : off+n : off+c]
+}

@@ -36,7 +36,7 @@ type Shard struct {
 // or take the address of their own element), keeping shard creation a
 // single allocation on the per-query parallel path.
 func (f *SeriesFile) Shards(p int) []Shard {
-	n := f.count
+	n := f.Len()
 	if p < 1 {
 		p = 1
 	}

@@ -23,6 +23,7 @@ package storage
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -175,12 +176,34 @@ const BytesPerValue = 4
 // like a seek to the next). Concurrent scans that need the paper's exact
 // accounting must use per-shard views from Shards, which give every worker
 // its own cursor while charging the same atomic Counters.
+//
+// The file is growable: Append extends it at the tail (the live-ingestion
+// path). Arena and count are published together through one atomic pointer,
+// so a reader sees a consistent (arena, count) pair: either before or after
+// an append, never a torn mix. Appends are serialized internally; when the
+// arena has spare capacity the new series are written in place past every
+// published count (no reader can observe the region), otherwise the arena
+// is copied into a larger aligned block with headroom — readers holding
+// views of the old arena keep valid immutable data either way.
 type SeriesFile struct {
-	arena   []float32 // flat backing, count*length values
-	count   int
+	state   atomic.Pointer[fileState]
 	length  int
 	c       *Counters
+	growMu  sync.Mutex   // serializes Append
 	nextSeq atomic.Int64 // index of the series a sequential read would hit next
+}
+
+// fileState is one immutable published snapshot of the file's extent.
+type fileState struct {
+	arena []float32 // flat backing, count*length values (cap may exceed len)
+	count int
+}
+
+// at returns the arena view of series i. The three-index slice caps the view
+// at its own end, so an append through it can never bleed into a neighbor.
+func (st *fileState) at(i, length int) series.Series {
+	lo := i * length
+	return series.Series(st.arena[lo : lo+length : lo+length])
 }
 
 // NewSeriesFile copies data (all series must share the same length) into a
@@ -200,7 +223,9 @@ func NewSeriesFile(data []series.Series, c *Counters) *SeriesFile {
 		}
 		copy(arena[i*length:], s)
 	}
-	return &SeriesFile{arena: arena, count: len(data), length: length, c: c}
+	f := &SeriesFile{length: length, c: c}
+	f.state.Store(&fileState{arena: arena, count: len(data)})
+	return f
 }
 
 // NewSeriesFileFlat wraps an existing flat backing (count series of the
@@ -211,18 +236,18 @@ func NewSeriesFileFlat(flat []float32, count, length int, c *Counters) *SeriesFi
 	if len(flat) != count*length || count < 0 || length < 0 {
 		panic(fmt.Sprintf("storage: flat backing of %d values cannot hold %d×%d series", len(flat), count, length))
 	}
-	return &SeriesFile{arena: flat, count: count, length: length, c: c}
+	f := &SeriesFile{length: length, c: c}
+	f.state.Store(&fileState{arena: flat, count: count})
+	return f
 }
 
-// at returns the arena view of series i. The three-index slice caps the view
-// at its own end, so an append through it can never bleed into a neighbor.
+// at returns the arena view of series i in the current published state.
 func (f *SeriesFile) at(i int) series.Series {
-	lo := i * f.length
-	return series.Series(f.arena[lo : lo+f.length : lo+f.length])
+	return f.state.Load().at(i, f.length)
 }
 
 // Len returns the number of series in the file.
-func (f *SeriesFile) Len() int { return f.count }
+func (f *SeriesFile) Len() int { return f.state.Load().count }
 
 // SeriesLen returns the length of each series.
 func (f *SeriesFile) SeriesLen() int { return f.length }
@@ -231,7 +256,7 @@ func (f *SeriesFile) SeriesLen() int { return f.length }
 func (f *SeriesFile) SeriesBytes() int64 { return int64(f.length) * BytesPerValue }
 
 // SizeBytes returns the on-disk size of the whole file.
-func (f *SeriesFile) SizeBytes() int64 { return int64(f.count) * f.SeriesBytes() }
+func (f *SeriesFile) SizeBytes() int64 { return int64(f.Len()) * f.SeriesBytes() }
 
 // Counters returns the counters this file charges to.
 func (f *SeriesFile) Counters() *Counters { return f.c }
@@ -262,8 +287,9 @@ func (f *SeriesFile) Read(i int) series.Series {
 // and block scans use this for materialized runs: the bytes always count as
 // one sequential operation, never as per-series random transfers.
 func (f *SeriesFile) ReadRange(lo, hi int) []series.Series {
-	if lo < 0 || hi > f.count || lo > hi {
-		panic(fmt.Sprintf("storage: ReadRange[%d,%d) out of bounds 0..%d", lo, hi, f.count))
+	st := f.state.Load()
+	if lo < 0 || hi > st.count || lo > hi {
+		panic(fmt.Sprintf("storage: ReadRange[%d,%d) out of bounds 0..%d", lo, hi, st.count))
 	}
 	faultpoint.Delay(faultpoint.StorageSlowRead)
 	n := int64(hi-lo) * f.SeriesBytes()
@@ -274,7 +300,7 @@ func (f *SeriesFile) ReadRange(lo, hi int) []series.Series {
 	f.c.ChargeSeq(n) // the whole range is one sequential transfer
 	out := make([]series.Series, hi-lo)
 	for i := range out {
-		out[i] = f.at(lo + i)
+		out[i] = st.at(lo+i, f.length)
 	}
 	return out
 }
@@ -285,8 +311,9 @@ func (f *SeriesFile) ReadRange(lo, hi int) []series.Series {
 // scans that stream values (MASS) use it to avoid materializing per-series
 // view headers.
 func (f *SeriesFile) FlatRange(lo, hi int) []float32 {
-	if lo < 0 || hi > f.count || lo > hi {
-		panic(fmt.Sprintf("storage: FlatRange[%d,%d) out of bounds 0..%d", lo, hi, f.count))
+	st := f.state.Load()
+	if lo < 0 || hi > st.count || lo > hi {
+		panic(fmt.Sprintf("storage: FlatRange[%d,%d) out of bounds 0..%d", lo, hi, st.count))
 	}
 	faultpoint.Delay(faultpoint.StorageSlowRead)
 	n := int64(hi-lo) * f.SeriesBytes()
@@ -295,7 +322,7 @@ func (f *SeriesFile) FlatRange(lo, hi int) []float32 {
 		f.nextSeq.Store(int64(hi))
 	}
 	f.c.ChargeSeq(n)
-	return f.arena[lo*f.length : hi*f.length : hi*f.length]
+	return st.arena[lo*f.length : hi*f.length : hi*f.length]
 }
 
 // Peek returns series i without charging any I/O. It is used by index
@@ -307,7 +334,7 @@ func (f *SeriesFile) Peek(i int) series.Series { return f.at(i) }
 // bulk-loading index builders read their input.
 func (f *SeriesFile) ChargeFullScan() {
 	f.c.ChargeSeq(f.SizeBytes())
-	f.nextSeq.Store(int64(f.count))
+	f.nextSeq.Store(int64(f.Len()))
 }
 
 // ChargeLeafRead charges one leaf access: a seek plus a sequential transfer
@@ -315,4 +342,39 @@ func (f *SeriesFile) ChargeFullScan() {
 // live in separate index files).
 func (f *SeriesFile) ChargeLeafRead(nSeries int) {
 	f.c.ChargeRand(int64(nSeries) * f.SeriesBytes())
+}
+
+// Append extends the file with len(values)/SeriesLen new series (values
+// holds them back to back; the length must be a positive multiple of the
+// series length) and returns the index the first one landed at. The write
+// is charged as one sequential transfer, the way a log-structured data file
+// grows on disk. Concurrent readers keep a consistent view: they observe
+// the file's extent entirely before or entirely after the append. Appends
+// themselves are serialized internally.
+func (f *SeriesFile) Append(values []float32) int {
+	if f.length == 0 || len(values) == 0 || len(values)%f.length != 0 {
+		panic(fmt.Sprintf("storage: append of %d values onto series length %d", len(values), f.length))
+	}
+	f.growMu.Lock()
+	defer f.growMu.Unlock()
+	st := f.state.Load()
+	first := st.count
+	newLen := (st.count * f.length) + len(values)
+	arena := st.arena
+	if newLen > cap(arena) {
+		// Copy-on-grow into a fresh aligned arena with headroom, so a burst
+		// of appends amortizes to one copy per doubling. Readers holding
+		// the old arena keep valid immutable views of the old extent.
+		arena = NewArenaCap(st.count*f.length, max(newLen, 2*cap(arena)))
+		copy(arena, st.arena)
+	}
+	// Writing past every published length is invisible to concurrent
+	// readers (they never index beyond their state's count); the atomic
+	// store below is the release barrier that publishes the new extent.
+	arena = arena[:newLen]
+	copy(arena[first*f.length:], values)
+	f.state.Store(&fileState{arena: arena, count: newLen / f.length})
+	f.c.ChargeSeq(int64(len(values)) * BytesPerValue)
+	f.nextSeq.Store(int64(newLen / f.length))
+	return first
 }

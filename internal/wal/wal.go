@@ -1,0 +1,555 @@
+// Package wal implements the write-ahead log behind Engine.Append: an
+// append-only file of CRC32-framed, length-prefixed records that makes an
+// acked append survive kill -9 at any byte boundary.
+//
+// File layout:
+//
+//	"HYDWAL" | u16 version | u32 seriesLen          (header, 12 bytes)
+//	u32 payloadLen | payload | u32 crc32(payload)   (one frame per record)
+//	...
+//
+// A record's payload reuses the persist primitives: uvarint firstSeq,
+// uvarint count, then count x seriesLen float32 values (little-endian,
+// bit-exact — the series are logged already z-normalized, so replay applies
+// byte-identical data). firstSeq is the collection position the record's
+// first series lands at; successive records are contiguous
+// (next.firstSeq == prev.firstSeq + prev.count), which is what makes replay
+// against a checkpoint watermark a simple skip.
+//
+// Recovery (Open on an existing log) scans frames forward and stops at the
+// first frame that is short, oversized, fails its CRC, decodes inconsistently
+// or breaks sequence contiguity — everything from that offset on is a torn
+// tail (the residue of a crash mid-append) and is truncated away, never an
+// error. The scan is hardened against hostile bytes the same way the
+// snapshot decoder is: every length is bounded and cross-checked before
+// allocation, a bad record is dropped, and the scan always terminates.
+//
+// Durability is governed by the sync policy: SyncAlways fsyncs after every
+// record (the default — an acked append is on disk), SyncInterval fsyncs at
+// most once per interval (bounded loss window), SyncOff leaves syncing to
+// the OS (benchmarks). The wal/short-write, wal/sync-error, wal/torn-tail
+// and wal/slow-fsync faultpoints are compiled into the append path for
+// crash drills.
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hydra/internal/faultpoint"
+	"hydra/internal/persist"
+)
+
+// Magic is the six-byte signature opening every WAL file.
+const Magic = "HYDWAL"
+
+// FormatVersion is the WAL wire-format version this package reads and
+// writes. See docs/FORMAT.md for the version-bump rules.
+const FormatVersion = 1
+
+// Ext is the conventional WAL file extension.
+const Ext = ".wal"
+
+// headerLen is the fixed byte length of the file header.
+const headerLen = len(Magic) + 2 + 4
+
+// Hostile-input bounds, mirroring the persist decoder's hardening: no
+// claimed length is trusted before it clears these caps, so corrupt or
+// adversarial bytes cannot trigger huge allocations.
+const (
+	// maxSeriesLen caps the per-series value count a header may declare.
+	maxSeriesLen = 1 << 20
+	// maxBatch caps the series count one record may carry.
+	maxBatch = 1 << 20
+	// maxPayload caps one frame's payload length in bytes.
+	maxPayload = 1 << 28
+)
+
+// Sentinel errors for structurally unusable logs (as opposed to torn tails,
+// which recovery repairs silently).
+var (
+	// ErrMagic reports a file that is not a WAL at all.
+	ErrMagic = errors.New("wal: bad magic")
+	// ErrVersion reports a WAL written by an incompatible format version.
+	ErrVersion = errors.New("wal: unsupported format version")
+	// ErrSeriesLen reports a WAL whose header series length does not match
+	// the collection it is being opened for.
+	ErrSeriesLen = errors.New("wal: series length mismatch")
+)
+
+// SyncMode selects when Append fsyncs the log file.
+type SyncMode int
+
+const (
+	// SyncAlways fsyncs after every record: an acked append is durable
+	// against both process and machine crash. The default.
+	SyncAlways SyncMode = iota
+	// SyncInterval fsyncs at most once per configured interval: an acked
+	// append survives process crash immediately and machine crash after
+	// the next periodic sync.
+	SyncInterval
+	// SyncOff never fsyncs explicitly; the OS flushes on its own schedule.
+	// For ingest benchmarks and bulk loads that accept the loss window.
+	SyncOff
+)
+
+// String names the mode the way ParseSyncPolicy spells it.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("SyncMode(%d)", int(m))
+}
+
+// ParseSyncPolicy parses a -wal-sync style flag value: "always", "off", or
+// a duration ("250ms") selecting interval sync with that period.
+func ParseSyncPolicy(s string) (SyncMode, time.Duration, error) {
+	switch s {
+	case "", "always":
+		return SyncAlways, 0, nil
+	case "off":
+		return SyncOff, 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return SyncAlways, 0, fmt.Errorf("wal: bad sync policy %q: want always, off, or a positive duration", s)
+	}
+	return SyncInterval, d, nil
+}
+
+// Record is one recovered WAL record: a contiguous batch of series starting
+// at collection position FirstSeq. len(Values) is count x seriesLen.
+type Record struct {
+	// FirstSeq is the collection position of the record's first series.
+	FirstSeq uint64
+	// Values holds the batch's series back to back, seriesLen values each.
+	Values []float32
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent use;
+// appends are serialized internally.
+type Log struct {
+	mu        sync.Mutex
+	f         *os.File
+	path      string
+	seriesLen int
+	mode      SyncMode
+	interval  time.Duration
+	lastSync  time.Time
+	size      int64 // current file length (all durable-intent bytes)
+	records   atomic.Int64
+	series    atomic.Int64
+	synced    atomic.Int64 // fsyncs issued
+}
+
+// Open opens (or creates) the WAL at path for series of seriesLen values
+// and returns the log positioned at its tail plus every intact record, in
+// order, for replay. A torn final record — the residue of a crash
+// mid-append — is detected and truncated away, not an error; only a
+// structurally alien file (bad magic, wrong version, mismatched series
+// length) fails. mode/interval set the fsync policy (interval is ignored
+// unless mode is SyncInterval).
+func Open(path string, seriesLen int, mode SyncMode, interval time.Duration) (*Log, []Record, error) {
+	if seriesLen <= 0 || seriesLen > maxSeriesLen {
+		return nil, nil, fmt.Errorf("wal: implausible series length %d", seriesLen)
+	}
+	l := &Log{path: path, seriesLen: seriesLen, mode: mode, interval: interval}
+
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return l, nil, l.create()
+	case err != nil:
+		return nil, nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+
+	recs, good, err := scan(data, seriesLen)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	if good < int64(headerLen) {
+		// A crash during creation tore the header itself; rewrite it.
+		if err := rewriteHeader(f, seriesLen); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: repairing torn header of %s: %w", path, err)
+		}
+		good = int64(headerLen)
+	} else if good < int64(len(data)) {
+		// Torn tail: drop the partial record so the next append starts on
+		// a clean frame boundary.
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: repairing torn tail of %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l.f = f
+	l.size = good
+	for _, r := range recs {
+		l.records.Add(1)
+		l.series.Add(int64(len(r.Values) / seriesLen))
+	}
+	return l, recs, nil
+}
+
+// create writes a fresh header for a log that did not exist yet.
+func (l *Log) create() error {
+	f, err := os.OpenFile(l.path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create %s: %w", l.path, err)
+	}
+	hdr := header(l.seriesLen)
+	if _, err := crashWrite(f, hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: create %s: %w", l.path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: create %s: %w", l.path, err)
+	}
+	l.f = f
+	l.size = int64(len(hdr))
+	l.lastSync = time.Now()
+	return nil
+}
+
+// header renders the 12-byte file header.
+func header(seriesLen int) []byte {
+	hdr := make([]byte, headerLen)
+	copy(hdr, Magic)
+	binary.LittleEndian.PutUint16(hdr[len(Magic):], FormatVersion)
+	binary.LittleEndian.PutUint32(hdr[len(Magic)+2:], uint32(seriesLen))
+	return hdr
+}
+
+// scan validates data as a WAL for seriesLen-valued series and returns the
+// intact records plus the byte offset of the end of the last intact frame.
+// Anything past that offset is a torn tail. Structural errors (magic,
+// version, series length) are returned; frame-level damage is not — the
+// scan just stops there.
+func scan(data []byte, seriesLen int) (recs []Record, good int64, err error) {
+	if len(data) < headerLen {
+		// A file shorter than its header is a crash during creation:
+		// recoverable by rewriting, not an alien file (there was nothing in
+		// it to lose).
+		return nil, 0, nil
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, 0, ErrMagic
+	}
+	if v := binary.LittleEndian.Uint16(data[len(Magic):]); v != FormatVersion {
+		return nil, 0, fmt.Errorf("%w: %d (have %d)", ErrVersion, v, FormatVersion)
+	}
+	if n := binary.LittleEndian.Uint32(data[len(Magic)+2:]); n != uint32(seriesLen) {
+		return nil, 0, fmt.Errorf("%w: log has %d, collection has %d", ErrSeriesLen, n, seriesLen)
+	}
+
+	off := int64(headerLen)
+	var nextSeq uint64
+	first := true
+	for {
+		rest := data[off:]
+		if len(rest) < 8 { // frame header + trailer minimum
+			return recs, off, nil
+		}
+		plen := binary.LittleEndian.Uint32(rest)
+		if plen == 0 || plen > maxPayload || int64(plen) > int64(len(rest))-8 {
+			return recs, off, nil
+		}
+		payload := rest[4 : 4+plen]
+		sum := binary.LittleEndian.Uint32(rest[4+plen:])
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, off, nil
+		}
+		rec, ok := decodePayload(payload, seriesLen)
+		if !ok {
+			return recs, off, nil
+		}
+		if !first && rec.FirstSeq != nextSeq {
+			// A sequence break (duplicated or skipped numbers) cannot be a
+			// legitimate continuation of this log; treat it as damage.
+			return recs, off, nil
+		}
+		first = false
+		nextSeq = rec.FirstSeq + uint64(len(rec.Values)/seriesLen)
+		recs = append(recs, rec)
+		off += int64(4 + plen + 4)
+	}
+}
+
+// decodePayload decodes and fully validates one frame payload.
+func decodePayload(payload []byte, seriesLen int) (Record, bool) {
+	r := persist.NewBytesReader(payload)
+	firstSeq := r.Uvarint()
+	count := r.Uvarint()
+	if r.Err() != nil || count == 0 || count > maxBatch {
+		return Record{}, false
+	}
+	want := count * uint64(seriesLen) * 4
+	if uint64(r.Remaining()) != want {
+		return Record{}, false
+	}
+	values := make([]float32, int(count)*seriesLen)
+	for i := range values {
+		values[i] = r.F32()
+	}
+	if r.Close() != nil {
+		return Record{}, false
+	}
+	return Record{FirstSeq: firstSeq, Values: values}, true
+}
+
+// Append logs one batch of series landing at collection position firstSeq.
+// len(values) must be a positive multiple of the series length. When Append
+// returns nil the record is acked: it survives process crash immediately
+// and machine crash per the sync policy. When it returns an error the
+// record is not applied and not acked — the log is rewound to the previous
+// frame boundary, so a later recovery cannot resurrect it.
+func (l *Log) Append(firstSeq uint64, values []float32) error {
+	if len(values) == 0 || len(values)%l.seriesLen != 0 {
+		return fmt.Errorf("wal: append of %d values is not a multiple of series length %d", len(values), l.seriesLen)
+	}
+	count := len(values) / l.seriesLen
+	if count > maxBatch {
+		return fmt.Errorf("wal: batch of %d series exceeds limit %d", count, maxBatch)
+	}
+
+	var buf bytes.Buffer
+	w := persist.NewBufferWriter(&buf)
+	w.Uvarint(firstSeq)
+	w.Uvarint(uint64(count))
+	for _, v := range values {
+		w.F32(v)
+	}
+	payload := buf.Bytes()
+	frame := make([]byte, 4+len(payload)+4)
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	copy(frame[4:], payload)
+	binary.LittleEndian.PutUint32(frame[4+len(payload):], crc32.ChecksumIEEE(payload))
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	start := l.size
+
+	if faultpoint.Fire(faultpoint.WALShortWrite) {
+		// Torn write drill: half the frame lands, the append fails, and the
+		// log self-repairs to the frame boundary — "unacked absent".
+		crashWrite(l.f, frame[:len(frame)/2])
+		l.rewind(start)
+		return fmt.Errorf("wal: append: %w", &faultpoint.Error{Point: faultpoint.WALShortWrite})
+	}
+	if faultpoint.Fire(faultpoint.WALTornTail) {
+		// Torn tail drill: like a crash, the damage stays on disk — the
+		// next Open must truncate it. The in-memory offset is NOT advanced,
+		// so this process never acks or reads the torn bytes.
+		crashWrite(l.f, frame[:len(frame)/2])
+		return fmt.Errorf("wal: append: %w", &faultpoint.Error{Point: faultpoint.WALTornTail})
+	}
+
+	n, err := crashWrite(l.f, frame)
+	if err != nil {
+		l.rewind(start)
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if n < len(frame) {
+		l.rewind(start)
+		return fmt.Errorf("wal: append: short write (%d of %d bytes)", n, len(frame))
+	}
+	l.size = start + int64(len(frame))
+
+	if err := l.maybeSync(); err != nil {
+		// The record hit the file but its durability cannot be promised:
+		// fail the append and rewind so the caller's "acked ⇒ durable"
+		// contract stays exact.
+		l.rewind(start)
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.records.Add(1)
+	l.series.Add(int64(count))
+	return nil
+}
+
+// rewind truncates the file back to offset, undoing a failed append. A
+// failed rewind is tolerated: the leftover bytes form a torn tail the next
+// Open repairs, and the in-memory offset still points at the frame
+// boundary, so this process keeps appending correctly over them.
+func (l *Log) rewind(offset int64) {
+	if err := l.f.Truncate(offset); err == nil {
+		l.f.Seek(offset, 0)
+	}
+	l.size = offset
+}
+
+// maybeSync applies the sync policy after a record write. Callers hold l.mu.
+func (l *Log) maybeSync() error {
+	switch l.mode {
+	case SyncOff:
+		return nil
+	case SyncInterval:
+		if time.Since(l.lastSync) < l.interval {
+			return nil
+		}
+	}
+	return l.syncLocked()
+}
+
+// syncLocked fsyncs the file, honoring the fsync faultpoints. Callers hold
+// l.mu.
+func (l *Log) syncLocked() error {
+	faultpoint.Delay(faultpoint.WALSlowFsync)
+	if err := faultpoint.Err(faultpoint.WALSyncError); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.synced.Add(1)
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Sync forces an fsync regardless of policy — the pre-checkpoint barrier.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+// Truncate drops every record, resetting the log to a bare header — called
+// after a checkpoint has landed (renamed into place), at which point the
+// records are redundant. The truncation is synced before returning.
+func (l *Log) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Truncate(int64(headerLen)); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if _, err := l.f.Seek(int64(headerLen), 0); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	l.size = int64(headerLen)
+	l.records.Store(0)
+	l.series.Store(0)
+	return nil
+}
+
+// Size returns the log's current byte length.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Records returns how many records the log currently holds (recovered plus
+// appended since the last Truncate) — the WAL-lag a checkpoint would fold.
+func (l *Log) Records() int64 { return l.records.Load() }
+
+// Series returns how many series those records carry.
+func (l *Log) Series() int64 { return l.series.Load() }
+
+// Syncs returns how many fsyncs the log has issued.
+func (l *Log) Syncs() int64 { return l.synced.Load() }
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close syncs (unless the policy is off) and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	var serr error
+	if l.mode != SyncOff {
+		serr = l.syncLocked()
+	}
+	cerr := l.f.Close()
+	l.f = nil
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// CrashEnvVar, when set to a byte count N, makes the process SIGKILL itself
+// the moment cumulative WAL writes would exceed N bytes — after writing
+// exactly the prefix that fits. The crash-drill suite sets it on a child
+// process to die deterministically at arbitrary byte boundaries mid-append;
+// it is never set in production.
+const CrashEnvVar = "HYDRA_WAL_CRASH_BYTES"
+
+var (
+	// crashAfter is the parsed CrashEnvVar budget (-1 = disabled).
+	crashAfter int64 = -1
+	// crashTotal counts cumulative bytes written by crashWrite.
+	crashTotal atomic.Int64
+)
+
+func init() {
+	if v := os.Getenv(CrashEnvVar); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n >= 0 {
+			crashAfter = n
+		}
+	}
+}
+
+// crashWrite writes b to f, honoring the CrashEnvVar drill: when the write
+// would cross the armed byte budget, only the prefix up to the budget is
+// written and the process kills itself with SIGKILL — a bit-exact torn
+// write, unsurvivable and unflushable, exactly like a real crash.
+func crashWrite(f *os.File, b []byte) (int, error) {
+	if crashAfter < 0 {
+		return f.Write(b)
+	}
+	written := crashTotal.Load()
+	if written+int64(len(b)) <= crashAfter {
+		n, err := f.Write(b)
+		crashTotal.Add(int64(n))
+		return n, err
+	}
+	if part := int(crashAfter - written); part > 0 {
+		f.Write(b[:part])
+	}
+	p, _ := os.FindProcess(os.Getpid())
+	p.Kill()
+	select {} // unreachable: SIGKILL is not catchable
+}
+
+// rewriteHeader restores a bare header on a log whose own header was torn
+// by a crash during creation.
+func rewriteHeader(f *os.File, seriesLen int) error {
+	if err := f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return err
+	}
+	if _, err := crashWrite(f, header(seriesLen)); err != nil {
+		return err
+	}
+	return f.Sync()
+}

@@ -54,6 +54,12 @@ type config struct {
 	snapshotRetries   int
 	rebuildMethod     string
 
+	// Durable ingestion (WithIngestDir / WithWALSync): the directory the
+	// WAL and checkpoints live in, and the fsync policy spelled as the
+	// -wal-sync flag would be ("always", "off", or an interval duration).
+	ingestDir string
+	walSync   string
+
 	// Shard slicing (WithShard): the engine serves the shardIndex-th of
 	// shardCount contiguous partitions of the configured dataset;
 	// shardOffset records where that slice starts, resolved by dataset().
@@ -164,6 +170,22 @@ func WithDevice(d Device) Option { return func(c *config) { c.device = d } }
 // key covers the collection fingerprint and every build-relevant option, so
 // changed data or parameters miss instead of loading a wrong index.
 func WithIndexDir(dir string) Option { return func(c *config) { c.indexDir = dir } }
+
+// WithIngestDir enables durable live ingestion: Engine.Append logs every
+// batch to a write-ahead log in dir before applying it, Engine.Checkpoint
+// folds the log into a checkpoint file there, and the constructors replay
+// checkpoint + log on startup, so an acked append survives kill -9 at any
+// byte boundary. The method must support incremental inserts (UCR-Suite,
+// ADS+, iSAX2+, DSTree — see ErrIngestUnsupported) and the engine must not
+// be sharded. See ARCHITECTURE.md §10 for the durability contract.
+func WithIngestDir(dir string) Option { return func(c *config) { c.ingestDir = dir } }
+
+// WithWALSync sets the write-ahead log's fsync policy: "always" (the
+// default — every acked append is on disk), "off" (the OS flushes on its
+// own schedule), or a duration like "250ms" (fsync at most once per
+// interval: a bounded machine-crash loss window, while process crashes
+// still lose nothing). Only meaningful together with WithIngestDir.
+func WithWALSync(policy string) Option { return func(c *config) { c.walSync = policy } }
 
 // WithLeafSize sets the maximum series per index leaf (0 = the paper's
 // default scaled to the collection).

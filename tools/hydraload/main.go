@@ -10,6 +10,10 @@
 //	hydraload -addr http://127.0.0.1:8080 -data synth.hyd -duration 5s -concurrency 8 -k 10 \
 //	          -id serve-3shard -out BENCH_serve.json
 //
+// SIGINT/SIGTERM stop the run at the next request boundary instead of
+// killing it: the summary line still prints and the partial BENCH artifact
+// is still written, so an interrupted run keeps its numbers.
+//
 // The artifact is a BENCH_*.json in the same family hydra-bench writes:
 // tools/benchdiff compares the serve block (tail latencies, cost direction)
 // and the quality block (success and exact ratios, higher is better)
@@ -20,6 +24,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,10 +32,12 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"hydra"
@@ -155,6 +162,13 @@ func main() {
 		path = "/batch"
 	}
 
+	// SIGINT/SIGTERM end the run early instead of killing it: the workers
+	// stop at the next request boundary and the partial artifact (with the
+	// summary line) is still flushed — an interrupted load run keeps its
+	// numbers.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	rng := rand.New(rand.NewSource(*seed))
 	for i := 0; i < *warmup; i++ {
 		_, _, _ = shoot(hc, base+path, bodies[rng.Intn(len(bodies))])
@@ -174,7 +188,7 @@ func main() {
 			defer wg.Done()
 			wrng := rand.New(rand.NewSource(*seed + int64(w)*7919))
 			local := make([]time.Duration, 0, 1024)
-			for time.Now().Before(deadline) {
+			for time.Now().Before(deadline) && ctx.Err() == nil {
 				t0 := time.Now()
 				ok, partial, err := shoot(hc, base+path, bodies[wrng.Intn(len(bodies))])
 				requests.Add(1)
@@ -194,6 +208,9 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "hydraload: interrupted, flushing partial results")
+	}
 
 	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
 	total := requests.Load()
