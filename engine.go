@@ -418,6 +418,14 @@ func (e *Engine) QueryWithStats(ctx context.Context, q []float32, k int) ([]Matc
 		ing.mu.RLock()
 		defer ing.mu.RUnlock()
 	}
+	return e.queryWithStatsLocked(ctx, q, k)
+}
+
+// queryWithStatsLocked is QueryWithStats after the ingest read lock: the
+// mode dispatch without locking, for callers (QueryStream) that already
+// hold the lock across a multi-step query and must not re-enter RLock
+// under a possibly blocked writer.
+func (e *Engine) queryWithStatsLocked(ctx context.Context, q []float32, k int) ([]Match, QueryStats, error) {
 	if e.spec.Mode != core.ModeExact {
 		return core.RunQueryApprox(ctx, e.m, e.coll, series.Series(q), k, e.spec)
 	}

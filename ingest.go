@@ -44,6 +44,12 @@ type ingestState struct {
 	baseCount int
 	baseFP    uint32
 	logMode   wal.SyncMode
+	// poisoned, once set, permanently fails Append and Checkpoint on this
+	// engine: an acked log record could not be applied (or could not be
+	// rolled back), so the in-memory extent and the durable state have
+	// diverged — acking anything further would write records recovery must
+	// refuse. A restart re-runs recovery from consistent durable state.
+	poisoned error
 
 	appended    atomic.Int64 // series appended via Append this process
 	recovered   atomic.Int64 // series restored by startup recovery
@@ -204,9 +210,14 @@ func (e *Engine) applyValues(st *ingestState, values []float32) error {
 // policy, and only then applied to the arena and the method's index
 // structures. When Append returns nil the batch is acked: it survives
 // kill -9 at any byte boundary (recovery replays the log on the next
-// start). When it returns an error nothing was applied and recovery will
-// never resurrect the batch. Queries observe a batch atomically — all of it
-// or none — and queries already running finish on the pre-append extent.
+// start). When it returns an error the batch is not acked and recovery will
+// never resurrect it: a failed log write is rewound before returning, and
+// on the (invariant-violation) path where the log succeeded but the apply
+// failed, the log record is rolled back and ingestion on this engine is
+// poisoned — further Append/Checkpoint calls fail until a restart re-runs
+// recovery from the consistent durable state. Queries observe a batch
+// atomically — all of it or none — and queries already running finish on
+// the pre-append extent.
 //
 // Append requires WithIngestDir and a method with incremental-insert
 // support (UCR-Suite, ADS+, iSAX2+, DSTree); other methods return
@@ -246,26 +257,42 @@ func (e *Engine) Append(ctx context.Context, batch ...[]float32) error {
 	if st.log == nil {
 		return fmt.Errorf("hydra: ingest log closed")
 	}
+	if st.poisoned != nil {
+		return st.poisoned
+	}
 	firstSeq := uint64(e.coll.File.Len())
+	prevSize := st.log.Size()
 	if err := st.log.Append(firstSeq, values); err != nil {
 		return err
 	}
 	if err := e.applyValues(st, values); err != nil {
 		// The log ran ahead of a failed apply (a method invariant was
-		// violated); surface it — recovery would retry the same apply.
-		return fmt.Errorf("hydra: applying append: %w", err)
+		// violated). Un-log the record so recovery can never resurrect a
+		// batch whose Append errored, and poison ingestion: the arena may
+		// have grown without its index insert, so any further acked append
+		// would log positions replay must refuse as a gap.
+		err = fmt.Errorf("hydra: applying append: %w", err)
+		st.poisoned = fmt.Errorf("hydra: ingestion disabled by earlier apply failure (restart to recover): %w", err)
+		if rbErr := st.log.Rollback(prevSize, len(batch)); rbErr != nil {
+			return fmt.Errorf("%w (rolling back its log record also failed: %v)", err, rbErr)
+		}
+		return err
 	}
 	st.appended.Add(int64(len(batch)))
 	return nil
 }
 
 // Checkpoint folds everything the write-ahead log holds into a checkpoint
-// file (write-then-rename through persist.WriteFileAtomic) and truncates
-// the log only after the rename has landed — a crash at any point leaves
-// either the old checkpoint plus the full log, or the new checkpoint plus a
-// shorter log, both of which recover to the same engine. Appends are
-// blocked for the duration; queries too (the checkpoint snapshots the tail
-// under the same exclusion as an apply).
+// file (write-temp → fsync → rename → directory fsync, through
+// persist.WriteFileAtomicDurable) and truncates the log only after the
+// rename is durable — a crash or power cut at any point leaves either the
+// old checkpoint plus the full log, or the new checkpoint plus a shorter
+// log, both of which recover to the same engine. The directory fsync
+// matters: the log truncation is itself synced, so an undurable rename
+// followed by a durable truncation would silently lose every acked batch
+// the checkpoint was supposed to hold. Appends are blocked for the
+// duration; queries too (the checkpoint snapshots the tail under the same
+// exclusion as an apply).
 func (e *Engine) Checkpoint(ctx context.Context) error {
 	st := e.ing
 	if st == nil {
@@ -278,6 +305,9 @@ func (e *Engine) Checkpoint(ctx context.Context) error {
 	defer st.mu.Unlock()
 	if st.log == nil {
 		return fmt.Errorf("hydra: ingest log closed")
+	}
+	if st.poisoned != nil {
+		return st.poisoned
 	}
 	total := e.coll.File.Len()
 	sl := e.coll.File.SeriesLen()
@@ -297,7 +327,7 @@ func (e *Engine) Checkpoint(ctx context.Context) error {
 	if _, err := enc.WriteTo(&buf); err != nil {
 		return fmt.Errorf("hydra: encoding ingest checkpoint: %w", err)
 	}
-	if err := persist.WriteFileAtomic(filepath.Join(st.dir, checkpointFileName), buf.Bytes(), 0o644); err != nil {
+	if err := persist.WriteFileAtomicDurable(filepath.Join(st.dir, checkpointFileName), buf.Bytes(), 0o644); err != nil {
 		return fmt.Errorf("hydra: writing ingest checkpoint: %w", err)
 	}
 	// Only now — with the rename durable — is the log redundant.

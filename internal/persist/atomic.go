@@ -23,7 +23,29 @@ import (
 // never observe a partial file, and a crash leaves at most a *.tmp to sweep.
 // Parent directories are created as needed. On any error the temporary file
 // is removed and path is untouched.
+//
+// AtomicWrite guarantees atomicity against process crash, not durability
+// against power loss: the data and the rename may still sit in the page
+// cache when it returns. Callers that go on to destroy the data's previous
+// home (truncating a WAL after a checkpoint) need AtomicWriteDurable.
 func AtomicWrite(path string, perm os.FileMode, fill func(io.Writer) error) error {
+	return atomicWrite(path, perm, fill, false)
+}
+
+// AtomicWriteDurable is AtomicWrite hardened against power loss: the
+// temporary file is fsynced before the rename and the parent directory is
+// fsynced after it, so when the call returns nil the complete file — under
+// its final name — has reached stable storage. This is the write half of
+// every write-then-destroy sequence: without the two fsyncs, a power cut
+// can lose the rename from the page cache while the destruction of the old
+// copy (itself synced) survives.
+func AtomicWriteDurable(path string, perm os.FileMode, fill func(io.Writer) error) error {
+	return atomicWrite(path, perm, fill, true)
+}
+
+// atomicWrite is the shared write-then-rename; durable adds the temp-file
+// fsync before rename and the directory fsync after it.
+func atomicWrite(path string, perm os.FileMode, fill func(io.Writer) error, durable bool) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
@@ -37,6 +59,13 @@ func AtomicWrite(path string, perm os.FileMode, fill func(io.Writer) error) erro
 		os.Remove(tmp)
 		return err
 	}
+	if durable {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
@@ -44,6 +73,11 @@ func AtomicWrite(path string, perm os.FileMode, fill func(io.Writer) error) erro
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return err
+	}
+	if durable {
+		if err := SyncDir(filepath.Dir(path)); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -55,6 +89,29 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 		_, err := w.Write(data)
 		return err
 	})
+}
+
+// WriteFileAtomicDurable is AtomicWriteDurable for a prepared byte slice.
+func WriteFileAtomicDurable(path string, data []byte, perm os.FileMode) error {
+	return AtomicWriteDurable(path, perm, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// SyncDir fsyncs the directory at dir, making renames and file creations
+// inside it durable — the step that pins a directory entry, where a plain
+// file fsync pins only the file's bytes.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
 }
 
 // TempExt is the suffix of AtomicWrite's in-flight temporary files. A

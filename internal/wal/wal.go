@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -193,8 +194,14 @@ func Open(path string, seriesLen int, mode SyncMode, interval time.Duration) (*L
 		good = int64(headerLen)
 	} else if good < int64(len(data)) {
 		// Torn tail: drop the partial record so the next append starts on
-		// a clean frame boundary.
+		// a clean frame boundary. The truncation is synced before any new
+		// append can land at this offset — otherwise a crash could resurrect
+		// the stale torn bytes underneath freshly written frames.
 		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: repairing torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
 			f.Close()
 			return nil, nil, fmt.Errorf("wal: repairing torn tail of %s: %w", path, err)
 		}
@@ -226,6 +233,13 @@ func (l *Log) create() error {
 	if err := f.Sync(); err != nil {
 		f.Close()
 		return fmt.Errorf("wal: create %s: %w", l.path, err)
+	}
+	// Pin the directory entry too: without this, a power cut can drop the
+	// whole freshly created file — and with it every record fsynced into it
+	// since — even though each record's own sync succeeded.
+	if err := persist.SyncDir(filepath.Dir(l.path)); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: create %s: syncing directory: %w", l.path, err)
 	}
 	l.f = f
 	l.size = int64(len(hdr))
@@ -398,6 +412,34 @@ func (l *Log) rewind(offset int64) {
 		l.f.Seek(offset, 0)
 	}
 	l.size = offset
+}
+
+// Rollback undoes the most recent acked Append: the log is truncated back
+// to offset (the Size observed before that Append), the truncation is made
+// durable, and the record/series counters are adjusted by one record of
+// count series. The ingest layer calls it when applying an acked record
+// fails — the record must not stay in the log, or recovery would resurrect
+// a batch whose Append returned an error. When Rollback itself fails the
+// record may still be durable; the caller must stop acking appends.
+func (l *Log) Rollback(offset int64, count int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if offset < int64(headerLen) || offset > l.size {
+		return fmt.Errorf("wal: rollback to implausible offset %d (log size %d)", offset, l.size)
+	}
+	if err := l.f.Truncate(offset); err != nil {
+		return fmt.Errorf("wal: rollback: %w", err)
+	}
+	if _, err := l.f.Seek(offset, 0); err != nil {
+		return fmt.Errorf("wal: rollback: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: rollback: %w", err)
+	}
+	l.size = offset
+	l.records.Add(-1)
+	l.series.Add(-int64(count))
+	return nil
 }
 
 // maybeSync applies the sync policy after a record write. Callers hold l.mu.

@@ -73,6 +73,52 @@ func TestWALRoundTrip(t *testing.T) {
 	}
 }
 
+func TestWALRollbackUnlogsLastAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	const sl = 4
+	l, _ := openT(t, path, sl)
+	if err := l.Append(0, seriesBatch(0, 2, sl)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	before := l.Size()
+	if err := l.Append(2, seriesBatch(2, 3, sl)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Rollback(before, 3); err != nil {
+		t.Fatalf("Rollback: %v", err)
+	}
+	if l.Size() != before {
+		t.Fatalf("size %d after rollback, want %d", l.Size(), before)
+	}
+	if l.Records() != 1 || l.Series() != 2 {
+		t.Fatalf("counters after rollback: %d records, %d series", l.Records(), l.Series())
+	}
+	// The log keeps working at the rolled-back boundary: a new record lands
+	// where the undone one was, and recovery sees only the surviving frames.
+	if err := l.Append(2, seriesBatch(7, 1, sl)); err != nil {
+		t.Fatalf("Append after rollback: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2, recs := openT(t, path, sl)
+	defer l2.Close()
+	if len(recs) != 2 {
+		t.Fatalf("recovered %d records, want 2", len(recs))
+	}
+	if recs[1].FirstSeq != 2 || !floatsEqual(recs[1].Values, seriesBatch(7, 1, sl)) {
+		t.Fatalf("recovered record 1 is not the post-rollback append")
+	}
+
+	// Implausible offsets are refused rather than corrupting the log.
+	if err := l2.Rollback(4, 1); err == nil {
+		t.Fatalf("Rollback below header accepted")
+	}
+	if err := l2.Rollback(l2.Size()+100, 1); err == nil {
+		t.Fatalf("Rollback past tail accepted")
+	}
+}
+
 func floatsEqual(a, b []float32) bool {
 	if len(a) != len(b) {
 		return false
