@@ -98,40 +98,35 @@ func (e *Engine) QueryStream(ctx context.Context, q []float32, k int) <-chan Str
 			if e.spec.Mode != core.ModeExact {
 				// Non-exact engines answer in their own mode; the exact-path
 				// head-start would be redundant work under a weaker guarantee.
+				// QueryWithStats takes the ingest read lock itself.
 				matches, qs, err = e.QueryWithStats(ctx, q, k)
 				return
 			}
-			// The direct core calls below take the ingest read lock themselves
-			// (QueryWithStats locks on its own path); each closure releases it
-			// before the next query step, so the lock is never held reentrantly.
+			// One ingest read lock spans the whole streamed query, so the
+			// approximate head-start and the exact refinement answer over the
+			// same collection extent even while appends are arriving. The
+			// lock-free queryWithStatsLocked avoids re-entering RLock under a
+			// possibly blocked writer, which would deadlock.
+			if ing := e.ing; ing != nil {
+				ing.mu.RLock()
+				defer ing.mu.RUnlock()
+			}
 			switch m := e.m.(type) {
 			case core.KNNStreamer:
-				matches, qs, err = func() ([]Match, QueryStats, error) {
-					if ing := e.ing; ing != nil {
-						ing.mu.RLock()
-						defer ing.mu.RUnlock()
-					}
-					return core.RunQueryStream(ctx, m, e.coll, series.Series(q), k, func(b Match) {
-						progress(StreamUpdate{Best: b})
-					})
-				}()
+				matches, qs, err = core.RunQueryStream(ctx, m, e.coll, series.Series(q), k, func(b Match) {
+					progress(StreamUpdate{Best: b})
+				})
 			case core.ApproxMethod:
 				var approx []Match
-				approx, _, err = func() ([]Match, QueryStats, error) {
-					if ing := e.ing; ing != nil {
-						ing.mu.RLock()
-						defer ing.mu.RUnlock()
-					}
-					return m.ApproxKNN(ctx, series.Series(q), k)
-				}()
+				approx, _, err = m.ApproxKNN(ctx, series.Series(q), k)
 				if err == nil {
 					if len(approx) > 0 {
 						progress(StreamUpdate{Best: approx[0], Mode: core.ModeNG.String()})
 					}
-					matches, qs, err = e.QueryWithStats(ctx, q, k)
+					matches, qs, err = e.queryWithStatsLocked(ctx, q, k)
 				}
 			default:
-				matches, qs, err = e.QueryWithStats(ctx, q, k)
+				matches, qs, err = e.queryWithStatsLocked(ctx, q, k)
 			}
 		}()
 
