@@ -7,6 +7,11 @@
 //	hydra-gen -dataset seismic -gb 100 -scale 1024 -out seismic.hyd
 //	hydra-gen -workload ctrl -from synth.hyd -queries 100 -noise 1.0 -out q.hyd
 //	hydra-gen -workload rand -length 256 -queries 100 -out q.hyd
+//	hydra-gen -long 65536 -window 256 -out walk.hyd
+//
+// The -long mode emits one long random-walk series with planted motif pairs
+// and a planted discord (the matrix-profile workload input; see
+// hydra.GenerateLongWalk) and prints the planted offsets.
 package main
 
 import (
@@ -29,6 +34,8 @@ func main() {
 		queries  = flag.Int("queries", 100, "number of queries (workload mode)")
 		noise    = flag.Float64("noise", 1.0, "max noise level for ctrl workloads")
 		from     = flag.String("from", "", "source dataset file for ctrl workloads")
+		longN    = flag.Int("long", 0, "emit one long random-walk series of this length with planted motifs and a discord")
+		window   = flag.Int("window", 256, "planted feature length for -long (the window to profile with)")
 		out      = flag.String("out", "", "output file (required)")
 	)
 	flag.Parse()
@@ -42,6 +49,18 @@ func main() {
 	}
 
 	switch {
+	case *longN > 0:
+		ds, pl, err := hydra.GenerateLongWalk(*longN, *window, *seed)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := ds.Save(*out); err != nil {
+			fail("saving: %v", err)
+		}
+		fmt.Printf("wrote %s: one series of length %d\n", *out, ds.SeriesLen())
+		fmt.Printf("planted: motif %d %d, motif %d %d, discord %d, window %d\n",
+			pl.MotifA, pl.MotifB, pl.Motif2A, pl.Motif2B, pl.Discord, pl.M)
+
 	case *dsName != "":
 		count := *n
 		if count == 0 {

@@ -37,6 +37,10 @@ type server struct {
 	// refuse new work (load balancers stop routing here) while in-flight
 	// requests finish under http.Server.Shutdown.
 	draining atomic.Bool
+	// queryStats / motifStats count the two request families for /statusz:
+	// admitted requests, in-flight, and recent p50/p99.
+	queryStats endpointStats
+	motifStats endpointStats
 }
 
 // newServer wires the endpoints: POST /query (one k-NN query), POST /batch
@@ -59,6 +63,7 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.admitted(s.handleQuery))
 	mux.HandleFunc("/batch", s.admitted(s.handleBatch))
+	mux.HandleFunc("/motif", s.admitted(s.handleMotif))
 	mux.HandleFunc("/ingest", s.admitted(s.handleIngest))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
@@ -375,6 +380,9 @@ type engineStatuszResponse struct {
 	Series    int              `json:"series"`
 	UptimeSec int64            `json:"uptime_sec"`
 	Ingest    *ingestStatsJSON `json:"ingest,omitempty"`
+	// Query counts /query + /batch traffic; Motif counts /motif.
+	Query *endpointStatsJSON `json:"query,omitempty"`
+	Motif *endpointStatsJSON `json:"motif,omitempty"`
 }
 
 // ingestStatsJSON is the wire form of hydra.IngestStats. WALLag* measure
@@ -403,6 +411,8 @@ func (s *server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		Method:    s.engine.Method(),
 		Series:    s.engine.Len(),
 		UptimeSec: int64(time.Since(s.started).Seconds()),
+		Query:     s.queryStats.snapshot(),
+		Motif:     s.motifStats.snapshot(),
 	}
 	if st, ok := s.engine.IngestStats(); ok {
 		resp.Ingest = &ingestStatsJSON{
@@ -424,6 +434,8 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	done := s.queryStats.track()
+	defer done()
 	k := req.K
 	if k <= 0 {
 		k = 1
@@ -468,6 +480,8 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	done := s.queryStats.track()
+	defer done()
 	k := req.K
 	if k <= 0 {
 		k = 1

@@ -63,6 +63,23 @@ func Generate(kind string, n, length int, seed int64) (*Dataset, error) {
 	return &Dataset{d: d}, nil
 }
 
+// Planted records where GenerateLongWalk planted its motif pairs and
+// discord, so callers can assert the profile machinery recovers them.
+type Planted = dataset.Planted
+
+// GenerateLongWalk produces the matrix-profile workload's input: one long
+// random-walk series (as a single-member collection, so it flows through
+// every engine and file pipeline) with two planted motif pairs and one
+// planted discord of length m. The returned Planted names their offsets;
+// n must be at least 12·m so the planted segments stay non-overlapping.
+func GenerateLongWalk(n, m int, seed int64) (*Dataset, Planted, error) {
+	d, pl, err := dataset.LongWalk(n, m, seed)
+	if err != nil {
+		return nil, Planted{}, fmt.Errorf("hydra: %w", err)
+	}
+	return &Dataset{d: d}, pl, nil
+}
+
 // Save writes the collection in the suite's binary format.
 func (d *Dataset) Save(path string) error { return d.d.SaveFile(path) }
 

@@ -123,6 +123,29 @@
 // ng ≡ ApproxKNN, measured recall ≥ δ on controlled workloads, and
 // monotone pruning in ε.
 //
+// # Motif discovery: the matrix profile
+//
+// Beside k-NN over a collection, an engine whose collection holds exactly
+// one long series answers self-join workloads: Engine.MatrixProfile
+// computes the series' matrix profile (for every length-m window, the
+// z-normalized Euclidean distance to its nearest non-trivial neighbor),
+// and Engine.Motifs / Engine.Discords extract the top repeated pairs and
+// the top anomalies from it (WithTopK, default 3). The computation is
+// STOMP restructured along profile diagonals — O(n·m), one O(m) seed dot
+// per diagonal plus an O(1) sliding dot-product recurrence per cell — and
+// parallelizes across diagonal ranges on WithWorkers; every worker count
+// returns a Float64bits-identical profile, because per-worker partials
+// hold squared distances and fold through an order-independent
+// lexicographic min before the single sqrt pass. Windows closer than the
+// exclusion zone (WithExclusionZone, default m/4) are trivial matches of
+// themselves and never compared. Constant windows follow the
+// series.ZNormalize convention: two flat windows are at distance 0, a
+// flat window against anything else at sqrt(m). Engines over multi-series
+// collections fail these calls with ErrProfileUnsupported;
+// GenerateLongWalk (hydra-gen -long) emits a single planted long walk to
+// profile. Cancellation follows the engine-wide contract above.
+// cmd/hydra-motif is the CLI; hydra-serve answers POST /motif.
+//
 // # Persistence
 //
 // Tree-backed methods implement core.Persistable: their built state saves

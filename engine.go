@@ -54,6 +54,10 @@ type Engine struct {
 
 	batchWorkers      int
 	partialOnDeadline bool
+	// workers is the engine's WithWorkers setting, retained for the work
+	// the facade runs itself (matrix-profile diagonals); query-path
+	// parallelism was already handed to the method factory.
+	workers int
 	// Shard placement (WithShard): index/count of the slice this engine
 	// serves and the collection offset of its first series; count == 0 for
 	// engines over a whole collection.
@@ -281,6 +285,7 @@ func (c *config) engine(m core.Method, coll *core.Collection, d *Dataset, bs Bui
 		build:             bs,
 		batchWorkers:      c.resolvedBatchWorkers(),
 		partialOnDeadline: c.partialOnDeadline,
+		workers:           c.opts.Workers,
 		spec:              c.spec,
 		shardIndex:        c.shardIndex,
 		shardCount:        c.shardCount,

@@ -25,6 +25,8 @@ type Scratch struct {
 	table   []float64
 	lb      []float64
 	word    []uint8
+	f32     []float32
+	cbuf    []complex128
 	ids     []int
 	idSort  boundSorter
 	set     KNNSet
@@ -62,6 +64,26 @@ func (s *Scratch) Word(n int) []uint8 {
 	}
 	s.word = s.word[:n]
 	return s.word
+}
+
+// F32 returns a length-n float32 buffer (normalized query/window copies of
+// the subsequence paths). Contents are undefined.
+func (s *Scratch) F32(n int) []float32 {
+	if cap(s.f32) < n {
+		s.f32 = make([]float32, n)
+	}
+	s.f32 = s.f32[:n]
+	return s.f32
+}
+
+// Complex returns a length-n complex128 buffer (FFT workspaces). Contents
+// are undefined.
+func (s *Scratch) Complex(n int) []complex128 {
+	if cap(s.cbuf) < n {
+		s.cbuf = make([]complex128, n)
+	}
+	s.cbuf = s.cbuf[:n]
+	return s.cbuf
 }
 
 // KNN returns the scratch's result set, reset to capacity k. The set reuses

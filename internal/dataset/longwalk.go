@@ -1,0 +1,94 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Planted records where LongWalk planted its features, so harnesses and
+// end-to-end tests can assert the motif/discord machinery recovers them.
+// All offsets index length-M windows of the single long series.
+type Planted struct {
+	// MotifA/MotifB are the offsets of the closest planted motif pair
+	// (near-exact copies).
+	MotifA, MotifB int
+	// Motif2A/Motif2B are the offsets of a second, noisier planted pair —
+	// far enough from the first that exclusion-zone selection must report
+	// both.
+	Motif2A, Motif2B int
+	// Discord is the offset of the planted anomaly: a high-amplitude bump
+	// no other region of the walk resembles.
+	Discord int
+	// M is the planted feature length (the window length to profile with).
+	M int
+}
+
+// LongWalk generates one long random-walk series with planted structure for
+// the matrix-profile workload: two motif pairs (a near-exact copy and a
+// noisier one) and one discord (a high-amplitude bump). The series is a
+// single-member dataset, so it can flow through every existing pipeline
+// (save/open, engines, serving); the global Z-normalization applied to
+// dataset members is an affine map of the whole series, which leaves
+// per-window Z-normalized distances unchanged — planted structure survives
+// it.
+//
+// n must be at least 12·m so the five planted segments fit with more than a
+// window length of separation between any two (outside any default
+// exclusion zone).
+func LongWalk(n, m int, seed int64) (*Dataset, Planted, error) {
+	if m <= 0 {
+		return nil, Planted{}, fmt.Errorf("dataset: long-walk window must be positive, got %d", m)
+	}
+	if n < 12*m {
+		return nil, Planted{}, fmt.Errorf("dataset: long-walk length %d too short for window %d (need ≥ %d)", n, m, 12*m)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := newArenaDataset("longwalk", 1, n)
+	s := d.Series[0]
+	var acc float64
+	for i := range s {
+		acc += rng.NormFloat64()
+		s[i] = float32(acc)
+	}
+
+	pl := Planted{
+		MotifA:  n / 12,
+		MotifB:  6 * n / 12,
+		Motif2A: 3 * n / 12,
+		Motif2B: 9 * n / 12,
+		Discord: 11 * n / 12,
+		M:       m,
+	}
+	// First pair: near-exact copy; second pair: noisier copy, so the pairs
+	// rank deterministically and exclusion-zone extraction must find both.
+	plantCopy(s, pl.MotifA, pl.MotifB, m, 1e-3, rng)
+	plantCopy(s, pl.Motif2A, pl.Motif2B, m, 5e-3, rng)
+	// Discord: a sign-alternating burst under a narrow Gaussian envelope. A
+	// smooth bump is NOT a reliable discord — random-walk windows are
+	// low-frequency, and among thousands of them some hump-shaped window
+	// correlates ~0.9 with any smooth plant. The alternating burst is
+	// orthogonal to every smooth window, and shifting it past the default
+	// exclusion zone flips signs / shrinks the envelope overlap, so no
+	// window overlapping the burst has a close match anywhere: the profile
+	// peaks there.
+	amp := 16 * math.Sqrt(float64(m))
+	width := float64(m) / 10
+	center := float64(m) / 2
+	sign := 1.0
+	for j := 0; j < m; j++ {
+		dev := (float64(j) - center) / width
+		s[pl.Discord+j] += float32(sign * amp * math.Exp(-dev*dev/2))
+		sign = -sign
+	}
+	s.ZNormalize()
+	return d, pl, nil
+}
+
+// plantCopy copies the m values at src over dst, perturbed with Gaussian
+// noise of the given scale.
+func plantCopy(s []float32, src, dst, m int, noise float64, rng *rand.Rand) {
+	for j := 0; j < m; j++ {
+		s[dst+j] = s[src+j] + float32(noise*rng.NormFloat64())
+	}
+}

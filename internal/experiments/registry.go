@@ -24,6 +24,7 @@ var runners = map[string]Runner{
 	"buffer":   BufferTuning,
 	"approx":   ApproxQuality,
 	"ingest":   IngestThroughput,
+	"motif":    MotifProfile,
 }
 
 // IDs lists the available experiments in order.

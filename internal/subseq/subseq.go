@@ -26,6 +26,10 @@ import (
 	"hydra/internal/transform/fft"
 )
 
+// massScratch pools the per-call working buffers of MASS; repeated
+// subsequence/profile calls reuse them instead of reallocating.
+var massScratch core.ScratchPool
+
 // Chop converts a long series into the collection of all its Z-normalized
 // overlapping windows of length m. Window i of the result corresponds to
 // long[i : i+m]. The resulting dataset can be indexed by any whole-matching
@@ -80,8 +84,16 @@ func MASS(long, query series.Series, k int) ([]Match, error) {
 		k = 1
 	}
 
-	q := query.ZNormalizedInto(make(series.Series, m))
-	qf := make([]float64, m)
+	// All working state comes from a pooled Scratch so repeated calls (motif
+	// harnesses, profile workloads) stop reallocating per invocation: the
+	// float64 series copy, the FFT workspace, the prefix sums (packed into
+	// one Aux buffer), and the normalized query/window float32 copies.
+	L := len(long)
+	sc := massScratch.Get()
+	defer massScratch.Put(sc)
+	f32 := sc.F32(2 * m)
+	q := query.ZNormalizedInto(series.Series(f32[:m]))
+	qf := sc.Table(m)
 	for i, v := range q {
 		qf[i] = float64(v)
 	}
@@ -91,22 +103,24 @@ func MASS(long, query series.Series, k int) ([]Match, error) {
 	// normalized window is m (both vectors have norm √m... in fact a zero
 	// query against a unit-variance window gives ‖w‖² = m) — handled below.
 
-	x := make([]float64, len(long))
+	x := sc.Summary(L)
 	for i, v := range long {
 		x[i] = float64(v)
 	}
-	dots := fft.Convolve(x, qf)
+	dots := fft.ConvolveInto(x, qf, sc.Complex(fft.ConvolveScratchLen(L, m)), sc.LB(L))
 
 	// Running window statistics.
-	n := len(long) - m + 1
-	prefix := make([]float64, len(long)+1)
-	prefix2 := make([]float64, len(long)+1)
+	n := L - m + 1
+	aux := sc.Aux(2 * (L + 1))
+	prefix := aux[: L+1 : L+1]
+	prefix2 := aux[L+1:]
+	prefix[0], prefix2[0] = 0, 0
 	for i, v := range x {
 		prefix[i+1] = prefix[i] + v
 		prefix2[i+1] = prefix2[i] + v*v
 	}
 
-	set := core.NewKNNSet(k)
+	set := sc.KNN(k)
 	const eps = 1e-8
 	qIsZero := series.SumSquares(q) < eps
 	for i := 0; i < n; i++ {
@@ -140,7 +154,7 @@ func MASS(long, query series.Series, k int) ([]Match, error) {
 
 	matches := set.Results()
 	out := make([]Match, len(matches))
-	wbuf := make(series.Series, m)
+	wbuf := series.Series(f32[m : 2*m])
 	for i, mt := range matches {
 		// Refine with a direct computation for exact reporting: normalize
 		// the window view into a reused buffer (the view itself is

@@ -160,3 +160,24 @@ func TestResultsSorted(t *testing.T) {
 		}
 	}
 }
+
+// TestMASSSteadyStateAllocs pins the pooled-scratch behavior: after warmup,
+// repeated MASS calls allocate only the returned matches, not the FFT and
+// rolling-statistic workspaces.
+func TestMASSSteadyStateAllocs(t *testing.T) {
+	long := longSeries(2048, 21)
+	q := longSeries(128, 22)
+	if _, err := MASS(long, q, 3); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := MASS(long, q, 3); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Result copy-out (KNNSet.Results + the []Match) is the only per-call
+	// allocation left; leave headroom for those few slices.
+	if allocs > 6 {
+		t.Fatalf("steady-state MASS allocates %.0f times per call, want ≤ 6", allocs)
+	}
+}

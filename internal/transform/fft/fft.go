@@ -142,11 +142,31 @@ func bluestein(x []complex128, inverse bool) []complex128 {
 // IFFT(FFT(x)·FFT(rev(q) zero-padded)). The returned slice has length
 // len(x); entry i (for i ≥ len(q)−1) is Σ_j q[j]·x[i−len(q)+1+j].
 func Convolve(x, q []float64) []float64 {
+	size := mathx.NextPow2(len(x) + len(q))
+	return ConvolveInto(x, q, make([]complex128, 2*size), make([]float64, len(x)))
+}
+
+// ConvolveScratchLen returns the complex-workspace length ConvolveInto
+// needs for inputs of the given lengths.
+func ConvolveScratchLen(n, m int) int { return 2 * mathx.NextPow2(n+m) }
+
+// ConvolveInto is Convolve with caller-supplied buffers for the repeated-
+// invocation paths (pooled MASS scratch): cbuf must have at least
+// ConvolveScratchLen(len(x), len(q)) entries and out at least len(x).
+// The result is written to (and returned as) out[:len(x)]; cbuf contents
+// are overwritten.
+func ConvolveInto(x, q []float64, cbuf []complex128, out []float64) []float64 {
 	n := len(x)
 	m := len(q)
 	size := mathx.NextPow2(n + m)
-	xa := make([]complex128, size)
-	qa := make([]complex128, size)
+	xa := cbuf[:size]
+	qa := cbuf[size : 2*size]
+	for i := range xa {
+		xa[i] = 0
+	}
+	for i := range qa {
+		qa[i] = 0
+	}
 	for i, v := range x {
 		xa[i] = complex(v, 0)
 	}
@@ -160,7 +180,7 @@ func Convolve(x, q []float64) []float64 {
 	}
 	radix2(xa, true)
 	inv := 1 / float64(size)
-	out := make([]float64, n)
+	out = out[:n]
 	for i := 0; i < n; i++ {
 		out[i] = real(xa[i]) * inv
 	}

@@ -1,0 +1,107 @@
+package hydra
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"hydra/internal/profile"
+)
+
+// MatrixProfile is the result of Engine.MatrixProfile: for every length-m
+// window of the engine's single long series, the Z-normalized Euclidean
+// distance to (and offset of) its nearest non-trivial neighbor window. See
+// the profile package for the exclusion-zone and zero-variance contracts.
+type MatrixProfile = profile.Profile
+
+// Motif is one motif pair extracted from a matrix profile: two closely
+// matching windows, A < B.
+type Motif = profile.Motif
+
+// Discord is one discord extracted from a matrix profile: a window
+// anomalously far from every non-trivial neighbor.
+type Discord = profile.Discord
+
+// ProfileStats counts the work of one matrix-profile computation.
+type ProfileStats = profile.Stats
+
+// ErrProfileUnsupported: a matrix-profile call (Engine.MatrixProfile,
+// Motifs, Discords) against an engine whose collection is not a single long
+// series. Profiles are a self-join of one series' windows; open the long
+// series as its own single-member dataset (GenerateLongWalk, hydra-gen
+// -long) to profile it.
+var ErrProfileUnsupported = errors.New("hydra: matrix profile requires a single-series collection")
+
+// MatrixProfile computes the STOMP matrix profile of the engine's series
+// with window length m. The engine's collection must hold exactly one
+// series (ErrProfileUnsupported otherwise) — profiles are self-joins of a
+// single long series, as produced by GenerateLongWalk or hydra-gen -long.
+//
+// The computation parallelizes across profile diagonals on the engine's
+// WithWorkers setting (overridable per call); every worker count produces
+// bit-identical profiles. WithExclusionZone overrides the default trivial-
+// match radius of m/4. Cancellation follows the engine-wide contract: ctx
+// is polled at block granularity and honored within one block of work. On
+// an ingesting engine the profile sees whole appended batches or none, like
+// every query.
+func (e *Engine) MatrixProfile(ctx context.Context, m int, opts ...Option) (*MatrixProfile, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := e.profileConfig(opts)
+	if ing := e.ing; ing != nil {
+		ing.mu.RLock()
+		defer ing.mu.RUnlock()
+	}
+	if n := e.coll.File.Len(); n != 1 {
+		return nil, fmt.Errorf("%w (collection has %d series)", ErrProfileUnsupported, n)
+	}
+	excl := -1
+	if cfg.exclusionSet {
+		excl = cfg.exclusionZone
+	}
+	p, err := profile.Compute(ctx, e.coll.File.Peek(0), m, profile.Options{
+		Workers:       cfg.opts.Workers,
+		ExclusionZone: excl,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hydra: %w", err)
+	}
+	return p, nil
+}
+
+// Motifs computes the matrix profile with window length m and extracts its
+// top motif pairs in ascending distance order: the closest non-trivially-
+// matching window pairs, successive pairs excluded from overlapping earlier
+// ones (see profile.Profile.Motifs). WithTopK sets how many pairs (default
+// 3); WithExclusionZone and WithWorkers act as in MatrixProfile.
+func (e *Engine) Motifs(ctx context.Context, m int, opts ...Option) ([]Motif, error) {
+	p, err := e.MatrixProfile(ctx, m, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return p.Motifs(e.profileConfig(opts).resolvedTopK()), nil
+}
+
+// Discords computes the matrix profile with window length m and extracts
+// its top discords in descending distance order: the windows farthest from
+// every non-trivial neighbor (see profile.Profile.Discords). WithTopK sets
+// how many (default 3); WithExclusionZone and WithWorkers act as in
+// MatrixProfile.
+func (e *Engine) Discords(ctx context.Context, m int, opts ...Option) ([]Discord, error) {
+	p, err := e.MatrixProfile(ctx, m, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return p.Discords(e.profileConfig(opts).resolvedTopK()), nil
+}
+
+// profileConfig resolves a profile call's options over the engine's
+// defaults: workers inherit the engine's WithWorkers setting unless the
+// call overrides them.
+func (e *Engine) profileConfig(opts []Option) *config {
+	cfg := defaultConfig()
+	cfg.opts.Workers = e.workers
+	cfg.apply(opts)
+	return &cfg
+}

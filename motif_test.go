@@ -1,0 +1,142 @@
+package hydra_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"hydra"
+)
+
+// longWalkEngine opens an engine over a freshly generated planted long walk.
+func longWalkEngine(t *testing.T, n, m int, opts ...hydra.Option) (*hydra.Engine, hydra.Planted) {
+	t.Helper()
+	ds, pl, err := hydra.GenerateLongWalk(n, m, 7)
+	if err != nil {
+		t.Fatalf("GenerateLongWalk: %v", err)
+	}
+	e, err := hydra.Open("", append([]hydra.Option{hydra.WithData(ds)}, opts...)...)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return e, pl
+}
+
+func TestEngineMatrixProfileRecoversPlanted(t *testing.T) {
+	e, pl := longWalkEngine(t, 4096, 128)
+	ctx := context.Background()
+
+	motifs, err := e.Motifs(ctx, pl.M)
+	if err != nil {
+		t.Fatalf("Motifs: %v", err)
+	}
+	if len(motifs) < 2 {
+		t.Fatalf("expected ≥2 motifs, got %d", len(motifs))
+	}
+	if motifs[0].A != pl.MotifA || motifs[0].B != pl.MotifB {
+		t.Fatalf("top motif: want (%d, %d), got (%d, %d)", pl.MotifA, pl.MotifB, motifs[0].A, motifs[0].B)
+	}
+	if motifs[1].A != pl.Motif2A || motifs[1].B != pl.Motif2B {
+		t.Fatalf("second motif: want (%d, %d), got (%d, %d)", pl.Motif2A, pl.Motif2B, motifs[1].A, motifs[1].B)
+	}
+
+	discords, err := e.Discords(ctx, pl.M, hydra.WithTopK(1))
+	if err != nil {
+		t.Fatalf("Discords: %v", err)
+	}
+	if len(discords) != 1 {
+		t.Fatalf("expected 1 discord, got %d", len(discords))
+	}
+	if d := discords[0].Index; d < pl.Discord-pl.M || d > pl.Discord+pl.M {
+		t.Fatalf("discord: want near %d, got %d (dist %g)", pl.Discord, d, discords[0].Dist)
+	}
+}
+
+func TestEngineMatrixProfileParallelBitIdentical(t *testing.T) {
+	e, pl := longWalkEngine(t, 3072, 96)
+	ctx := context.Background()
+	serial, err := e.MatrixProfile(ctx, pl.M, hydra.WithWorkers(1))
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	for _, w := range []int{2, 4, -1} {
+		par, err := e.MatrixProfile(ctx, pl.M, hydra.WithWorkers(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i := range serial.Dist {
+			if math.Float64bits(par.Dist[i]) != math.Float64bits(serial.Dist[i]) ||
+				par.Neighbor[i] != serial.Neighbor[i] {
+				t.Fatalf("workers=%d window %d: (%v, %d) vs serial (%v, %d)",
+					w, i, par.Dist[i], par.Neighbor[i], serial.Dist[i], serial.Neighbor[i])
+			}
+		}
+	}
+	// Workers inherit the engine's WithWorkers setting when the call does
+	// not override them.
+	e4, pl4 := longWalkEngine(t, 3072, 96, hydra.WithWorkers(4))
+	p4, err := e4.MatrixProfile(ctx, pl4.M)
+	if err != nil {
+		t.Fatalf("engine workers: %v", err)
+	}
+	if p4.Stats.Workers != 4 {
+		t.Fatalf("engine WithWorkers(4) not inherited: profile ran with %d", p4.Stats.Workers)
+	}
+}
+
+func TestEngineMatrixProfileOptions(t *testing.T) {
+	e, pl := longWalkEngine(t, 2048, 64)
+	ctx := context.Background()
+
+	p, err := e.MatrixProfile(ctx, pl.M)
+	if err != nil {
+		t.Fatalf("MatrixProfile: %v", err)
+	}
+	if p.Exclusion != pl.M/4 {
+		t.Fatalf("default exclusion: want %d, got %d", pl.M/4, p.Exclusion)
+	}
+	pz, err := e.MatrixProfile(ctx, pl.M, hydra.WithExclusionZone(0))
+	if err != nil {
+		t.Fatalf("WithExclusionZone(0): %v", err)
+	}
+	if pz.Exclusion != 0 {
+		t.Fatalf("explicit zero exclusion not honored: got %d", pz.Exclusion)
+	}
+
+	motifs, err := e.Motifs(ctx, pl.M, hydra.WithTopK(1))
+	if err != nil {
+		t.Fatalf("Motifs: %v", err)
+	}
+	if len(motifs) != 1 {
+		t.Fatalf("WithTopK(1): got %d motifs", len(motifs))
+	}
+
+	if _, err := e.MatrixProfile(ctx, 0); err == nil {
+		t.Fatal("m=0 should error")
+	}
+
+	// Cancellation follows the engine-wide contract.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := e.MatrixProfile(cctx, pl.M); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled profile: want context.Canceled, got %v", err)
+	}
+}
+
+func TestEngineMatrixProfileUnsupported(t *testing.T) {
+	ds, err := hydra.Generate("synthetic", 8, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := hydra.Open("", hydra.WithData(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.MatrixProfile(context.Background(), 32); !errors.Is(err, hydra.ErrProfileUnsupported) {
+		t.Fatalf("multi-series engine: want ErrProfileUnsupported, got %v", err)
+	}
+	if _, err := e.Motifs(context.Background(), 32); !errors.Is(err, hydra.ErrProfileUnsupported) {
+		t.Fatalf("Motifs: want ErrProfileUnsupported, got %v", err)
+	}
+}

@@ -54,6 +54,13 @@ type config struct {
 	snapshotRetries   int
 	rebuildMethod     string
 
+	// Matrix-profile options (WithExclusionZone / WithTopK). exclusionSet
+	// distinguishes an explicit zero (exclude only the self-match) from the
+	// unset default (m/4).
+	exclusionZone int
+	exclusionSet  bool
+	topK          int
+
 	// Durable ingestion (WithIngestDir / WithWALSync): the directory the
 	// WAL and checkpoints live in, and the fsync policy spelled as the
 	// -wal-sync flag would be ("always", "off", or an interval duration).
@@ -139,6 +146,27 @@ func WithDatasetFile(path string) Option { return func(c *config) { c.dataPath =
 // values fan each query out over that many shards, negative selects
 // GOMAXPROCS. Answers are bit-identical for every setting.
 func WithWorkers(n int) Option { return func(c *config) { c.opts.Workers = n } }
+
+// WithExclusionZone sets the matrix-profile trivial-match radius: windows
+// within z positions of each other never count as neighbors (or motif/
+// discord candidates) of one another. Unset selects the conventional m/4
+// for window length m; an explicit 0 excludes only the self-match. Only
+// meaningful on the profile calls (Engine.MatrixProfile, Motifs, Discords).
+func WithExclusionZone(z int) Option {
+	return func(c *config) { c.exclusionZone, c.exclusionSet = z, true }
+}
+
+// WithTopK sets how many motif pairs or discords Engine.Motifs and
+// Engine.Discords extract (0 = the default 3).
+func WithTopK(k int) Option { return func(c *config) { c.topK = k } }
+
+// resolvedTopK is the extraction count WithTopK configured, defaulted.
+func (c *config) resolvedTopK() int {
+	if c.topK > 0 {
+		return c.topK
+	}
+	return 3
+}
 
 // WithShard restricts the engine to the index-th of count contiguous
 // partitions of the configured dataset (the ShardRange split, identical to
